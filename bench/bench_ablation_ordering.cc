@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Design-choice ablation: the Section 2.2 importance-ordering heuristic.
+ *
+ * The data access matrix places distribution-dimension subscripts first
+ * so that BasisMatrix keeps them when rows conflict and the outermost
+ * transformed loop aligns with data ownership. This bench disables that
+ * ranking (rows order purely by frequency) and measures the cost: the
+ * same pipeline, the same legality machinery, but a worse T.
+ *
+ * For Figure 1's program the blind ordering ranks the subscript i
+ * (3 occurrences, but not a distribution dimension) above j-i and j+k,
+ * leaving every access to B remote -- the quantitative argument for the
+ * paper's heuristic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "ir/gallery.h"
+
+namespace {
+
+using namespace anc;
+
+struct Workload
+{
+    const char *name;
+    ir::Program prog;
+    IntVec params;
+    std::vector<double> scalars;
+};
+
+void
+printAblation()
+{
+    Int n = bench::envInt("ANC_BENCH_N", 64);
+    std::vector<Workload> workloads;
+    workloads.push_back(
+        {"figure1", ir::gallery::figure1(), {n, n / 2, 16}, {}});
+    workloads.push_back({"gemm", ir::gallery::gemm(), {n}, {}});
+    workloads.push_back({"syr2k", ir::gallery::syr2kBanded(),
+                         {n, 16}, {1.0, 1.0}});
+
+    std::printf("=== Ablation: Section 2.2 ordering heuristic ===\n\n");
+    std::printf("%-9s %14s %14s %16s %16s %9s\n", "workload",
+                "remote(hint)", "remote(blind)", "time(hint)",
+                "time(blind)", "penalty");
+    for (Workload &w : workloads) {
+        core::CompileOptions with, without;
+        without.normalize.useDistributionHint = false;
+        core::Compilation ch = core::compile(w.prog, with);
+        core::Compilation cb = core::compile(w.prog, without);
+        numa::SimOptions opts;
+        opts.processors = 16;
+        ir::Bindings binds{w.params, w.scalars};
+        numa::SimStats sh = core::simulate(ch, opts, binds);
+        numa::SimStats sb = core::simulate(cb, opts, binds);
+        std::printf("%-9s %14llu %14llu %16.0f %16.0f %8.2fx\n", w.name,
+                    static_cast<unsigned long long>(
+                        sh.totalRemoteAccesses()),
+                    static_cast<unsigned long long>(
+                        sb.totalRemoteAccesses()),
+                    sh.parallelTime(), sb.parallelTime(),
+                    sb.parallelTime() / sh.parallelTime());
+    }
+    std::printf("\nwithout the heuristic the pipeline still produces "
+                "legal code, but the\noutermost loop no longer aligns "
+                "with the data distribution and locality is\nlost -- "
+                "the penalty column is the heuristic's measured value.\n"
+                "(A penalty of 1.00x means frequency alone already made "
+                "the right choice.)\n\n");
+}
+
+void
+BM_Ablation_CompileWithoutHint(benchmark::State &state)
+{
+    ir::Program p = ir::gallery::syr2kBanded();
+    core::CompileOptions opts;
+    opts.normalize.useDistributionHint = false;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::compile(p, opts));
+}
+BENCHMARK(BM_Ablation_CompileWithoutHint)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printAblation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Section 8's closing remark reproduced: "A simple performance model
+ * explaining these results can be found in the associated technical
+ * report." This bench calibrates the closed-form model once (at P = 4)
+ * and prints predicted vs simulated speedups for the Figure 4/5
+ * workloads, so the analytic explanation of the curves can be read off
+ * directly: the plain variants are remote-dominated ((1-1/P) scaling of
+ * t_r), normalization moves the mix to local references, and block
+ * transfers replace t_r with t_byte*elem.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "numa/perf_model.h"
+
+namespace {
+
+using namespace anc;
+
+void
+printModelTable(const char *title, const core::Compilation &c,
+                const ir::Bindings &binds, bool blocks)
+{
+    double seq = core::sequentialTime(
+        c, numa::MachineParams::butterflyGP1000(), binds.paramValues);
+    numa::SimOptions copts;
+    copts.processors = 4;
+    copts.blockTransfers = blocks;
+    numa::PerfModel m = numa::calibrateModel(c.program, c.nest(), c.plan,
+                                             copts, binds);
+    std::printf("--- %s ---\n", title);
+    std::printf("per iteration: %.2f flops, %.2f local, %.2f remote, "
+                "%.2f block elems (calibrated at P = 4)\n",
+                m.flopsPerIter, m.localPerIter, m.remotePerIter,
+                m.blockedPerIter);
+    std::printf("%6s %12s %12s %10s\n", "P", "model", "simulated",
+                "error");
+    for (Int p : {1, 2, 4, 8, 16, 28}) {
+        numa::SimOptions opts;
+        opts.processors = p;
+        opts.blockTransfers = blocks;
+        opts.sampleProcs = bench::sampleProcs(p);
+        double sim = core::simulate(c, opts, binds).speedup(seq);
+        double mod = m.predictSpeedup(p);
+        std::printf("%6lld %12.2f %12.2f %9.1f%%\n",
+                    static_cast<long long>(p), mod, sim,
+                    sim > 0 ? 100.0 * (mod - sim) / sim : 0.0);
+    }
+    std::printf("\n");
+}
+
+void
+printAll()
+{
+    Int n = bench::envInt("ANC_BENCH_N", 84);
+    std::printf("=== Performance model vs simulation (TR Section 8 "
+                "model) ===\n\n");
+    core::CompileOptions id;
+    id.identityTransform = true;
+
+    core::Compilation gemm_plain = core::compile(ir::gallery::gemm(), id);
+    core::Compilation gemm = core::compile(ir::gallery::gemm());
+    ir::Bindings gb{{n}, {}};
+    printModelTable("gemm (plain)", gemm_plain, gb, false);
+    printModelTable("gemmT", gemm, gb, false);
+    printModelTable("gemmB", gemm, gb, true);
+
+    core::Compilation syr2k = core::compile(ir::gallery::syr2kBanded());
+    ir::Bindings sb{{n, 28}, {1.0, 1.0}};
+    printModelTable("syr2kB", syr2k, sb, true);
+    std::printf("the model is exact for the uniform-work GEMM slices; "
+                "the triangular SYR2K\nslices stress its uniform-balance "
+                "assumption at high P (see DESIGN.md).\n\n");
+}
+
+void
+BM_Model_Calibrate(benchmark::State &state)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    numa::SimOptions opts;
+    opts.processors = 4;
+    ir::Bindings binds{{32}, {}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(numa::calibrateModel(
+            c.program, c.nest(), c.plan, opts, binds));
+}
+BENCHMARK(BM_Model_Calibrate)->Unit(benchmark::kMillisecond);
+
+void
+BM_Model_Predict(benchmark::State &state)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    numa::SimOptions opts;
+    opts.processors = 4;
+    ir::Bindings binds{{32}, {}};
+    numa::PerfModel m = numa::calibrateModel(c.program, c.nest(), c.plan,
+                                             opts, binds);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.predictSpeedup(28));
+}
+BENCHMARK(BM_Model_Predict);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness.
+ *
+ * Every bench binary prints its paper table/figure data to stdout first
+ * (the reproduction artifact), then runs google-benchmark timings of
+ * the underlying machinery. Environment knobs:
+ *
+ *   ANC_BENCH_N      problem size N       (default: binary-specific)
+ *   ANC_BENCH_B      band width b         (default: binary-specific)
+ *   ANC_BENCH_FULL   =1: paper-scale N=400 runs (slow, exact sizes)
+ */
+
+#ifndef ANC_BENCH_BENCH_UTIL_H
+#define ANC_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ratmath/int_util.h"
+
+namespace anc::bench {
+
+inline Int
+envInt(const char *name, Int fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoll(v, nullptr, 10);
+}
+
+inline bool
+fullScale()
+{
+    return envInt("ANC_BENCH_FULL", 0) != 0;
+}
+
+/** Processor counts on the paper's x axes (Figures 4 and 5). */
+inline std::vector<Int>
+paperProcessorCounts()
+{
+    return {1, 2, 4, 8, 12, 16, 20, 24, 28};
+}
+
+/** Print a fixed-width row of a speedup table. */
+inline void
+printSpeedupHeader(const char *title, const std::vector<std::string> &cols)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%6s", "P");
+    for (const std::string &c : cols)
+        std::printf("  %10s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printSpeedupRow(Int p, const std::vector<double> &speedups)
+{
+    std::printf("%6lld", static_cast<long long>(p));
+    for (double s : speedups)
+        std::printf("  %10.2f", s);
+    std::printf("\n");
+}
+
+/** Sampled processors for fast simulation: ends and middle. */
+inline std::vector<Int>
+sampleProcs(Int p)
+{
+    if (p <= 4) {
+        std::vector<Int> all;
+        for (Int q = 0; q < p; ++q)
+            all.push_back(q);
+        return all;
+    }
+    return {0, 1, p / 2, p - 2, p - 1};
+}
+
+} // namespace anc::bench
+
+#endif // ANC_BENCH_BENCH_UTIL_H

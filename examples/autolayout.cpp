@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Automatic data layout + analytic performance prediction: the Section
+ * 9 "reverse" mode combined with the technical report's performance
+ * model. Given a program with NO distribution declarations, derive a
+ * layout, compile, and predict the speedup curve analytically -- then
+ * confirm against the full simulation.
+ *
+ *   $ ./examples/autolayout
+ */
+
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "dsl/parser.h"
+#include "numa/perf_model.h"
+#include "xform/suggest.h"
+
+int
+main()
+{
+    using namespace anc;
+
+    // A transposed-update kernel with no distribution annotations: the
+    // programmer has not decided a layout yet.
+    const char *source = R"(
+param N
+array X(N, N)
+array Y(N, N)
+for i = 0, N-1
+  for j = 0, N-1
+    X[j, i] = X[j, i] + Y[i, j]
+)";
+    ir::Program bare = dsl::parseProgram(source);
+
+    xform::DistributionSuggestion s = xform::suggestDistributions(bare);
+    std::printf("derived transformation:\n%s", s.transform.str().c_str());
+    std::printf("derived distributions:\n%s\n", s.rationale.c_str());
+
+    ir::Program laid_out = s.applyTo(bare);
+    core::Compilation c = core::compile(laid_out);
+    std::printf("--- node program under the derived layout ---\n%s\n",
+                c.nodeProgram.c_str());
+
+    Int n = 64;
+    ir::Bindings binds{{n}, {}};
+    numa::SimOptions copts;
+    copts.processors = 4;
+    numa::PerfModel model = numa::calibrateModel(
+        c.program, c.nest(), c.plan, copts, binds);
+    std::printf("calibrated mix: %.2f local, %.2f remote, %.2f block "
+                "elements per iteration\n\n",
+                model.localPerIter, model.remotePerIter,
+                model.blockedPerIter);
+
+    double seq = core::sequentialTime(
+        c, numa::MachineParams::butterflyGP1000(), {n});
+    std::printf("%6s %16s %16s\n", "P", "model speedup", "simulated");
+    bool ok = true;
+    for (Int p : {2, 4, 8, 16, 32}) {
+        numa::SimOptions opts;
+        opts.processors = p;
+        double sim = core::simulate(c, opts, binds).speedup(seq);
+        double mod = model.predictSpeedup(p);
+        std::printf("%6lld %16.2f %16.2f\n", static_cast<long long>(p),
+                    mod, sim);
+        if (mod < sim * 0.5 || mod > sim * 2.0)
+            ok = false;
+    }
+    std::printf("\nmodel %s the simulation within 2x everywhere\n",
+                ok ? "tracks" : "DIVERGES FROM");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Banded SYR2K (Section 8.2) walked through stage by stage: the 5-row
+ * data access matrix, Algorithm BasisMatrix's selection, the LegalBasis
+ * reversal forced by the (0,0,1) dependence, and the resulting SPMD
+ * program whose block transfers fetch whole columns of the band arrays.
+ *
+ *   $ ./examples/syr2k_numa
+ */
+
+#include <cstdio>
+
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "ir/interp.h"
+#include "ratmath/linalg.h"
+#include "xform/basis.h"
+#include "xform/legal.h"
+
+int
+main()
+{
+    using namespace anc;
+
+    ir::Program program = ir::gallery::syr2kBanded();
+    core::Compilation c = core::compile(program);
+    const xform::NormalizeResult &nr = c.normalization;
+
+    std::printf("data access matrix (ordered by importance):\n%s",
+                nr.access.matrix.str().c_str());
+    std::printf("\nbasis matrix (first row basis):\n%s",
+                nr.basis.str().c_str());
+    std::printf("\ndependence matrix:\n%s", nr.depMatrix.str().c_str());
+    std::printf("\nlegal basis (note the reversed row -- the dependence "
+                "(0,0,1) forces it):\n%s",
+                nr.legal.str().c_str());
+    std::printf("\nfinal transformation T (det %lld):\n%s",
+                static_cast<long long>(determinant(nr.transform)),
+                nr.transform.str().c_str());
+
+    // The paper's own ordering of the access matrix differs in rows 2-5
+    // (the heuristic leaves ties open); show that its basis leads to
+    // the exact matrix printed in Section 8.2.
+    IntMatrix paper_access{{-1, 1, 0}, {0, 1, -1}, {0, 0, 1},
+                           {1, 0, -1}, {1, 0, 0}};
+    xform::BasisResult paper_basis = xform::basisMatrix(paper_access);
+    IntMatrix paper_legal = xform::legalBasis(paper_basis.basis,
+                                              nr.depMatrix);
+    std::printf("\npaper-ordered access matrix gives B_legal:\n%s",
+                paper_legal.str().c_str());
+
+    std::printf("\n--- SPMD node program ---\n%s\n",
+                c.nodeProgram.c_str());
+
+    // Numerical check at small size.
+    IntVec params{16, 4};
+    ir::Bindings binds{params, {1.5, -0.5}};
+    ir::ArrayStorage seq(program, params), par(program, params);
+    seq.fillDeterministic(7);
+    par.fillDeterministic(7);
+    ir::run(program, binds, seq);
+
+    numa::SimOptions vopts;
+    vopts.processors = 5;
+    vopts.executeValues = true;
+    numa::Simulator sim(c.program, c.nest(), c.plan, vopts);
+    sim.run(binds, &par);
+    bool equal = seq.data(0) == par.data(0);
+    std::printf("parallel result %s sequential result\n",
+                equal ? "MATCHES" : "DIFFERS FROM");
+
+    // Block transfers vs element-wise remote accesses at P = 16.
+    IntVec big{128, 48};
+    double seq_time = core::sequentialTime(
+        c, numa::MachineParams::butterflyGP1000(), big);
+    for (bool blocks : {false, true}) {
+        numa::SimOptions opts;
+        opts.processors = 16;
+        opts.blockTransfers = blocks;
+        numa::SimStats s = core::simulate(c, opts, {big, {1.0, 1.0}});
+        std::printf("P=16 %-18s speedup %5.2f  (remote %llu, blocks "
+                    "%llu)\n",
+                    blocks ? "with block xfer" : "element-wise",
+                    s.speedup(seq_time),
+                    static_cast<unsigned long long>(
+                        s.totalRemoteAccesses()),
+                    static_cast<unsigned long long>(
+                        s.totalBlockTransfers()));
+    }
+    return equal ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The Section 9 side application: access normalization for vector
+ * machines. On a CRAY-style machine vector loads need constant stride,
+ * and even scatter/gather machines prefer it. Normalizing the access
+ * makes the innermost-loop subscript equal to the loop variable, i.e.
+ * stride 1.
+ *
+ * The example kernel reads A[i+j, 2j]: in the source nest the innermost
+ * subscripts change by (+1, +2) per j step -- a stride-2 second
+ * dimension and a diagonal first dimension. After normalization both
+ * subscripts are loop variables and the innermost stride is constant 1
+ * in the lexically last dimension.
+ *
+ *   $ ./examples/vector_stride
+ */
+
+#include <cstdio>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "xform/normalize.h"
+
+namespace {
+
+using namespace anc;
+
+/** Stride of each subscript of the first rhs ref along the innermost
+ * loop of the (possibly transformed) nest. */
+std::vector<Rational>
+innerStrides(const std::vector<ir::AffineExpr> &subs, size_t depth)
+{
+    std::vector<Rational> out;
+    for (const ir::AffineExpr &e : subs)
+        out.push_back(e.varCoeff(depth - 1));
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    ir::ProgramBuilder b(2);
+    size_t pn = b.param("N");
+    auto N = b.par(pn);
+    size_t arr_s = b.array("S", {N.scaled(Rational(2))});
+    size_t arr_a = b.array(
+        "A", {N.scaled(Rational(2)), N.scaled(Rational(2))});
+    b.loop("i", b.cst(0), N - b.cst(1));
+    b.loop("j", b.cst(0), N - b.cst(1));
+    auto vi = b.var(0), vj = b.var(1);
+    // S[i+j] = S[i+j] + A[i+j, 2j]
+    b.assign(b.ref(arr_s, {vi + vj}),
+             ir::Expr::binary(
+                 '+', ir::Expr::arrayRead(b.ref(arr_s, {vi + vj})),
+                 ir::Expr::arrayRead(
+                     b.ref(arr_a, {vi + vj, vj.scaled(Rational(2))}))));
+    ir::Program p = b.build();
+
+    std::printf("--- source nest ---\n%s\n",
+                ir::printNest(p.nest, p).c_str());
+    {
+        const auto &subs = p.nest.body()[0].rhs.kids[1].ref.subscripts;
+        auto s = innerStrides(subs, 2);
+        std::printf("A subscript strides along innermost loop: (%s, %s)\n"
+                    "  -> gather/scatter needed on a vector machine\n\n",
+                    s[0].str().c_str(), s[1].str().c_str());
+    }
+
+    xform::NormalizeResult r = xform::accessNormalize(p);
+    std::printf("transformation T:\n%s", r.transform.str().c_str());
+    std::printf("\n--- normalized nest ---\n%s\n",
+                xform::printTransformedNest(*r.nest, p).c_str());
+    {
+        const auto &subs = r.nest->body()[0].rhs.kids[1].ref.subscripts;
+        auto s = innerStrides(subs, 2);
+        std::printf("A subscript strides along innermost loop: (%s, %s)\n",
+                    s[0].str().c_str(), s[1].str().c_str());
+        bool constant_stride = true;
+        // The vectorizable pattern: at most one subscript varies with
+        // the vector loop, with integral stride.
+        for (const Rational &x : s)
+            if (!x.isInteger())
+                constant_stride = false;
+        std::printf("  -> %s\n",
+                    constant_stride
+                        ? "constant-stride vector access (normalized)"
+                        : "still needs gather/scatter");
+    }
+
+    // Both versions compute the same sums.
+    IntVec params{12};
+    ir::ArrayStorage seq(p, params), par(p, params);
+    seq.fillDeterministic(5);
+    par.fillDeterministic(5);
+    ir::run(p, {params, {}}, seq);
+    r.nest->run({params, {}}, par);
+    bool equal = seq.data(0) == par.data(0);
+    std::printf("\nnormalized execution %s the original\n",
+                equal ? "MATCHES" : "DIFFERS FROM");
+    return equal ? 0 : 1;
+}

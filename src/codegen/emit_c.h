@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Per-processor code emission (the paper's Figures 1(d), and the
+ * GEMM/SYR2K parallel codes of Section 8).
+ *
+ * The emitter renders the SPMD node program as C-like pseudo-code
+ * parameterized by the processor number p: the partitioned outer loop,
+ * hoisted "read A[*, e]" block-transfer annotations, and the rewritten
+ * body. This is documentation-quality output; execution happens in the
+ * simulator, which interprets the same plan.
+ */
+
+#ifndef ANC_CODEGEN_EMIT_C_H
+#define ANC_CODEGEN_EMIT_C_H
+
+#include <string>
+
+#include "codegen/strength.h"
+#include "numa/plan.h"
+#include "xform/transform.h"
+
+namespace anc::codegen {
+
+/**
+ * Render the SPMD node program for a plan. When a strength-reduction
+ * plan is supplied, divisions introduced by a non-unimodular T are
+ * hoisted to loop entries and the body uses induction variables
+ * (Section 3's strength reduction).
+ */
+std::string emitNodeProgram(const ir::Program &prog,
+                            const xform::TransformedNest &nest,
+                            const numa::ExecutionPlan &plan,
+                            const std::vector<InductionPlan> *sr = nullptr);
+
+/**
+ * Render the ownership-rule baseline of Section 2: all processors
+ * enumerate the original nest and guard each statement with ownership
+ * tests ("looking for work to do").
+ */
+std::string emitOwnershipProgram(const ir::Program &prog);
+
+} // namespace anc::codegen
+
+#endif // ANC_CODEGEN_EMIT_C_H

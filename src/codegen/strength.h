@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Strength reduction of the integer divisions introduced by
+ * non-unimodular transformations (Section 3: "these operations can be
+ * strength reduced and replaced with additions and conditional move
+ * operations").
+ *
+ * A rewritten subscript like (2v - u)/6 is exactly integral at every
+ * lattice point, and along the enumeration of loop v (stride 3) it
+ * changes by the constant (2*3)/6 = 1. So the division needs to execute
+ * only once per loop entry; each iteration then updates an induction
+ * variable by an integer increment. The integrality of the increment is
+ * guaranteed by the lattice: consecutive enumerated points differ by
+ * stride in exactly one coordinate, and the expression is integral at
+ * both.
+ */
+
+#ifndef ANC_CODEGEN_STRENGTH_H
+#define ANC_CODEGEN_STRENGTH_H
+
+#include <string>
+#include <vector>
+
+#include "xform/transform.h"
+
+namespace anc::codegen {
+
+/** One strength-reduced expression. */
+struct InductionPlan
+{
+    std::string name;    //!< t0, t1, ...
+    ir::AffineExpr expr; //!< the tracked expression (non-integer coeffs)
+    size_t level;        //!< innermost loop level the expression varies in
+    Int increment;       //!< added per iteration of that loop
+};
+
+/**
+ * Find every distinct non-integer-coefficient affine expression in the
+ * nest body and build its induction plan. Loop-invariant expressions
+ * and integral ones are left alone (no division to remove).
+ */
+std::vector<InductionPlan>
+planStrengthReduction(const xform::TransformedNest &nest);
+
+/**
+ * Reference evaluator for tests and documentation: walks the nest,
+ * maintaining every induction variable incrementally (division only at
+ * loop entry), and calls fn with (u, values in plan order) at each
+ * iteration. Throws InternalError if an increment fails to reproduce
+ * the direct evaluation -- which the lattice argument rules out.
+ */
+uint64_t runWithInduction(
+    const xform::TransformedNest &nest, const IntVec &params,
+    const std::vector<InductionPlan> &plans,
+    const std::function<void(const IntVec &, const IntVec &)> &fn);
+
+} // namespace anc::codegen
+
+#endif // ANC_CODEGEN_STRENGTH_H

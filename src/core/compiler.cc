@@ -1,0 +1,75 @@
+#include "core/compiler.h"
+
+#include <sstream>
+
+#include "ir/printer.h"
+
+namespace anc::core {
+
+Compilation
+compile(ir::Program prog, const CompileOptions &opts)
+{
+    prog.validate();
+    Compilation c;
+    c.program = std::move(prog);
+
+    if (opts.identityTransform) {
+        // Baseline: keep the nest, distribute the original outer loop.
+        size_t n = c.program.nest.depth();
+        xform::NormalizeResult r;
+        r.access = xform::buildAccessMatrix(c.program);
+        deps::DependenceInfo dinfo = deps::analyzeDependences(
+            c.program, opts.normalize.includeInputDeps);
+        r.depMatrix = dinfo.matrix(n);
+        r.depsImprecise = dinfo.imprecise;
+        r.transform = IntMatrix::identity(n);
+        r.basis = r.transform;
+        r.legal = r.transform;
+        r.unimodular = true;
+        r.nest = xform::applyTransform(c.program, r.transform);
+        c.normalization = std::move(r);
+    } else {
+        c.normalization = xform::accessNormalize(c.program, opts.normalize);
+    }
+
+    c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
+                                  c.normalization.depMatrix,
+                                  &c.normalization.access);
+    c.strengthReduction =
+        codegen::planStrengthReduction(*c.normalization.nest);
+    c.nodeProgram = codegen::emitNodeProgram(
+        c.program, *c.normalization.nest, c.plan,
+        c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
+    return c;
+}
+
+std::string
+Compilation::report() const
+{
+    std::ostringstream os;
+    os << "=== source program ===\n"
+       << ir::printProgram(program) << "\n";
+    os << "=== access normalization ===\n"
+       << xform::describe(normalization, program) << "\n";
+    os << "=== NUMA code generation ===\n"
+       << codegen::describePlan(plan, program) << "\n";
+    os << "=== node program ===\n" << nodeProgram;
+    return os.str();
+}
+
+numa::SimStats
+simulate(const Compilation &c, const numa::SimOptions &opts,
+         const ir::Bindings &binds)
+{
+    numa::Simulator sim(c.program, c.nest(), c.plan, opts);
+    return sim.run(binds);
+}
+
+double
+sequentialTime(const Compilation &c, const numa::MachineParams &machine,
+               const IntVec &params)
+{
+    return numa::sequentialTime(c.program, c.nest(), machine, params);
+}
+
+} // namespace anc::core

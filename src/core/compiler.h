@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The access-normalizing NUMA compiler: the library's top-level API.
+ *
+ * compile() runs the paper's whole pipeline on a program --
+ * dependence analysis, access normalization (Sections 2-6), NUMA code
+ * generation planning (Section 7) -- and returns everything a client
+ * needs: the transformation record, the executable transformed nest,
+ * the SPMD plan, emitted node code, and helpers to simulate the result
+ * on a modeled NUMA machine (Section 8).
+ */
+
+#ifndef ANC_CORE_COMPILER_H
+#define ANC_CORE_COMPILER_H
+
+#include <string>
+
+#include "codegen/emit_c.h"
+#include "codegen/planner.h"
+#include "codegen/strength.h"
+#include "numa/simulator.h"
+#include "xform/normalize.h"
+
+namespace anc::core {
+
+/** Options for one compilation. */
+struct CompileOptions
+{
+    xform::NormalizeOptions normalize;
+    /** Skip restructuring entirely: compile the original nest with
+     * round-robin outer distribution (the paper's untransformed
+     * "gemm"/"syr2k" baselines). */
+    bool identityTransform = false;
+};
+
+/** The result of compiling one program. */
+struct Compilation
+{
+    ir::Program program;
+    xform::NormalizeResult normalization;
+    numa::ExecutionPlan plan;
+    std::string nodeProgram; //!< emitted SPMD pseudo-code
+    /** Induction plans for the divisions a non-unimodular T introduces
+     * (empty for unimodular transformations). When non-empty,
+     * nodeProgram is emitted in strength-reduced form. */
+    std::vector<codegen::InductionPlan> strengthReduction;
+
+    const xform::TransformedNest &nest() const
+    {
+        return *normalization.nest;
+    }
+
+    /** Full human-readable compilation report. */
+    std::string report() const;
+};
+
+/** Run the full pipeline. */
+Compilation compile(ir::Program prog, const CompileOptions &opts = {});
+
+/** Simulate a compilation on a modeled NUMA machine. */
+numa::SimStats simulate(const Compilation &c, const numa::SimOptions &opts,
+                        const ir::Bindings &binds);
+
+/** Sequential (one processor, all local) time for speedup baselines. */
+double sequentialTime(const Compilation &c,
+                      const numa::MachineParams &machine,
+                      const IntVec &params);
+
+} // namespace anc::core
+
+#endif // ANC_CORE_COMPILER_H

@@ -1,0 +1,199 @@
+#include "dsl/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "ratmath/error.h"
+
+namespace anc::dsl {
+
+namespace {
+
+const std::map<std::string, Tok> kKeywords = {
+    {"param", Tok::KwParam},         {"scalar", Tok::KwScalar},
+    {"array", Tok::KwArray},         {"distribute", Tok::KwDistribute},
+    {"for", Tok::KwFor},             {"max", Tok::KwMax},
+    {"min", Tok::KwMin},             {"replicated", Tok::KwReplicated},
+    {"wrapped", Tok::KwWrapped},     {"blocked", Tok::KwBlocked},
+    {"block2d", Tok::KwBlock2d},
+};
+
+} // namespace
+
+std::string
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::Ident:
+        return "identifier";
+      case Tok::Integer:
+        return "integer";
+      case Tok::Float:
+        return "number";
+      case Tok::KwParam:
+        return "'param'";
+      case Tok::KwScalar:
+        return "'scalar'";
+      case Tok::KwArray:
+        return "'array'";
+      case Tok::KwDistribute:
+        return "'distribute'";
+      case Tok::KwFor:
+        return "'for'";
+      case Tok::KwMax:
+        return "'max'";
+      case Tok::KwMin:
+        return "'min'";
+      case Tok::KwReplicated:
+        return "'replicated'";
+      case Tok::KwWrapped:
+        return "'wrapped'";
+      case Tok::KwBlocked:
+        return "'blocked'";
+      case Tok::KwBlock2d:
+        return "'block2d'";
+      case Tok::Assign:
+        return "'='";
+      case Tok::Plus:
+        return "'+'";
+      case Tok::Minus:
+        return "'-'";
+      case Tok::Star:
+        return "'*'";
+      case Tok::Slash:
+        return "'/'";
+      case Tok::LParen:
+        return "'('";
+      case Tok::RParen:
+        return "')'";
+      case Tok::LBracket:
+        return "'['";
+      case Tok::RBracket:
+        return "']'";
+      case Tok::Comma:
+        return "','";
+      case Tok::End:
+        return "end of input";
+    }
+    return "?";
+}
+
+std::vector<Token>
+tokenize(const std::string &source)
+{
+    std::vector<Token> out;
+    int line = 1, col = 1;
+    size_t i = 0;
+    size_t n = source.size();
+
+    auto make = [&](Tok kind, std::string text) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(text);
+        t.line = line;
+        t.col = col;
+        return t;
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            col = 1;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++col;
+            ++i;
+            continue;
+        }
+        if (c == '#') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n && (std::isalnum(
+                                 static_cast<unsigned char>(source[i])) ||
+                             source[i] == '_'))
+                ++i;
+            std::string word = source.substr(start, i - start);
+            auto kw = kKeywords.find(word);
+            Token t = make(kw == kKeywords.end() ? Tok::Ident : kw->second,
+                           word);
+            col += int(word.size());
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            bool is_float = false;
+            while (i < n &&
+                   std::isdigit(static_cast<unsigned char>(source[i])))
+                ++i;
+            if (i + 1 < n && source[i] == '.' &&
+                std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+                is_float = true;
+                ++i;
+                while (i < n &&
+                       std::isdigit(static_cast<unsigned char>(source[i])))
+                    ++i;
+            }
+            std::string text = source.substr(start, i - start);
+            Token t = make(is_float ? Tok::Float : Tok::Integer, text);
+            if (is_float)
+                t.floatValue = std::stod(text);
+            else
+                t.intValue = std::stoll(text);
+            col += int(text.size());
+            out.push_back(std::move(t));
+            continue;
+        }
+        Tok kind;
+        switch (c) {
+          case '=':
+            kind = Tok::Assign;
+            break;
+          case '+':
+            kind = Tok::Plus;
+            break;
+          case '-':
+            kind = Tok::Minus;
+            break;
+          case '*':
+            kind = Tok::Star;
+            break;
+          case '/':
+            kind = Tok::Slash;
+            break;
+          case '(':
+            kind = Tok::LParen;
+            break;
+          case ')':
+            kind = Tok::RParen;
+            break;
+          case '[':
+            kind = Tok::LBracket;
+            break;
+          case ']':
+            kind = Tok::RBracket;
+            break;
+          case ',':
+            kind = Tok::Comma;
+            break;
+          default:
+            throw UserError("line " + std::to_string(line) +
+                            ": unexpected character '" +
+                            std::string(1, c) + "'");
+        }
+        out.push_back(make(kind, std::string(1, c)));
+        ++col;
+        ++i;
+    }
+    out.push_back(make(Tok::End, ""));
+    return out;
+}
+
+} // namespace anc::dsl

@@ -1,0 +1,389 @@
+#include "dsl/parser.h"
+
+#include <map>
+
+#include "dsl/lexer.h"
+
+namespace anc::dsl {
+
+namespace {
+
+using ir::AffineExpr;
+using ir::Expr;
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &source)
+        : toks_(tokenize(source))
+    {
+        // Pre-scan: the nest depth fixes the shape of every affine
+        // expression before any bound is parsed.
+        for (const Token &t : toks_)
+            if (t.kind == Tok::KwFor)
+                ++depth_;
+    }
+
+    ir::Program
+    parse()
+    {
+        parseDecls();
+        if (depth_ == 0)
+            fail("program has no loop nest");
+        while (at(Tok::KwFor))
+            parseForLine();
+        if (!at(Tok::Ident))
+            fail("expected a statement after the loop headers");
+        while (at(Tok::Ident))
+            parseStatement();
+        expect(Tok::End);
+        prog_.validate();
+        return prog_;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    size_t depth_ = 0;
+    ir::Program prog_;
+    std::map<std::string, size_t> params_, scalars_, arrays_, vars_;
+
+    const Token &cur() const { return toks_[pos_]; }
+    bool at(Tok t) const { return cur().kind == t; }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw UserError("line " + std::to_string(cur().line) + ": " + msg);
+    }
+
+    Token
+    expect(Tok t)
+    {
+        if (!at(t))
+            fail("expected " + tokName(t) + ", found " +
+                 tokName(cur().kind) +
+                 (cur().text.empty() ? "" : " '" + cur().text + "'"));
+        return toks_[pos_++];
+    }
+
+    bool
+    accept(Tok t)
+    {
+        if (!at(t)) {
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    void
+    declareName(const std::string &name)
+    {
+        if (params_.count(name) || scalars_.count(name) ||
+            arrays_.count(name) || vars_.count(name))
+            fail("name '" + name + "' is already declared");
+    }
+
+    // --- declarations ----------------------------------------------
+
+    void
+    parseDecls()
+    {
+        while (true) {
+            if (accept(Tok::KwParam)) {
+                do {
+                    Token t = expect(Tok::Ident);
+                    declareName(t.text);
+                    params_[t.text] = prog_.params.size();
+                    prog_.params.push_back(t.text);
+                } while (accept(Tok::Comma));
+            } else if (accept(Tok::KwScalar)) {
+                do {
+                    Token t = expect(Tok::Ident);
+                    declareName(t.text);
+                    scalars_[t.text] = prog_.scalars.size();
+                    prog_.scalars.push_back(t.text);
+                } while (accept(Tok::Comma));
+            } else if (accept(Tok::KwArray)) {
+                parseArrayDecl();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void
+    parseArrayDecl()
+    {
+        Token name = expect(Tok::Ident);
+        declareName(name.text);
+        ir::ArrayDecl decl;
+        decl.name = name.text;
+        expect(Tok::LParen);
+        do {
+            AffineExpr e = parseAffine(/*num_vars=*/0);
+            decl.extents.push_back(std::move(e));
+        } while (accept(Tok::Comma));
+        expect(Tok::RParen);
+        if (accept(Tok::KwDistribute))
+            decl.dist = parseDist(decl.extents.size());
+        arrays_[decl.name] = prog_.arrays.size();
+        prog_.arrays.push_back(std::move(decl));
+    }
+
+    ir::DistributionSpec
+    parseDist(size_t ndims)
+    {
+        auto dim_arg = [&]() {
+            expect(Tok::LParen);
+            Token d = expect(Tok::Integer);
+            if (d.intValue < 0 || size_t(d.intValue) >= ndims)
+                fail("distribution dimension out of range");
+            return size_t(d.intValue);
+        };
+        if (accept(Tok::KwReplicated))
+            return ir::DistributionSpec::replicated();
+        if (accept(Tok::KwWrapped)) {
+            size_t d = dim_arg();
+            expect(Tok::RParen);
+            return ir::DistributionSpec::wrapped(d);
+        }
+        if (accept(Tok::KwBlocked)) {
+            size_t d = dim_arg();
+            expect(Tok::RParen);
+            return ir::DistributionSpec::blocked(d);
+        }
+        if (accept(Tok::KwBlock2d)) {
+            size_t d0 = dim_arg();
+            expect(Tok::Comma);
+            Token d1 = expect(Tok::Integer);
+            if (d1.intValue < 0 || size_t(d1.intValue) >= ndims)
+                fail("distribution dimension out of range");
+            expect(Tok::RParen);
+            return ir::DistributionSpec::block2d(d0, size_t(d1.intValue));
+        }
+        fail("expected a distribution kind");
+    }
+
+    // --- loops -----------------------------------------------------
+
+    void
+    parseForLine()
+    {
+        expect(Tok::KwFor);
+        Token var = expect(Tok::Ident);
+        declareName(var.text);
+        ir::Loop loop;
+        loop.var = var.text;
+        size_t level = prog_.nest.depth();
+        expect(Tok::Assign);
+        if (accept(Tok::KwMax)) {
+            expect(Tok::LParen);
+            do
+                loop.lower.push_back(parseAffine(depth_));
+            while (accept(Tok::Comma));
+            expect(Tok::RParen);
+        } else {
+            loop.lower.push_back(parseAffine(depth_));
+        }
+        expect(Tok::Comma);
+        if (accept(Tok::KwMin)) {
+            expect(Tok::LParen);
+            do
+                loop.upper.push_back(parseAffine(depth_));
+            while (accept(Tok::Comma));
+            expect(Tok::RParen);
+        } else {
+            loop.upper.push_back(parseAffine(depth_));
+        }
+        vars_[loop.var] = level;
+        prog_.nest.loops().push_back(std::move(loop));
+    }
+
+    // --- affine expressions ----------------------------------------
+
+    AffineExpr
+    parseAffine(size_t num_vars)
+    {
+        return parseAffineSum(num_vars);
+    }
+
+    AffineExpr
+    parseAffineSum(size_t num_vars)
+    {
+        AffineExpr acc = parseAffineProduct(num_vars);
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            bool add = accept(Tok::Plus);
+            if (!add)
+                expect(Tok::Minus);
+            AffineExpr rhs = parseAffineProduct(num_vars);
+            acc = add ? acc + rhs : acc - rhs;
+        }
+        return acc;
+    }
+
+    AffineExpr
+    parseAffineProduct(size_t num_vars)
+    {
+        AffineExpr acc = parseAffineUnary(num_vars);
+        while (at(Tok::Star) || at(Tok::Slash)) {
+            bool mul = accept(Tok::Star);
+            if (!mul)
+                expect(Tok::Slash);
+            AffineExpr rhs = parseAffineUnary(num_vars);
+            if (mul) {
+                if (rhs.isConstant())
+                    acc = acc.scaled(rhs.constantTerm());
+                else if (acc.isConstant())
+                    acc = rhs.scaled(acc.constantTerm());
+                else
+                    fail("non-affine product (both factors are symbolic)");
+            } else {
+                if (!rhs.isConstant())
+                    fail("division by a symbolic expression");
+                if (rhs.constantTerm().isZero())
+                    fail("division by zero");
+                acc = acc.scaled(rhs.constantTerm().inverse());
+            }
+        }
+        return acc;
+    }
+
+    AffineExpr
+    parseAffineUnary(size_t num_vars)
+    {
+        if (accept(Tok::Minus))
+            return -parseAffineUnary(num_vars);
+        if (at(Tok::Integer)) {
+            Token t = toks_[pos_++];
+            return AffineExpr::constant(Rational(t.intValue), num_vars,
+                                        prog_.params.size());
+        }
+        if (accept(Tok::LParen)) {
+            AffineExpr e = parseAffineSum(num_vars);
+            expect(Tok::RParen);
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            Token t = toks_[pos_++];
+            auto v = vars_.find(t.text);
+            if (v != vars_.end()) {
+                if (num_vars == 0)
+                    fail("loop variable '" + t.text +
+                         "' is not allowed here");
+                return AffineExpr::variable(v->second, num_vars,
+                                            prog_.params.size());
+            }
+            auto p = params_.find(t.text);
+            if (p != params_.end())
+                return AffineExpr::parameter(p->second, num_vars,
+                                             prog_.params.size());
+            fail("unknown identifier '" + t.text +
+                 "' in an affine expression");
+        }
+        fail("expected an affine expression");
+    }
+
+    // --- statements ------------------------------------------------
+
+    ir::ArrayRef
+    parseRef(const std::string &name)
+    {
+        auto it = arrays_.find(name);
+        if (it == arrays_.end())
+            fail("unknown array '" + name + "'");
+        ir::ArrayRef ref;
+        ref.arrayId = it->second;
+        expect(Tok::LBracket);
+        do
+            ref.subscripts.push_back(parseAffine(depth_));
+        while (accept(Tok::Comma));
+        expect(Tok::RBracket);
+        return ref;
+    }
+
+    void
+    parseStatement()
+    {
+        Token name = expect(Tok::Ident);
+        if (!arrays_.count(name.text))
+            fail("statement must assign to an array element");
+        ir::ArrayRef lhs = parseRef(name.text);
+        expect(Tok::Assign);
+        Expr rhs = parseExpr();
+        prog_.nest.body().push_back({std::move(lhs), std::move(rhs)});
+    }
+
+    Expr
+    parseExpr()
+    {
+        Expr acc = parseTerm();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            char op = accept(Tok::Plus) ? '+' : (expect(Tok::Minus), '-');
+            acc = Expr::binary(op, std::move(acc), parseTerm());
+        }
+        return acc;
+    }
+
+    Expr
+    parseTerm()
+    {
+        Expr acc = parseFactor();
+        while (at(Tok::Star) || at(Tok::Slash)) {
+            char op = accept(Tok::Star) ? '*' : (expect(Tok::Slash), '/');
+            acc = Expr::binary(op, std::move(acc), parseFactor());
+        }
+        return acc;
+    }
+
+    Expr
+    parseFactor()
+    {
+        if (accept(Tok::Minus))
+            return Expr::binary('-', Expr::number_(0.0), parseFactor());
+        if (at(Tok::Float)) {
+            Token t = toks_[pos_++];
+            return Expr::number_(t.floatValue);
+        }
+        if (at(Tok::Integer)) {
+            Token t = toks_[pos_++];
+            return Expr::number_(double(t.intValue));
+        }
+        if (accept(Tok::LParen)) {
+            Expr e = parseExpr();
+            expect(Tok::RParen);
+            return e;
+        }
+        if (at(Tok::Ident)) {
+            Token t = toks_[pos_++];
+            if (arrays_.count(t.text))
+                return Expr::arrayRead(parseRef(t.text));
+            auto s = scalars_.find(t.text);
+            if (s != scalars_.end())
+                return Expr::scalar(s->second);
+            auto v = vars_.find(t.text);
+            if (v != vars_.end()) {
+                return Expr::indexValue(AffineExpr::variable(
+                    v->second, depth_, prog_.params.size()));
+            }
+            auto p = params_.find(t.text);
+            if (p != params_.end()) {
+                return Expr::indexValue(AffineExpr::parameter(
+                    p->second, depth_, prog_.params.size()));
+            }
+            fail("unknown identifier '" + t.text + "' in expression");
+        }
+        fail("expected an expression");
+    }
+};
+
+} // namespace
+
+ir::Program
+parseProgram(const std::string &source)
+{
+    return Parser(source).parse();
+}
+
+} // namespace anc::dsl

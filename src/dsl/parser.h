@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Recursive-descent parser for the loop-nest language.
+ *
+ * Grammar (whitespace-insensitive, '#' comments):
+ *
+ *   program    := decl* for_line+ stmt+
+ *   decl       := 'param' IDENT (',' IDENT)*
+ *               | 'scalar' IDENT (',' IDENT)*
+ *               | 'array' IDENT '(' affine (',' affine)* ')'
+ *                 ['distribute' dist]
+ *   dist       := 'replicated' | 'wrapped' '(' INT ')'
+ *               | 'blocked' '(' INT ')' | 'block2d' '(' INT ',' INT ')'
+ *   for_line   := 'for' IDENT '=' lowbound ',' highbound
+ *   lowbound   := affine | 'max' '(' affine (',' affine)* ')'
+ *   highbound  := affine | 'min' '(' affine (',' affine)* ')'
+ *   stmt       := ref '=' expr
+ *   ref        := IDENT '[' affine (',' affine)* ']'
+ *   expr       := term (('+'|'-') term)*
+ *   term       := factor (('*'|'/') factor)*
+ *   factor     := FLOAT | INT | ref | IDENT | '(' expr ')' | '-' factor
+ *   affine     := aterm (('+'|'-') aterm)*   (linear in loop variables
+ *                 and parameters; '*' needs one constant operand,
+ *                 '/' a constant divisor)
+ *
+ * In an expression, an identifier resolves to a loop variable or
+ * parameter (yielding its integer value) or to a declared scalar.
+ */
+
+#ifndef ANC_DSL_PARSER_H
+#define ANC_DSL_PARSER_H
+
+#include <string>
+
+#include "ir/loop_nest.h"
+
+namespace anc::dsl {
+
+/** Parse a whole program; throws UserError with line info on errors. */
+ir::Program parseProgram(const std::string &source);
+
+} // namespace anc::dsl
+
+#endif // ANC_DSL_PARSER_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Serialization of Program IR back to parseable DSL source.
+ *
+ * printDsl produces text that parseProgram accepts and that round-trips
+ * to a structurally identical program (same declarations, bounds,
+ * statements). Useful for saving derived programs -- e.g. the output of
+ * xform::suggestDistributions -- as .an files.
+ */
+
+#ifndef ANC_DSL_PRINTER_H
+#define ANC_DSL_PRINTER_H
+
+#include <string>
+
+#include "ir/loop_nest.h"
+
+namespace anc::dsl {
+
+/** Render a program as DSL source. Throws UserError if the program
+ * uses constructs the DSL cannot express (it currently can express
+ * everything the IR can). */
+std::string printDsl(const ir::Program &prog);
+
+} // namespace anc::dsl
+
+#endif // ANC_DSL_PRINTER_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Array declarations, data-distribution specifications, and references.
+ *
+ * Distribution specifications follow Section 2 of the paper: wrapped and
+ * blocked column/row distributions plus 2-D blocks. The distribution
+ * function maps an element's index tuple to the owning processor
+ * (Definition 2.1); the dimension(s) it reads are the distribution
+ * dimension(s).
+ */
+
+#ifndef ANC_IR_ARRAY_H
+#define ANC_IR_ARRAY_H
+
+#include <string>
+#include <vector>
+
+#include "ir/affine.h"
+
+namespace anc::ir {
+
+/** How an array is laid out across the processors' local memories. */
+enum class DistKind
+{
+    Replicated, //!< every processor holds a copy (no remote accesses)
+    Wrapped,    //!< round-robin on the distribution dimension
+    Blocked,    //!< contiguous chunks on the distribution dimension
+    Block2D,    //!< rectangular subblocks on two dimensions
+};
+
+/** A data-distribution declaration attached to an array. */
+struct DistributionSpec
+{
+    DistKind kind = DistKind::Replicated;
+    /** The distribution dimension(s): one entry for Wrapped/Blocked, two
+     * for Block2D. Empty for Replicated. */
+    std::vector<size_t> dims;
+
+    bool
+    isDistributionDim(size_t d) const
+    {
+        for (size_t x : dims)
+            if (x == d)
+                return true;
+        return false;
+    }
+
+    static DistributionSpec
+    replicated()
+    {
+        return {};
+    }
+    static DistributionSpec
+    wrapped(size_t dim)
+    {
+        return {DistKind::Wrapped, {dim}};
+    }
+    static DistributionSpec
+    blocked(size_t dim)
+    {
+        return {DistKind::Blocked, {dim}};
+    }
+    static DistributionSpec
+    block2d(size_t dim0, size_t dim1)
+    {
+        return {DistKind::Block2D, {dim0, dim1}};
+    }
+};
+
+/**
+ * An array declaration: name, per-dimension extents (affine in the
+ * program parameters only), and a distribution.
+ *
+ * Index range of dimension d is [0, extent_d).
+ */
+struct ArrayDecl
+{
+    std::string name;
+    std::vector<AffineExpr> extents;
+    DistributionSpec dist;
+
+    size_t numDims() const { return extents.size(); }
+
+    /** Concrete extents under the given parameter bindings. */
+    IntVec
+    evalExtents(const IntVec &params) const
+    {
+        IntVec out;
+        out.reserve(extents.size());
+        IntVec no_vars;
+        for (const AffineExpr &e : extents) {
+            if (e.numVars() != 0)
+                throw InternalError("array extent mentions loop variables");
+            out.push_back(e.evaluateInt(no_vars, params));
+        }
+        return out;
+    }
+};
+
+/** A subscripted reference A[e_0, ..., e_{d-1}] inside a loop body. */
+struct ArrayRef
+{
+    size_t arrayId = 0;               //!< index into Program::arrays
+    std::vector<AffineExpr> subscripts;
+
+    bool operator==(const ArrayRef &o) const
+    {
+        return arrayId == o.arrayId && subscripts == o.subscripts;
+    }
+};
+
+} // namespace anc::ir
+
+#endif // ANC_IR_ARRAY_H

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Convenience builder for constructing Program IR directly from C++.
+ *
+ * The DSL parser (dsl::parseProgram) is the primary front end; this
+ * builder serves tests, benchmarks and programmatic clients. Declare the
+ * nest depth up front and all parameters/scalars before constructing any
+ * expression (affine shapes are fixed at that point).
+ */
+
+#ifndef ANC_IR_BUILDER_H
+#define ANC_IR_BUILDER_H
+
+#include <utility>
+
+#include "ir/loop_nest.h"
+
+namespace anc::ir {
+
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(size_t depth) : depth_(depth)
+    {
+        prog_.nest.loops().resize(0);
+    }
+
+    /** Declare a parameter (before any expression is built). */
+    size_t
+    param(const std::string &name)
+    {
+        if (frozen_)
+            throw InternalError("declare parameters before expressions");
+        prog_.params.push_back(name);
+        return prog_.params.size() - 1;
+    }
+
+    /** Declare a runtime scalar symbol (alpha, beta, ...). */
+    size_t
+    scalar(const std::string &name)
+    {
+        prog_.scalars.push_back(name);
+        return prog_.scalars.size() - 1;
+    }
+
+    /** Declare an array; extents are affine in the parameters. */
+    size_t
+    array(const std::string &name, std::vector<AffineExpr> extents,
+          DistributionSpec dist = DistributionSpec::replicated())
+    {
+        freeze();
+        for (AffineExpr &e : extents) {
+            if (e.numVars() == depth_) {
+                // Allow extents written with the nest-wide shape; they
+                // must not actually use loop variables.
+                if (e.innermostVar() >= 0)
+                    throw UserError("array extent uses a loop variable");
+                AffineExpr p(0, prog_.params.size());
+                for (size_t q = 0; q < prog_.params.size(); ++q)
+                    p.paramCoeff(q) = e.paramCoeff(q);
+                p.constantTerm() = e.constantTerm();
+                e = p;
+            }
+        }
+        prog_.arrays.push_back({name, std::move(extents), dist});
+        return prog_.arrays.size() - 1;
+    }
+
+    /** Open the next loop level with one lower and one upper bound. */
+    size_t
+    loop(const std::string &var, AffineExpr lower, AffineExpr upper)
+    {
+        freeze();
+        Loop l;
+        l.var = var;
+        l.lower.push_back(std::move(lower));
+        l.upper.push_back(std::move(upper));
+        prog_.nest.loops().push_back(std::move(l));
+        if (prog_.nest.depth() > depth_)
+            throw InternalError("more loops than declared depth");
+        return prog_.nest.depth() - 1;
+    }
+
+    /** Add an extra lower bound (bounds combine with max). */
+    void
+    addLower(size_t level, AffineExpr e)
+    {
+        prog_.nest.loops()[level].lower.push_back(std::move(e));
+    }
+
+    /** Add an extra upper bound (bounds combine with min). */
+    void
+    addUpper(size_t level, AffineExpr e)
+    {
+        prog_.nest.loops()[level].upper.push_back(std::move(e));
+    }
+
+    /** Affine expression for loop variable k. */
+    AffineExpr
+    var(size_t k)
+    {
+        freeze();
+        return AffineExpr::variable(k, depth_, prog_.params.size());
+    }
+
+    /** Affine expression for parameter p. */
+    AffineExpr
+    par(size_t p)
+    {
+        freeze();
+        return AffineExpr::parameter(p, depth_, prog_.params.size());
+    }
+
+    /** Affine constant. */
+    AffineExpr
+    cst(Int c)
+    {
+        freeze();
+        return AffineExpr::constant(Rational(c), depth_,
+                                    prog_.params.size());
+    }
+
+    /** Reference array a with the given subscripts. */
+    ArrayRef
+    ref(size_t a, std::vector<AffineExpr> subs)
+    {
+        return ArrayRef{a, std::move(subs)};
+    }
+
+    /** Append the statement lhs = rhs to the body. */
+    void
+    assign(ArrayRef lhs, Expr rhs)
+    {
+        prog_.nest.body().push_back({std::move(lhs), std::move(rhs)});
+    }
+
+    /** Finish: validate and return the program. */
+    Program
+    build()
+    {
+        if (prog_.nest.depth() != depth_)
+            throw InternalError("declared depth does not match loops");
+        prog_.validate();
+        return prog_;
+    }
+
+  private:
+    size_t depth_;
+    bool frozen_ = false;
+    Program prog_;
+
+    void freeze() { frozen_ = true; }
+};
+
+} // namespace anc::ir
+
+#endif // ANC_IR_BUILDER_H

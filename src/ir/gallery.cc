@@ -1,0 +1,245 @@
+#include "ir/gallery.h"
+
+#include "ir/builder.h"
+
+namespace anc::ir::gallery {
+
+Program
+figure1()
+{
+    ProgramBuilder b(3);
+    size_t n1 = b.param("N1");
+    size_t n2 = b.param("N2");
+    size_t bw = b.param("b");
+    auto N1 = b.par(n1), N2 = b.par(n2), B = b.par(bw);
+    auto c1 = b.cst(1);
+
+    // A(N1, N1+N2+b-2), B(N1, b): j+k <= (N1-1 + b-1) + (N2-1).
+    size_t arr_a = b.array("A", {N1, N1 + N2 + B - b.cst(2)},
+                           DistributionSpec::wrapped(1));
+    size_t arr_b =
+        b.array("B", {N1, B}, DistributionSpec::wrapped(1));
+
+    size_t i = b.loop("i", b.cst(0), N1 - c1);
+    size_t j = b.loop("j", b.var(i), b.var(i) + B - c1);
+    b.loop("k", b.cst(0), N2 - c1);
+    (void)j;
+
+    auto vi = b.var(0), vj = b.var(1), vk = b.var(2);
+    ArrayRef lhs = b.ref(arr_b, {vi, vj - vi});
+    Expr rhs = Expr::binary(
+        '+', Expr::arrayRead(b.ref(arr_b, {vi, vj - vi})),
+        Expr::arrayRead(b.ref(arr_a, {vi, vj + vk})));
+    b.assign(lhs, rhs);
+    return b.build();
+}
+
+Program
+section3Example()
+{
+    ProgramBuilder b(2);
+    size_t arr_a = b.array(
+        "A", {b.cst(19), b.cst(19)}, DistributionSpec::replicated());
+    b.loop("i", b.cst(1), b.cst(3));
+    b.loop("j", b.cst(1), b.cst(3));
+    auto vi = b.var(0), vj = b.var(1);
+    ArrayRef lhs =
+        b.ref(arr_a, {vi.scaled(Rational(2)) + vj.scaled(Rational(4)),
+                      vi + vj.scaled(Rational(5))});
+    b.assign(lhs, Expr::indexValue(vj));
+    return b.build();
+}
+
+Program
+scalingExample()
+{
+    ProgramBuilder b(1);
+    size_t arr_a =
+        b.array("A", {b.cst(7)}, DistributionSpec::replicated());
+    b.loop("i", b.cst(1), b.cst(3));
+    auto vi = b.var(0);
+    b.assign(b.ref(arr_a, {vi.scaled(Rational(2))}),
+             Expr::indexValue(vi));
+    return b.build();
+}
+
+Program
+section5Example()
+{
+    ProgramBuilder b(4);
+    size_t arr_r = b.array("R", {b.cst(10), b.cst(19), b.cst(7)},
+                           DistributionSpec::replicated());
+    b.loop("i", b.cst(0), b.cst(3));
+    b.loop("j", b.cst(0), b.cst(3));
+    b.loop("k", b.cst(0), b.cst(3));
+    b.loop("l", b.cst(0), b.cst(3));
+    auto vi = b.var(0), vj = b.var(1), vk = b.var(2), vl = b.var(3);
+    ArrayRef lhs = b.ref(
+        arr_r,
+        {vi + vj - vk + b.cst(3),
+         (vi + vj - vk).scaled(Rational(2)) + b.cst(6),
+         vk - vl + b.cst(3)});
+    b.assign(lhs, Expr::indexValue(vi));
+    return b.build();
+}
+
+Program
+gemm()
+{
+    ProgramBuilder b(3);
+    size_t pn = b.param("N");
+    auto N = b.par(pn);
+    auto c1 = b.cst(1);
+    size_t arr_c = b.array("C", {N, N}, DistributionSpec::wrapped(1));
+    size_t arr_a = b.array("A", {N, N}, DistributionSpec::wrapped(1));
+    size_t arr_b = b.array("B", {N, N}, DistributionSpec::wrapped(1));
+
+    b.loop("i", b.cst(0), N - c1);
+    b.loop("j", b.cst(0), N - c1);
+    b.loop("k", b.cst(0), N - c1);
+    auto vi = b.var(0), vj = b.var(1), vk = b.var(2);
+
+    Expr rhs = Expr::binary(
+        '+', Expr::arrayRead(b.ref(arr_c, {vi, vj})),
+        Expr::binary('*', Expr::arrayRead(b.ref(arr_a, {vi, vk})),
+                     Expr::arrayRead(b.ref(arr_b, {vk, vj}))));
+    b.assign(b.ref(arr_c, {vi, vj}), rhs);
+    return b.build();
+}
+
+Program
+gemv()
+{
+    ProgramBuilder b(2);
+    size_t pn = b.param("N");
+    auto N = b.par(pn);
+    auto c1 = b.cst(1);
+    size_t arr_y = b.array("y", {N}, DistributionSpec::replicated());
+    size_t arr_a = b.array("A", {N, N}, DistributionSpec::wrapped(1));
+    size_t arr_x = b.array("x", {N}, DistributionSpec::replicated());
+    b.loop("i", b.cst(0), N - c1);
+    b.loop("j", b.cst(0), N - c1);
+    auto vi = b.var(0), vj = b.var(1);
+    b.assign(b.ref(arr_y, {vi}),
+             Expr::binary(
+                 '+', Expr::arrayRead(b.ref(arr_y, {vi})),
+                 Expr::binary('*',
+                              Expr::arrayRead(b.ref(arr_a, {vi, vj})),
+                              Expr::arrayRead(b.ref(arr_x, {vj})))));
+    return b.build();
+}
+
+Program
+ger()
+{
+    ProgramBuilder b(2);
+    size_t pn = b.param("N");
+    auto N = b.par(pn);
+    auto c1 = b.cst(1);
+    size_t arr_a = b.array("A", {N, N}, DistributionSpec::wrapped(1));
+    size_t arr_x = b.array("x", {N}, DistributionSpec::replicated());
+    size_t arr_y = b.array("y", {N}, DistributionSpec::replicated());
+    b.loop("i", b.cst(0), N - c1);
+    b.loop("j", b.cst(0), N - c1);
+    auto vi = b.var(0), vj = b.var(1);
+    b.assign(b.ref(arr_a, {vi, vj}),
+             Expr::binary(
+                 '+', Expr::arrayRead(b.ref(arr_a, {vi, vj})),
+                 Expr::binary('*', Expr::arrayRead(b.ref(arr_x, {vi})),
+                              Expr::arrayRead(b.ref(arr_y, {vj})))));
+    return b.build();
+}
+
+namespace {
+
+/** Shared five-point-stencil body builder. */
+Program
+stencil(bool in_place)
+{
+    ProgramBuilder b(2);
+    size_t pn = b.param("N");
+    auto N = b.par(pn);
+    auto c1 = b.cst(1), c2 = b.cst(2);
+    size_t arr_u = b.array("U", {N, N}, DistributionSpec::wrapped(1));
+    size_t arr_v = in_place
+                       ? arr_u
+                       : b.array("V", {N, N}, DistributionSpec::wrapped(1));
+    b.loop("i", c1, N - c2);
+    b.loop("j", c1, N - c2);
+    auto vi = b.var(0), vj = b.var(1);
+    Expr sum = Expr::binary(
+        '+',
+        Expr::binary('+',
+                     Expr::arrayRead(b.ref(arr_u, {vi - c1, vj})),
+                     Expr::arrayRead(b.ref(arr_u, {vi + c1, vj}))),
+        Expr::binary('+',
+                     Expr::arrayRead(b.ref(arr_u, {vi, vj - c1})),
+                     Expr::arrayRead(b.ref(arr_u, {vi, vj + c1}))));
+    b.assign(b.ref(arr_v, {vi, vj}),
+             Expr::binary('*', Expr::number_(0.25), std::move(sum)));
+    return b.build();
+}
+
+} // namespace
+
+Program
+jacobi2d()
+{
+    return stencil(/*in_place=*/false);
+}
+
+Program
+gaussSeidel()
+{
+    return stencil(/*in_place=*/true);
+}
+
+Program
+syr2kBanded()
+{
+    ProgramBuilder b(3);
+    size_t pn = b.param("N");
+    size_t pb = b.param("b");
+    size_t alpha = b.scalar("alpha");
+    size_t beta = b.scalar("beta");
+    auto N = b.par(pn), W = b.par(pb);
+    auto c1 = b.cst(1);
+
+    auto band = W.scaled(Rational(2)) - c1; // 2b-1
+    size_t arr_c = b.array("Cb", {N, band}, DistributionSpec::wrapped(1));
+    size_t arr_a = b.array("Ab", {N, band}, DistributionSpec::wrapped(1));
+    size_t arr_bb = b.array("Bb", {N, band}, DistributionSpec::wrapped(1));
+
+    size_t li = b.loop("i", b.cst(0), N - c1);
+    size_t lj = b.loop("j", b.var(li),
+                       b.var(li) + W.scaled(Rational(2)) - b.cst(2));
+    b.addUpper(lj, N - c1);
+    size_t lk = b.loop("k", b.var(li) - W + c1, b.var(li) + W - c1);
+    b.addLower(lk, b.var(lj) - W + c1);
+    b.addLower(lk, b.cst(0));
+    b.addUpper(lk, b.var(lj) + W - c1);
+    b.addUpper(lk, N - c1);
+
+    auto vi = b.var(0), vj = b.var(1), vk = b.var(2);
+    auto sub_ik = vi - vk + W - c1; // i-k+b-1
+    auto sub_jk = vj - vk + W - c1; // j-k+b-1
+
+    ArrayRef lhs = b.ref(arr_c, {vi, vj - vi});
+    Expr t1 = Expr::binary(
+        '*', Expr::scalar(alpha),
+        Expr::binary('*', Expr::arrayRead(b.ref(arr_a, {vk, sub_ik})),
+                     Expr::arrayRead(b.ref(arr_bb, {vk, sub_jk}))));
+    Expr t2 = Expr::binary(
+        '*', Expr::scalar(beta),
+        Expr::binary('*', Expr::arrayRead(b.ref(arr_a, {vk, sub_jk})),
+                     Expr::arrayRead(b.ref(arr_bb, {vk, sub_ik}))));
+    Expr rhs = Expr::binary(
+        '+',
+        Expr::binary('+', Expr::arrayRead(b.ref(arr_c, {vi, vj - vi})),
+                     t1),
+        t2);
+    b.assign(lhs, rhs);
+    return b.build();
+}
+
+} // namespace anc::ir::gallery

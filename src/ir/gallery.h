@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The worked programs of the paper, as reusable IR factories.
+ *
+ * Loops are 0-based (the paper mixes 0- and 1-based); subscripts are
+ * shifted accordingly, which only changes constant terms and therefore
+ * leaves every data access matrix identical to the paper's.
+ */
+
+#ifndef ANC_IR_GALLERY_H
+#define ANC_IR_GALLERY_H
+
+#include "ir/loop_nest.h"
+
+namespace anc::ir::gallery {
+
+/**
+ * Figure 1(a): the simplified SYR2K-like example.
+ *   for i = 0, N1-1
+ *     for j = i, i+b-1
+ *       for k = 0, N2-1
+ *         B[i, j-i] = B[i, j-i] + A[i, j+k]
+ * A and B have wrapped column distributions.
+ */
+Program figure1();
+
+/**
+ * Section 3's 2-deep example whose transformation is non-unimodular:
+ *   for i = 1, 3
+ *     for j = 1, 3
+ *       A[2i+4j, i+5j] = j
+ */
+Program section3Example();
+
+/**
+ * Section 3's loop-scaling example:
+ *   for i = 1, 3
+ *     A[2i] = i
+ */
+Program scalingExample();
+
+/**
+ * Section 5's rank-deficient example (constants shifted to keep
+ * subscripts in range):
+ *   for i,j,k,l in [0,3]^4
+ *     R[i+j-k+3, 2i+2j-2k+6, k-l+3] = i
+ */
+Program section5Example();
+
+/**
+ * Section 8.1 GEMM, all arrays N x N with wrapped column distribution:
+ *   for i = 0, N-1
+ *     for j = 0, N-1
+ *       for k = 0, N-1
+ *         C[i, j] = C[i, j] + A[i, k] * B[k, j]
+ */
+Program gemm();
+
+/**
+ * BLAS-2 GEMV, y = A x + y, with wrapped-column A and replicated
+ * vectors (not in the paper; exercises rank-deficient access matrices):
+ *   for i = 0, N-1
+ *     for j = 0, N-1
+ *       y[i] = y[i] + A[i, j] * x[j]
+ */
+Program gemv();
+
+/**
+ * BLAS-2 rank-1 update GER, A = A + x yT, wrapped-column A:
+ *   for i = 0, N-1
+ *     for j = 0, N-1
+ *       A[i, j] = A[i, j] + x[i] * y[j]
+ */
+Program ger();
+
+/**
+ * Two-array Jacobi sweep (no loop-carried dependences):
+ *   for i = 1, N-2
+ *     for j = 1, N-2
+ *       V[i, j] = 0.25 * (U[i-1,j] + U[i+1,j] + U[i,j-1] + U[i,j+1])
+ * U and V wrapped-column.
+ */
+Program jacobi2d();
+
+/**
+ * In-place Gauss-Seidel sweep with dependences (1,0) and (0,1):
+ *   for i = 1, N-2
+ *     for j = 1, N-2
+ *       U[i, j] = 0.25 * (U[i-1,j] + U[i+1,j] + U[i,j-1] + U[i,j+1])
+ */
+Program gaussSeidel();
+
+/**
+ * Section 8.2 banded SYR2K on band-compressed storage (0-based):
+ *   for i = 0, N-1
+ *     for j = i, min(i+2b-2, N-1)
+ *       for k = max(i-b+1, j-b+1, 0), min(i+b-1, j+b-1, N-1)
+ *         Cb[i, j-i] = Cb[i, j-i] + alpha*Ab[k, i-k+b-1]*Bb[k, j-k+b-1]
+ *                                 + beta *Ab[k, j-k+b-1]*Bb[k, i-k+b-1]
+ * Ab, Bb, Cb are N x (2b-1), wrapped column distribution.
+ */
+Program syr2kBanded();
+
+} // namespace anc::ir::gallery
+
+#endif // ANC_IR_GALLERY_H

@@ -1,0 +1,138 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace anc::ir {
+
+namespace {
+
+std::string
+printBoundList(const std::vector<AffineExpr> &bounds, const char *comb,
+               const NameTable &names)
+{
+    if (bounds.size() == 1)
+        return bounds[0].str(names);
+    std::ostringstream os;
+    os << comb << "(";
+    for (size_t i = 0; i < bounds.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << bounds[i].str(names);
+    }
+    os << ")";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+printRef(const ArrayRef &r, const Program &prog, const NameTable &names)
+{
+    std::ostringstream os;
+    os << prog.arrays[r.arrayId].name << "[";
+    for (size_t i = 0; i < r.subscripts.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << r.subscripts[i].str(names);
+    }
+    os << "]";
+    return os.str();
+}
+
+std::string
+printExpr(const Expr &e, const Program &prog, const NameTable &names)
+{
+    switch (e.kind) {
+      case Expr::Kind::Number: {
+        std::ostringstream os;
+        os << e.number;
+        return os.str();
+      }
+      case Expr::Kind::Scalar:
+        return prog.scalars[e.scalarId];
+      case Expr::Kind::Index:
+        return "(" + e.index.str(names) + ")";
+      case Expr::Kind::Ref:
+        return printRef(e.ref, prog, names);
+      case Expr::Kind::Binary: {
+        std::string a = printExpr(e.kids[0], prog, names);
+        std::string b = printExpr(e.kids[1], prog, names);
+        if (e.op == '+' || e.op == '-')
+            return a + " " + e.op + " " + b;
+        auto wrap = [](const Expr &k, const std::string &s) {
+            if (k.kind == Expr::Kind::Binary &&
+                (k.op == '+' || k.op == '-'))
+                return "(" + s + ")";
+            return s;
+        };
+        return wrap(e.kids[0], a) + " " + e.op + " " + wrap(e.kids[1], b);
+      }
+    }
+    throw InternalError("unknown expression kind");
+}
+
+std::string
+printStatement(const Statement &s, const Program &prog,
+               const NameTable &names)
+{
+    return printRef(s.lhs, prog, names) + " = " +
+           printExpr(s.rhs, prog, names);
+}
+
+std::string
+printNest(const LoopNest &nest, const Program &prog)
+{
+    NameTable names;
+    for (const Loop &l : nest.loops())
+        names.vars.push_back(l.var);
+    names.params = prog.params;
+
+    std::ostringstream os;
+    std::string indent;
+    for (const Loop &l : nest.loops()) {
+        os << indent << "for " << l.var << " = "
+           << printBoundList(l.lower, "max", names) << ", "
+           << printBoundList(l.upper, "min", names) << "\n";
+        indent += "  ";
+    }
+    for (const Statement &s : nest.body())
+        os << indent << printStatement(s, prog, names) << "\n";
+    return os.str();
+}
+
+std::string
+printProgram(const Program &prog)
+{
+    std::ostringstream os;
+    NameTable ext_names;
+    ext_names.params = prog.params;
+    for (const ArrayDecl &a : prog.arrays) {
+        os << "array " << a.name << "(";
+        for (size_t d = 0; d < a.extents.size(); ++d) {
+            if (d)
+                os << ", ";
+            os << a.extents[d].str(ext_names);
+        }
+        os << ")";
+        switch (a.dist.kind) {
+          case DistKind::Replicated:
+            os << " replicated";
+            break;
+          case DistKind::Wrapped:
+            os << " wrapped(dim " << a.dist.dims[0] << ")";
+            break;
+          case DistKind::Blocked:
+            os << " blocked(dim " << a.dist.dims[0] << ")";
+            break;
+          case DistKind::Block2D:
+            os << " block2d(dims " << a.dist.dims[0] << ", "
+               << a.dist.dims[1] << ")";
+            break;
+        }
+        os << "\n";
+    }
+    os << printNest(prog.nest, prog);
+    return os.str();
+}
+
+} // namespace anc::ir

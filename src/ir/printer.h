@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Pretty printer rendering IR as pseudo-code in the paper's style.
+ */
+
+#ifndef ANC_IR_PRINTER_H
+#define ANC_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/loop_nest.h"
+
+namespace anc::ir {
+
+/** Render an rhs expression. */
+std::string printExpr(const Expr &e, const Program &prog,
+                      const NameTable &names);
+
+/** Render an array reference like "A[i, j+k]". */
+std::string printRef(const ArrayRef &r, const Program &prog,
+                     const NameTable &names);
+
+/** Render one statement (no trailing newline). */
+std::string printStatement(const Statement &s, const Program &prog,
+                           const NameTable &names);
+
+/**
+ * Render the whole nest, e.g.
+ *   for i = 0, N1-1
+ *     for j = i, i+b-1
+ *       B[i, j-i] = B[i, j-i] + A[i, j+k]
+ * Multiple bounds render as max(...)/min(...).
+ */
+std::string printNest(const LoopNest &nest, const Program &prog);
+
+/** Render declarations plus the nest. */
+std::string printProgram(const Program &prog);
+
+} // namespace anc::ir
+
+#endif // ANC_IR_PRINTER_H

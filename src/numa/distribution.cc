@@ -1,0 +1,85 @@
+#include "numa/distribution.h"
+
+#include "ratmath/int_util.h"
+
+namespace anc::numa {
+
+std::pair<Int, Int>
+squarishFactors(Int p)
+{
+    if (p <= 0)
+        throw InternalError("processor count must be positive");
+    Int best = 1;
+    for (Int a = 1; a * a <= p; ++a)
+        if (p % a == 0)
+            best = a;
+    return {best, p / best};
+}
+
+Distribution::Distribution(const ir::DistributionSpec &spec,
+                           const IntVec &extents, Int processors)
+    : spec_(spec), extents_(extents), procs_(processors)
+{
+    if (processors <= 0)
+        throw InternalError("processor count must be positive");
+    for (size_t d : spec.dims)
+        if (d >= extents.size())
+            throw InternalError("distribution dimension out of range");
+    switch (spec_.kind) {
+      case ir::DistKind::Replicated:
+        break;
+      case ir::DistKind::Wrapped:
+        break;
+      case ir::DistKind::Blocked:
+        blockSizes_[0] = ceilDiv(extents_[spec_.dims[0]], procs_);
+        break;
+      case ir::DistKind::Block2D: {
+        auto [a, b] = squarishFactors(procs_);
+        gridRows_ = a;
+        gridCols_ = b;
+        blockSizes_[0] = ceilDiv(extents_[spec_.dims[0]], gridRows_);
+        blockSizes_[1] = ceilDiv(extents_[spec_.dims[1]], gridCols_);
+        break;
+      }
+    }
+}
+
+Int
+Distribution::owner(const IntVec &subs) const
+{
+    switch (spec_.kind) {
+      case ir::DistKind::Replicated:
+        return -1;
+      case ir::DistKind::Wrapped:
+        return euclidMod(subs[spec_.dims[0]], procs_);
+      case ir::DistKind::Blocked:
+        return std::min(procs_ - 1,
+                        floorDiv(subs[spec_.dims[0]], blockSizes_[0]));
+      case ir::DistKind::Block2D: {
+        Int r = std::min(gridRows_ - 1,
+                         floorDiv(subs[spec_.dims[0]], blockSizes_[0]));
+        Int c = std::min(gridCols_ - 1,
+                         floorDiv(subs[spec_.dims[1]], blockSizes_[1]));
+        return r * gridCols_ + c;
+      }
+    }
+    throw InternalError("unknown distribution kind");
+}
+
+Int
+Distribution::ownerOfIndex(Int idx) const
+{
+    switch (spec_.kind) {
+      case ir::DistKind::Replicated:
+        return -1;
+      case ir::DistKind::Wrapped:
+        return euclidMod(idx, procs_);
+      case ir::DistKind::Blocked:
+        return std::min(procs_ - 1, floorDiv(idx, blockSizes_[0]));
+      case ir::DistKind::Block2D:
+        throw InternalError("ownerOfIndex on a 2-D block distribution");
+    }
+    throw InternalError("unknown distribution kind");
+}
+
+} // namespace anc::numa

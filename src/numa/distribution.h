@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Concrete data distributions (Section 2.1, Definition 2.1).
+ *
+ * A distribution function maps an array element's index tuple to the
+ * processor [0, P) that holds it. Supported: wrapped (round-robin) and
+ * blocked distributions on one dimension, 2-D blocks on two dimensions,
+ * and replication (every processor holds a copy).
+ */
+
+#ifndef ANC_NUMA_DISTRIBUTION_H
+#define ANC_NUMA_DISTRIBUTION_H
+
+#include "ir/array.h"
+#include "ratmath/matrix.h"
+
+namespace anc::numa {
+
+/** A distribution spec bound to concrete extents and processor count. */
+class Distribution
+{
+  public:
+    /**
+     * Bind spec to an array's concrete extents on P processors.
+     * For Block2D the processor grid is chosen as the most nearly
+     * square factorization pr x pc = P.
+     */
+    Distribution(const ir::DistributionSpec &spec, const IntVec &extents,
+                 Int processors);
+
+    /** Owner of the element with the given full index tuple; -1 for a
+     * replicated array (meaning: local everywhere). */
+    Int owner(const IntVec &subs) const;
+
+    /** Owner from the distribution-dimension index alone (1-D kinds
+     * only; throws InternalError for Block2D). */
+    Int ownerOfIndex(Int idx) const;
+
+    /** True if the array is replicated (never remote). */
+    bool replicated() const { return spec_.kind == ir::DistKind::Replicated; }
+
+    const ir::DistributionSpec &spec() const { return spec_; }
+    Int processors() const { return procs_; }
+
+    /** Block size along the distribution dimension (Blocked/Block2D). */
+    Int blockSize(size_t which = 0) const { return blockSizes_[which]; }
+
+    /** Processor grid shape (Block2D; 1x1 otherwise). */
+    Int gridRows() const { return gridRows_; }
+    Int gridCols() const { return gridCols_; }
+
+  private:
+    ir::DistributionSpec spec_;
+    IntVec extents_;
+    Int procs_;
+    Int blockSizes_[2] = {1, 1};
+    Int gridRows_ = 1, gridCols_ = 1; //!< Block2D processor grid
+};
+
+/** Most nearly square factorization p = a * b with a <= b. */
+std::pair<Int, Int> squarishFactors(Int p);
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_DISTRIBUTION_H

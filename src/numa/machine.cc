@@ -1,0 +1,43 @@
+#include "numa/machine.h"
+
+namespace anc::numa {
+
+MachineParams
+MachineParams::butterflyGP1000()
+{
+    MachineParams m;
+    m.name = "BBN Butterfly GP1000";
+    m.localAccessTime = 0.6;
+    m.remoteAccessTime = 6.6;
+    m.blockStartupTime = 8.0;
+    m.blockPerByteTime = 0.31;
+    // MC68020/68881 nodes: a double-precision multiply-add costs a few
+    // microseconds; 2.5 us per flop makes compute comparable to a
+    // handful of local references, which is what lets gemmB approach
+    // linear speedup in the paper while untransformed gemm saturates.
+    m.flopTime = 2.5;
+    m.loopOverheadTime = 1.0;
+    m.guardTime = 1.2; // two local references worth of mod/compare
+    m.syncTime = 30.0;
+    return m;
+}
+
+MachineParams
+MachineParams::ipsc860()
+{
+    MachineParams m;
+    m.name = "Intel iPSC/i860";
+    m.localAccessTime = 0.1;
+    // Message-passing machine: a remote element access is a small
+    // message exchange.
+    m.remoteAccessTime = 70.0;
+    m.blockStartupTime = 70.0;
+    m.blockPerByteTime = 1.0 / 8.0; // ~1 us per double
+    m.flopTime = 0.05;              // i860 pipelines
+    m.loopOverheadTime = 0.1;
+    m.guardTime = 0.2;
+    m.syncTime = 100.0;
+    return m;
+}
+
+} // namespace anc::numa

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NUMA machine cost model.
+ *
+ * The paper evaluates on a BBN Butterfly GP1000: 0.6 us local memory
+ * access, 6.6 us remote access (contention-free), and block transfers
+ * costing 8 us startup plus 0.31 us per byte [BBN89]. The Intel
+ * iPSC/i860 preset captures the message-startup figures of Section 1
+ * (70 us startup, ~1 us per double once the pipeline is set up).
+ *
+ * We do not have a Butterfly; the simulator charges these costs to a
+ * deterministic per-processor clock. Absolute times are therefore
+ * model times, but speedup *shapes* -- which the paper's Figures 4 and 5
+ * report -- depend only on the cost ratios, which are taken straight
+ * from the paper.
+ */
+
+#ifndef ANC_NUMA_MACHINE_H
+#define ANC_NUMA_MACHINE_H
+
+#include <string>
+
+namespace anc::numa {
+
+/** All times in microseconds. */
+struct MachineParams
+{
+    std::string name;
+    double localAccessTime;  //!< one local memory reference
+    double remoteAccessTime; //!< one remote reference, contention-free
+    double blockStartupTime; //!< block transfer setup
+    double blockPerByteTime; //!< per byte once started
+    double flopTime;         //!< one floating-point operation
+    double loopOverheadTime; //!< per executed iteration (index update,
+                             //!< branch, bound checks)
+    double guardTime;        //!< ownership-rule per-iteration guard
+    double syncTime;         //!< one synchronization event
+    int elementSize = 8;     //!< bytes per double
+
+    /**
+     * Optional contention model, after Agarwal's analysis [1] that long
+     * messages increase expected network latency: remote accesses and
+     * block bytes are scaled by (1 + contentionFactor * (P - 1)).
+     * 0 disables the effect (the paper's primary setting).
+     */
+    double contentionFactor = 0.0;
+
+    /** BBN Butterfly GP1000 (Section 8). */
+    static MachineParams butterflyGP1000();
+
+    /** Intel iPSC/i860 (Section 1 message costs). */
+    static MachineParams ipsc860();
+
+    /** Remote access time under load from P processors. */
+    double
+    remoteTime(int processors) const
+    {
+        return remoteAccessTime *
+               (1.0 + contentionFactor * double(processors - 1));
+    }
+
+    /** Cost of one block transfer of the given element count. */
+    double
+    blockTransferTime(long elements, int processors) const
+    {
+        double per_byte = blockPerByteTime *
+                          (1.0 + contentionFactor * double(processors - 1));
+        return blockStartupTime +
+               per_byte * double(elements) * double(elementSize);
+    }
+};
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_MACHINE_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * SPMD execution plans (the product of NUMA code generation, Section 7).
+ *
+ * A plan says how iterations of the outermost transformed loop are
+ * assigned to processors and which remote reads are turned into hoisted
+ * block transfers. The three cases of Section 7:
+ *
+ *   (i)  the outermost row of T is a distribution-dimension subscript:
+ *        assign an iteration to the processor owning the corresponding
+ *        data (OwnerWrapped / OwnerBlocked);
+ *   (ii) the row is a non-distribution subscript, or
+ *   (iii) the row came from padding: no locality to exploit; assign
+ *        round-robin (block transfers still apply).
+ */
+
+#ifndef ANC_NUMA_PLAN_H
+#define ANC_NUMA_PLAN_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ratmath/matrix.h"
+
+namespace anc::numa {
+
+/** How outer-loop iterations map to processors. */
+enum class PartitionScheme
+{
+    RoundRobin,   //!< iteration ordinal mod P (cases ii and iii)
+    OwnerWrapped, //!< loop value mod P == p (case i, wrapped dist)
+    OwnerBlocked, //!< loop value in processor p's block (case i, blocked)
+    OwnerBlock2D, //!< outer two loop values in p's grid block (2-D blocks)
+};
+
+/** One hoisted block transfer: a read whose distribution-dimension
+ * subscript is invariant below the given loop level. */
+struct BlockHoist
+{
+    size_t stmt;    //!< statement index in the body
+    size_t readIdx; //!< index among the statement's reads, in rhs order
+    int level;      //!< hoist above all loops deeper than this level;
+                    //!< -1 means invariant across the whole nest
+};
+
+/** A complete SPMD execution plan for a (transformed) nest. */
+struct ExecutionPlan
+{
+    PartitionScheme scheme = PartitionScheme::RoundRobin;
+    /** The array whose distribution the outer loop is aligned with
+     * (case i only). */
+    std::optional<size_t> alignedArray;
+    /** All hoistable remote reads (used only when block transfers are
+     * enabled in the simulator options). */
+    std::vector<BlockHoist> hoists;
+    /** True when no dependence is carried by the outermost loop, so no
+     * synchronization is needed between outer iterations. */
+    bool outerParallel = true;
+    /** Which of the paper's Section 7 cases applied, for reports. */
+    std::string rationale;
+};
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_PLAN_H

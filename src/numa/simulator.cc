@@ -1,0 +1,440 @@
+#include "numa/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ratmath/diophantine.h"
+
+namespace anc::numa {
+
+namespace {
+
+constexpr int kNoHoist = -2;
+
+/** A subscript compiled to integer arithmetic: (num . u + cst) / den. */
+struct SubEval
+{
+    IntVec num;
+    Int cst = 0;
+    Int den = 1;
+
+    Int
+    eval(const IntVec &u) const
+    {
+        Int128 acc = cst;
+        for (size_t k = 0; k < num.size(); ++k)
+            acc += Int128(num[k]) * Int128(u[k]);
+        Int v = narrow128(acc);
+        if (den != 1) {
+            if (v % den != 0)
+                throw InternalError("subscript not integral at point");
+            v /= den;
+        }
+        return v;
+    }
+};
+
+SubEval
+compileSub(const ir::AffineExpr &e, const IntVec &params)
+{
+    // Fold parameters and the constant into one rational.
+    Rational cst = e.constantTerm();
+    for (size_t q = 0; q < e.numParams(); ++q)
+        if (!e.paramCoeff(q).isZero())
+            cst += e.paramCoeff(q) * Rational(params[q]);
+    Int den = cst.den();
+    for (size_t k = 0; k < e.numVars(); ++k)
+        den = lcmInt(den, e.varCoeff(k).den());
+    SubEval s;
+    s.den = den;
+    s.num.resize(e.numVars());
+    for (size_t k = 0; k < e.numVars(); ++k)
+        s.num[k] = (e.varCoeff(k) * Rational(den)).asInteger();
+    s.cst = (cst * Rational(den)).asInteger();
+    return s;
+}
+
+/** One compiled array reference. */
+struct RefEval
+{
+    size_t arrayId;
+    bool isWrite;
+    std::vector<SubEval> subs;
+    int hoistLevel = kNoHoist;
+    size_t globalIdx = 0; //!< index into the per-run lastKey table
+};
+
+/** One compiled statement: reads in rhs order, then the write. */
+struct StmtEval
+{
+    size_t flops = 0;
+    std::vector<RefEval> refs;
+    const ir::Statement *stmt = nullptr;
+};
+
+} // namespace
+
+struct Simulator::Compiled
+{
+    std::vector<StmtEval> stmts;
+    std::vector<Distribution> dists;
+    IntVec params;
+    size_t depth = 0;
+    size_t numRefs = 0;
+    double remoteTime = 0.0;
+    double perElementBlockTime = 0.0;
+};
+
+Simulator::Simulator(const ir::Program &prog,
+                     const xform::TransformedNest &nest,
+                     const ExecutionPlan &plan, SimOptions opts)
+    : prog_(prog), nest_(nest), plan_(plan), opts_(std::move(opts))
+{
+    if (opts_.processors <= 0)
+        throw UserError("processor count must be positive");
+}
+
+void
+Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
+                        ir::ArrayStorage *storage,
+                        const ir::Bindings &binds) const
+{
+    const MachineParams &m = opts_.machine;
+    size_t n = c.depth;
+    const IntVec &params = c.params;
+
+    IntVec u(n, 0);
+    IntVec y;
+    y.reserve(n);
+    std::vector<uint64_t> ticks(n, 0);
+    std::vector<uint64_t> lastKey(c.numRefs, 0);
+    IntVec subsBuf;
+    // Second-level clamp for 2-D block partitioning (lo, hi); hi may be
+    // the sentinel max when the last grid column absorbs the remainder.
+    bool clamp1 = false;
+    Int clamp1_lo = 0, clamp1_hi = 0;
+
+    stats.proc = p;
+
+    auto execute_body = [&]() {
+        stats.iterations += 1;
+        stats.time += m.loopOverheadTime;
+        for (const StmtEval &s : c.stmts) {
+            stats.flops += s.flops;
+            stats.time += double(s.flops) * m.flopTime;
+            for (const RefEval &r : s.refs) {
+                const Distribution &dist = c.dists[r.arrayId];
+                Int own = -1;
+                if (!dist.replicated()) {
+                    subsBuf.resize(r.subs.size());
+                    for (size_t d = 0; d < r.subs.size(); ++d) {
+                        subsBuf[d] =
+                            dist.spec().isDistributionDim(d)
+                                ? r.subs[d].eval(u)
+                                : 0;
+                    }
+                    own = dist.owner(subsBuf);
+                }
+                bool local = own < 0 || own == p;
+                if (local) {
+                    stats.localAccesses += 1;
+                    stats.time += m.localAccessTime;
+                } else if (!r.isWrite && opts_.blockTransfers &&
+                           r.hoistLevel != kNoHoist) {
+                    uint64_t key =
+                        r.hoistLevel < 0 ? 1 : ticks[size_t(r.hoistLevel)];
+                    if (lastKey[r.globalIdx] != key) {
+                        lastKey[r.globalIdx] = key;
+                        stats.blockTransfers += 1;
+                        stats.time += m.blockStartupTime;
+                    }
+                    stats.blockElements += 1;
+                    stats.time += c.perElementBlockTime + m.localAccessTime;
+                } else {
+                    stats.noteRemote(r.arrayId, c.dists.size());
+                    stats.time += c.remoteTime;
+                }
+            }
+            if (storage)
+                ir::execStatement(*s.stmt, u, binds, *storage, nullptr);
+        }
+    };
+
+    std::function<void(size_t)> walk = [&](size_t k) {
+        if (k == n) {
+            execute_body();
+            return;
+        }
+        Int lo = nest_.lowerAt(k, u, params);
+        Int hi = nest_.upperAt(k, u, params);
+        if (k == 1 && clamp1) {
+            lo = std::max(lo, clamp1_lo);
+            hi = std::min(hi, clamp1_hi);
+        }
+        if (lo > hi)
+            return;
+        Int s = nest_.lattice().stride(k);
+        Int start = nest_.startAt(k, lo, y);
+        for (Int v = start; v <= hi; v += s) {
+            u[k] = v;
+            ticks[k] += 1;
+            y.push_back(nest_.lattice().solveY(k, v, y));
+            walk(k + 1);
+            y.pop_back();
+        }
+        u[k] = 0;
+    };
+
+    // Outermost level: assign iterations to this processor per the plan.
+    Int lo = nest_.lowerAt(0, u, params);
+    Int hi = nest_.upperAt(0, u, params);
+    if (lo > hi)
+        return;
+    Int s = nest_.lattice().stride(0);
+    Int base = nest_.startAt(0, lo, y);
+    Int start = base, step = s;
+    Int block_lo = lo, block_hi = hi;
+
+    switch (plan_.scheme) {
+      case PartitionScheme::RoundRobin:
+        start = checkedAdd(base, checkedMul(p, s));
+        step = checkedMul(s, opts_.processors);
+        break;
+      case PartitionScheme::OwnerWrapped: {
+        // u == anchor (mod s) and u == p (mod P): the Diophantine
+        // alignment of Section 7 (unit-step loops reduce to the paper's
+        // ceil((lb - p)/P)*P + p formula).
+        auto cc = combineCongruences(euclidMod(base, s), s, p,
+                                     opts_.processors);
+        if (!cc)
+            return; // this processor owns no iteration
+        start = checkedAdd(lo, euclidMod(checkedSub(cc->rem, lo), cc->mod));
+        step = cc->mod;
+        break;
+      }
+      case PartitionScheme::OwnerBlock2D: {
+        if (!plan_.alignedArray)
+            throw InternalError("OwnerBlock2D without aligned array");
+        const Distribution &d = c.dists[*plan_.alignedArray];
+        Int pr = p / d.gridCols();
+        Int pc = p % d.gridCols();
+        Int bs0 = d.blockSize(0), bs1 = d.blockSize(1);
+        block_lo = std::max(lo, checkedMul(pr, bs0));
+        block_hi = std::min(hi, checkedSub(checkedMul(pr + 1, bs0), 1));
+        if (pr == d.gridRows() - 1)
+            block_hi = hi; // last grid row absorbs the remainder
+        if (block_lo > block_hi)
+            return;
+        start = checkedAdd(block_lo,
+                           euclidMod(checkedSub(base, block_lo), s));
+        step = s;
+        hi = block_hi;
+        clamp1 = true;
+        clamp1_lo = checkedMul(pc, bs1);
+        clamp1_hi = pc == d.gridCols() - 1
+                        ? std::numeric_limits<Int>::max()
+                        : checkedSub(checkedMul(pc + 1, bs1), 1);
+        break;
+      }
+      case PartitionScheme::OwnerBlocked: {
+        if (!plan_.alignedArray)
+            throw InternalError("OwnerBlocked without aligned array");
+        const Distribution &d = c.dists[*plan_.alignedArray];
+        Int bs = d.blockSize();
+        block_lo = std::max(lo, checkedMul(p, bs));
+        block_hi = std::min(hi, checkedSub(checkedMul(p + 1, bs), 1));
+        if (p == opts_.processors - 1)
+            block_hi = hi; // last block absorbs the remainder
+        if (block_lo > block_hi)
+            return;
+        start = checkedAdd(block_lo,
+                           euclidMod(checkedSub(base, block_lo), s));
+        step = s;
+        hi = block_hi;
+        break;
+      }
+    }
+
+    for (Int v = start; v <= hi; v += step) {
+        u[0] = v;
+        ticks[0] += 1;
+        y.push_back(nest_.lattice().solveY(0, v, y));
+        if (!plan_.outerParallel) {
+            stats.syncs += 1;
+            stats.time += opts_.machine.syncTime;
+        }
+        walk(1);
+        y.pop_back();
+    }
+}
+
+SimStats
+Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
+{
+    if (binds.paramValues.size() != prog_.params.size())
+        throw UserError("wrong number of parameter values");
+    if (opts_.executeValues && !storage)
+        throw UserError("executeValues requires storage");
+    if (!opts_.executeValues)
+        storage = nullptr;
+
+    // Compile the nest body against the bound parameters.
+    Compiled c;
+    c.depth = nest_.depth();
+    c.params = binds.paramValues;
+    for (const ir::ArrayDecl &a : prog_.arrays)
+        c.dists.emplace_back(a.dist, a.evalExtents(binds.paramValues),
+                             opts_.processors);
+    c.remoteTime = opts_.machine.remoteTime(int(opts_.processors));
+    c.perElementBlockTime =
+        opts_.machine.blockPerByteTime *
+        (1.0 + opts_.machine.contentionFactor *
+                   double(opts_.processors - 1)) *
+        double(opts_.machine.elementSize);
+
+    size_t global = 0;
+    for (size_t si = 0; si < nest_.body().size(); ++si) {
+        const ir::Statement &stmt = nest_.body()[si];
+        StmtEval se;
+        se.stmt = &stmt;
+        se.flops = stmt.flopCount();
+        size_t read_idx = 0;
+        stmt.rhs.forEachRef([&](const ir::ArrayRef &r) {
+            RefEval re;
+            re.arrayId = r.arrayId;
+            re.isWrite = false;
+            for (const ir::AffineExpr &e : r.subscripts)
+                re.subs.push_back(compileSub(e, c.params));
+            for (const BlockHoist &h : plan_.hoists)
+                if (h.stmt == si && h.readIdx == read_idx)
+                    re.hoistLevel = h.level;
+            re.globalIdx = global++;
+            se.refs.push_back(std::move(re));
+            ++read_idx;
+        });
+        RefEval w;
+        w.arrayId = stmt.lhs.arrayId;
+        w.isWrite = true;
+        for (const ir::AffineExpr &e : stmt.lhs.subscripts)
+            w.subs.push_back(compileSub(e, c.params));
+        w.globalIdx = global++;
+        se.refs.push_back(std::move(w));
+        c.stmts.push_back(std::move(se));
+    }
+    c.numRefs = global;
+
+    std::vector<Int> procs = opts_.sampleProcs;
+    if (procs.empty())
+        for (Int p = 0; p < opts_.processors; ++p)
+            procs.push_back(p);
+
+    SimStats out;
+    out.processors = opts_.processors;
+    out.sampled = Int(procs.size()) != opts_.processors;
+    if (storage && out.sampled)
+        throw UserError("executeValues requires simulating all processors");
+    for (Int p : procs) {
+        ProcStats ps;
+        runProcessor(c, p, ps, storage, binds);
+        out.perProc.push_back(ps);
+    }
+    return out;
+}
+
+double
+sequentialTime(const ir::Program &prog, const xform::TransformedNest &nest,
+               const MachineParams &machine, const IntVec &params)
+{
+    SimOptions opts;
+    opts.processors = 1;
+    opts.machine = machine;
+    opts.blockTransfers = false;
+    ExecutionPlan plan;
+    Simulator sim(prog, nest, plan, opts);
+    ir::Bindings binds{params,
+                       std::vector<double>(prog.scalars.size(), 1.0)};
+    return sim.run(binds).parallelTime();
+}
+
+SimStats
+simulateOwnership(const ir::Program &prog, const SimOptions &opts,
+                  const ir::Bindings &binds)
+{
+    const MachineParams &m = opts.machine;
+    Int procs = opts.processors;
+    std::vector<Distribution> dists;
+    for (const ir::ArrayDecl &a : prog.arrays)
+        dists.emplace_back(a.dist, a.evalExtents(binds.paramValues), procs);
+
+    std::vector<Int> sample = opts.sampleProcs;
+    if (sample.empty())
+        for (Int p = 0; p < procs; ++p)
+            sample.push_back(p);
+    std::vector<Int> proc_of(size_t(procs), -1);
+    SimStats out;
+    out.processors = procs;
+    out.sampled = Int(sample.size()) != procs;
+    out.perProc.resize(sample.size());
+    for (size_t i = 0; i < sample.size(); ++i) {
+        out.perProc[i].proc = sample[i];
+        proc_of[size_t(sample[i])] = Int(i);
+    }
+    double remote_time = m.remoteTime(int(procs));
+
+    uint64_t total_iterations = 0;
+    IntVec subsBuf;
+    ir::forEachIteration(prog.nest, binds.paramValues, [&](const IntVec &it) {
+        ++total_iterations;
+        for (const ir::Statement &s : prog.nest.body()) {
+            // Owner of the left-hand side element.
+            const Distribution &ld = dists[s.lhs.arrayId];
+            Int own = 0;
+            if (!ld.replicated()) {
+                subsBuf.clear();
+                for (const ir::AffineExpr &e : s.lhs.subscripts)
+                    subsBuf.push_back(
+                        e.evaluateInt(it, binds.paramValues));
+                own = ld.owner(subsBuf);
+            }
+            Int slot = own >= 0 && own < procs ? proc_of[size_t(own)] : -1;
+            if (slot < 0)
+                continue;
+            ProcStats &ps = out.perProc[size_t(slot)];
+            ps.iterations += 1;
+            ps.time += m.loopOverheadTime;
+            size_t flops = s.flopCount();
+            ps.flops += flops;
+            ps.time += double(flops) * m.flopTime;
+            auto charge = [&](const ir::ArrayRef &r) {
+                const Distribution &d = dists[r.arrayId];
+                Int o = -1;
+                if (!d.replicated()) {
+                    subsBuf.clear();
+                    for (const ir::AffineExpr &e : r.subscripts)
+                        subsBuf.push_back(
+                            e.evaluateInt(it, binds.paramValues));
+                    o = d.owner(subsBuf);
+                }
+                if (o < 0 || o == own) {
+                    ps.localAccesses += 1;
+                    ps.time += m.localAccessTime;
+                } else {
+                    ps.noteRemote(r.arrayId, dists.size());
+                    ps.time += remote_time;
+                }
+            };
+            s.rhs.forEachRef(charge);
+            charge(s.lhs);
+        }
+    });
+
+    // Every processor pays the guard on every iteration -- the
+    // "looking for work to do" cost.
+    for (ProcStats &ps : out.perProc) {
+        ps.guardChecks += total_iterations;
+        ps.time += double(total_iterations) * m.guardTime;
+    }
+    return out;
+}
+
+} // namespace anc::numa

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic SPMD simulator for NUMA machines.
+ *
+ * Executes a transformed loop nest the way the paper's generated node
+ * programs run on the Butterfly: each processor walks its assigned
+ * slice of the outermost loop, every array reference is classified
+ * local/remote through the distribution functions, and block transfers
+ * are charged once per hoisted read per outer-slice iteration. Each
+ * processor accumulates a private clock; parallel time is the slowest
+ * processor. The same machinery simulates the ownership-rule baseline
+ * of Section 2 ("all processors execute all iterations looking for
+ * work").
+ *
+ * The block-transfer model assumes each element of a fetched block is
+ * used once per block epoch (true of the paper's workloads, where the
+ * innermost loop sweeps a fresh array row per element): a hoisted read
+ * costs one startup per epoch plus the per-byte transfer cost and a
+ * local reference per element touched.
+ */
+
+#ifndef ANC_NUMA_SIMULATOR_H
+#define ANC_NUMA_SIMULATOR_H
+
+#include "ir/interp.h"
+#include "numa/distribution.h"
+#include "numa/machine.h"
+#include "numa/plan.h"
+#include "numa/stats.h"
+#include "xform/transform.h"
+
+namespace anc::numa {
+
+/** Options for one simulated run. */
+struct SimOptions
+{
+    Int processors = 1;
+    MachineParams machine = MachineParams::butterflyGP1000();
+    /** Honor the plan's block-transfer hoists (the paper's "B" curves)
+     * or charge element-wise remote accesses (the "T" curves). */
+    bool blockTransfers = true;
+    /**
+     * Processors to actually simulate; empty means all of them. Wrapped
+     * distributions balance load well, so simulating a small sample
+     * (e.g. {0, P/2, P-1}) estimates the maximum closely at a fraction
+     * of the cost; benchmarks use sampling, correctness tests do not.
+     */
+    std::vector<Int> sampleProcs;
+    /** Also execute statement values into storage (slow; for tests). */
+    bool executeValues = false;
+};
+
+/** Simulator for a planned SPMD execution of a transformed nest. */
+class Simulator
+{
+  public:
+    Simulator(const ir::Program &prog, const xform::TransformedNest &nest,
+              const ExecutionPlan &plan, SimOptions opts);
+
+    /**
+     * Run with concrete parameter/scalar bindings. When
+     * opts.executeValues is set, statements write into storage (which
+     * must outlive the call); processors run one after another, which
+     * is value-correct when the outer loop is parallel.
+     */
+    SimStats run(const ir::Bindings &binds,
+                 ir::ArrayStorage *storage = nullptr) const;
+
+  private:
+    const ir::Program &prog_;
+    const xform::TransformedNest &nest_;
+    ExecutionPlan plan_;
+    SimOptions opts_;
+
+    struct Compiled; // per-run compiled representation
+    void runProcessor(const Compiled &c, Int p, ProcStats &stats,
+                      ir::ArrayStorage *storage,
+                      const ir::Bindings &binds) const;
+};
+
+/**
+ * Sequential baseline: the whole nest on one processor, all accesses
+ * local. Equals run() with P = 1 for any plan.
+ */
+double sequentialTime(const ir::Program &prog,
+                      const xform::TransformedNest &nest,
+                      const MachineParams &machine, const IntVec &params);
+
+/**
+ * The ownership-rule baseline of Section 2: every processor scans the
+ * ENTIRE original iteration space, evaluates the guard, and executes
+ * the statement body only for iterations whose left-hand side it owns.
+ * Reads of remote data are element-wise remote accesses.
+ */
+SimStats simulateOwnership(const ir::Program &prog, const SimOptions &opts,
+                           const ir::Bindings &binds);
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_SIMULATOR_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Execution statistics gathered by the NUMA simulator.
+ */
+
+#ifndef ANC_NUMA_STATS_H
+#define ANC_NUMA_STATS_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ratmath/int_util.h"
+
+namespace anc::numa {
+
+/** Per-processor counters and simulated clock. */
+struct ProcStats
+{
+    Int proc = 0;
+    uint64_t iterations = 0;     //!< innermost iterations executed
+    uint64_t flops = 0;
+    uint64_t localAccesses = 0;
+    uint64_t remoteAccesses = 0; //!< element-wise remote references
+    uint64_t blockTransfers = 0; //!< hoisted block messages
+    uint64_t blockElements = 0;  //!< elements moved by block transfers
+    uint64_t guardChecks = 0;    //!< ownership-rule guard evaluations
+    uint64_t syncs = 0;
+    double time = 0.0;           //!< microseconds of simulated work
+    /** Element-wise remote accesses broken down by array id (empty
+     * until the first remote access; sized to the program's arrays). */
+    std::vector<uint64_t> remoteByArray;
+
+    void
+    noteRemote(size_t array_id, size_t num_arrays)
+    {
+        remoteAccesses += 1;
+        if (remoteByArray.empty())
+            remoteByArray.assign(num_arrays, 0);
+        remoteByArray[array_id] += 1;
+    }
+};
+
+/** Whole-machine result of one simulated run. */
+struct SimStats
+{
+    Int processors = 1;
+    std::vector<ProcStats> perProc; //!< only the simulated processors
+    bool sampled = false;           //!< true if not all P were simulated
+
+    /** Parallel completion time: the slowest simulated processor. */
+    double
+    parallelTime() const
+    {
+        double t = 0.0;
+        for (const ProcStats &p : perProc)
+            t = std::max(t, p.time);
+        return t;
+    }
+
+    /** Speedup relative to a sequential time. */
+    double
+    speedup(double sequential_time) const
+    {
+        double t = parallelTime();
+        return t > 0.0 ? sequential_time / t : 0.0;
+    }
+
+    uint64_t
+    totalRemoteAccesses() const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            n += p.remoteAccesses;
+        return n;
+    }
+
+    uint64_t
+    totalLocalAccesses() const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            n += p.localAccesses;
+        return n;
+    }
+
+    uint64_t
+    totalBlockTransfers() const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            n += p.blockTransfers;
+        return n;
+    }
+
+    uint64_t
+    totalIterations() const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            n += p.iterations;
+        return n;
+    }
+
+    /** Element-wise remote accesses to one array across processors. */
+    uint64_t
+    remoteAccessesTo(size_t array_id) const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            if (array_id < p.remoteByArray.size())
+                n += p.remoteByArray[array_id];
+        return n;
+    }
+
+    /** Load imbalance: slowest simulated processor over the mean. */
+    double
+    imbalance() const
+    {
+        if (perProc.empty())
+            return 1.0;
+        double sum = 0.0;
+        for (const ProcStats &p : perProc)
+            sum += p.time;
+        double mean = sum / double(perProc.size());
+        return mean > 0.0 ? parallelTime() / mean : 1.0;
+    }
+};
+
+/** Human-readable per-processor traffic table. */
+inline std::string
+summarize(const SimStats &s)
+{
+    std::ostringstream os;
+    os << "P = " << s.processors << (s.sampled ? " (sampled)" : "")
+       << ", parallel time " << s.parallelTime() << " us, imbalance "
+       << s.imbalance() << "\n";
+    os << "proc  iterations      local     remote     blocks      "
+          "syncs   time(us)\n";
+    for (const ProcStats &p : s.perProc) {
+        os << p.proc << "  " << p.iterations << "  " << p.localAccesses
+           << "  " << p.remoteAccesses << "  " << p.blockTransfers
+           << "  " << p.syncs << "  " << p.time << "\n";
+    }
+    return os.str();
+}
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_STATS_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Exact solver for systems of linear Diophantine equations A x = b.
+ *
+ * Used by the dependence analyzer (subscript-equality systems yield the
+ * dependence distances) and by the NUMA code generator for aligning
+ * non-unit outer-loop steps with wrapped data distributions (Section 7
+ * of the paper).
+ */
+
+#ifndef ANC_RATMATH_DIOPHANTINE_H
+#define ANC_RATMATH_DIOPHANTINE_H
+
+#include <optional>
+
+#include "ratmath/matrix.h"
+
+namespace anc {
+
+/**
+ * The integer solution set of A x = b: x = particular + nullBasis * z for
+ * z ranging over Z^k, where the columns of nullBasis generate the lattice
+ * of homogeneous solutions.
+ */
+struct DiophantineSolution
+{
+    IntVec particular;
+    IntMatrix nullBasis; //!< n x k; k == 0 means the solution is unique
+};
+
+/**
+ * Solve A x = b over the integers. Returns std::nullopt when the system
+ * has no integer solution.
+ */
+std::optional<DiophantineSolution>
+solveDiophantine(const IntMatrix &a, const IntVec &b);
+
+/**
+ * Solve the single congruence  x == r1 (mod m1)  and  x == r2 (mod m2)
+ * (generalized CRT). Returns {r, m} with the combined solution set
+ * x == r (mod m), or std::nullopt when the congruences are incompatible.
+ * Moduli must be positive.
+ */
+struct Congruence
+{
+    Int rem;
+    Int mod;
+};
+std::optional<Congruence>
+combineCongruences(Int r1, Int m1, Int r2, Int m2);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_DIOPHANTINE_H

@@ -1,0 +1,109 @@
+#include "ratmath/hnf.h"
+
+#include <cstdlib>
+
+namespace anc {
+
+namespace {
+
+/** col[dst] += f * col[src], applied to both h and its companion u. */
+void
+addColMultiple(IntMatrix &h, IntMatrix &u, size_t dst, size_t src, Int f)
+{
+    if (f == 0)
+        return;
+    for (size_t i = 0; i < h.rows(); ++i)
+        h(i, dst) = checkedAdd(h(i, dst), checkedMul(f, h(i, src)));
+    for (size_t i = 0; i < u.rows(); ++i)
+        u(i, dst) = checkedAdd(u(i, dst), checkedMul(f, u(i, src)));
+}
+
+void
+negateColumn(IntMatrix &h, IntMatrix &u, size_t c)
+{
+    for (size_t i = 0; i < h.rows(); ++i)
+        h(i, c) = checkedNeg(h(i, c));
+    for (size_t i = 0; i < u.rows(); ++i)
+        u(i, c) = checkedNeg(u(i, c));
+}
+
+void
+swapColumnsBoth(IntMatrix &h, IntMatrix &u, size_t a, size_t b)
+{
+    if (a == b)
+        return;
+    h.swapColumns(a, b);
+    u.swapColumns(a, b);
+}
+
+} // namespace
+
+ColumnHNF
+columnHNF(const IntMatrix &a)
+{
+    size_t m = a.rows(), n = a.cols();
+    ColumnHNF out;
+    out.h = a;
+    out.u = IntMatrix::identity(n);
+    IntMatrix &h = out.h;
+    IntMatrix &u = out.u;
+
+    size_t k = 0; // next pivot column
+    for (size_t i = 0; i < m && k < n; ++i) {
+        // Euclidean reduction across columns k..n-1 on row i until at
+        // most one nonzero remains, parked in column k.
+        while (true) {
+            // Find the column with the smallest nonzero |h(i, j)|.
+            size_t best = n;
+            for (size_t j = k; j < n; ++j) {
+                if (h(i, j) == 0)
+                    continue;
+                if (best == n ||
+                    std::llabs(h(i, j)) < std::llabs(h(i, best))) {
+                    best = j;
+                }
+            }
+            if (best == n)
+                break; // row is all zero in the active columns
+            swapColumnsBoth(h, u, k, best);
+            bool reduced_all = true;
+            for (size_t j = k + 1; j < n; ++j) {
+                if (h(i, j) == 0)
+                    continue;
+                Int q = h(i, j) / h(i, k); // truncating; shrinks |h(i, j)|
+                addColMultiple(h, u, j, k, checkedNeg(q));
+                if (h(i, j) != 0)
+                    reduced_all = false;
+            }
+            if (reduced_all)
+                break;
+        }
+        if (h(i, k) == 0)
+            continue; // no pivot in this row
+        if (h(i, k) < 0)
+            negateColumn(h, u, k);
+        // Canonicalize: entries left of the pivot in this row go to
+        // [0, pivot). Column k is zero above row i, so this does not
+        // disturb rows already processed.
+        for (size_t j = 0; j < k; ++j) {
+            Int q = floorDiv(h(i, j), h(i, k));
+            addColMultiple(h, u, j, k, checkedNeg(q));
+        }
+        out.pivotRows.push_back(i);
+        ++k;
+    }
+    return out;
+}
+
+RowHNF
+rowHNF(const IntMatrix &a)
+{
+    ColumnHNF c = columnHNF(a.transpose());
+    RowHNF out;
+    out.h = c.h.transpose();
+    out.u = c.u.transpose();
+    out.pivotCols = c.pivotRows;
+    return out;
+}
+
+} // namespace anc

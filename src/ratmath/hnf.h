@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hermite normal form over the integers.
+ *
+ * The paper's generalization from unimodular to invertible transformation
+ * matrices rests on integer lattice theory (Schrijver): the image of the
+ * iteration space Z^n under an invertible T is the lattice T.Z^n, and the
+ * column-style Hermite normal form of T supplies the strides and
+ * congruence offsets of the transformed loop nest.
+ */
+
+#ifndef ANC_RATMATH_HNF_H
+#define ANC_RATMATH_HNF_H
+
+#include <vector>
+
+#include "ratmath/matrix.h"
+
+namespace anc {
+
+/**
+ * Column-style Hermite normal form: A * u == h with u unimodular.
+ *
+ * h is in column echelon form: each nonzero column has a pivot (its first
+ * nonzero entry) with strictly increasing pivot rows, pivots are positive,
+ * entries to the left of a pivot in its row are reduced into [0, pivot),
+ * and zero columns (if any) come last. For a square nonsingular A, h is
+ * lower triangular with positive diagonal.
+ */
+struct ColumnHNF
+{
+    IntMatrix h;                   //!< the Hermite normal form
+    IntMatrix u;                   //!< unimodular, A * u == h
+    std::vector<size_t> pivotRows; //!< pivot row of column k, for k < rank
+    size_t rank() const { return pivotRows.size(); }
+};
+
+/** Compute the column-style HNF of an integer matrix. */
+ColumnHNF columnHNF(const IntMatrix &a);
+
+/**
+ * Row-style Hermite normal form: u * A == h with u unimodular and h in
+ * row echelon form (pivot columns strictly increasing, positive pivots,
+ * entries above a pivot reduced into [0, pivot)).
+ */
+struct RowHNF
+{
+    IntMatrix h;
+    IntMatrix u;
+    std::vector<size_t> pivotCols;
+    size_t rank() const { return pivotCols.size(); }
+};
+
+/** Compute the row-style HNF of an integer matrix. */
+RowHNF rowHNF(const IntMatrix &a);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_HNF_H

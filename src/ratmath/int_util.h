@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Checked 64-bit integer arithmetic and number-theoretic helpers.
+ *
+ * All compiler mathematics in this library is exact. Every operation that
+ * could overflow a 64-bit integer is checked (using 128-bit intermediates)
+ * and raises OverflowError instead of wrapping, so loop transformations
+ * are never silently incorrect.
+ */
+
+#ifndef ANC_RATMATH_INT_UTIL_H
+#define ANC_RATMATH_INT_UTIL_H
+
+#include <cstdint>
+
+#include "ratmath/error.h"
+
+namespace anc {
+
+using Int = std::int64_t;
+using Int128 = __int128;
+
+/** Checked addition; throws OverflowError on 64-bit overflow. */
+Int checkedAdd(Int a, Int b);
+
+/** Checked subtraction; throws OverflowError on 64-bit overflow. */
+Int checkedSub(Int a, Int b);
+
+/** Checked multiplication; throws OverflowError on 64-bit overflow. */
+Int checkedMul(Int a, Int b);
+
+/** Checked negation; throws OverflowError for INT64_MIN. */
+Int checkedNeg(Int a);
+
+/** Narrow a 128-bit value to 64 bits; throws OverflowError if it does
+ * not fit. */
+Int narrow128(Int128 v);
+
+/** Non-negative greatest common divisor; gcd(0, 0) == 0. */
+Int gcdInt(Int a, Int b);
+
+/** Least common multiple (checked); lcm(0, x) == 0. */
+Int lcmInt(Int a, Int b);
+
+/**
+ * Extended Euclid: returns g = gcd(a, b) >= 0 and Bezout coefficients
+ * with a*x + b*y == g.
+ */
+struct ExtGcd
+{
+    Int g; //!< gcd(a, b), non-negative
+    Int x; //!< coefficient of a
+    Int y; //!< coefficient of b
+};
+ExtGcd extGcd(Int a, Int b);
+
+/** Floor division: largest q with q*b <= a. Requires b != 0. */
+Int floorDiv(Int a, Int b);
+
+/** Ceiling division: smallest q with q*b >= a. Requires b != 0. */
+Int ceilDiv(Int a, Int b);
+
+/** Euclidean remainder in [0, |b|). Requires b != 0. */
+Int euclidMod(Int a, Int b);
+
+/** Exact division; throws InternalError if b does not divide a. */
+Int exactDiv(Int a, Int b);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_INT_UTIL_H

@@ -1,0 +1,56 @@
+#include "ratmath/lattice.h"
+
+namespace anc {
+
+Lattice::Lattice(const IntMatrix &generators)
+{
+    if (!generators.isSquare())
+        throw InternalError("lattice generators must be square");
+    ColumnHNF c = columnHNF(generators);
+    if (c.rank() != generators.rows())
+        throw MathError("lattice generators are singular");
+    hnf_ = c.h;
+    index_ = 1;
+    for (size_t i = 0; i < hnf_.rows(); ++i)
+        index_ = checkedMul(index_, hnf_(i, i));
+}
+
+Int
+Lattice::anchor(size_t k, const IntVec &y_prefix) const
+{
+    if (y_prefix.size() < k)
+        throw InternalError("lattice anchor: prefix too short");
+    Int128 acc = 0;
+    for (size_t j = 0; j < k; ++j)
+        acc += Int128(hnf_(k, j)) * Int128(y_prefix[j]);
+    return narrow128(acc);
+}
+
+Int
+Lattice::solveY(size_t k, Int u_k, const IntVec &y_prefix) const
+{
+    Int a = anchor(k, y_prefix);
+    Int diff = checkedSub(u_k, a);
+    if (diff % stride(k) != 0)
+        throw InternalError("solveY: point not on lattice");
+    return diff / stride(k);
+}
+
+bool
+Lattice::contains(const IntVec &u) const
+{
+    if (u.size() != dim())
+        throw InternalError("lattice contains: dimension mismatch");
+    IntVec y;
+    y.reserve(dim());
+    for (size_t k = 0; k < dim(); ++k) {
+        Int a = anchor(k, y);
+        Int diff = checkedSub(u[k], a);
+        if (diff % stride(k) != 0)
+            return false;
+        y.push_back(diff / stride(k));
+    }
+    return true;
+}
+
+} // namespace anc

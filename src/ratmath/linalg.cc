@@ -1,0 +1,299 @@
+#include "ratmath/linalg.h"
+
+#include <algorithm>
+
+namespace anc {
+
+namespace {
+
+/**
+ * Reduce a copy of m to row echelon form with partial pivoting, returning
+ * the echelon matrix and the pivot column index of each pivot row.
+ */
+struct Echelon
+{
+    RatMatrix mat;
+    std::vector<size_t> pivotCols; //!< pivot column of echelon row i
+};
+
+Echelon
+rowEchelon(RatMatrix m)
+{
+    Echelon e;
+    size_t nr = m.rows(), nc = m.cols();
+    size_t r = 0;
+    for (size_t c = 0; c < nc && r < nr; ++c) {
+        size_t pivot = nr;
+        for (size_t i = r; i < nr; ++i) {
+            if (!m(i, c).isZero()) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot == nr)
+            continue;
+        m.swapRows(r, pivot);
+        Rational inv = m(r, c).inverse();
+        for (size_t j = c; j < nc; ++j)
+            m(r, j) *= inv;
+        for (size_t i = 0; i < nr; ++i) {
+            if (i == r || m(i, c).isZero())
+                continue;
+            Rational f = m(i, c);
+            for (size_t j = c; j < nc; ++j)
+                m(i, j) -= f * m(r, j);
+        }
+        e.pivotCols.push_back(c);
+        ++r;
+    }
+    e.mat = std::move(m);
+    return e;
+}
+
+} // namespace
+
+size_t
+rank(const RatMatrix &m)
+{
+    return rowEchelon(m).pivotCols.size();
+}
+
+size_t
+rank(const IntMatrix &m)
+{
+    return rank(toRational(m));
+}
+
+Rational
+determinant(const RatMatrix &m)
+{
+    if (!m.isSquare())
+        throw InternalError("determinant of non-square matrix");
+    RatMatrix a = m;
+    size_t n = a.rows();
+    Rational det(1);
+    for (size_t c = 0; c < n; ++c) {
+        size_t pivot = n;
+        for (size_t i = c; i < n; ++i) {
+            if (!a(i, c).isZero()) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot == n)
+            return Rational(0);
+        if (pivot != c) {
+            a.swapRows(c, pivot);
+            det = -det;
+        }
+        det *= a(c, c);
+        Rational inv = a(c, c).inverse();
+        for (size_t i = c + 1; i < n; ++i) {
+            if (a(i, c).isZero())
+                continue;
+            Rational f = a(i, c) * inv;
+            for (size_t j = c; j < n; ++j)
+                a(i, j) -= f * a(c, j);
+        }
+    }
+    return det;
+}
+
+Int
+determinant(const IntMatrix &m)
+{
+    return determinant(toRational(m)).asInteger();
+}
+
+bool
+isInvertible(const IntMatrix &m)
+{
+    return m.isSquare() && determinant(m) != 0;
+}
+
+bool
+isUnimodular(const IntMatrix &m)
+{
+    if (!m.isSquare())
+        return false;
+    Int d = determinant(m);
+    return d == 1 || d == -1;
+}
+
+std::optional<RatMatrix>
+tryInverse(const RatMatrix &m)
+{
+    if (!m.isSquare())
+        throw InternalError("inverse of non-square matrix");
+    size_t n = m.rows();
+    // Gauss-Jordan on [m | I].
+    RatMatrix a(n, 2 * n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = m(i, j);
+        a(i, n + i) = Rational(1);
+    }
+    for (size_t c = 0; c < n; ++c) {
+        size_t pivot = n;
+        for (size_t i = c; i < n; ++i) {
+            if (!a(i, c).isZero()) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot == n)
+            return std::nullopt;
+        a.swapRows(c, pivot);
+        Rational inv = a(c, c).inverse();
+        for (size_t j = 0; j < 2 * n; ++j)
+            a(c, j) *= inv;
+        for (size_t i = 0; i < n; ++i) {
+            if (i == c || a(i, c).isZero())
+                continue;
+            Rational f = a(i, c);
+            for (size_t j = 0; j < 2 * n; ++j)
+                a(i, j) -= f * a(c, j);
+        }
+    }
+    RatMatrix r(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            r(i, j) = a(i, n + j);
+    return r;
+}
+
+RatMatrix
+inverse(const RatMatrix &m)
+{
+    auto r = tryInverse(m);
+    if (!r)
+        throw MathError("matrix is singular");
+    return *r;
+}
+
+RatMatrix
+inverse(const IntMatrix &m)
+{
+    return inverse(toRational(m));
+}
+
+std::vector<size_t>
+firstRowBasis(const RatMatrix &m)
+{
+    // Incremental elimination: keep a growing echelon basis; a row is
+    // kept iff it does not reduce to zero against the basis so far.
+    std::vector<size_t> kept;
+    std::vector<RatVec> basis;              // echelonized kept rows
+    std::vector<size_t> basisPivot;         // pivot column of each
+    for (size_t i = 0; i < m.rows(); ++i) {
+        RatVec v = m.row(i);
+        for (size_t b = 0; b < basis.size(); ++b) {
+            size_t p = basisPivot[b];
+            if (v[p].isZero())
+                continue;
+            Rational f = v[p] / basis[b][p];
+            for (size_t j = 0; j < v.size(); ++j)
+                v[j] -= f * basis[b][j];
+        }
+        size_t p = v.size();
+        for (size_t j = 0; j < v.size(); ++j) {
+            if (!v[j].isZero()) {
+                p = j;
+                break;
+            }
+        }
+        if (p == v.size())
+            continue; // linearly dependent on earlier rows
+        kept.push_back(i);
+        basis.push_back(std::move(v));
+        basisPivot.push_back(p);
+    }
+    return kept;
+}
+
+std::vector<size_t>
+firstRowBasis(const IntMatrix &m)
+{
+    return firstRowBasis(toRational(m));
+}
+
+std::vector<size_t>
+firstColumnBasis(const RatMatrix &m)
+{
+    return rowEchelon(m).pivotCols;
+}
+
+std::vector<size_t>
+firstColumnBasis(const IntMatrix &m)
+{
+    return firstColumnBasis(toRational(m));
+}
+
+std::optional<RatVec>
+solve(const RatMatrix &a, const RatVec &b)
+{
+    if (b.size() != a.rows())
+        throw InternalError("solve: rhs size mismatch");
+    size_t nr = a.rows(), nc = a.cols();
+    RatMatrix aug(nr, nc + 1);
+    for (size_t i = 0; i < nr; ++i) {
+        for (size_t j = 0; j < nc; ++j)
+            aug(i, j) = a(i, j);
+        aug(i, nc) = b[i];
+    }
+    Echelon e = rowEchelon(std::move(aug));
+    // Inconsistent iff some pivot sits in the rhs column.
+    for (size_t p : e.pivotCols)
+        if (p == nc)
+            return std::nullopt;
+    RatVec x(nc, Rational(0));
+    for (size_t r = 0; r < e.pivotCols.size(); ++r)
+        x[e.pivotCols[r]] = e.mat(r, nc);
+    return x;
+}
+
+RatMatrix
+nullspaceBasis(const RatMatrix &a)
+{
+    Echelon e = rowEchelon(a);
+    size_t nc = a.cols();
+    std::vector<bool> is_pivot(nc, false);
+    for (size_t p : e.pivotCols)
+        is_pivot[p] = true;
+    std::vector<RatVec> cols;
+    for (size_t f = 0; f < nc; ++f) {
+        if (is_pivot[f])
+            continue;
+        RatVec v(nc, Rational(0));
+        v[f] = Rational(1);
+        for (size_t r = 0; r < e.pivotCols.size(); ++r)
+            v[e.pivotCols[r]] = -e.mat(r, f);
+        cols.push_back(std::move(v));
+    }
+    return RatMatrix::fromColumns(cols);
+}
+
+IntVec
+scaleToPrimitiveIntegers(const RatVec &v)
+{
+    Int den_lcm = 1;
+    bool all_zero = true;
+    for (const Rational &r : v) {
+        if (!r.isZero())
+            all_zero = false;
+        den_lcm = lcmInt(den_lcm, r.den());
+    }
+    if (all_zero)
+        throw MathError("cannot scale zero vector to primitive integers");
+    IntVec out(v.size());
+    Int g = 0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        out[i] = checkedMul(v[i].num(), den_lcm / v[i].den());
+        g = gcdInt(g, out[i]);
+    }
+    for (Int &x : out)
+        x /= g;
+    return out;
+}
+
+} // namespace anc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Exact rational linear algebra: rank, determinant, inverse, solving,
+ * null spaces, and the greedy row/column bases used by the paper's
+ * BasisMatrix and Padding algorithms.
+ */
+
+#ifndef ANC_RATMATH_LINALG_H
+#define ANC_RATMATH_LINALG_H
+
+#include <optional>
+#include <vector>
+
+#include "ratmath/matrix.h"
+
+namespace anc {
+
+/** Rank of a rational matrix. */
+size_t rank(const RatMatrix &m);
+
+/** Rank of an integer matrix. */
+size_t rank(const IntMatrix &m);
+
+/** Determinant of a square rational matrix. */
+Rational determinant(const RatMatrix &m);
+
+/** Determinant of a square integer matrix (exact). */
+Int determinant(const IntMatrix &m);
+
+/** True if the square matrix is invertible. */
+bool isInvertible(const IntMatrix &m);
+
+/** True if the square integer matrix has determinant +1 or -1. */
+bool isUnimodular(const IntMatrix &m);
+
+/** Inverse of a square rational matrix; std::nullopt if singular. */
+std::optional<RatMatrix> tryInverse(const RatMatrix &m);
+
+/** Inverse of a square rational matrix; throws MathError if singular. */
+RatMatrix inverse(const RatMatrix &m);
+
+/** Inverse of a square integer matrix as a rational matrix. */
+RatMatrix inverse(const IntMatrix &m);
+
+/**
+ * First row basis (Definition 5.1 of the paper): scan rows top-down,
+ * keeping each row that is linearly independent of the rows kept so far.
+ * Returns the indices of the kept rows, in order. This is the selection
+ * the paper's Algorithm BasisMatrix performs (it computes the same set
+ * via a Hermite-normal-form variation).
+ */
+std::vector<size_t> firstRowBasis(const RatMatrix &m);
+std::vector<size_t> firstRowBasis(const IntMatrix &m);
+
+/**
+ * Indices of a set of linearly independent columns (the first column
+ * basis), as used by Algorithm Padding to pick pivot columns.
+ */
+std::vector<size_t> firstColumnBasis(const RatMatrix &m);
+std::vector<size_t> firstColumnBasis(const IntMatrix &m);
+
+/**
+ * Solve A x = b over the rationals. Returns one solution if the system
+ * is consistent, std::nullopt otherwise.
+ */
+std::optional<RatVec> solve(const RatMatrix &a, const RatVec &b);
+
+/**
+ * Basis of the rational null space of A, returned as the columns of the
+ * result (cols = nullity; empty matrix when A has full column rank).
+ */
+RatMatrix nullspaceBasis(const RatMatrix &a);
+
+/**
+ * Scale a rational vector by the smallest positive rational that makes
+ * every entry an integer with overall gcd 1 (primitive integer vector).
+ * Throws MathError on the zero vector.
+ */
+IntVec scaleToPrimitiveIntegers(const RatVec &v);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_LINALG_H

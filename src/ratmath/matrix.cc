@@ -1,0 +1,77 @@
+#include "ratmath/matrix.h"
+
+namespace anc {
+
+RatMatrix
+toRational(const IntMatrix &m)
+{
+    RatMatrix r(m.rows(), m.cols());
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j)
+            r(i, j) = Rational(m(i, j));
+    return r;
+}
+
+RatVec
+toRational(const IntVec &v)
+{
+    RatVec r(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        r[i] = Rational(v[i]);
+    return r;
+}
+
+IntMatrix
+toIntegral(const RatMatrix &m)
+{
+    IntMatrix r(m.rows(), m.cols());
+    for (size_t i = 0; i < m.rows(); ++i)
+        for (size_t j = 0; j < m.cols(); ++j)
+            r(i, j) = m(i, j).asInteger();
+    return r;
+}
+
+Int
+dot(const IntVec &a, const IntVec &b)
+{
+    if (a.size() != b.size())
+        throw InternalError("dot: size mismatch");
+    Int128 acc = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += Int128(a[i]) * Int128(b[i]);
+    return narrow128(acc);
+}
+
+Rational
+dot(const RatVec &a, const RatVec &b)
+{
+    if (a.size() != b.size())
+        throw InternalError("dot: size mismatch");
+    Rational acc;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+bool
+isZero(const IntVec &v)
+{
+    for (Int x : v)
+        if (x != 0)
+            return false;
+    return true;
+}
+
+int
+leadingSign(const IntVec &v)
+{
+    for (Int x : v) {
+        if (x > 0)
+            return 1;
+        if (x < 0)
+            return -1;
+    }
+    return 0;
+}
+
+} // namespace anc

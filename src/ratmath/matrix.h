@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Dense matrices over checked integers and exact rationals.
+ *
+ * These are small matrices (loop-nest depth by loop-nest depth, so
+ * typically at most 8x8); clarity and exactness matter far more than
+ * asymptotic performance here.
+ */
+
+#ifndef ANC_RATMATH_MATRIX_H
+#define ANC_RATMATH_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ratmath/rational.h"
+
+namespace anc {
+
+using IntVec = std::vector<Int>;
+using RatVec = std::vector<Rational>;
+
+/**
+ * A dense rows x cols matrix over T (Int or Rational).
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** rows x cols matrix of zeros. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, T(0))
+    {}
+
+    /** Construct from a row-major initializer list (must be rectangular). */
+    Matrix(std::initializer_list<std::initializer_list<T>> init)
+    {
+        rows_ = init.size();
+        cols_ = rows_ == 0 ? 0 : init.begin()->size();
+        data_.reserve(rows_ * cols_);
+        for (const auto &row : init) {
+            if (row.size() != cols_)
+                throw InternalError("ragged matrix initializer");
+            for (const auto &v : row)
+                data_.push_back(v);
+        }
+    }
+
+    /** Identity matrix of order n. */
+    static Matrix
+    identity(size_t n)
+    {
+        Matrix m(n, n);
+        for (size_t i = 0; i < n; ++i)
+            m(i, i) = T(1);
+        return m;
+    }
+
+    /** Build a matrix whose rows are the given vectors. */
+    static Matrix
+    fromRows(const std::vector<std::vector<T>> &rows)
+    {
+        size_t nr = rows.size();
+        size_t nc = nr == 0 ? 0 : rows[0].size();
+        Matrix m(nr, nc);
+        for (size_t i = 0; i < nr; ++i) {
+            if (rows[i].size() != nc)
+                throw InternalError("ragged rows in fromRows");
+            for (size_t j = 0; j < nc; ++j)
+                m(i, j) = rows[i][j];
+        }
+        return m;
+    }
+
+    /** Build a matrix whose columns are the given vectors. */
+    static Matrix
+    fromColumns(const std::vector<std::vector<T>> &cols)
+    {
+        size_t nc = cols.size();
+        size_t nr = nc == 0 ? 0 : cols[0].size();
+        Matrix m(nr, nc);
+        for (size_t j = 0; j < nc; ++j) {
+            if (cols[j].size() != nr)
+                throw InternalError("ragged columns in fromColumns");
+            for (size_t i = 0; i < nr; ++i)
+                m(i, j) = cols[j][i];
+        }
+        return m;
+    }
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+    bool isSquare() const { return rows_ == cols_; }
+
+    T &operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const T &
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Copy of row r as a vector. */
+    std::vector<T>
+    row(size_t r) const
+    {
+        std::vector<T> v(cols_);
+        for (size_t j = 0; j < cols_; ++j)
+            v[j] = (*this)(r, j);
+        return v;
+    }
+
+    /** Copy of column c as a vector. */
+    std::vector<T>
+    column(size_t c) const
+    {
+        std::vector<T> v(rows_);
+        for (size_t i = 0; i < rows_; ++i)
+            v[i] = (*this)(i, c);
+        return v;
+    }
+
+    /** Append a row at the bottom. */
+    void
+    appendRow(const std::vector<T> &r)
+    {
+        if (rows_ == 0 && cols_ == 0)
+            cols_ = r.size();
+        if (r.size() != cols_)
+            throw InternalError("appendRow: size mismatch");
+        data_.insert(data_.end(), r.begin(), r.end());
+        ++rows_;
+    }
+
+    /** Remove row r. */
+    void
+    removeRow(size_t r)
+    {
+        data_.erase(data_.begin() + r * cols_,
+                    data_.begin() + (r + 1) * cols_);
+        --rows_;
+    }
+
+    /** Remove column c. */
+    void
+    removeColumn(size_t c)
+    {
+        Matrix m(rows_, cols_ - 1);
+        for (size_t i = 0; i < rows_; ++i)
+            for (size_t j = 0, k = 0; j < cols_; ++j)
+                if (j != c)
+                    m(i, k++) = (*this)(i, j);
+        *this = std::move(m);
+    }
+
+    /** Swap two rows in place. */
+    void
+    swapRows(size_t a, size_t b)
+    {
+        for (size_t j = 0; j < cols_; ++j)
+            std::swap((*this)(a, j), (*this)(b, j));
+    }
+
+    /** Swap two columns in place. */
+    void
+    swapColumns(size_t a, size_t b)
+    {
+        for (size_t i = 0; i < rows_; ++i)
+            std::swap((*this)(i, a), (*this)(i, b));
+    }
+
+    Matrix
+    transpose() const
+    {
+        Matrix m(cols_, rows_);
+        for (size_t i = 0; i < rows_; ++i)
+            for (size_t j = 0; j < cols_; ++j)
+                m(j, i) = (*this)(i, j);
+        return m;
+    }
+
+    Matrix
+    operator*(const Matrix &o) const
+    {
+        if (cols_ != o.rows_)
+            throw InternalError("matrix product: shape mismatch");
+        Matrix m(rows_, o.cols_);
+        for (size_t i = 0; i < rows_; ++i) {
+            for (size_t k = 0; k < cols_; ++k) {
+                const T &a = (*this)(i, k);
+                if (a == T(0))
+                    continue;
+                for (size_t j = 0; j < o.cols_; ++j)
+                    m(i, j) = add(m(i, j), mul(a, o(k, j)));
+            }
+        }
+        return m;
+    }
+
+    /** Matrix-vector product. */
+    std::vector<T>
+    apply(const std::vector<T> &v) const
+    {
+        if (v.size() != cols_)
+            throw InternalError("matrix apply: shape mismatch");
+        std::vector<T> r(rows_, T(0));
+        for (size_t i = 0; i < rows_; ++i)
+            for (size_t j = 0; j < cols_; ++j)
+                r[i] = add(r[i], mul((*this)(i, j), v[j]));
+        return r;
+    }
+
+    Matrix
+    operator+(const Matrix &o) const
+    {
+        if (rows_ != o.rows_ || cols_ != o.cols_)
+            throw InternalError("matrix sum: shape mismatch");
+        Matrix m(rows_, cols_);
+        for (size_t i = 0; i < data_.size(); ++i)
+            m.data_[i] = add(data_[i], o.data_[i]);
+        return m;
+    }
+
+    Matrix
+    operator-() const
+    {
+        Matrix m(rows_, cols_);
+        for (size_t i = 0; i < data_.size(); ++i)
+            m.data_[i] = neg(data_[i]);
+        return m;
+    }
+
+    bool
+    operator==(const Matrix &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+    }
+    bool operator!=(const Matrix &o) const { return !(*this == o); }
+
+    /** Human-readable multi-line rendering. */
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        for (size_t i = 0; i < rows_; ++i) {
+            os << "[";
+            for (size_t j = 0; j < cols_; ++j) {
+                if (j)
+                    os << " ";
+                os << entryStr((*this)(i, j));
+            }
+            os << "]\n";
+        }
+        return os.str();
+    }
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<T> data_;
+
+    static Int add(Int a, Int b) { return checkedAdd(a, b); }
+    static Int mul(Int a, Int b) { return checkedMul(a, b); }
+    static Int neg(Int a) { return checkedNeg(a); }
+    static Rational
+    add(const Rational &a, const Rational &b)
+    {
+        return a + b;
+    }
+    static Rational
+    mul(const Rational &a, const Rational &b)
+    {
+        return a * b;
+    }
+    static Rational neg(const Rational &a) { return -a; }
+    static std::string entryStr(Int v) { return std::to_string(v); }
+    static std::string entryStr(const Rational &v) { return v.str(); }
+};
+
+using IntMatrix = Matrix<Int>;
+using RatMatrix = Matrix<Rational>;
+
+/** Widen an integer matrix to a rational matrix. */
+RatMatrix toRational(const IntMatrix &m);
+
+/** Widen an integer vector to a rational vector. */
+RatVec toRational(const IntVec &v);
+
+/**
+ * Narrow a rational matrix with all-integer entries to an integer matrix;
+ * throws InternalError if any entry is non-integral.
+ */
+IntMatrix toIntegral(const RatMatrix &m);
+
+/** Exact dot product of two integer vectors. */
+Int dot(const IntVec &a, const IntVec &b);
+
+/** Exact dot product of two rational vectors. */
+Rational dot(const RatVec &a, const RatVec &b);
+
+/** True if v is all zeros. */
+bool isZero(const IntVec &v);
+
+/**
+ * Sign of the leading (first nonzero) entry: +1, -1, or 0 for the zero
+ * vector. A dependence distance vector is valid iff this is +1.
+ */
+int leadingSign(const IntVec &v);
+
+/** True if v is lexicographically positive (leading sign +1). */
+inline bool
+lexPositive(const IntVec &v)
+{
+    return leadingSign(v) == 1;
+}
+
+} // namespace anc
+
+#endif // ANC_RATMATH_MATRIX_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Exact rational numbers over checked 64-bit integers.
+ *
+ * Rationals are kept gcd-normalized with a strictly positive denominator.
+ * Intermediate products use 128 bits; results that do not fit in 64 bits
+ * after normalization raise OverflowError.
+ */
+
+#ifndef ANC_RATMATH_RATIONAL_H
+#define ANC_RATMATH_RATIONAL_H
+
+#include <iosfwd>
+#include <string>
+
+#include "ratmath/int_util.h"
+
+namespace anc {
+
+/**
+ * An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+ */
+class Rational
+{
+  public:
+    /** Zero. */
+    Rational() : num_(0), den_(1) {}
+
+    /** Integer value n/1. */
+    Rational(Int n) : num_(n), den_(1) {} // NOLINT: implicit by design
+
+    /** Normalized fraction n/d; throws MathError if d == 0. */
+    Rational(Int n, Int d);
+
+    Int num() const { return num_; }
+    Int den() const { return den_; }
+
+    bool isZero() const { return num_ == 0; }
+    bool isInteger() const { return den_ == 1; }
+    bool isNegative() const { return num_ < 0; }
+    bool isPositive() const { return num_ > 0; }
+
+    /** Sign as -1, 0, or +1. */
+    int sign() const { return num_ < 0 ? -1 : (num_ > 0 ? 1 : 0); }
+
+    /** Integer value; throws InternalError if not an integer. */
+    Int asInteger() const;
+
+    /** Largest integer <= this. */
+    Int floor() const { return floorDiv(num_, den_); }
+
+    /** Smallest integer >= this. */
+    Int ceil() const { return ceilDiv(num_, den_); }
+
+    /** Absolute value. */
+    Rational abs() const;
+
+    /** Multiplicative inverse; throws MathError on zero. */
+    Rational inverse() const;
+
+    /** Closest double approximation (for reporting only). */
+    double toDouble() const;
+
+    /** Render as "a" or "a/b". */
+    std::string str() const;
+
+    Rational operator-() const;
+    Rational operator+(const Rational &o) const;
+    Rational operator-(const Rational &o) const;
+    Rational operator*(const Rational &o) const;
+    Rational operator/(const Rational &o) const;
+
+    Rational &operator+=(const Rational &o) { return *this = *this + o; }
+    Rational &operator-=(const Rational &o) { return *this = *this - o; }
+    Rational &operator*=(const Rational &o) { return *this = *this * o; }
+    Rational &operator/=(const Rational &o) { return *this = *this / o; }
+
+    bool operator==(const Rational &o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+    bool operator!=(const Rational &o) const { return !(*this == o); }
+    bool operator<(const Rational &o) const;
+    bool operator>(const Rational &o) const { return o < *this; }
+    bool operator<=(const Rational &o) const { return !(o < *this); }
+    bool operator>=(const Rational &o) const { return !(*this < o); }
+
+  private:
+    Int num_;
+    Int den_; //!< always > 0
+
+    /** Construct from 128-bit numerator/denominator, normalizing. */
+    static Rational make128(Int128 n, Int128 d);
+};
+
+std::ostream &operator<<(std::ostream &os, const Rational &r);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_RATIONAL_H

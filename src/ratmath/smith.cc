@@ -1,0 +1,118 @@
+#include "ratmath/smith.h"
+
+#include <cstdlib>
+
+namespace anc {
+
+namespace {
+
+void
+addRowMultiple(IntMatrix &s, IntMatrix &u, size_t dst, size_t src, Int f)
+{
+    if (f == 0)
+        return;
+    for (size_t j = 0; j < s.cols(); ++j)
+        s(dst, j) = checkedAdd(s(dst, j), checkedMul(f, s(src, j)));
+    for (size_t j = 0; j < u.cols(); ++j)
+        u(dst, j) = checkedAdd(u(dst, j), checkedMul(f, u(src, j)));
+}
+
+void
+addColMultiple(IntMatrix &s, IntMatrix &v, size_t dst, size_t src, Int f)
+{
+    if (f == 0)
+        return;
+    for (size_t i = 0; i < s.rows(); ++i)
+        s(i, dst) = checkedAdd(s(i, dst), checkedMul(f, s(i, src)));
+    for (size_t i = 0; i < v.rows(); ++i)
+        v(i, dst) = checkedAdd(v(i, dst), checkedMul(f, v(i, src)));
+}
+
+} // namespace
+
+SmithForm
+smithForm(const IntMatrix &a)
+{
+    size_t m = a.rows(), n = a.cols();
+    SmithForm out;
+    out.s = a;
+    out.u = IntMatrix::identity(m);
+    out.v = IntMatrix::identity(n);
+    IntMatrix &s = out.s;
+
+    size_t r = std::min(m, n);
+    for (size_t t = 0; t < r; ++t) {
+        bool block_empty = false;
+        while (true) {
+            // Find the smallest nonzero |entry| in the trailing block.
+            size_t pi = m, pj = n;
+            for (size_t i = t; i < m; ++i) {
+                for (size_t j = t; j < n; ++j) {
+                    if (s(i, j) == 0)
+                        continue;
+                    if (pi == m ||
+                        std::llabs(s(i, j)) < std::llabs(s(pi, pj))) {
+                        pi = i;
+                        pj = j;
+                    }
+                }
+            }
+            if (pi == m) {
+                block_empty = true;
+                break;
+            }
+            if (pi != t) {
+                s.swapRows(t, pi);
+                out.u.swapRows(t, pi);
+            }
+            if (pj != t) {
+                s.swapColumns(t, pj);
+                out.v.swapColumns(t, pj);
+            }
+            // Reduce the pivot column and row.
+            bool clean = true;
+            for (size_t i = t + 1; i < m; ++i) {
+                if (s(i, t) == 0)
+                    continue;
+                Int q = s(i, t) / s(t, t);
+                addRowMultiple(s, out.u, i, t, checkedNeg(q));
+                if (s(i, t) != 0)
+                    clean = false;
+            }
+            for (size_t j = t + 1; j < n; ++j) {
+                if (s(t, j) == 0)
+                    continue;
+                Int q = s(t, j) / s(t, t);
+                addColMultiple(s, out.v, j, t, checkedNeg(q));
+                if (s(t, j) != 0)
+                    clean = false;
+            }
+            if (!clean)
+                continue; // smaller remainders exist; pick a new pivot
+            // The pivot clears its row and column. Enforce that it also
+            // divides the trailing block (invariant-factor condition);
+            // if an entry resists, fold its row in and redo this step.
+            size_t offender = m;
+            for (size_t i = t + 1; i < m && offender == m; ++i)
+                for (size_t j = t + 1; j < n; ++j)
+                    if (s(i, j) % s(t, t) != 0) {
+                        offender = i;
+                        break;
+                    }
+            if (offender == m)
+                break;
+            addRowMultiple(s, out.u, t, offender, 1);
+        }
+        if (block_empty)
+            break;
+        if (s(t, t) < 0) {
+            for (size_t j = 0; j < n; ++j)
+                s(t, j) = checkedNeg(s(t, j));
+            for (size_t j = 0; j < m; ++j)
+                out.u(t, j) = checkedNeg(out.u(t, j));
+        }
+    }
+    return out;
+}
+
+} // namespace anc

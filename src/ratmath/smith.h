@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Smith normal form over the integers.
+ *
+ * Not strictly required by the access-normalization pipeline (the
+ * Diophantine solver uses the Hermite normal form), but provided as part
+ * of the integer-lattice substrate: the Smith form exposes the invariant
+ * factors of a lattice, which is useful for reasoning about the index
+ * |det T| of a non-unimodular transformation.
+ */
+
+#ifndef ANC_RATMATH_SMITH_H
+#define ANC_RATMATH_SMITH_H
+
+#include "ratmath/matrix.h"
+
+namespace anc {
+
+/**
+ * Smith normal form: u * A * v == s with u, v unimodular and s diagonal
+ * with non-negative entries d_1 | d_2 | ... | d_r (r = rank).
+ */
+struct SmithForm
+{
+    IntMatrix s;
+    IntMatrix u;
+    IntMatrix v;
+};
+
+/** Compute the Smith normal form of an integer matrix. */
+SmithForm smithForm(const IntMatrix &a);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_SMITH_H

@@ -1,0 +1,91 @@
+#include "xform/access_matrix.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ratmath/linalg.h"
+
+namespace anc::xform {
+
+AccessMatrixInfo
+buildAccessMatrix(const ir::Program &prog, bool use_dist_hint)
+{
+    size_t n = prog.nest.depth();
+    std::map<IntVec, size_t> index;
+    std::vector<AccessRow> rows;
+    size_t position = 0;
+
+    auto visit = [&](const ir::ArrayRef &r, bool) {
+        const ir::ArrayDecl &arr = prog.arrays[r.arrayId];
+        for (size_t d = 0; d < r.subscripts.size(); ++d) {
+            const ir::AffineExpr &e = r.subscripts[d];
+            // Linear part over the loop variables only.
+            RatVec lin(n);
+            bool zero = true;
+            for (size_t k = 0; k < n; ++k) {
+                lin[k] = e.varCoeff(k);
+                if (!lin[k].isZero())
+                    zero = false;
+            }
+            ++position;
+            if (zero)
+                continue; // loop-invariant subscript: nothing to normalize
+            IntVec coeffs = scaleToPrimitiveIntegers(lin);
+            // Scaling loses the distinction between i+j and 2i+2j, which
+            // the paper keeps (BasisMatrix discards the duplicate). Undo
+            // it when the original was already integral.
+            bool integral = true;
+            for (const Rational &c : lin)
+                if (!c.isInteger())
+                    integral = false;
+            if (integral)
+                for (size_t k = 0; k < n; ++k)
+                    coeffs[k] = lin[k].asInteger();
+
+            bool is_dist = arr.dist.isDistributionDim(d);
+            auto it = index.find(coeffs);
+            if (it == index.end()) {
+                AccessRow row;
+                row.coeffs = coeffs;
+                row.count = 1;
+                row.distDim = is_dist;
+                row.firstSeen = position;
+                row.origin = arr.name + " dim " + std::to_string(d);
+                if (is_dist)
+                    row.distArrays.push_back(r.arrayId);
+                index.emplace(coeffs, rows.size());
+                rows.push_back(std::move(row));
+            } else {
+                AccessRow &row = rows[it->second];
+                ++row.count;
+                row.distDim = row.distDim || is_dist;
+                if (is_dist &&
+                    std::find(row.distArrays.begin(), row.distArrays.end(),
+                              r.arrayId) == row.distArrays.end())
+                    row.distArrays.push_back(r.arrayId);
+            }
+        }
+    };
+    for (const ir::Statement &s : prog.nest.body())
+        s.forEachRef(visit);
+
+    std::stable_sort(rows.begin(), rows.end(),
+                     [use_dist_hint](const AccessRow &a,
+                                     const AccessRow &b) {
+                         if (use_dist_hint && a.distDim != b.distDim)
+                             return a.distDim;
+                         if (a.count != b.count)
+                             return a.count > b.count;
+                         return a.firstSeen < b.firstSeen;
+                     });
+
+    AccessMatrixInfo info;
+    info.rows = std::move(rows);
+    info.matrix = IntMatrix(info.rows.size(), n);
+    for (size_t i = 0; i < info.rows.size(); ++i)
+        for (size_t k = 0; k < n; ++k)
+            info.matrix(i, k) = info.rows[i].coeffs[k];
+    return info;
+}
+
+} // namespace anc::xform

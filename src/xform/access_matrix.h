@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The data access matrix (Section 2.2 of the paper).
+ *
+ * Each row is the linear (loop-variable) part of one distinct array
+ * subscript appearing in the nest; constants and parameter parts are
+ * omitted. Rows are ordered by estimated importance for performance,
+ * using the paper's heuristic: subscripts in distribution dimensions
+ * dominate all others, and within each class more frequently occurring
+ * subscripts come first (ties broken by first occurrence).
+ */
+
+#ifndef ANC_XFORM_ACCESS_MATRIX_H
+#define ANC_XFORM_ACCESS_MATRIX_H
+
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.h"
+
+namespace anc::xform {
+
+/** Provenance and ranking data for one row of the access matrix. */
+struct AccessRow
+{
+    IntVec coeffs;          //!< primitive integer linear part
+    size_t count = 0;       //!< number of occurrences across all refs
+    bool distDim = false;   //!< occurs in some distribution dimension
+    size_t firstSeen = 0;   //!< position of first occurrence
+    /** Human-readable provenance like "B dim 1" (first occurrence). */
+    std::string origin;
+    /** Arrays whose distribution dimension uses this subscript. */
+    std::vector<size_t> distArrays;
+};
+
+/** The ordered data access matrix plus row metadata. */
+struct AccessMatrixInfo
+{
+    IntMatrix matrix; //!< rows ordered by importance
+    std::vector<AccessRow> rows;
+
+    size_t numRows() const { return rows.size(); }
+};
+
+/**
+ * Build the data access matrix for the program's nest. Loop-invariant
+ * subscripts (all-zero linear part) are omitted, as are subscripts that
+ * are not affine in the loop variables (none exist in this IR, but
+ * rational coefficients are scaled to a primitive integer row, which
+ * preserves normalizability).
+ *
+ * use_dist_hint toggles the paper's key ordering heuristic: when false,
+ * distribution dimensions are ignored for RANKING (rows order purely by
+ * frequency), which exists to ablate the heuristic's value
+ * (bench_ablation_ordering). Row *content* is unaffected.
+ */
+AccessMatrixInfo buildAccessMatrix(const ir::Program &prog,
+                                   bool use_dist_hint = true);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_ACCESS_MATRIX_H

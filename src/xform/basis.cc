@@ -1,0 +1,67 @@
+#include "xform/basis.h"
+
+#include "ratmath/linalg.h"
+
+namespace anc::xform {
+
+IntMatrix
+BasisResult::permutation(size_t input_rows) const
+{
+    IntMatrix p(input_rows, input_rows);
+    std::vector<bool> used(input_rows, false);
+    size_t r = 0;
+    for (size_t k : keptRows) {
+        p(r++, k) = 1;
+        used[k] = true;
+    }
+    for (size_t k = 0; k < input_rows; ++k)
+        if (!used[k])
+            p(r++, k) = 1;
+    return p;
+}
+
+BasisResult
+basisMatrix(const IntMatrix &access)
+{
+    BasisResult out;
+    out.keptRows = firstRowBasis(access);
+    out.basis = IntMatrix(out.keptRows.size(), access.cols());
+    for (size_t i = 0; i < out.keptRows.size(); ++i)
+        for (size_t j = 0; j < access.cols(); ++j)
+            out.basis(i, j) = access(out.keptRows[i], j);
+    return out;
+}
+
+IntMatrix
+paddingMatrix(const IntMatrix &basis)
+{
+    size_t m = basis.rows(), n = basis.cols();
+    if (m > 0 && rank(basis) != m)
+        throw InternalError("paddingMatrix requires full row rank");
+    std::vector<size_t> pivots = firstColumnBasis(basis);
+    std::vector<bool> is_pivot(n, false);
+    for (size_t c : pivots)
+        is_pivot[c] = true;
+    IntMatrix h(n - m, n);
+    size_t r = 0;
+    for (size_t c = 0; c < n; ++c)
+        if (!is_pivot[c])
+            h(r++, c) = 1;
+    if (r != n - m)
+        throw InternalError("paddingMatrix row count mismatch");
+    return h;
+}
+
+IntMatrix
+padToInvertible(const IntMatrix &basis)
+{
+    IntMatrix t = basis;
+    IntMatrix h = paddingMatrix(basis);
+    for (size_t i = 0; i < h.rows(); ++i)
+        t.appendRow(h.row(i));
+    if (determinant(t) == 0)
+        throw InternalError("padding failed to produce invertible matrix");
+    return t;
+}
+
+} // namespace anc::xform

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Algorithms BasisMatrix and Padding (Section 5 of the paper).
+ *
+ * BasisMatrix extracts the first row basis of the data access matrix
+ * (Definition 5.1): scanning rows top-down so that less important
+ * subscripts are discarded in favor of more important ones. Padding
+ * extends a full-row-rank matrix to an invertible square matrix by
+ * appending identity rows on the non-pivot columns.
+ */
+
+#ifndef ANC_XFORM_BASIS_H
+#define ANC_XFORM_BASIS_H
+
+#include <vector>
+
+#include "ratmath/matrix.h"
+
+namespace anc::xform {
+
+/** Result of Algorithm BasisMatrix. */
+struct BasisResult
+{
+    IntMatrix basis;              //!< the kept rows, in order
+    std::vector<size_t> keptRows; //!< indices into the input matrix
+    size_t rank() const { return keptRows.size(); }
+
+    /**
+     * The permutation matrix P of the paper's presentation: its first
+     * rank() rows select the basis rows of the input.
+     */
+    IntMatrix permutation(size_t input_rows) const;
+};
+
+/** Extract the first row basis of a data access matrix. */
+BasisResult basisMatrix(const IntMatrix &access);
+
+/**
+ * Algorithm Padding: rows to append to the full-row-rank matrix so that
+ * the stacked matrix is invertible. Identity rows are chosen on the
+ * columns outside the first column basis. Returns an (n - m) x n matrix.
+ */
+IntMatrix paddingMatrix(const IntMatrix &basis);
+
+/** Stack basis and paddingMatrix(basis); always invertible. */
+IntMatrix padToInvertible(const IntMatrix &basis);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_BASIS_H

@@ -1,0 +1,58 @@
+#include "xform/classic.h"
+
+#include "ratmath/error.h"
+
+namespace anc::xform {
+
+IntMatrix
+interchange(size_t n, size_t a, size_t b)
+{
+    IntMatrix m = IntMatrix::identity(n);
+    m.swapRows(a, b);
+    return m;
+}
+
+IntMatrix
+permutation(const std::vector<size_t> &perm)
+{
+    size_t n = perm.size();
+    IntMatrix m(n, n);
+    std::vector<bool> used(n, false);
+    for (size_t k = 0; k < n; ++k) {
+        if (perm[k] >= n || used[perm[k]])
+            throw InternalError("invalid permutation");
+        used[perm[k]] = true;
+        m(k, perm[k]) = 1;
+    }
+    return m;
+}
+
+IntMatrix
+reversal(size_t n, size_t k)
+{
+    IntMatrix m = IntMatrix::identity(n);
+    m(k, k) = -1;
+    return m;
+}
+
+IntMatrix
+skew(size_t n, size_t target, size_t source, Int factor)
+{
+    if (target == source)
+        throw InternalError("skew target equals source");
+    IntMatrix m = IntMatrix::identity(n);
+    m(target, source) = factor;
+    return m;
+}
+
+IntMatrix
+scaling(size_t n, size_t k, Int factor)
+{
+    if (factor <= 0)
+        throw InternalError("scaling factor must be positive");
+    IntMatrix m = IntMatrix::identity(n);
+    m(k, k) = factor;
+    return m;
+}
+
+} // namespace anc::xform

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Classic loop transformations as invertible matrices (Section 3).
+ *
+ * Access normalization subsumes loop interchange, skewing, reversal and
+ * scaling; these helpers build the corresponding matrices so that tests
+ * and clients can compose or compare with the classic repertoire.
+ * Interchange, skewing and reversal are unimodular; scaling is the
+ * paper's non-unimodular extension.
+ */
+
+#ifndef ANC_XFORM_CLASSIC_H
+#define ANC_XFORM_CLASSIC_H
+
+#include "ratmath/matrix.h"
+
+namespace anc::xform {
+
+/** Permutation that swaps loops a and b in an n-deep nest. */
+IntMatrix interchange(size_t n, size_t a, size_t b);
+
+/** General loop permutation: new loop k is old loop perm[k]. */
+IntMatrix permutation(const std::vector<size_t> &perm);
+
+/** Reversal of loop k. */
+IntMatrix reversal(size_t n, size_t k);
+
+/** Skew loop target by factor * loop source (target != source). */
+IntMatrix skew(size_t n, size_t target, size_t source, Int factor);
+
+/** Scale loop k by the positive integer factor (non-unimodular). */
+IntMatrix scaling(size_t n, size_t k, Int factor);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_CLASSIC_H

@@ -1,0 +1,165 @@
+#include "xform/fourier_motzkin.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ratmath/linalg.h"
+
+namespace anc::xform {
+
+namespace {
+
+using ir::AffineExpr;
+using ir::LinearConstraint;
+
+/**
+ * Canonical form for dedup: scale the (varCoeffs, paramCoeffs, const)
+ * triple to a primitive integer vector (positive scaling preserves the
+ * inequality). Returns an empty vector for the trivial "0 >= 0".
+ */
+IntVec
+canonical(const LinearConstraint &c)
+{
+    RatVec all;
+    all.reserve(c.varCoeffs.size() + c.paramCoeffs.size() + 1);
+    for (const Rational &r : c.varCoeffs)
+        all.push_back(r);
+    for (const Rational &r : c.paramCoeffs)
+        all.push_back(r);
+    all.push_back(c.constant);
+    bool zero = true;
+    for (const Rational &r : all)
+        if (!r.isZero())
+            zero = false;
+    if (zero)
+        return {};
+    return scaleToPrimitiveIntegers(all);
+}
+
+bool
+mentionsVars(const LinearConstraint &c)
+{
+    for (const Rational &r : c.varCoeffs)
+        if (!r.isZero())
+            return true;
+    return false;
+}
+
+} // namespace
+
+FMBounds
+fourierMotzkin(const std::vector<LinearConstraint> &cons, size_t num_vars,
+               size_t num_params)
+{
+    FMBounds out;
+    out.lower.resize(num_vars);
+    out.upper.resize(num_vars);
+
+    // Active constraint set, deduped by canonical form.
+    std::vector<LinearConstraint> active;
+    std::set<IntVec> seen;
+    auto add = [&](const LinearConstraint &c) {
+        IntVec key = canonical(c);
+        if (key.empty())
+            return; // trivial 0 >= 0
+        if (seen.insert(key).second)
+            active.push_back(c);
+    };
+    for (const LinearConstraint &c : cons) {
+        if (c.varCoeffs.size() != num_vars ||
+            c.paramCoeffs.size() != num_params)
+            throw InternalError("fourierMotzkin: constraint shape");
+        add(c);
+    }
+
+    for (size_t level = num_vars; level-- > 0;) {
+        std::vector<LinearConstraint> lowers, uppers, rest;
+        for (const LinearConstraint &c : active) {
+            const Rational &a = c.varCoeffs[level];
+            if (a.isZero())
+                rest.push_back(c);
+            else if (a.isPositive())
+                lowers.push_back(c); // a*x + r >= 0  =>  x >= -r/a
+            else
+                uppers.push_back(c); // a*x + r >= 0  =>  x <= -r/|a|
+        }
+        if (lowers.empty() || uppers.empty())
+            throw UserError("iteration space is unbounded at level " +
+                            std::to_string(level));
+
+        // Record solved bounds for this level.
+        auto solve_for = [&](const LinearConstraint &c) {
+            // x >= (-(rest))/a  or  x <= ... depending on the sign; in
+            // both cases the bound expr is -(c with level zeroed) / a.
+            LinearConstraint r = c;
+            Rational a = r.varCoeffs[level];
+            r.varCoeffs[level] = Rational(0);
+            AffineExpr e = r.toAffine().scaled(-a.inverse());
+            return e;
+        };
+        // Syntactic dominance pruning: of two bounds differing only in
+        // the constant term, only the tighter one can ever bind (max
+        // constant for lower bounds, min for upper).
+        auto record = [&](std::vector<AffineExpr> &dst, AffineExpr e,
+                          bool is_lower) {
+            for (AffineExpr &prev : dst) {
+                if (prev.varCoeffs() == e.varCoeffs() &&
+                    prev.paramCoeffs() == e.paramCoeffs()) {
+                    bool replace = is_lower
+                                       ? e.constantTerm() >
+                                             prev.constantTerm()
+                                       : e.constantTerm() <
+                                             prev.constantTerm();
+                    if (replace)
+                        prev = std::move(e);
+                    return;
+                }
+            }
+            dst.push_back(std::move(e));
+        };
+        for (const LinearConstraint &c : lowers)
+            record(out.lower[level], solve_for(c), true);
+        for (const LinearConstraint &c : uppers)
+            record(out.upper[level], solve_for(c), false);
+
+        // Combine each (lower, upper) pair to eliminate the variable:
+        // L: a*x + r1 >= 0 (a > 0), U: -b*x + r2 >= 0 (b > 0)
+        //  =>  b*r1 + a*r2 >= 0.
+        seen.clear();
+        active.clear();
+        for (const LinearConstraint &c : rest)
+            add(c);
+        for (const LinearConstraint &lo : lowers) {
+            for (const LinearConstraint &up : uppers) {
+                Rational a = lo.varCoeffs[level];
+                Rational b = -up.varCoeffs[level];
+                AffineExpr combined =
+                    lo.toAffine().scaled(b) + up.toAffine().scaled(a);
+                LinearConstraint cc = LinearConstraint::fromAffine(combined);
+                if (!cc.varCoeffs[level].isZero())
+                    throw InternalError("FM combination kept variable");
+                add(cc);
+            }
+        }
+    }
+
+    // Whatever is left involves only parameters (or is constant).
+    for (const LinearConstraint &c : active) {
+        if (mentionsVars(c))
+            throw InternalError("FM left a variable constraint");
+        AffineExpr e = c.toAffine();
+        bool has_param = false;
+        for (const Rational &r : c.paramCoeffs)
+            if (!r.isZero())
+                has_param = true;
+        if (!has_param) {
+            if (c.constant.isNegative())
+                out.infeasible = true;
+            continue;
+        }
+        out.paramConditions.push_back(e);
+    }
+    return out;
+}
+
+} // namespace anc::xform

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exact (rational, parametric) Fourier-Motzkin elimination.
+ *
+ * Given the bound constraints of a transformed iteration space, FM
+ * elimination produces, for every loop level k, lower and upper bounds
+ * that are affine in the outer variables u_0..u_{k-1} and the symbolic
+ * parameters. Variables are eliminated innermost-first so that level k's
+ * bounds never mention inner variables; parameters are never eliminated
+ * and simply ride along (their coefficients do not participate in the
+ * sign decisions, which only involve the numeric variable coefficient).
+ */
+
+#ifndef ANC_XFORM_FOURIER_MOTZKIN_H
+#define ANC_XFORM_FOURIER_MOTZKIN_H
+
+#include <vector>
+
+#include "ir/loop_nest.h"
+
+namespace anc::xform {
+
+/** Per-level bounds computed by elimination. */
+struct FMBounds
+{
+    /** lower[k] / upper[k]: affine expressions over (vars, params) using
+     * only variables 0..k-1; the loop runs from ceil(max(lower)) to
+     * floor(min(upper)). */
+    std::vector<std::vector<ir::AffineExpr>> lower;
+    std::vector<std::vector<ir::AffineExpr>> upper;
+    /**
+     * Leftover constraints mentioning only parameters: each expression
+     * must be >= 0 for the iteration space to be nonempty. (For a
+     * well-formed program these hold whenever the source loops are
+     * nonempty.)
+     */
+    std::vector<ir::AffineExpr> paramConditions;
+    /** True if elimination derived the contradiction "negative >= 0"
+     * with no parameters involved: the space is provably empty. */
+    bool infeasible = false;
+};
+
+/**
+ * Eliminate all num_vars variables from the constraint system
+ * (each constraint means expr >= 0). Throws UserError if some level
+ * ends up with no lower or no upper bound (unbounded space).
+ */
+FMBounds fourierMotzkin(const std::vector<ir::LinearConstraint> &cons,
+                        size_t num_vars, size_t num_params);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_FOURIER_MOTZKIN_H

@@ -1,0 +1,131 @@
+#include "xform/legal.h"
+
+#include "ratmath/linalg.h"
+#include "xform/basis.h"
+
+namespace anc::xform {
+
+namespace {
+
+/** Row-times-matrix product as a plain vector. */
+IntVec
+rowTimes(const IntVec &row, const IntMatrix &m)
+{
+    IntVec f(m.cols(), 0);
+    for (size_t c = 0; c < m.cols(); ++c)
+        f[c] = dot(row, m.column(c));
+    return f;
+}
+
+/** Remove the columns whose f entry is strictly positive (carried). */
+void
+dropCarried(IntMatrix &deps, const IntVec &f)
+{
+    for (size_t c = deps.cols(); c-- > 0;)
+        if (f[c] > 0)
+            deps.removeColumn(c);
+}
+
+} // namespace
+
+IntMatrix
+legalBasis(const IntMatrix &basis, const IntMatrix &deps)
+{
+    IntMatrix d = deps;
+    IntMatrix out(0, basis.cols());
+    for (size_t i = 0; i < basis.rows(); ++i) {
+        IntVec row = basis.row(i);
+        if (d.cols() == 0) {
+            out.appendRow(row);
+            continue;
+        }
+        IntVec f = rowTimes(row, d);
+        bool any_pos = false, any_neg = false;
+        for (Int v : f) {
+            any_pos = any_pos || v > 0;
+            any_neg = any_neg || v < 0;
+        }
+        if (!any_neg) {
+            dropCarried(d, f);
+            out.appendRow(row);
+        } else if (!any_pos) {
+            for (Int &v : row)
+                v = checkedNeg(v);
+            for (Int &v : f)
+                v = checkedNeg(v);
+            dropCarried(d, f);
+            out.appendRow(row);
+        }
+        // Mixed signs: the row cannot head a legal nest; discard it.
+    }
+    return out;
+}
+
+IntMatrix
+legalInvertible(const IntMatrix &basis, const IntMatrix &deps)
+{
+    size_t n = basis.cols();
+    IntMatrix b = basis;
+    IntMatrix d = deps;
+
+    // Retire dependences already carried by the basis rows.
+    for (size_t i = 0; i < b.rows() && d.cols() > 0; ++i) {
+        IntVec f = rowTimes(b.row(i), d);
+        for (Int v : f)
+            if (v < 0)
+                throw InternalError("legalInvertible: basis is not legal");
+        dropCarried(d, f);
+    }
+
+    while (d.cols() > 0) {
+        // First coordinate not orthogonal to the remaining dependences.
+        size_t k = n;
+        for (size_t r = 0; r < n && k == n; ++r)
+            for (size_t c = 0; c < d.cols(); ++c)
+                if (d(r, c) != 0) {
+                    k = r;
+                    break;
+                }
+        if (k == n)
+            throw InternalError("legalInvertible: zero dependence column");
+
+        // Z = a column basis of d; x = cZ(Z^T Z)^{-1} Z^T e_k scaled to
+        // a primitive integer vector.
+        std::vector<IntVec> z_cols;
+        for (size_t c : firstColumnBasis(d))
+            z_cols.push_back(d.column(c));
+        RatMatrix z = toRational(IntMatrix::fromColumns(z_cols));
+        RatMatrix zt = z.transpose();
+        RatMatrix gram = zt * z;
+        RatVec ek(n, Rational(0));
+        ek[k] = Rational(1);
+        auto w = solve(gram, zt.apply(ek));
+        if (!w)
+            throw InternalError("legalInvertible: singular Gram matrix");
+        RatVec x_rat = z.apply(*w);
+        IntVec x = scaleToPrimitiveIntegers(x_rat);
+        // The scaling must be positive so that x^T d keeps its sign:
+        // scaleToPrimitiveIntegers preserves signs, but normalize the
+        // orientation so that x^T e_k > 0 (projection has positive k
+        // component because e_k is not orthogonal to span(d)).
+        if (x[k] < 0)
+            throw InternalError("legalInvertible: negative projection");
+
+        IntVec f = rowTimes(x, d);
+        bool progress = false;
+        for (Int v : f) {
+            if (v < 0)
+                throw InternalError("legalInvertible: projection not legal");
+            progress = progress || v > 0;
+        }
+        if (!progress)
+            throw InternalError("legalInvertible: no dependence carried");
+        dropCarried(d, f);
+        b.appendRow(x);
+    }
+
+    IntMatrix t = padToInvertible(b);
+    return t;
+}
+
+} // namespace anc::xform

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Algorithms LegalBasis and LegalInvt (Section 6, Figures 2 and 3).
+ *
+ * A transformation T is legal iff the leading nonzero of T*d is positive
+ * for every dependence distance d. LegalBasis filters the basis matrix
+ * row by row: a row whose products with the outstanding dependences are
+ * all non-negative is kept (dependences it carries are dropped from
+ * further consideration); one with all non-positive products is negated
+ * (loop reversal) and kept; a row with mixed signs is discarded.
+ *
+ * LegalInvt pads a legal basis to a full legal invertible matrix. While
+ * dependences remain, it appends the integer-scaled projection
+ * x = cZ(Z^T Z)^{-1} Z^T e_k of the first coordinate vector e_k not
+ * orthogonal to the remaining dependence columns (Z = a column basis of
+ * those columns). Because remaining dependences are orthogonal to every
+ * accepted row, their entries above coordinate k vanish, so x^T d equals
+ * (a positive multiple of) d_k >= 0 with at least one strict: each round
+ * carries and retires at least one dependence, and x is linearly
+ * independent of the rows so far. Once no dependences remain, Algorithm
+ * Padding completes the matrix.
+ */
+
+#ifndef ANC_XFORM_LEGAL_H
+#define ANC_XFORM_LEGAL_H
+
+#include "ratmath/matrix.h"
+
+namespace anc::xform {
+
+/**
+ * Algorithm LegalBasis: make the basis legal w.r.t. the dependence
+ * matrix (columns = distance vectors). Rows may be negated or dropped.
+ */
+IntMatrix legalBasis(const IntMatrix &basis, const IntMatrix &deps);
+
+/**
+ * Algorithm LegalInvt: pad a legal basis to an n x n invertible matrix
+ * that respects every dependence. The input basis must already be legal
+ * (e.g. the output of legalBasis); throws InternalError otherwise.
+ */
+IntMatrix legalInvertible(const IntMatrix &basis, const IntMatrix &deps);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_LEGAL_H

@@ -1,0 +1,106 @@
+#include "xform/normalize.h"
+
+#include <sstream>
+
+#include "ratmath/linalg.h"
+#include "xform/basis.h"
+#include "xform/legal.h"
+
+namespace anc::xform {
+
+NormalizeResult
+accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
+{
+    prog.validate();
+    size_t n = prog.nest.depth();
+
+    NormalizeResult r;
+    r.access = buildAccessMatrix(prog, opts.useDistributionHint);
+
+    deps::DependenceInfo dinfo =
+        deps::analyzeDependences(prog, opts.includeInputDeps);
+    r.depMatrix = dinfo.matrix(n);
+    r.depsImprecise = dinfo.imprecise;
+
+    BasisResult basis = basisMatrix(r.access.matrix);
+    r.basis = basis.basis;
+
+    if (opts.enforceLegality) {
+        r.legal = legalBasis(r.basis, r.depMatrix);
+        r.transform = legalInvertible(r.legal, r.depMatrix);
+        if (!deps::isLegalTransformation(r.transform, r.depMatrix))
+            throw InternalError("normalization produced illegal transform");
+        // The distance-vector algorithms above are exact when every
+        // dependence has a constant distance or a single lattice
+        // generator. For imprecise families, verify against the full
+        // solution family and fall back to the (always legal) identity
+        // if the check fails.
+        if (dinfo.imprecise &&
+            !deps::preservesLexSign(r.transform, dinfo.families)) {
+            r.transform = IntMatrix::identity(n);
+            r.conservativeFallback = true;
+        }
+    } else {
+        r.legal = r.basis;
+        r.transform = padToInvertible(r.basis);
+    }
+
+    r.unimodular = isUnimodular(r.transform);
+
+    // Definition 4.1: loop level l normalizes access-matrix row a when
+    // row l of T equals (possibly negated, i.e. reversed) that row.
+    for (size_t l = 0; l < n; ++l) {
+        IntVec row = r.transform.row(l);
+        IntVec neg_row = row;
+        for (Int &v : neg_row)
+            v = checkedNeg(v);
+        for (size_t a = 0; a < r.access.rows.size(); ++a) {
+            if (r.access.rows[a].coeffs == row ||
+                r.access.rows[a].coeffs == neg_row) {
+                r.normalized.push_back(
+                    {l, a, r.access.rows[a].distDim});
+                ++r.rowsRetained;
+                break;
+            }
+        }
+    }
+
+    r.nest = applyTransform(prog, r.transform);
+    return r;
+}
+
+std::string
+describe(const NormalizeResult &r, const ir::Program &prog)
+{
+    std::ostringstream os;
+    os << "data access matrix (importance order):\n";
+    for (size_t i = 0; i < r.access.rows.size(); ++i) {
+        const AccessRow &row = r.access.rows[i];
+        os << "  [";
+        for (size_t j = 0; j < row.coeffs.size(); ++j)
+            os << (j ? " " : "") << row.coeffs[j];
+        os << "]  x" << row.count << (row.distDim ? "  dist" : "")
+           << "  (" << row.origin << ")\n";
+    }
+    os << "dependence matrix (" << r.depMatrix.cols() << " column"
+       << (r.depMatrix.cols() == 1 ? "" : "s") << ")";
+    if (r.depsImprecise)
+        os << " [imprecise]";
+    os << ":\n" << r.depMatrix.str();
+    os << "basis matrix:\n" << r.basis.str();
+    os << "legal basis:\n" << r.legal.str();
+    os << "transformation T (" << (r.unimodular ? "unimodular" : "invertible")
+       << ", det " << determinant(r.transform) << "):\n"
+       << r.transform.str();
+    os << "normalized subscripts: " << r.normalized.size() << "\n";
+    for (const NormalizedLoop &nl : r.normalized) {
+        os << "  loop " << newLoopVarName(nl.loopLevel) << " <- "
+           << r.access.rows[nl.accessRow].origin
+           << (nl.distDim ? " (distribution dimension)" : "") << "\n";
+    }
+    if (r.nest)
+        os << "transformed nest:\n" << printTransformedNest(*r.nest, prog);
+    return os.str();
+}
+
+} // namespace anc::xform

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The access normalization driver: the paper's full pipeline.
+ *
+ *   data access matrix  (Section 2.2, ordered by importance)
+ *     -> BasisMatrix    (Section 5.1, first row basis)
+ *     -> LegalBasis     (Section 6.1, dependence filtering/reversal)
+ *     -> LegalInvt      (Section 6.2, legality-preserving padding)
+ *     -> applyTransform (Section 3, lattice-based restructuring)
+ *
+ * When the data access matrix is itself invertible and legal, it is used
+ * directly (Section 4).
+ */
+
+#ifndef ANC_XFORM_NORMALIZE_H
+#define ANC_XFORM_NORMALIZE_H
+
+#include <optional>
+
+#include "deps/dependence.h"
+#include "xform/access_matrix.h"
+#include "xform/transform.h"
+
+namespace anc::xform {
+
+/** Options controlling the normalization pipeline. */
+struct NormalizeOptions
+{
+    /** Enforce dependence legality (LegalBasis / LegalInvt). Disabling
+     * this reproduces the Section 4/5 construction without Section 6,
+     * for study only. */
+    bool enforceLegality = true;
+    /** Also report input (read-read) dependences in the result. */
+    bool includeInputDeps = false;
+    /** Use the paper's Section 2.2 ordering heuristic (distribution
+     * dimensions first). Disable only to ablate the heuristic. */
+    bool useDistributionHint = true;
+};
+
+/** Which normalized subscript, if any, a transformed loop exposes. */
+struct NormalizedLoop
+{
+    size_t loopLevel;  //!< row of T / level of the new nest
+    size_t accessRow;  //!< index into AccessMatrixInfo::rows
+    bool distDim;      //!< the subscript is in a distribution dimension
+};
+
+/** Full record of one access-normalization run. */
+struct NormalizeResult
+{
+    AccessMatrixInfo access;   //!< the ordered data access matrix
+    IntMatrix depMatrix;       //!< distance vectors (columns)
+    bool depsImprecise = false;
+    IntMatrix basis;           //!< after BasisMatrix
+    IntMatrix legal;           //!< after LegalBasis (== basis when legality
+                               //!< is disabled)
+    IntMatrix transform;       //!< the final invertible T
+    std::vector<NormalizedLoop> normalized; //!< Definition 4.1 hits
+    std::optional<TransformedNest> nest;    //!< the restructured nest
+
+    /** True when T is unimodular (Banerjee's special case). */
+    bool unimodular = false;
+    /** Rows of the access matrix that survived into T. */
+    size_t rowsRetained = 0;
+    /**
+     * Set when the dependence analysis could not represent some
+     * distance family exactly AND the exact family check
+     * (deps::preservesLexSign) rejected the candidate transformation:
+     * the pipeline then falls back to the identity (no restructuring),
+     * which is always legal.
+     */
+    bool conservativeFallback = false;
+};
+
+/**
+ * Run the full pipeline on a program. The returned transformation is
+ * always invertible and, unless legality enforcement was disabled,
+ * respects every analyzed dependence.
+ */
+NormalizeResult accessNormalize(const ir::Program &prog,
+                                const NormalizeOptions &opts = {});
+
+/** Human-readable report of a normalization run (matrices, choices). */
+std::string describe(const NormalizeResult &r, const ir::Program &prog);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_NORMALIZE_H

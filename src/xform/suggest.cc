@@ -1,0 +1,132 @@
+#include "xform/suggest.h"
+
+#include <sstream>
+
+#include "deps/dependence.h"
+#include "ratmath/linalg.h"
+#include "xform/access_matrix.h"
+#include "xform/basis.h"
+#include "xform/legal.h"
+#include "xform/transform.h"
+
+namespace anc::xform {
+
+namespace {
+
+/** Primitive integer linear part of a subscript, or empty if
+ * loop-invariant. */
+IntVec
+linearPart(const ir::AffineExpr &e)
+{
+    RatVec lin(e.numVars());
+    bool zero = true;
+    for (size_t k = 0; k < e.numVars(); ++k) {
+        lin[k] = e.varCoeff(k);
+        if (!lin[k].isZero())
+            zero = false;
+    }
+    if (zero)
+        return {};
+    return scaleToPrimitiveIntegers(lin);
+}
+
+bool
+sameLine(const IntVec &a, const IntVec &b)
+{
+    if (a.size() != b.size())
+        return false;
+    IntVec neg = b;
+    for (Int &v : neg)
+        v = checkedNeg(v);
+    return a == b || a == neg;
+}
+
+} // namespace
+
+ir::Program
+DistributionSuggestion::applyTo(const ir::Program &prog) const
+{
+    if (arrays.size() != prog.arrays.size())
+        throw InternalError("suggestion does not match program");
+    ir::Program out = prog;
+    for (size_t a = 0; a < arrays.size(); ++a)
+        out.arrays[a].dist = arrays[a].dist;
+    return out;
+}
+
+DistributionSuggestion
+suggestDistributions(const ir::Program &prog)
+{
+    prog.validate();
+    size_t n = prog.nest.depth();
+
+    // Distribution-blind access matrix: rank purely by frequency, since
+    // the declared distributions (if any) are exactly what we are about
+    // to replace.
+    AccessMatrixInfo access = buildAccessMatrix(prog, false);
+
+    deps::DependenceInfo dinfo = deps::analyzeDependences(prog);
+    IntMatrix dep = dinfo.matrix(n);
+
+    BasisResult basis = basisMatrix(access.matrix);
+    IntMatrix legal = legalBasis(basis.basis, dep);
+    IntMatrix t = legalInvertible(legal, dep);
+    if (dinfo.imprecise && !deps::preservesLexSign(t, dinfo.families))
+        t = IntMatrix::identity(n);
+
+    DistributionSuggestion out;
+    out.transform = t;
+
+    std::ostringstream why;
+    for (size_t a = 0; a < prog.arrays.size(); ++a) {
+        const ir::ArrayDecl &decl = prog.arrays[a];
+        // For each dimension, the earliest row of T matched by ANY
+        // reference's subscript at that dimension.
+        std::optional<size_t> best_row;
+        size_t best_dim = 0;
+        for (size_t d = 0; d < decl.numDims(); ++d) {
+            std::optional<size_t> dim_row;
+            for (const ir::Statement &s : prog.nest.body()) {
+                s.forEachRef([&](const ir::ArrayRef &r, bool) {
+                    if (r.arrayId != a)
+                        return;
+                    IntVec lin = linearPart(r.subscripts[d]);
+                    if (lin.empty())
+                        return;
+                    for (size_t row = 0; row < n; ++row) {
+                        if (sameLine(lin, t.row(row))) {
+                            if (!dim_row || row < *dim_row)
+                                dim_row = row;
+                            break;
+                        }
+                    }
+                });
+            }
+            if (dim_row && (!best_row || *dim_row < *best_row)) {
+                best_row = dim_row;
+                best_dim = d;
+            }
+        }
+        ArraySuggestion s;
+        s.matchedRow = best_row;
+        if (best_row) {
+            s.dist = ir::DistributionSpec::wrapped(best_dim);
+            why << "  " << decl.name << ": wrapped(dim " << best_dim
+                << ") -- subscript matches loop "
+                << newLoopVarName(*best_row)
+                << (*best_row == 0 ? " (local under owner-aligned "
+                                     "partitioning)"
+                                   : " (block-transferable)")
+                << "\n";
+        } else {
+            s.dist = ir::DistributionSpec::replicated();
+            why << "  " << decl.name
+                << ": replicated -- no subscript matches a row of T\n";
+        }
+        out.arrays.push_back(std::move(s));
+    }
+    out.rationale = why.str();
+    return out;
+}
+
+} // namespace anc::xform

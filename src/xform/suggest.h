@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Automatic data-distribution suggestion (the Section 9 speculation,
+ * implemented): "start with the dependence matrix and use our techniques
+ * in reverse, so to speak, to determine what a good data distribution
+ * should be."
+ *
+ * We build the data access matrix WITHOUT distribution hints (ranking
+ * subscripts purely by frequency), derive a legal invertible
+ * transformation from it, and then propose, for each array, a wrapped
+ * distribution on the dimension whose subscript matches the outermost
+ * possible row of T: under the induced loop order that array's accesses
+ * are local (row 0) or block-transferable (any other row). Wrapping
+ * keeps the load balanced, which the paper identifies as the main
+ * difficulty of reversing the technique.
+ */
+
+#ifndef ANC_XFORM_SUGGEST_H
+#define ANC_XFORM_SUGGEST_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/loop_nest.h"
+
+namespace anc::xform {
+
+/** Suggestion for one array. */
+struct ArraySuggestion
+{
+    ir::DistributionSpec dist;
+    /** Row of the suggested transformation the chosen dimension's
+     * subscript matches: 0 = fully local under owner-aligned
+     * partitioning, >0 = block-transferable, nullopt = no affine match
+     * (replication suggested). */
+    std::optional<size_t> matchedRow;
+};
+
+/** The full suggestion record. */
+struct DistributionSuggestion
+{
+    std::vector<ArraySuggestion> arrays; //!< one per Program::arrays
+    IntMatrix transform;                 //!< the motivating legal T
+    std::string rationale;
+
+    /** Apply the suggestion: a copy of prog with new distributions. */
+    ir::Program applyTo(const ir::Program &prog) const;
+};
+
+/**
+ * Derive distributions for a program, ignoring any it already declares.
+ */
+DistributionSuggestion suggestDistributions(const ir::Program &prog);
+
+} // namespace anc::xform
+
+#endif // ANC_XFORM_SUGGEST_H

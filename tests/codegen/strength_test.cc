@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for Section 3 strength reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../ratmath/test_util.h"
+#include "codegen/emit_c.h"
+#include "codegen/strength.h"
+#include "ir/gallery.h"
+#include "xform/classic.h"
+
+namespace anc::codegen {
+namespace {
+
+TEST(StrengthTest, Section3ExamplePlansOneDivision)
+{
+    // T = [[2,4],[1,5]]: the rhs index (2v - u)/6 and the subscripts
+    // (5u - 4v)/6... the body of A[u, v] = (2v - u)/6 has subscripts
+    // u, v (integral after rewrite) and the value expression with /6.
+    ir::Program p = ir::gallery::section3Example();
+    xform::TransformedNest tn =
+        xform::applyTransform(p, IntMatrix{{2, 4}, {1, 5}});
+    auto plans = planStrengthReduction(tn);
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].level, 1u); // varies with v (stride 3)
+    EXPECT_EQ(plans[0].increment, 1);
+    EXPECT_EQ(plans[0].name, "t0");
+}
+
+TEST(StrengthTest, ScalingExamplePlansHalfU)
+{
+    ir::Program p = ir::gallery::scalingExample();
+    xform::TransformedNest tn =
+        xform::applyTransform(p, xform::scaling(1, 0, 2));
+    auto plans = planStrengthReduction(tn);
+    // A[u] = u/2: the value expression u/2 is tracked, increment
+    // (1/2) * 2 = 1.
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_EQ(plans[0].level, 0u);
+    EXPECT_EQ(plans[0].increment, 1);
+}
+
+TEST(StrengthTest, UnimodularTransformNeedsNothing)
+{
+    ir::Program p = ir::gallery::gemm();
+    xform::TransformedNest tn =
+        xform::applyTransform(p, xform::interchange(3, 0, 2));
+    EXPECT_TRUE(planStrengthReduction(tn).empty());
+}
+
+TEST(StrengthTest, IncrementalMatchesDirect)
+{
+    ir::Program p = ir::gallery::section3Example();
+    xform::TransformedNest tn =
+        xform::applyTransform(p, IntMatrix{{2, 4}, {1, 5}});
+    auto plans = planStrengthReduction(tn);
+    uint64_t count = runWithInduction(
+        tn, {}, plans, [&](const IntVec &u, const IntVec &vals) {
+            // t0 tracks the original j = (2v - u)/6 in 1..3.
+            EXPECT_GE(vals[0], 1);
+            EXPECT_LE(vals[0], 3);
+            EXPECT_EQ(vals[0], plans[0].expr.evaluateInt(u, {}));
+        });
+    EXPECT_EQ(count, 9u);
+}
+
+TEST(StrengthTest, RandomNonUnimodularTransforms)
+{
+    // Property: for random scaled transformations of the gallery
+    // programs, incremental induction always matches direct evaluation
+    // (runWithInduction throws otherwise).
+    std::mt19937 rng(987);
+    std::uniform_int_distribution<Int> sc(1, 4);
+    for (int trial = 0; trial < 25; ++trial) {
+        ir::Program p = ir::gallery::figure1();
+        IntMatrix t = testutil::randomUnimodularMatrix(rng, 3);
+        for (size_t k = 0; k < 3; ++k) {
+            Int f = sc(rng);
+            for (size_t j = 0; j < 3; ++j)
+                t(k, j) = checkedMul(t(k, j), f);
+        }
+        xform::TransformedNest tn = xform::applyTransform(p, t);
+        auto plans = planStrengthReduction(tn);
+        IntVec params{5, 3, 3};
+        uint64_t direct = tn.forEachIteration(params, [](const IntVec &) {});
+        uint64_t inc = runWithInduction(tn, params, plans,
+                                        [](const IntVec &, const IntVec &) {});
+        EXPECT_EQ(direct, inc);
+    }
+}
+
+TEST(StrengthTest, EmitterUsesInductionVariables)
+{
+    ir::Program p = ir::gallery::section3Example();
+    xform::TransformedNest tn =
+        xform::applyTransform(p, IntMatrix{{2, 4}, {1, 5}});
+    auto plans = planStrengthReduction(tn);
+    numa::ExecutionPlan plan;
+    std::string without = emitNodeProgram(p, tn, plan);
+    std::string with = emitNodeProgram(p, tn, plan, &plans);
+    // Without: the division appears in the loop body.
+    EXPECT_NE(without.find("1/3*v"), std::string::npos) << without;
+    // With: the body uses t0 and the division happens once per entry.
+    EXPECT_NE(with.find("strength-reduced"), std::string::npos) << with;
+    EXPECT_NE(with.find("= (t0)"), std::string::npos) << with;
+}
+
+} // namespace
+} // namespace anc::codegen

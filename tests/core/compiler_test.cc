@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end tests for the top-level compiler driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "ir/gallery.h"
+
+namespace anc::core {
+namespace {
+
+TEST(CompileTest, GemmFullPipeline)
+{
+    Compilation c = compile(ir::gallery::gemm());
+    EXPECT_EQ(c.normalization.transform,
+              (IntMatrix{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}));
+    EXPECT_EQ(c.plan.scheme, numa::PartitionScheme::OwnerWrapped);
+    EXPECT_FALSE(c.nodeProgram.empty());
+    std::string rep = c.report();
+    EXPECT_NE(rep.find("source program"), std::string::npos);
+    EXPECT_NE(rep.find("access normalization"), std::string::npos);
+    EXPECT_NE(rep.find("NUMA code generation"), std::string::npos);
+    EXPECT_NE(rep.find("node program"), std::string::npos);
+}
+
+TEST(CompileTest, IdentityBaseline)
+{
+    CompileOptions opts;
+    opts.identityTransform = true;
+    Compilation c = compile(ir::gallery::gemm(), opts);
+    EXPECT_EQ(c.normalization.transform, IntMatrix::identity(3));
+    EXPECT_TRUE(c.normalization.unimodular);
+    EXPECT_EQ(c.plan.scheme, numa::PartitionScheme::RoundRobin);
+    // Dependences are still analyzed for the baseline.
+    EXPECT_EQ(c.normalization.depMatrix.cols(), 1u);
+}
+
+TEST(CompileTest, SimulationSpeedsUpWithProcessors)
+{
+    Compilation c = compile(ir::gallery::gemm());
+    IntVec params{12};
+    double seq = sequentialTime(
+        c, numa::MachineParams::butterflyGP1000(), params);
+    numa::SimOptions o4, o12;
+    o4.processors = 4;
+    o12.processors = 12;
+    double s4 = simulate(c, o4, {params, {}}).speedup(seq);
+    double s12 = simulate(c, o12, {params, {}}).speedup(seq);
+    EXPECT_GT(s4, 2.0);
+    EXPECT_GT(s12, s4);
+}
+
+TEST(CompileTest, InvalidProgramRejected)
+{
+    ir::Program p = ir::gallery::gemm();
+    p.nest.loops()[0].lower.clear();
+    EXPECT_THROW(compile(p), UserError);
+}
+
+TEST(CompileTest, Syr2kEndToEnd)
+{
+    Compilation c = compile(ir::gallery::syr2kBanded());
+    EXPECT_TRUE(c.plan.outerParallel);
+    EXPECT_GE(c.plan.hoists.size(), 4u);
+    IntVec params{20, 4};
+    numa::SimOptions ob, ot;
+    ob.processors = 8;
+    ob.blockTransfers = true;
+    ot.processors = 8;
+    ot.blockTransfers = false;
+    ir::Bindings binds{params, {1.0, 1.0}};
+    double tb = simulate(c, ob, binds).parallelTime();
+    double tt = simulate(c, ot, binds).parallelTime();
+    // Block transfers matter for SYR2K (Section 8.2).
+    EXPECT_LT(tb, tt);
+}
+
+} // namespace
+} // namespace anc::core

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for exact dependence-family legality (preservesLexSign).
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../ratmath/test_util.h"
+#include "deps/dependence.h"
+#include "ir/builder.h"
+#include "ir/gallery.h"
+#include "ir/interp.h"
+#include "xform/classic.h"
+#include "xform/normalize.h"
+
+namespace anc::deps {
+namespace {
+
+DependenceFamily
+constant(IntVec d)
+{
+    return {std::move(d), IntMatrix(3, 0)};
+}
+
+TEST(FamilyConstant, SignPreservation)
+{
+    IntMatrix id = IntMatrix::identity(3);
+    EXPECT_TRUE(preservesLexSign(id, constant({0, 0, 1})));
+    EXPECT_TRUE(preservesLexSign(id, constant({0, 0, 0})));
+
+    // Reversing the innermost loop flips (0,0,1): rejected.
+    IntMatrix rev = xform::reversal(3, 2);
+    EXPECT_FALSE(preservesLexSign(rev, constant({0, 0, 1})));
+    // But a distance in another loop is unaffected.
+    EXPECT_TRUE(preservesLexSign(rev, constant({1, 0, -1})));
+
+    // Interchange moves the carried loop; still lex-positive.
+    EXPECT_TRUE(preservesLexSign(xform::interchange(3, 0, 2),
+                                 constant({0, 0, 1})));
+}
+
+TEST(FamilyLattice, GemmFamilyUnderInterchange)
+{
+    // GEMM's C[i,j] family: d0 = 0, generator (0,0,1). Legal under
+    // i<->j interchange, illegal under k reversal.
+    DependenceFamily f{{0, 0, 0}, IntMatrix{{0}, {0}, {1}}};
+    EXPECT_TRUE(preservesLexSign(xform::interchange(3, 0, 1), f));
+    EXPECT_FALSE(preservesLexSign(xform::reversal(3, 2), f));
+    EXPECT_TRUE(preservesLexSign(IntMatrix::identity(3), f));
+}
+
+TEST(FamilyLattice, CosetMembersBeyondRepresentatives)
+{
+    // Family d = (1, t): representatives (1, 0) and (0, 1) survive a
+    // skew T = [[1,0],[s,1]] for any s, but members (1, t) with very
+    // negative t map to (1, s + t)... both lex-positive. Construct the
+    // genuinely dangerous case: T = [[0,1],[1,0]] (interchange) maps
+    // (1, t) to (t, 1): for t < 0 the image is lex-negative while the
+    // source is lex-positive. The vector tests pass representatives
+    // (1,0)->(0,1) ok and (0,1)->(1,0) ok -- only the family check
+    // catches it.
+    DependenceFamily f{{1, 0}, IntMatrix{{0}, {1}}};
+    IntMatrix swap{{0, 1}, {1, 0}};
+    // The representative-based matrix check is fooled:
+    IntMatrix reps = IntMatrix::fromColumns(
+        std::vector<IntVec>{{1, 0}, {0, 1}});
+    EXPECT_TRUE(isLegalTransformation(swap, reps));
+    // The family check is not:
+    EXPECT_FALSE(preservesLexSign(swap, f));
+    // Identity is of course fine.
+    EXPECT_TRUE(preservesLexSign(IntMatrix::identity(2), f));
+}
+
+TEST(FamilyLattice, TwoGenerators)
+{
+    // d = (t, s) for all integers t, s: only transformations that
+    // preserve lex order on ALL of Z^2 qualify -- lower-triangular with
+    // positive diagonal.
+    DependenceFamily f{{0, 0}, IntMatrix::identity(2)};
+    EXPECT_TRUE(preservesLexSign(IntMatrix::identity(2), f));
+    EXPECT_TRUE(preservesLexSign(IntMatrix{{1, 0}, {3, 2}}, f));
+    EXPECT_FALSE(preservesLexSign(IntMatrix{{1, 1}, {0, 1}}, f));
+    EXPECT_FALSE(preservesLexSign(IntMatrix{{0, 1}, {1, 0}}, f));
+    EXPECT_FALSE(preservesLexSign(IntMatrix{{-1, 0}, {0, 1}}, f));
+}
+
+TEST(FamilyLattice, ScalingIsHarmless)
+{
+    // Positive diagonal scaling never changes a lex sign.
+    DependenceFamily f{{2, -1}, IntMatrix{{4}, {1}}};
+    EXPECT_TRUE(preservesLexSign(xform::scaling(2, 0, 3), f));
+    EXPECT_TRUE(preservesLexSign(
+        xform::scaling(2, 0, 2) * xform::scaling(2, 1, 5), f));
+}
+
+TEST(FamilyAnalysis, FamiliesPopulated)
+{
+    ir::Program p = ir::gallery::gemm();
+    DependenceInfo info = analyzeDependences(p);
+    ASSERT_FALSE(info.families.empty());
+    // Every family of GEMM is the k-axis lattice.
+    for (const DependenceFamily &f : info.families) {
+        EXPECT_TRUE(isZero(f.d0));
+        ASSERT_EQ(f.gens.cols(), 1u);
+        IntVec g = f.gens.column(0);
+        if (g[2] < 0)
+            for (Int &v : g)
+                v = -v;
+        EXPECT_EQ(g, (IntVec{0, 0, 1}));
+    }
+    EXPECT_TRUE(preservesLexSign(
+        IntMatrix{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}, info.families));
+}
+
+TEST(FamilyProperty, AgreesWithBruteForceOnSmallFamilies)
+{
+    // Randomized cross-check: enumerate family members in a window and
+    // compare lex signs directly against the analytic answer.
+    std::mt19937 rng(112233);
+    std::uniform_int_distribution<Int> small(-2, 2);
+    int rejected = 0, accepted = 0;
+    for (int trial = 0; trial < 300; ++trial) {
+        size_t n = 2 + trial % 2;
+        IntVec d0(n);
+        for (Int &v : d0)
+            v = small(rng);
+        size_t k = 1 + trial % 2;
+        IntMatrix g(n, k);
+        for (size_t i = 0; i < n; ++i)
+            for (size_t c = 0; c < k; ++c)
+                g(i, c) = small(rng);
+        DependenceFamily fam{d0, g};
+        IntMatrix t = testutil::randomInvertibleMatrix(rng, n, -2, 2);
+
+        bool analytic = preservesLexSign(t, fam);
+        // Brute force over a window of z values.
+        bool violated = false;
+        Int w = 6;
+        std::function<void(size_t, IntVec &)> walk = [&](size_t c,
+                                                         IntVec &z) {
+            if (violated)
+                return;
+            if (c == k) {
+                IntVec d = d0;
+                for (size_t i = 0; i < n; ++i)
+                    for (size_t q = 0; q < k; ++q)
+                        d[i] += g(i, q) * z[q];
+                if (isZero(d))
+                    return;
+                IntVec td = t.apply(d);
+                if (leadingSign(td) != leadingSign(d))
+                    violated = true;
+                return;
+            }
+            for (Int v = -w; v <= w && !violated; ++v) {
+                z[c] = v;
+                walk(c + 1, z);
+            }
+        };
+        IntVec z(k, 0);
+        walk(0, z);
+
+        if (violated) {
+            // Any witnessed violation must be caught analytically.
+            EXPECT_FALSE(analytic) << "trial " << trial;
+            ++rejected;
+        } else if (analytic) {
+            ++accepted;
+        }
+        // (analytic false without a window witness is allowed: the
+        // check is conservative and the witness may lie outside the
+        // window.)
+    }
+    EXPECT_GT(rejected, 50);
+    EXPECT_GT(accepted, 20);
+}
+
+TEST(FamilyFallback, PipelineFallsBackWhenFamiliesReject)
+{
+    // X[0, j] = X[0, j+1] + ... style program where the write/read pair
+    // has an imprecise family; craft one where the access-driven
+    // transformation would reorder family members. The fuzz suite
+    // covers this broadly; here is a deterministic instance.
+    ir::ProgramBuilder b(2);
+    b.array("X", {b.cst(16), b.cst(16)}, ir::DistributionSpec::wrapped(0));
+    b.loop("i", b.cst(0), b.cst(5));
+    b.loop("j", b.cst(0), b.cst(5));
+    auto vi = b.var(0), vj = b.var(1);
+    // write X[j, i], read X[j, i+1]: access matrix wants (j, i) order
+    // (j is the distribution subscript), i.e. interchange; dependence
+    // family: write (i1,j1) touches (j1, i1), read (i2,j2) touches
+    // (j2, i2+1): j1 = j2, i1 = i2 + 1 -> d = (i2-i1, j2-j1) = (-1, 0)
+    // ... lex-negative: the anti direction, distance (1, 0) exactly.
+    // Interchange maps (1,0) to (0,1): still legal. Add the k-style
+    // free axis by writing X[j, 0]: family (t, 0) under interchange
+    // maps to (0, t): sign preserved. Use X[j, 0] read X[j+1, 0]:
+    // write/read rows rank-deficient -> family with generators.
+    b.assign(b.ref(0, {vj, b.cst(0)}),
+             ir::Expr::binary(
+                 '+',
+                 ir::Expr::arrayRead(b.ref(0, {vj + b.cst(1), b.cst(0)})),
+                 ir::Expr::indexValue(vi)));
+    ir::Program p = b.build();
+    DependenceInfo info = analyzeDependences(p);
+    EXPECT_TRUE(info.imprecise);
+    // Whatever the pipeline picks must preserve every family.
+    xform::NormalizeResult r = xform::accessNormalize(p);
+    EXPECT_TRUE(preservesLexSign(r.transform, info.families));
+    // And transformed execution still matches.
+    ir::ArrayStorage seq(p, {}), par(p, {});
+    seq.fillDeterministic(1);
+    par.fillDeterministic(1);
+    ir::run(p, {{}, {}}, seq);
+    r.nest->run({{}, {}}, par);
+    EXPECT_EQ(seq.data(0), par.data(0));
+}
+
+} // namespace
+} // namespace anc::deps

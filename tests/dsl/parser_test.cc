@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Unit tests for the DSL lexer and parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsl/lexer.h"
+#include "dsl/parser.h"
+#include "ir/gallery.h"
+#include "ir/interp.h"
+#include "ir/printer.h"
+
+namespace anc::dsl {
+namespace {
+
+const char *kGemmSource = R"(
+# Section 8.1 GEMM
+param N
+array C(N, N) distribute wrapped(1)
+array A(N, N) distribute wrapped(1)
+array B(N, N) distribute wrapped(1)
+
+for i = 0, N-1
+  for j = 0, N-1
+    for k = 0, N-1
+      C[i, j] = C[i, j] + A[i, k] * B[k, j]
+)";
+
+TEST(LexerTest, TokensAndPositions)
+{
+    auto toks = tokenize("for i = 0, N-1 # comment\nA[i] = 2.5");
+    ASSERT_GE(toks.size(), 12u);
+    EXPECT_EQ(toks[0].kind, Tok::KwFor);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "i");
+    EXPECT_EQ(toks[2].kind, Tok::Assign);
+    EXPECT_EQ(toks[3].kind, Tok::Integer);
+    EXPECT_EQ(toks[3].intValue, 0);
+    EXPECT_EQ(toks[4].kind, Tok::Comma);
+    EXPECT_EQ(toks[5].text, "N");
+    // comment skipped; next line
+    Token a = toks[8];
+    EXPECT_EQ(a.kind, Tok::Ident);
+    EXPECT_EQ(a.line, 2);
+    // 2.5 is a float
+    bool saw_float = false;
+    for (const Token &t : toks)
+        if (t.kind == Tok::Float && t.floatValue == 2.5)
+            saw_float = true;
+    EXPECT_TRUE(saw_float);
+    EXPECT_EQ(toks.back().kind, Tok::End);
+}
+
+TEST(LexerTest, BadCharacterRejected)
+{
+    EXPECT_THROW(tokenize("for i = 0, N @"), UserError);
+}
+
+TEST(ParserTest, GemmMatchesGallery)
+{
+    ir::Program parsed = parseProgram(kGemmSource);
+    ir::Program built = ir::gallery::gemm();
+    EXPECT_EQ(ir::printProgram(parsed), ir::printProgram(built));
+    EXPECT_EQ(parsed.arrays[0].dist.kind, ir::DistKind::Wrapped);
+    EXPECT_EQ(parsed.arrays[0].dist.dims[0], 1u);
+}
+
+TEST(ParserTest, Syr2kWithMaxMinAndScalars)
+{
+    const char *src = R"(
+param N, b
+scalar alpha, beta
+array Cb(N, 2*b-1) distribute wrapped(1)
+array Ab(N, 2*b-1) distribute wrapped(1)
+array Bb(N, 2*b-1) distribute wrapped(1)
+for i = 0, N-1
+  for j = i, min(i+2*b-2, N-1)
+    for k = max(i-b+1, j-b+1, 0), min(i+b-1, j+b-1, N-1)
+      Cb[i, j-i] = Cb[i, j-i] + alpha*Ab[k, i-k+b-1]*Bb[k, j-k+b-1]
+                              + beta*Ab[k, j-k+b-1]*Bb[k, i-k+b-1]
+)";
+    ir::Program parsed = parseProgram(src);
+    ir::Program built = ir::gallery::syr2kBanded();
+    EXPECT_EQ(ir::printProgram(parsed), ir::printProgram(built));
+
+    // Semantics agree too.
+    IntVec params{8, 3};
+    ir::Bindings binds{params, {2.0, 0.5}};
+    ir::ArrayStorage s1(parsed, params), s2(built, params);
+    s1.fillDeterministic(4);
+    s2.fillDeterministic(4);
+    ir::run(parsed, binds, s1);
+    ir::run(built, binds, s2);
+    EXPECT_EQ(s1.data(0), s2.data(0));
+}
+
+TEST(ParserTest, DistributionKinds)
+{
+    const char *src = R"(
+array A(10) distribute blocked(0)
+array B(10, 10) distribute block2d(0, 1)
+array C(10)
+array D(10) distribute replicated
+for i = 0, 9
+  A[i] = B[i, i] + C[i] + D[i]
+)";
+    ir::Program p = parseProgram(src);
+    EXPECT_EQ(p.arrays[0].dist.kind, ir::DistKind::Blocked);
+    EXPECT_EQ(p.arrays[1].dist.kind, ir::DistKind::Block2D);
+    EXPECT_EQ(p.arrays[1].dist.dims, (std::vector<size_t>{0, 1}));
+    EXPECT_EQ(p.arrays[2].dist.kind, ir::DistKind::Replicated);
+    EXPECT_EQ(p.arrays[3].dist.kind, ir::DistKind::Replicated);
+}
+
+TEST(ParserTest, AffineArithmetic)
+{
+    const char *src = R"(
+param N
+array A(4*N+2)
+for i = 0, (2*N - (N - 3))/1 - 4
+  A[2*i + N/1] = 1.0
+)";
+    ir::Program p = parseProgram(src);
+    // Upper bound simplifies to N - 1.
+    const ir::AffineExpr &ub = p.nest.loops()[0].upper[0];
+    EXPECT_EQ(ub.paramCoeff(0), Rational(1));
+    EXPECT_EQ(ub.constantTerm(), Rational(-1));
+    const ir::AffineExpr &sub = p.nest.body()[0].lhs.subscripts[0];
+    EXPECT_EQ(sub.varCoeff(0), Rational(2));
+    EXPECT_EQ(sub.paramCoeff(0), Rational(1));
+}
+
+TEST(ParserTest, UnaryMinusAndDivisionInExpr)
+{
+    const char *src = R"(
+array A(8)
+array B(8)
+for i = 0, 7
+  A[i] = -B[i] / 2 + i
+)";
+    ir::Program p = parseProgram(src);
+    ir::ArrayStorage store(p, {});
+    for (Int i = 0; i < 8; ++i)
+        store.at(1, {i}) = double(4 * i);
+    ir::run(p, {{}, {}}, store);
+    for (Int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(store.at(0, {i}), -2.0 * double(i) + double(i));
+}
+
+TEST(ParserErrors, UsefulMessages)
+{
+    // Unknown identifier.
+    EXPECT_THROW(parseProgram("array A(8)\nfor i = 0, 7\n A[q] = 1.0"),
+                 UserError);
+    // Non-affine subscript.
+    EXPECT_THROW(
+        parseProgram(
+            "param N\narray A(N)\nfor i = 0, N-1\n A[i*i] = 1.0"),
+        UserError);
+    // Division by symbolic value in affine context.
+    EXPECT_THROW(
+        parseProgram("param N\narray A(N)\nfor i = 0, N/N\n A[i] = 1.0"),
+        UserError);
+    // Duplicate name.
+    EXPECT_THROW(parseProgram("param N, N\narray A(N)\nfor i = 0, 1\n "
+                              "A[i] = 1.0"),
+                 UserError);
+    // Missing nest.
+    EXPECT_THROW(parseProgram("param N\narray A(N)"), UserError);
+    // Statement assigning to a scalar.
+    EXPECT_THROW(parseProgram("scalar s\narray A(4)\nfor i = 0, 3\n s = "
+                              "1.0"),
+                 UserError);
+    // Loop variable used in an array extent.
+    EXPECT_THROW(
+        parseProgram("array A(4)\nfor i = 0, 3\n A[i] = 1.0\narray "
+                     "B(i)\n"),
+        UserError);
+    // Distribution dimension out of range.
+    EXPECT_THROW(
+        parseProgram(
+            "array A(4) distribute wrapped(1)\nfor i = 0, 3\n A[i] = 1.0"),
+        UserError);
+}
+
+TEST(ParserTest, InnerVarInOuterBoundRejected)
+{
+    const char *src = R"(
+array A(10, 10)
+for i = 0, j
+  for j = 0, 9
+    A[i, j] = 1.0
+)";
+    // 'j' is not yet declared when parsing i's bound.
+    EXPECT_THROW(parseProgram(src), UserError);
+}
+
+TEST(ParserTest, Figure1RoundTrip)
+{
+    const char *src = R"(
+param N1, N2, b
+array A(N1, N1+N2+b-2) distribute wrapped(1)
+array B(N1, b) distribute wrapped(1)
+for i = 0, N1-1
+  for j = i, i+b-1
+    for k = 0, N2-1
+      B[i, j-i] = B[i, j-i] + A[i, j+k]
+)";
+    ir::Program parsed = parseProgram(src);
+    EXPECT_EQ(ir::printProgram(parsed),
+              ir::printProgram(ir::gallery::figure1()));
+}
+
+} // namespace
+} // namespace anc::dsl

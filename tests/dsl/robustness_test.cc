@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parser robustness: malformed input must always surface as UserError
+ * with a line number, never crash or loop. Includes a truncation fuzz
+ * (every prefix of a valid program) and a token-deletion fuzz.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsl/parser.h"
+
+namespace anc::dsl {
+namespace {
+
+const char *kValid = R"(
+param N, b
+scalar alpha
+array A(N, 2*b-1) distribute wrapped(1)
+array B(N, N) distribute blocked(0)
+for i = 0, N-1
+  for j = max(i-b+1, 0), min(i+b-1, N-1)
+    A[i, j-i+b-1] = A[i, j-i+b-1] + alpha * B[i, j]
+)";
+
+TEST(Robustness, ValidProgramParses)
+{
+    EXPECT_NO_THROW(parseProgram(kValid));
+}
+
+TEST(Robustness, EveryPrefixFailsCleanly)
+{
+    std::string src = kValid;
+    size_t parsed_ok = 0;
+    for (size_t len = 0; len < src.size(); ++len) {
+        std::string prefix = src.substr(0, len);
+        try {
+            parseProgram(prefix);
+            ++parsed_ok; // only possible very near the end
+        } catch (const UserError &) {
+            // expected: clean rejection
+        }
+        // Any other exception type fails the test by escaping.
+    }
+    // A handful of prefixes are themselves valid programs (truncating
+    // the final expression at an operator boundary); the invariant is
+    // that nothing crashes or escapes as a non-UserError.
+    EXPECT_LT(parsed_ok, 10u);
+}
+
+TEST(Robustness, TokenDeletionFailsCleanly)
+{
+    // Remove each whitespace-delimited token in turn; the parser must
+    // reject (or, rarely, accept a still-valid program) without any
+    // internal error.
+    std::string src = kValid;
+    std::vector<std::pair<size_t, size_t>> tokens;
+    size_t i = 0;
+    while (i < src.size()) {
+        while (i < src.size() && std::isspace((unsigned char)src[i]))
+            ++i;
+        size_t start = i;
+        while (i < src.size() && !std::isspace((unsigned char)src[i]))
+            ++i;
+        if (i > start)
+            tokens.push_back({start, i - start});
+    }
+    ASSERT_GT(tokens.size(), 20u);
+    for (auto [pos, len] : tokens) {
+        std::string mutated = src;
+        mutated.erase(pos, len);
+        try {
+            parseProgram(mutated);
+        } catch (const UserError &) {
+        }
+    }
+}
+
+TEST(Robustness, ErrorsCarryLineNumbers)
+{
+    try {
+        parseProgram("param N\narray A(N)\nfor i = 0, N-1\n  A[q] = 1.0");
+        FAIL() << "expected UserError";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Robustness, DeepParenthesesNest)
+{
+    std::string expr = "i";
+    for (int d = 0; d < 40; ++d)
+        expr = "(" + expr + ")";
+    std::string src = "array A(64)\nfor i = 0, 9\n  A[" + expr +
+                      "] = 1.0";
+    EXPECT_NO_THROW(parseProgram(src));
+}
+
+TEST(Robustness, UnbalancedBracketsRejected)
+{
+    EXPECT_THROW(parseProgram("array A(4)\nfor i = 0, 3\n A[i = 1.0"),
+                 UserError);
+    EXPECT_THROW(parseProgram("array A(4\nfor i = 0, 3\n A[i] = 1.0"),
+                 UserError);
+    EXPECT_THROW(
+        parseProgram("array A(4)\nfor i = 0, 3\n A[i] = (1.0"),
+        UserError);
+}
+
+TEST(Robustness, GarbageAfterProgramRejected)
+{
+    EXPECT_THROW(
+        parseProgram("array A(4)\nfor i = 0, 3\n A[i] = 1.0\n ) )"),
+        UserError);
+}
+
+TEST(Robustness, HugeIntegerLiteralsDoNotWrap)
+{
+    // Arithmetic on enormous constants must hit the overflow guard
+    // (OverflowError is also an anc::Error; just ensure no wraparound
+    // silently succeeds into a bogus program).
+    std::string src = "array A(4611686018427387904)\nfor i = 0, 3\n "
+                      "A[i] = 1.0";
+    EXPECT_NO_THROW(parseProgram(src));
+    std::string bad = "array A(4611686018427387904 * 4)\nfor i = 0, 3\n "
+                      "A[i] = 1.0";
+    EXPECT_THROW(parseProgram(bad), Error);
+}
+
+} // namespace
+} // namespace anc::dsl

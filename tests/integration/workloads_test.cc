@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integration tests for the extended workload gallery (GEMV, GER,
+ * Jacobi, Gauss-Seidel): the pipeline must compile each one legally and
+ * preserve its semantics; the stencils exercise the interesting
+ * dependence structures (none vs (1,0)/(0,1)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "deps/dependence.h"
+#include "ir/gallery.h"
+#include "ir/interp.h"
+
+namespace anc {
+namespace {
+
+void
+checkSemantics(const ir::Program &p, const IntVec &params,
+               std::vector<double> scalars = {})
+{
+    core::Compilation c = core::compile(p);
+    ir::Bindings binds{params, std::move(scalars)};
+    ir::ArrayStorage seq(p, params), par(p, params);
+    seq.fillDeterministic(55);
+    par.fillDeterministic(55);
+    ir::run(p, binds, seq);
+    c.nest().run(binds, par);
+    for (size_t a = 0; a < seq.numArrays(); ++a)
+        EXPECT_EQ(seq.data(a), par.data(a)) << "array " << a;
+}
+
+TEST(WorkloadGemv, RankDeficientAccessMatrixHandled)
+{
+    ir::Program p = ir::gallery::gemv();
+    xform::NormalizeResult r = xform::accessNormalize(p);
+    // Access rows: j (A's distribution dim + x), i (y + A dim 0):
+    // full rank here, but y's subscript is 1-D so its locality depends
+    // on replication; the nest must stay legal despite the reduction
+    // dependence on y (carried by j).
+    EXPECT_TRUE(deps::isLegalTransformation(r.transform, r.depMatrix));
+    checkSemantics(p, {12});
+}
+
+TEST(WorkloadGemv, ReductionDependenceRespected)
+{
+    // y[i] accumulates over j: the dependence (0, 1) must survive into
+    // the matrix and forbid j-reversal.
+    ir::Program p = ir::gallery::gemv();
+    IntMatrix d = deps::analyzeDependences(p).matrix(2);
+    bool has_j_axis = false;
+    for (size_t c = 0; c < d.cols(); ++c)
+        if (d.column(c) == IntVec{0, 1})
+            has_j_axis = true;
+    EXPECT_TRUE(has_j_axis);
+    IntMatrix rev{{1, 0}, {0, -1}};
+    EXPECT_FALSE(deps::isLegalTransformation(rev, d));
+}
+
+TEST(WorkloadGer, FullyParallelAndLocal)
+{
+    ir::Program p = ir::gallery::ger();
+    core::Compilation c = core::compile(p);
+    EXPECT_TRUE(c.plan.outerParallel);
+    // A's distribution subscript j comes outermost: all A traffic
+    // local; x and y are replicated.
+    numa::SimOptions opts;
+    opts.processors = 8;
+    numa::SimStats s = core::simulate(c, opts, {{16}, {}});
+    EXPECT_EQ(s.totalRemoteAccesses(), 0u);
+    checkSemantics(p, {10});
+}
+
+TEST(WorkloadJacobi, NoCarriedDependences)
+{
+    ir::Program p = ir::gallery::jacobi2d();
+    deps::DependenceInfo info = deps::analyzeDependences(p);
+    // Reads of U vs writes of V: disjoint arrays, no carried deps.
+    EXPECT_EQ(info.matrix(2).cols(), 0u);
+    core::Compilation c = core::compile(p);
+    EXPECT_TRUE(c.plan.outerParallel);
+    checkSemantics(p, {14});
+}
+
+TEST(WorkloadGaussSeidel, StencilDependencesFound)
+{
+    ir::Program p = ir::gallery::gaussSeidel();
+    IntMatrix d = deps::analyzeDependences(p).matrix(2);
+    // Flow deps (1,0) and (0,1) (plus anti counterparts with the same
+    // distances).
+    bool has10 = false, has01 = false;
+    for (size_t c = 0; c < d.cols(); ++c) {
+        if (d.column(c) == IntVec{1, 0})
+            has10 = true;
+        if (d.column(c) == IntVec{0, 1})
+            has01 = true;
+    }
+    EXPECT_TRUE(has10);
+    EXPECT_TRUE(has01);
+    // Interchange stays legal ((0,1)<->(1,0)); reversal of either loop
+    // does not.
+    IntMatrix swap{{0, 1}, {1, 0}};
+    EXPECT_TRUE(deps::isLegalTransformation(swap, d));
+    EXPECT_FALSE(deps::isLegalTransformation(
+        IntMatrix{{-1, 0}, {0, 1}}, d));
+}
+
+TEST(WorkloadGaussSeidel, PipelineStaysCorrectDespiteDeps)
+{
+    ir::Program p = ir::gallery::gaussSeidel();
+    core::Compilation c = core::compile(p);
+    // Both loops carry dependences; whatever T the pipeline picks, the
+    // serial elaboration must match (this is the acid test for
+    // LegalBasis on a doubly-carried nest).
+    EXPECT_TRUE(deps::isLegalTransformation(
+        c.normalization.transform, c.normalization.depMatrix));
+    checkSemantics(p, {12});
+    // The outer loop necessarily carries a dependence: sync required.
+    EXPECT_FALSE(c.plan.outerParallel);
+}
+
+TEST(WorkloadSweep, SimulateAllNewWorkloads)
+{
+    struct Case
+    {
+        ir::Program prog;
+        IntVec params;
+    };
+    std::vector<Case> cases = {
+        {ir::gallery::gemv(), {24}},
+        {ir::gallery::ger(), {24}},
+        {ir::gallery::jacobi2d(), {24}},
+        {ir::gallery::gaussSeidel(), {24}},
+    };
+    for (Case &cs : cases) {
+        core::Compilation c = core::compile(cs.prog);
+        numa::SimOptions opts;
+        opts.processors = 6;
+        numa::SimStats s = core::simulate(c, opts, {cs.params, {}});
+        uint64_t expected = ir::forEachIteration(
+            cs.prog.nest, cs.params, [](const IntVec &) {});
+        EXPECT_EQ(s.totalIterations(), expected);
+    }
+}
+
+} // namespace
+} // namespace anc

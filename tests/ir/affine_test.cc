@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for affine expressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/affine.h"
+
+namespace anc::ir {
+namespace {
+
+AffineExpr
+v(size_t k)
+{
+    return AffineExpr::variable(k, 3, 2);
+}
+
+AffineExpr
+p(size_t q)
+{
+    return AffineExpr::parameter(q, 3, 2);
+}
+
+AffineExpr
+c(Int x)
+{
+    return AffineExpr::constant(Rational(x), 3, 2);
+}
+
+TEST(AffineBasics, ZeroAndFactories)
+{
+    AffineExpr z(3, 2);
+    EXPECT_TRUE(z.isConstant());
+    EXPECT_TRUE(z.isLoopInvariant());
+    EXPECT_EQ(z.evaluate({1, 2, 3}, {4, 5}), Rational(0));
+
+    EXPECT_EQ(v(1).evaluate({7, 8, 9}, {0, 0}), Rational(8));
+    EXPECT_EQ(p(0).evaluate({0, 0, 0}, {40, 5}), Rational(40));
+    EXPECT_EQ(c(-3).evaluate({0, 0, 0}, {0, 0}), Rational(-3));
+}
+
+TEST(AffineBasics, ArithmeticAndEvaluation)
+{
+    // j - i + N - 1 at (i, j, k) = (2, 5), N = 10.
+    AffineExpr e = v(1) - v(0) + p(0) - c(1);
+    EXPECT_EQ(e.evaluate({2, 5, 0}, {10, 0}), Rational(12));
+    EXPECT_EQ(e.evaluateInt({2, 5, 0}, {10, 0}), 12);
+
+    AffineExpr half = v(0).scaled(Rational(1, 2));
+    EXPECT_EQ(half.evaluate({3, 0, 0}, {0, 0}), Rational(3, 2));
+    EXPECT_THROW(half.evaluateInt({3, 0, 0}, {0, 0}), InternalError);
+    EXPECT_EQ(half.evaluateInt({4, 0, 0}, {0, 0}), 2);
+}
+
+TEST(AffineBasics, ShapeMismatchThrows)
+{
+    AffineExpr a(3, 2), b(2, 2);
+    EXPECT_THROW(a + b, InternalError);
+    EXPECT_THROW(a.evaluate({1, 2}, {1, 2}), InternalError);
+}
+
+TEST(AffinePredicates, DependsAndInnermost)
+{
+    AffineExpr e = v(1) - v(0);
+    EXPECT_TRUE(e.dependsOnVar(0));
+    EXPECT_TRUE(e.dependsOnVar(1));
+    EXPECT_FALSE(e.dependsOnVar(2));
+    EXPECT_EQ(e.innermostVar(), 1);
+    EXPECT_EQ(p(0).innermostVar(), -1);
+    EXPECT_TRUE(p(0).isLoopInvariant());
+    EXPECT_FALSE(p(0).isConstant());
+    EXPECT_TRUE(c(5).isConstant());
+}
+
+TEST(AffinePredicates, IntegerCoeffs)
+{
+    EXPECT_TRUE((v(0) + p(1) - c(3)).hasIntegerCoeffs());
+    EXPECT_FALSE(v(0).scaled(Rational(1, 2)).hasIntegerCoeffs());
+}
+
+TEST(AffineCompose, VarMapRewrite)
+{
+    // Old vars x = map * u with map = [[0, 1], [1, 0]] (interchange):
+    // x0 = u1, x1 = u0. Expression x0 + 2 x1 becomes u1 + 2 u0.
+    AffineExpr e(2, 0);
+    e.varCoeff(0) = Rational(1);
+    e.varCoeff(1) = Rational(2);
+    RatMatrix swap = toRational(IntMatrix{{0, 1}, {1, 0}});
+    AffineExpr r = e.composeWithVarMap(swap);
+    EXPECT_EQ(r.varCoeff(0), Rational(2));
+    EXPECT_EQ(r.varCoeff(1), Rational(1));
+}
+
+TEST(AffineCompose, RationalMapKeepsParamsAndConstant)
+{
+    AffineExpr e = v(0) + p(1) + c(7);
+    RatMatrix m(3, 3);
+    m(0, 0) = Rational(1, 2);
+    m(1, 1) = Rational(1);
+    m(2, 2) = Rational(1);
+    AffineExpr r = e.composeWithVarMap(m);
+    EXPECT_EQ(r.varCoeff(0), Rational(1, 2));
+    EXPECT_EQ(r.paramCoeff(1), Rational(1));
+    EXPECT_EQ(r.constantTerm(), Rational(7));
+}
+
+TEST(AffineCompose, AgreesWithDirectEvaluation)
+{
+    // e(x) == e'(u) whenever x = map * u.
+    AffineExpr e = v(0).scaled(Rational(2)) - v(2) + p(0) + c(3);
+    RatMatrix map = toRational(IntMatrix{{1, 1, 0}, {0, 1, 1}, {1, 0, 1}});
+    AffineExpr composed = e.composeWithVarMap(map);
+    for (Int a = -2; a <= 2; ++a) {
+        for (Int b = -2; b <= 2; ++b) {
+            IntVec u{a, b, a + b};
+            RatVec xu = map.apply(toRational(u));
+            IntVec x{xu[0].asInteger(), xu[1].asInteger(),
+                     xu[2].asInteger()};
+            EXPECT_EQ(composed.evaluate(u, {5, 6}),
+                      e.evaluate(x, {5, 6}));
+        }
+    }
+}
+
+TEST(AffinePrint, Rendering)
+{
+    NameTable names{{"i", "j", "k"}, {"N", "b"}};
+    EXPECT_EQ((v(1) - v(0)).str(names), "-i + j");
+    EXPECT_EQ((v(0) + c(1)).str(names), "i + 1");
+    EXPECT_EQ((v(0).scaled(Rational(2)) - c(3)).str(names), "2*i - 3");
+    EXPECT_EQ(AffineExpr(3, 2).str(names), "0");
+    EXPECT_EQ((p(0) - p(1) - c(1)).str(names), "N - b - 1");
+    EXPECT_EQ(v(2).scaled(Rational(1, 2)).str(names), "1/2*k");
+    EXPECT_THROW(v(0).str(NameTable{{"i"}, {}}), InternalError);
+}
+
+TEST(AffineEquality, Operators)
+{
+    EXPECT_EQ(v(0) + v(1), v(1) + v(0));
+    EXPECT_NE(v(0), v(1));
+    EXPECT_EQ(-(v(0) - v(1)), v(1) - v(0));
+}
+
+} // namespace
+} // namespace anc::ir

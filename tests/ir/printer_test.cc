@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the IR pretty printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/gallery.h"
+#include "ir/printer.h"
+
+namespace anc::ir {
+namespace {
+
+TEST(PrinterTest, GemmNest)
+{
+    Program p = gallery::gemm();
+    std::string s = printNest(p.nest, p);
+    EXPECT_EQ(s,
+              "for i = 0, N - 1\n"
+              "  for j = 0, N - 1\n"
+              "    for k = 0, N - 1\n"
+              "      C[i, j] = C[i, j] + A[i, k] * B[k, j]\n");
+}
+
+TEST(PrinterTest, Figure1Nest)
+{
+    Program p = gallery::figure1();
+    std::string s = printNest(p.nest, p);
+    EXPECT_EQ(s,
+              "for i = 0, N1 - 1\n"
+              "  for j = i, i + b - 1\n"
+              "    for k = 0, N2 - 1\n"
+              "      B[i, -i + j] = B[i, -i + j] + A[i, j + k]\n");
+}
+
+TEST(PrinterTest, MaxMinBounds)
+{
+    Program p = gallery::syr2kBanded();
+    std::string s = printNest(p.nest, p);
+    EXPECT_NE(s.find("for j = i, min(i + 2*b - 2, N - 1)"),
+              std::string::npos)
+        << s;
+    EXPECT_NE(s.find("max(i - b + 1, j - b + 1, 0)"), std::string::npos)
+        << s;
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+}
+
+TEST(PrinterTest, ProgramHeaderHasDistributions)
+{
+    Program p = gallery::gemm();
+    std::string s = printProgram(p);
+    EXPECT_NE(s.find("array C(N, N) wrapped(dim 1)"), std::string::npos)
+        << s;
+}
+
+TEST(PrinterTest, IndexExpressionParenthesized)
+{
+    Program p = gallery::section3Example();
+    std::string s = printNest(p.nest, p);
+    EXPECT_NE(s.find("A[2*i + 4*j, i + 5*j] = (j)"), std::string::npos)
+        << s;
+}
+
+TEST(PrinterTest, PrecedenceParentheses)
+{
+    Program p = gallery::syr2kBanded();
+    std::string s = printNest(p.nest, p);
+    // alpha * Ab[..] * Bb[..] renders without spurious parens around
+    // the products, but sums inside products would be parenthesized.
+    EXPECT_NE(s.find("alpha * Ab["), std::string::npos) << s;
+}
+
+} // namespace
+} // namespace anc::ir

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for concrete data distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "numa/distribution.h"
+
+namespace anc::numa {
+namespace {
+
+TEST(SquarishFactorsTest, Values)
+{
+    EXPECT_EQ(squarishFactors(1), (std::pair<Int, Int>{1, 1}));
+    EXPECT_EQ(squarishFactors(12), (std::pair<Int, Int>{3, 4}));
+    EXPECT_EQ(squarishFactors(16), (std::pair<Int, Int>{4, 4}));
+    EXPECT_EQ(squarishFactors(7), (std::pair<Int, Int>{1, 7}));
+    EXPECT_EQ(squarishFactors(28), (std::pair<Int, Int>{4, 7}));
+    EXPECT_THROW(squarishFactors(0), InternalError);
+}
+
+TEST(WrappedDist, RoundRobinOwnership)
+{
+    // Wrapped column: processor 0 gets columns 0, P, 2P, ... (Sec. 2.1).
+    Distribution d(ir::DistributionSpec::wrapped(1), {8, 8}, 3);
+    EXPECT_EQ(d.owner({0, 0}), 0);
+    EXPECT_EQ(d.owner({5, 3}), 0);
+    EXPECT_EQ(d.owner({5, 4}), 1);
+    EXPECT_EQ(d.owner({7, 7}), 1);
+    EXPECT_EQ(d.owner({0, 5}), 2);
+    EXPECT_EQ(d.ownerOfIndex(6), 0);
+    EXPECT_FALSE(d.replicated());
+}
+
+TEST(WrappedDist, RowDistribution)
+{
+    Distribution d(ir::DistributionSpec::wrapped(0), {8, 8}, 4);
+    EXPECT_EQ(d.owner({5, 0}), 1);
+    EXPECT_EQ(d.owner({5, 7}), 1);
+    EXPECT_EQ(d.owner({4, 2}), 0);
+}
+
+TEST(BlockedDist, ContiguousChunks)
+{
+    // Extent 10 over 4 processors: block size ceil(10/4) = 3.
+    Distribution d(ir::DistributionSpec::blocked(1), {4, 10}, 4);
+    EXPECT_EQ(d.blockSize(), 3);
+    EXPECT_EQ(d.owner({0, 0}), 0);
+    EXPECT_EQ(d.owner({0, 2}), 0);
+    EXPECT_EQ(d.owner({0, 3}), 1);
+    EXPECT_EQ(d.owner({0, 8}), 2);
+    EXPECT_EQ(d.owner({0, 9}), 3);
+    EXPECT_EQ(d.ownerOfIndex(9), 3);
+}
+
+TEST(BlockedDist, LastProcessorAbsorbsRemainder)
+{
+    // Extent 9 over 4: blocks of 3; processor 3 owns nothing.
+    Distribution d(ir::DistributionSpec::blocked(0), {9}, 4);
+    for (Int i = 0; i < 9; ++i)
+        EXPECT_EQ(d.owner({i}), i / 3);
+}
+
+TEST(Block2DDist, GridOwnership)
+{
+    // 6x6 array on 4 processors: 2x2 grid, 3x3 blocks.
+    Distribution d(ir::DistributionSpec::block2d(0, 1), {6, 6}, 4);
+    EXPECT_EQ(d.owner({0, 0}), 0);
+    EXPECT_EQ(d.owner({0, 3}), 1);
+    EXPECT_EQ(d.owner({3, 0}), 2);
+    EXPECT_EQ(d.owner({5, 5}), 3);
+    EXPECT_THROW(d.ownerOfIndex(0), InternalError);
+}
+
+TEST(ReplicatedDist, AlwaysLocal)
+{
+    Distribution d(ir::DistributionSpec::replicated(), {8, 8}, 4);
+    EXPECT_TRUE(d.replicated());
+    EXPECT_EQ(d.owner({3, 3}), -1);
+    EXPECT_EQ(d.ownerOfIndex(5), -1);
+}
+
+TEST(DistErrors, Validation)
+{
+    EXPECT_THROW(
+        Distribution(ir::DistributionSpec::wrapped(2), {8, 8}, 4),
+        InternalError);
+    EXPECT_THROW(
+        Distribution(ir::DistributionSpec::wrapped(0), {8}, 0),
+        InternalError);
+}
+
+TEST(WrappedDist, EveryProcessorGetsFairShare)
+{
+    Distribution d(ir::DistributionSpec::wrapped(0), {100}, 7);
+    IntVec counts(7, 0);
+    for (Int i = 0; i < 100; ++i)
+        counts[size_t(d.owner({i}))]++;
+    for (Int c : counts)
+        EXPECT_NEAR(double(c), 100.0 / 7.0, 1.0);
+}
+
+} // namespace
+} // namespace anc::numa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Parameterized sweeps over partitioning schemes and processor counts:
+ * for every (program, scheme, P), the union of per-processor work must
+ * cover the iteration space exactly once, and owner-aligned schemes
+ * must make the aligned array fully local.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codegen/planner.h"
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "numa/simulator.h"
+
+namespace anc::numa {
+namespace {
+
+struct Workload
+{
+    const char *name;
+    ir::Program (*make)();
+    IntVec params;
+    std::vector<double> scalars;
+    uint64_t iterations; //!< expected total
+};
+
+const Workload kWorkloads[] = {
+    {"gemm", ir::gallery::gemm, {7}, {}, 343},
+    {"figure1", ir::gallery::figure1, {6, 4, 3}, {}, 72},
+    {"syr2k", ir::gallery::syr2kBanded, {8, 2}, {1.0, 1.0}, 0 /*below*/},
+};
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, bool, Int>>
+{
+  protected:
+    const Workload &workload() const
+    {
+        return kWorkloads[std::get<0>(GetParam())];
+    }
+    bool identity() const { return std::get<1>(GetParam()); }
+    Int processors() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(PartitionSweep, DisjointExactCover)
+{
+    const Workload &w = workload();
+    ir::Program p = w.make();
+    core::CompileOptions opts;
+    opts.identityTransform = identity();
+    core::Compilation c = core::compile(p, opts);
+
+    uint64_t expected = w.iterations;
+    if (expected == 0)
+        expected = ir::forEachIteration(p.nest, w.params,
+                                        [](const IntVec &) {});
+
+    SimOptions so;
+    so.processors = processors();
+    SimStats s = core::simulate(c, so, {w.params, w.scalars});
+    EXPECT_EQ(s.totalIterations(), expected);
+    // No processor may exceed the whole space; sampled == full here.
+    for (const ProcStats &ps : s.perProc)
+        EXPECT_LE(ps.iterations, expected);
+}
+
+TEST_P(PartitionSweep, AlignedArrayNeverRemote)
+{
+    const Workload &w = workload();
+    ir::Program p = w.make();
+    core::CompileOptions opts;
+    opts.identityTransform = identity();
+    core::Compilation c = core::compile(p, opts);
+    if (!c.plan.alignedArray)
+        GTEST_SKIP() << "no owner-aligned array for this configuration";
+
+    SimOptions so;
+    so.processors = processors();
+    so.blockTransfers = false;
+    SimStats s = core::simulate(c, so, {w.params, w.scalars});
+    EXPECT_EQ(s.remoteAccessesTo(*c.plan.alignedArray), 0u);
+}
+
+TEST_P(PartitionSweep, MoreProcessorsNeverSlower)
+{
+    // Monotonicity within rounding: P processors are at least as fast
+    // as 1 (not necessarily as P-1 with load imbalance steps).
+    const Workload &w = workload();
+    ir::Program p = w.make();
+    core::CompileOptions opts;
+    opts.identityTransform = identity();
+    core::Compilation c = core::compile(p, opts);
+    ir::Bindings binds{w.params, w.scalars};
+    SimOptions one;
+    one.processors = 1;
+    one.blockTransfers = false;
+    double t1 = core::simulate(c, one, binds).parallelTime();
+    SimOptions many;
+    many.processors = processors();
+    double tp = core::simulate(c, many, binds).parallelTime();
+    EXPECT_LE(tp, t1 * 1.75); // remote penalties bounded by cost model
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndCounts, PartitionSweep,
+    ::testing::Combine(::testing::Range<size_t>(0, 3),
+                       ::testing::Bool(),
+                       ::testing::Values<Int>(1, 2, 3, 5, 8, 13, 28)),
+    [](const ::testing::TestParamInfo<PartitionSweep::ParamType> &info) {
+        return std::string(kWorkloads[std::get<0>(info.param)].name) +
+               (std::get<1>(info.param) ? "_plain" : "_normalized") +
+               "_P" + std::to_string(std::get<2>(info.param));
+    });
+
+/** Contention sweep: latency factors only ever slow things down. */
+class ContentionSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ContentionSweep, MonotoneSlowdown)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    SimOptions base;
+    base.processors = 8;
+    base.blockTransfers = false;
+    double t0 = core::simulate(c, base, {{12}, {}}).parallelTime();
+    SimOptions cont = base;
+    cont.machine.contentionFactor = GetParam();
+    double t1 = core::simulate(c, cont, {{12}, {}}).parallelTime();
+    EXPECT_GE(t1, t0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ContentionSweep,
+                         ::testing::Values(0.0, 0.01, 0.05, 0.2, 1.0));
+
+} // namespace
+} // namespace anc::numa

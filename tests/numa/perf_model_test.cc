@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the closed-form performance model: calibrated predictions
+ * must track the full simulation across processor counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "numa/perf_model.h"
+
+namespace anc::numa {
+namespace {
+
+PerfModel
+modelFor(const core::Compilation &c, const ir::Bindings &binds,
+         bool blocks, Int calibration_p = 2)
+{
+    SimOptions opts;
+    opts.processors = calibration_p;
+    opts.blockTransfers = blocks;
+    return calibrateModel(c.program, c.nest(), c.plan, opts, binds);
+}
+
+TEST(PerfModelTest, CalibrationCapturesGemmMix)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{16}, {}};
+    PerfModel m = modelFor(c, binds, false);
+    // Per iteration: 2 flops, 4 references; at P = 2 half of the A
+    // reads are remote, everything else local.
+    EXPECT_DOUBLE_EQ(m.flopsPerIter, 2.0);
+    EXPECT_NEAR(m.remotePerIter, 0.5, 1e-9);
+    EXPECT_NEAR(m.localPerIter, 3.5, 1e-9);
+    EXPECT_EQ(m.iterations, 16u * 16u * 16u);
+    EXPECT_EQ(m.outerIterations, 16);
+}
+
+TEST(PerfModelTest, PredictionsTrackSimulationGemm)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    IntVec params{32};
+    ir::Bindings binds{params, {}};
+    double seq = core::sequentialTime(
+        c, MachineParams::butterflyGP1000(), params);
+
+    for (bool blocks : {false, true}) {
+        PerfModel m = modelFor(c, binds, blocks, 4);
+        for (Int p : {1, 2, 8, 16, 32}) {
+            SimOptions opts;
+            opts.processors = p;
+            opts.blockTransfers = blocks;
+            double simulated =
+                core::simulate(c, opts, binds).speedup(seq);
+            double predicted = m.predictSpeedup(p);
+            EXPECT_NEAR(predicted, simulated, simulated * 0.15)
+                << "P=" << p << " blocks=" << blocks;
+        }
+    }
+}
+
+TEST(PerfModelTest, PredictionsTrackSimulationSyr2k)
+{
+    core::Compilation c = core::compile(ir::gallery::syr2kBanded());
+    IntVec params{48, 16};
+    ir::Bindings binds{params, {1.0, 1.0}};
+    double seq = core::sequentialTime(
+        c, MachineParams::butterflyGP1000(), params);
+    PerfModel m = modelFor(c, binds, true, 4);
+    // SYR2K's outer iterations carry unequal work (the v range shrinks
+    // with u), which the model's uniform-slice balance term ignores;
+    // the tolerance is accordingly looser at high P, where the heavy
+    // slices dominate the critical path.
+    for (Int p : {1, 2, 8, 16}) {
+        SimOptions opts;
+        opts.processors = p;
+        double simulated = core::simulate(c, opts, binds).speedup(seq);
+        double predicted = m.predictSpeedup(p);
+        double tol = p <= 8 ? 0.25 : 0.60;
+        EXPECT_NEAR(predicted, simulated, simulated * tol) << "P=" << p;
+        // The model must never be pessimistic about ordering: both say
+        // more processors help.
+        if (p > 1) {
+            EXPECT_GT(predicted, m.predictSpeedup(1));
+        }
+    }
+}
+
+TEST(PerfModelTest, SaturationExplainedByRemoteFraction)
+{
+    // The model reproduces the figures' qualitative story: the plain
+    // version's predicted speedup saturates, the normalized one does
+    // not (the remote term dominates vs. vanishes).
+    core::CompileOptions id;
+    id.identityTransform = true;
+    core::Compilation plain = core::compile(ir::gallery::gemm(), id);
+    core::Compilation norm = core::compile(ir::gallery::gemm());
+    // N = 56 divides evenly across 28 processors, isolating the
+    // remote-fraction effect from load-imbalance steps.
+    ir::Bindings binds{{56}, {}};
+    PerfModel mp = modelFor(plain, binds, false, 4);
+    PerfModel mn = modelFor(norm, binds, true, 4);
+    double plain_eff = mp.predictSpeedup(28) / 28.0;
+    double norm_eff = mn.predictSpeedup(28) / 28.0;
+    EXPECT_LT(plain_eff, 0.35);
+    EXPECT_GT(norm_eff, 0.6);
+}
+
+TEST(PerfModelTest, ImbalanceStepsPredicted)
+{
+    // 8 outer iterations on 5 processors: ceil(8/5) = 2 slices, so the
+    // prediction must show ~20%+ efficiency loss vs P = 4 (exact fit).
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{8}, {}};
+    PerfModel m = modelFor(c, binds, true, 2);
+    double eff4 = m.predictSpeedup(4) / 4.0;
+    double eff5 = m.predictSpeedup(5) / 5.0;
+    EXPECT_GT(eff4, eff5 * 1.15);
+}
+
+TEST(PerfModelTest, ErrorsRejected)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    PerfModel m = modelFor(c, {{8}, {}}, true);
+    EXPECT_THROW(m.predictTime(0), UserError);
+    SimOptions opts;
+    opts.processors = 2;
+    // Empty space cannot calibrate.
+    ir::Program p = ir::gallery::gemm();
+    EXPECT_THROW(
+        calibrateModel(c.program, c.nest(), c.plan, opts, {{0}, {}}),
+        Error);
+}
+
+} // namespace
+} // namespace anc::numa

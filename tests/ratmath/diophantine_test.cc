@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit and property tests for the linear Diophantine solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ratmath/diophantine.h"
+#include "ratmath/linalg.h"
+#include "test_util.h"
+
+namespace anc {
+namespace {
+
+using testutil::randomIntMatrix;
+
+IntVec
+applyPlus(const IntMatrix &a, const IntVec &x)
+{
+    return a.apply(x);
+}
+
+TEST(Diophantine, UniqueSolution)
+{
+    // x + y = 3, x - y = 1  =>  (2, 1), no freedom.
+    IntMatrix a{{1, 1}, {1, -1}};
+    auto sol = solveDiophantine(a, {3, 1});
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(sol->particular, (IntVec{2, 1}));
+    EXPECT_EQ(sol->nullBasis.cols(), 0u);
+}
+
+TEST(Diophantine, NoIntegerSolution)
+{
+    // 2x = 3 has a rational but no integer solution.
+    IntMatrix a{{2}};
+    EXPECT_FALSE(solveDiophantine(a, {3}).has_value());
+    // 2x + 4y = 5: gcd 2 does not divide 5.
+    IntMatrix b{{2, 4}};
+    EXPECT_FALSE(solveDiophantine(b, {5}).has_value());
+}
+
+TEST(Diophantine, InconsistentSystem)
+{
+    IntMatrix a{{1, 1}, {1, 1}};
+    EXPECT_FALSE(solveDiophantine(a, {1, 2}).has_value());
+}
+
+TEST(Diophantine, UnderdeterminedLattice)
+{
+    // x + 2y = 4: solutions (4 - 2t, t); one null generator.
+    IntMatrix a{{1, 2}};
+    auto sol = solveDiophantine(a, {4});
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(applyPlus(a, sol->particular), (IntVec{4}));
+    ASSERT_EQ(sol->nullBasis.cols(), 1u);
+    IntVec g = sol->nullBasis.column(0);
+    EXPECT_EQ(a.apply(g), (IntVec{0}));
+    EXPECT_FALSE(isZero(g));
+}
+
+TEST(Diophantine, GemmDependenceSystem)
+{
+    // GEMM: C[i, j] is written and read; the distance d satisfies
+    // [[1,0,0],[0,1,0]] d = 0, so d in span{(0,0,1)}.
+    IntMatrix f{{1, 0, 0}, {0, 1, 0}};
+    auto sol = solveDiophantine(f, {0, 0});
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(sol->particular, (IntVec{0, 0, 0}));
+    ASSERT_EQ(sol->nullBasis.cols(), 1u);
+    IntVec g = sol->nullBasis.column(0);
+    if (g[2] < 0)
+        for (Int &v : g)
+            v = -v;
+    EXPECT_EQ(g, (IntVec{0, 0, 1}));
+}
+
+TEST(Diophantine, ZeroMatrix)
+{
+    IntMatrix z(2, 3);
+    auto sol = solveDiophantine(z, {0, 0});
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(sol->nullBasis.cols(), 3u);
+    EXPECT_FALSE(solveDiophantine(z, {0, 1}).has_value());
+}
+
+TEST(Diophantine, RandomizedSolvableSystems)
+{
+    std::mt19937 rng(2024);
+    for (int trial = 0; trial < 150; ++trial) {
+        size_t m = 1 + trial % 3, n = 1 + (trial / 3) % 4;
+        IntMatrix a = randomIntMatrix(rng, m, n, -5, 5);
+        IntMatrix xs = randomIntMatrix(rng, n, 1, -10, 10);
+        IntVec x = xs.column(0);
+        IntVec b = a.apply(x);
+        auto sol = solveDiophantine(a, b);
+        ASSERT_TRUE(sol.has_value());
+        EXPECT_EQ(a.apply(sol->particular), b);
+        // Null basis columns are homogeneous solutions, and the basis
+        // has the right dimension.
+        EXPECT_EQ(sol->nullBasis.cols(), n - rank(a));
+        for (size_t c = 0; c < sol->nullBasis.cols(); ++c) {
+            IntVec g = sol->nullBasis.column(c);
+            EXPECT_TRUE(isZero(a.apply(g)));
+        }
+        // The known solution x must be particular + integer combination:
+        // check x - particular solves the homogeneous system.
+        IntVec diff(n);
+        for (size_t i = 0; i < n; ++i)
+            diff[i] = x[i] - sol->particular[i];
+        EXPECT_TRUE(isZero(a.apply(diff)));
+    }
+}
+
+TEST(Diophantine, RandomizedUnsolvableDetection)
+{
+    // Cross-check solvability against a rational solve + divisibility:
+    // when solveDiophantine says no, either the rational system is
+    // inconsistent or no integer point exists; verify by brute force on
+    // small instances.
+    std::mt19937 rng(31337);
+    int unsolvable_seen = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+        IntMatrix a = randomIntMatrix(rng, 2, 2, -3, 3);
+        IntMatrix bs = randomIntMatrix(rng, 2, 1, -6, 6);
+        IntVec b = bs.column(0);
+        auto sol = solveDiophantine(a, b);
+        bool brute = false;
+        for (Int x = -40; x <= 40 && !brute; ++x)
+            for (Int y = -40; y <= 40 && !brute; ++y)
+                if (a(0, 0) * x + a(0, 1) * y == b[0] &&
+                    a(1, 0) * x + a(1, 1) * y == b[1])
+                    brute = true;
+        if (sol.has_value()) {
+            EXPECT_EQ(a.apply(sol->particular), b);
+        } else {
+            // Brute force over a window can only confirm absence when
+            // the solution, if any, would be unique and small; check
+            // only the nonsingular case.
+            if (determinant(a) != 0) {
+                EXPECT_FALSE(brute);
+                ++unsolvable_seen;
+            }
+        }
+    }
+    EXPECT_GT(unsolvable_seen, 0) << "test never exercised the no-case";
+}
+
+TEST(CombineCongruencesTest, CoprimeModuli)
+{
+    // x == 2 (mod 3), x == 3 (mod 5)  =>  x == 8 (mod 15).
+    auto c = combineCongruences(2, 3, 3, 5);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->rem, 8);
+    EXPECT_EQ(c->mod, 15);
+}
+
+TEST(CombineCongruencesTest, SharedFactorCompatible)
+{
+    // x == 2 (mod 4), x == 0 (mod 6)  =>  x == 6 (mod 12).
+    auto c = combineCongruences(2, 4, 0, 6);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->rem, 6);
+    EXPECT_EQ(c->mod, 12);
+}
+
+TEST(CombineCongruencesTest, Incompatible)
+{
+    // x == 0 (mod 2) and x == 1 (mod 4) cannot both hold.
+    EXPECT_FALSE(combineCongruences(0, 2, 1, 4).has_value());
+}
+
+TEST(CombineCongruencesTest, RandomizedAgainstBruteForce)
+{
+    std::mt19937 rng(17);
+    std::uniform_int_distribution<Int> mod_dist(1, 12);
+    std::uniform_int_distribution<Int> rem_dist(-15, 15);
+    for (int trial = 0; trial < 300; ++trial) {
+        Int m1 = mod_dist(rng), m2 = mod_dist(rng);
+        Int r1 = rem_dist(rng), r2 = rem_dist(rng);
+        auto c = combineCongruences(r1, m1, r2, m2);
+        Int first = -1;
+        for (Int x = 0; x < m1 * m2; ++x) {
+            if (euclidMod(x - r1, m1) == 0 && euclidMod(x - r2, m2) == 0) {
+                first = x;
+                break;
+            }
+        }
+        if (first < 0) {
+            EXPECT_FALSE(c.has_value()) << m1 << " " << m2;
+        } else {
+            ASSERT_TRUE(c.has_value());
+            EXPECT_EQ(c->mod, lcmInt(m1, m2));
+            EXPECT_EQ(c->rem, first);
+        }
+    }
+}
+
+} // namespace
+} // namespace anc

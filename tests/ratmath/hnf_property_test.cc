@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deeper Hermite/Smith normal-form properties: canonical uniqueness of
+ * the HNF as a lattice invariant, invariant factors as gcds of minors,
+ * and determinant preservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ratmath/hnf.h"
+#include "ratmath/linalg.h"
+#include "ratmath/smith.h"
+#include "test_util.h"
+
+namespace anc {
+namespace {
+
+using testutil::randomInvertibleMatrix;
+using testutil::randomUnimodularMatrix;
+
+TEST(HnfCanonical, UniquePerLattice)
+{
+    // For square nonsingular A, the canonical column HNF is a lattice
+    // invariant: H(A) == H(A * U) for every unimodular U.
+    std::mt19937 rng(2026);
+    for (int trial = 0; trial < 60; ++trial) {
+        size_t n = 2 + trial % 3;
+        IntMatrix a = randomInvertibleMatrix(rng, n, -4, 4);
+        IntMatrix h1 = columnHNF(a).h;
+        for (int q = 0; q < 3; ++q) {
+            IntMatrix u = randomUnimodularMatrix(rng, n);
+            IntMatrix h2 = columnHNF(a * u).h;
+            EXPECT_EQ(h1, h2)
+                << "HNF not canonical for\n" << a.str();
+        }
+    }
+}
+
+TEST(HnfCanonical, DiagonalProductIsAbsDeterminant)
+{
+    std::mt19937 rng(11);
+    for (int trial = 0; trial < 60; ++trial) {
+        size_t n = 1 + trial % 5;
+        IntMatrix a = randomInvertibleMatrix(rng, n, -4, 4);
+        IntMatrix h = columnHNF(a).h;
+        Int prod = 1;
+        for (size_t i = 0; i < n; ++i)
+            prod = checkedMul(prod, h(i, i));
+        Int d = determinant(a);
+        EXPECT_EQ(prod, d < 0 ? -d : d);
+    }
+}
+
+TEST(HnfCanonical, IdempotentOnOwnOutput)
+{
+    std::mt19937 rng(31);
+    for (int trial = 0; trial < 40; ++trial) {
+        size_t n = 2 + trial % 3;
+        IntMatrix a = randomInvertibleMatrix(rng, n, -4, 4);
+        IntMatrix h = columnHNF(a).h;
+        EXPECT_EQ(columnHNF(h).h, h);
+    }
+}
+
+/** gcd of all k x k minors of m (0 if all vanish). */
+Int
+minorGcd(const IntMatrix &m, size_t k)
+{
+    std::vector<size_t> rows(k), cols(k);
+    Int g = 0;
+    // Enumerate k-subsets of rows and columns (sizes here are tiny).
+    std::function<void(size_t, size_t)> pick_cols = [&](size_t start,
+                                                        size_t depth) {
+        if (depth == k) {
+            IntMatrix sub(k, k);
+            for (size_t i = 0; i < k; ++i)
+                for (size_t j = 0; j < k; ++j)
+                    sub(i, j) = m(rows[i], cols[j]);
+            Int d = determinant(sub);
+            g = gcdInt(g, d);
+            return;
+        }
+        for (size_t c = start; c < m.cols(); ++c) {
+            cols[depth] = c;
+            pick_cols(c + 1, depth + 1);
+        }
+    };
+    std::function<void(size_t, size_t)> pick_rows = [&](size_t start,
+                                                        size_t depth) {
+        if (depth == k) {
+            pick_cols(0, 0);
+            return;
+        }
+        for (size_t r = start; r < m.rows(); ++r) {
+            rows[depth] = r;
+            pick_rows(r + 1, depth + 1);
+        }
+    };
+    pick_rows(0, 0);
+    return g;
+}
+
+TEST(SmithInvariants, ProductsAreMinorGcds)
+{
+    // d_1 * ... * d_k == gcd of all k x k minors -- the classical
+    // characterization of the invariant factors.
+    std::mt19937 rng(5150);
+    for (int trial = 0; trial < 40; ++trial) {
+        size_t m = 2 + trial % 2, n = 2 + (trial / 2) % 2;
+        IntMatrix a = testutil::randomIntMatrix(rng, m, n, -4, 4);
+        SmithForm f = smithForm(a);
+        Int prod = 1;
+        for (size_t k = 1; k <= std::min(m, n); ++k) {
+            prod = checkedMul(prod, f.s(k - 1, k - 1));
+            EXPECT_EQ(prod, minorGcd(a, k)) << "k=" << k << "\n"
+                                            << a.str();
+        }
+    }
+}
+
+TEST(SmithInvariants, InvariantUnderUnimodularMultiplication)
+{
+    std::mt19937 rng(606);
+    for (int trial = 0; trial < 30; ++trial) {
+        IntMatrix a = testutil::randomIntMatrix(rng, 3, 3, -4, 4);
+        IntMatrix u = randomUnimodularMatrix(rng, 3);
+        IntMatrix v = randomUnimodularMatrix(rng, 3);
+        EXPECT_EQ(smithForm(a).s, smithForm(u * a * v).s);
+    }
+}
+
+TEST(HnfOverflowGuard, LargeEntriesEitherSucceedOrThrow)
+{
+    // Large entries: the exact pipeline either computes correctly
+    // (verified via A*U == H) or raises OverflowError -- never wraps.
+    // (The textbook HNF algorithm suffers coefficient explosion: the
+    // unimodular companion's entries grow multiplicatively, so inputs
+    // much beyond ~2^12 trip the checked arithmetic. Transformation
+    // matrices in this domain have single-digit entries.)
+    std::mt19937 rng(13);
+    std::uniform_int_distribution<Int> big(-(Int(1) << 12),
+                                           Int(1) << 12);
+    int succeeded = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        IntMatrix a(3, 3);
+        for (size_t i = 0; i < 3; ++i)
+            for (size_t j = 0; j < 3; ++j)
+                a(i, j) = big(rng);
+        ColumnHNF c;
+        try {
+            c = columnHNF(a);
+        } catch (const OverflowError &) {
+            continue; // acceptable: checked arithmetic refused to wrap
+        }
+        ++succeeded;
+        try {
+            EXPECT_EQ(a * c.u, c.h);
+        } catch (const OverflowError &) {
+            // The verification product itself can overflow (entries of
+            // U reach ~2^60); that says nothing about the HNF. Check
+            // the cheap invariants instead.
+            for (size_t i = 0; i < 3; ++i)
+                EXPECT_GT(c.h(i, i), 0);
+        }
+    }
+    EXPECT_GT(succeeded, 0);
+}
+
+} // namespace
+} // namespace anc

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit and property tests for Hermite normal forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ratmath/hnf.h"
+#include "ratmath/linalg.h"
+#include "test_util.h"
+
+namespace anc {
+namespace {
+
+using testutil::randomIntMatrix;
+using testutil::randomInvertibleMatrix;
+
+/** Check the column-echelon shape invariants documented in hnf.h. */
+void
+expectColumnEchelon(const ColumnHNF &c, const IntMatrix &a)
+{
+    const IntMatrix &h = c.h;
+    // A * U == H and U unimodular.
+    EXPECT_EQ(a * c.u, h);
+    EXPECT_TRUE(isUnimodular(c.u));
+    EXPECT_EQ(c.rank(), rank(a));
+    // Pivot rows strictly increase; pivots positive; zeros above pivots;
+    // entries left of a pivot in its row lie in [0, pivot).
+    size_t prev = 0;
+    bool first = true;
+    for (size_t k = 0; k < c.rank(); ++k) {
+        size_t pr = c.pivotRows[k];
+        if (!first) {
+            EXPECT_GT(pr, prev);
+        }
+        first = false;
+        prev = pr;
+        EXPECT_GT(h(pr, k), 0);
+        for (size_t i = 0; i < pr; ++i)
+            EXPECT_EQ(h(i, k), 0);
+        for (size_t j = 0; j < k; ++j) {
+            EXPECT_GE(h(pr, j), 0);
+            EXPECT_LT(h(pr, j), h(pr, k));
+        }
+    }
+    // Columns beyond the rank are zero.
+    for (size_t k = c.rank(); k < h.cols(); ++k)
+        for (size_t i = 0; i < h.rows(); ++i)
+            EXPECT_EQ(h(i, k), 0);
+}
+
+TEST(ColumnHNFTest, Identity)
+{
+    IntMatrix id = IntMatrix::identity(3);
+    ColumnHNF c = columnHNF(id);
+    EXPECT_EQ(c.h, id);
+    EXPECT_EQ(c.u, id);
+    EXPECT_EQ(c.rank(), 3u);
+}
+
+TEST(ColumnHNFTest, PaperScalingExample)
+{
+    // Loop scaling by 2 (Section 3): T = [2]; lattice 2Z, stride 2.
+    IntMatrix t{{2}};
+    ColumnHNF c = columnHNF(t);
+    EXPECT_EQ(c.h(0, 0), 2);
+}
+
+TEST(ColumnHNFTest, PaperSection3Matrix)
+{
+    // T = [[2, 4], [1, 5]], det 6: H must be lower triangular with
+    // positive diagonal whose product is 6.
+    IntMatrix t{{2, 4}, {1, 5}};
+    ColumnHNF c = columnHNF(t);
+    expectColumnEchelon(c, t);
+    EXPECT_EQ(c.h(0, 1), 0);
+    EXPECT_EQ(c.h(0, 0) * c.h(1, 1), 6);
+}
+
+TEST(ColumnHNFTest, NegativePivotsNormalized)
+{
+    IntMatrix t{{-3, 0}, {1, -2}};
+    ColumnHNF c = columnHNF(t);
+    expectColumnEchelon(c, t);
+    EXPECT_GT(c.h(0, 0), 0);
+    EXPECT_GT(c.h(1, 1), 0);
+}
+
+TEST(ColumnHNFTest, RankDeficient)
+{
+    IntMatrix a{{1, 2, 3}, {2, 4, 6}};
+    ColumnHNF c = columnHNF(a);
+    expectColumnEchelon(c, a);
+    EXPECT_EQ(c.rank(), 1u);
+}
+
+TEST(ColumnHNFTest, ZeroMatrix)
+{
+    IntMatrix z(2, 3);
+    ColumnHNF c = columnHNF(z);
+    EXPECT_EQ(c.rank(), 0u);
+    EXPECT_EQ(c.h, z);
+    EXPECT_TRUE(isUnimodular(c.u));
+}
+
+TEST(ColumnHNFTest, WideAndTallMatrices)
+{
+    IntMatrix wide{{0, 2, 4, 1}, {3, 1, 0, 2}};
+    expectColumnEchelon(columnHNF(wide), wide);
+    IntMatrix tall{{2, 1}, {4, 3}, {6, 5}, {0, 1}};
+    expectColumnEchelon(columnHNF(tall), tall);
+}
+
+TEST(ColumnHNFTest, RandomizedProperty)
+{
+    std::mt19937 rng(4242);
+    for (int trial = 0; trial < 120; ++trial) {
+        size_t m = 1 + trial % 5, n = 1 + (trial / 5) % 5;
+        IntMatrix a = randomIntMatrix(rng, m, n, -6, 6);
+        expectColumnEchelon(columnHNF(a), a);
+    }
+}
+
+TEST(ColumnHNFTest, SquareNonsingularIsLowerTriangular)
+{
+    std::mt19937 rng(31);
+    for (int trial = 0; trial < 60; ++trial) {
+        size_t n = 1 + trial % 5;
+        IntMatrix a = randomInvertibleMatrix(rng, n);
+        ColumnHNF c = columnHNF(a);
+        Int diag = 1;
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_GT(c.h(i, i), 0);
+            diag = checkedMul(diag, c.h(i, i));
+            for (size_t j = i + 1; j < n; ++j)
+                EXPECT_EQ(c.h(i, j), 0);
+        }
+        Int det = determinant(a);
+        EXPECT_EQ(diag, det < 0 ? -det : det);
+    }
+}
+
+TEST(RowHNFTest, TransposeDuality)
+{
+    IntMatrix a{{2, 4, 4}, {-6, 6, 12}, {10, 4, 16}};
+    RowHNF r = rowHNF(a);
+    EXPECT_EQ(r.u * a, r.h);
+    EXPECT_TRUE(isUnimodular(r.u));
+    EXPECT_EQ(r.rank(), rank(a));
+    // Row echelon shape: pivots positive, strictly increasing columns,
+    // zeros to the left of each pivot in its row.
+    for (size_t k = 0; k < r.rank(); ++k) {
+        size_t pc = r.pivotCols[k];
+        EXPECT_GT(r.h(k, pc), 0);
+        for (size_t j = 0; j < pc; ++j)
+            EXPECT_EQ(r.h(k, j), 0);
+        for (size_t i = 0; i < k; ++i) {
+            EXPECT_GE(r.h(i, pc), 0);
+            EXPECT_LT(r.h(i, pc), r.h(k, pc));
+        }
+    }
+}
+
+TEST(RowHNFTest, RandomizedProperty)
+{
+    std::mt19937 rng(77);
+    for (int trial = 0; trial < 60; ++trial) {
+        size_t m = 1 + trial % 4, n = 1 + (trial / 4) % 4;
+        IntMatrix a = randomIntMatrix(rng, m, n, -5, 5);
+        RowHNF r = rowHNF(a);
+        EXPECT_EQ(r.u * a, r.h);
+        EXPECT_TRUE(isUnimodular(r.u));
+        EXPECT_EQ(r.rank(), rank(a));
+    }
+}
+
+} // namespace
+} // namespace anc

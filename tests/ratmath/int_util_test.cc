@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for checked integer arithmetic and number-theory helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ratmath/int_util.h"
+
+namespace anc {
+namespace {
+
+constexpr Int kMax = std::numeric_limits<Int>::max();
+constexpr Int kMin = std::numeric_limits<Int>::min();
+
+TEST(CheckedArith, AddBasic)
+{
+    EXPECT_EQ(checkedAdd(2, 3), 5);
+    EXPECT_EQ(checkedAdd(-2, 3), 1);
+    EXPECT_EQ(checkedAdd(kMax - 1, 1), kMax);
+}
+
+TEST(CheckedArith, AddOverflowThrows)
+{
+    EXPECT_THROW(checkedAdd(kMax, 1), OverflowError);
+    EXPECT_THROW(checkedAdd(kMin, -1), OverflowError);
+}
+
+TEST(CheckedArith, SubBasic)
+{
+    EXPECT_EQ(checkedSub(2, 3), -1);
+    EXPECT_EQ(checkedSub(kMin + 1, 1), kMin);
+}
+
+TEST(CheckedArith, SubOverflowThrows)
+{
+    EXPECT_THROW(checkedSub(kMin, 1), OverflowError);
+    EXPECT_THROW(checkedSub(kMax, -1), OverflowError);
+}
+
+TEST(CheckedArith, MulBasic)
+{
+    EXPECT_EQ(checkedMul(6, 7), 42);
+    EXPECT_EQ(checkedMul(-6, 7), -42);
+    EXPECT_EQ(checkedMul(0, kMax), 0);
+}
+
+TEST(CheckedArith, MulOverflowThrows)
+{
+    EXPECT_THROW(checkedMul(kMax, 2), OverflowError);
+    EXPECT_THROW(checkedMul(kMin, -1), OverflowError);
+}
+
+TEST(CheckedArith, NegBasic)
+{
+    EXPECT_EQ(checkedNeg(5), -5);
+    EXPECT_EQ(checkedNeg(-5), 5);
+    EXPECT_EQ(checkedNeg(0), 0);
+    EXPECT_THROW(checkedNeg(kMin), OverflowError);
+}
+
+TEST(CheckedArith, Narrow128)
+{
+    EXPECT_EQ(narrow128(Int128(kMax)), kMax);
+    EXPECT_EQ(narrow128(Int128(kMin)), kMin);
+    EXPECT_THROW(narrow128(Int128(kMax) + 1), OverflowError);
+    EXPECT_THROW(narrow128(Int128(kMin) - 1), OverflowError);
+}
+
+TEST(Gcd, Basics)
+{
+    EXPECT_EQ(gcdInt(12, 18), 6);
+    EXPECT_EQ(gcdInt(-12, 18), 6);
+    EXPECT_EQ(gcdInt(12, -18), 6);
+    EXPECT_EQ(gcdInt(-12, -18), 6);
+    EXPECT_EQ(gcdInt(0, 0), 0);
+    EXPECT_EQ(gcdInt(0, 7), 7);
+    EXPECT_EQ(gcdInt(7, 0), 7);
+    EXPECT_EQ(gcdInt(1, kMax), 1);
+}
+
+TEST(Gcd, Int64MinDoesNotOverflow)
+{
+    // |INT64_MIN| is not representable; gcd must still work.
+    EXPECT_EQ(gcdInt(kMin, kMin + 1), 1);
+    EXPECT_THROW(gcdInt(kMin, 0), OverflowError);
+    EXPECT_EQ(gcdInt(kMin, 2), 2);
+}
+
+TEST(Lcm, Basics)
+{
+    EXPECT_EQ(lcmInt(4, 6), 12);
+    EXPECT_EQ(lcmInt(-4, 6), 12);
+    EXPECT_EQ(lcmInt(0, 6), 0);
+    EXPECT_EQ(lcmInt(1, 1), 1);
+}
+
+TEST(ExtGcdTest, BezoutIdentityHolds)
+{
+    for (Int a : {0LL, 1LL, -1LL, 12LL, -18LL, 240LL, 46LL, -37LL}) {
+        for (Int b : {0LL, 1LL, -1LL, 18LL, -12LL, 46LL, 240LL, 13LL}) {
+            ExtGcd e = extGcd(a, b);
+            EXPECT_EQ(e.g, gcdInt(a, b)) << a << "," << b;
+            EXPECT_EQ(a * e.x + b * e.y, e.g) << a << "," << b;
+        }
+    }
+}
+
+TEST(FloorCeilDiv, AllSignCombinations)
+{
+    EXPECT_EQ(floorDiv(7, 2), 3);
+    EXPECT_EQ(floorDiv(-7, 2), -4);
+    EXPECT_EQ(floorDiv(7, -2), -4);
+    EXPECT_EQ(floorDiv(-7, -2), 3);
+    EXPECT_EQ(floorDiv(6, 2), 3);
+    EXPECT_EQ(floorDiv(-6, 2), -3);
+
+    EXPECT_EQ(ceilDiv(7, 2), 4);
+    EXPECT_EQ(ceilDiv(-7, 2), -3);
+    EXPECT_EQ(ceilDiv(7, -2), -3);
+    EXPECT_EQ(ceilDiv(-7, -2), 4);
+    EXPECT_EQ(ceilDiv(6, 2), 3);
+    EXPECT_EQ(ceilDiv(-6, 2), -3);
+}
+
+TEST(FloorCeilDiv, ZeroDivisorThrows)
+{
+    EXPECT_THROW(floorDiv(1, 0), MathError);
+    EXPECT_THROW(ceilDiv(1, 0), MathError);
+    EXPECT_THROW(euclidMod(1, 0), MathError);
+}
+
+TEST(EuclidModTest, AlwaysNonNegative)
+{
+    EXPECT_EQ(euclidMod(7, 3), 1);
+    EXPECT_EQ(euclidMod(-7, 3), 2);
+    EXPECT_EQ(euclidMod(7, -3), 1);
+    EXPECT_EQ(euclidMod(-7, -3), 2);
+    EXPECT_EQ(euclidMod(0, 5), 0);
+    for (Int a = -20; a <= 20; ++a) {
+        for (Int b : {1LL, 2LL, 3LL, 5LL, -4LL}) {
+            Int r = euclidMod(a, b);
+            EXPECT_GE(r, 0);
+            EXPECT_LT(r, b < 0 ? -b : b);
+            EXPECT_EQ(euclidMod(a - r, b), 0);
+        }
+    }
+}
+
+TEST(ExactDivTest, ExactAndInexact)
+{
+    EXPECT_EQ(exactDiv(12, 3), 4);
+    EXPECT_EQ(exactDiv(-12, 3), -4);
+    EXPECT_THROW(exactDiv(7, 2), InternalError);
+    EXPECT_THROW(exactDiv(7, 0), MathError);
+}
+
+} // namespace
+} // namespace anc

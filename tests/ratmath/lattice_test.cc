@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit and property tests for integer lattices.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "ratmath/diophantine.h"
+#include "ratmath/lattice.h"
+#include "ratmath/linalg.h"
+#include "test_util.h"
+
+namespace anc {
+namespace {
+
+using testutil::randomInvertibleMatrix;
+using testutil::randomUnimodularMatrix;
+
+TEST(LatticeTest, IdentityIsAllOfZn)
+{
+    Lattice l(IntMatrix::identity(3));
+    EXPECT_EQ(l.index(), 1);
+    for (size_t k = 0; k < 3; ++k)
+        EXPECT_EQ(l.stride(k), 1);
+    EXPECT_TRUE(l.contains({5, -7, 0}));
+}
+
+TEST(LatticeTest, ScalingLattice)
+{
+    // The loop-scaling example of Section 3: u = 2i, lattice 2Z.
+    Lattice l(IntMatrix{{2}});
+    EXPECT_EQ(l.stride(0), 2);
+    EXPECT_EQ(l.index(), 2);
+    EXPECT_TRUE(l.contains({4}));
+    EXPECT_FALSE(l.contains({5}));
+}
+
+TEST(LatticeTest, Section3Transformation)
+{
+    // T = [[2,4],[1,5]], det 6. The image lattice contains exactly the
+    // points (2i+4j, i+5j).
+    IntMatrix t{{2, 4}, {1, 5}};
+    Lattice l(t);
+    EXPECT_EQ(l.index(), 6);
+    for (Int i = -3; i <= 3; ++i)
+        for (Int j = -3; j <= 3; ++j)
+            EXPECT_TRUE(l.contains({2 * i + 4 * j, i + 5 * j}));
+    // Points that are not images: brute-force cross check on a window.
+    std::set<std::pair<Int, Int>> image;
+    for (Int i = -30; i <= 30; ++i)
+        for (Int j = -30; j <= 30; ++j)
+            image.insert({2 * i + 4 * j, i + 5 * j});
+    for (Int u = -8; u <= 8; ++u)
+        for (Int v = -8; v <= 8; ++v)
+            EXPECT_EQ(l.contains({u, v}), image.count({u, v}) == 1)
+                << u << "," << v;
+}
+
+TEST(LatticeTest, SingularGeneratorsThrow)
+{
+    EXPECT_THROW(Lattice(IntMatrix{{1, 2}, {2, 4}}), MathError);
+    EXPECT_THROW(Lattice(IntMatrix(2, 3)), InternalError);
+}
+
+TEST(LatticeTest, UnimodularGeneratorsGiveZn)
+{
+    std::mt19937 rng(9);
+    for (int trial = 0; trial < 30; ++trial) {
+        IntMatrix u = randomUnimodularMatrix(rng, 3);
+        Lattice l(u);
+        EXPECT_EQ(l.index(), 1);
+        for (size_t k = 0; k < 3; ++k)
+            EXPECT_EQ(l.stride(k), 1);
+    }
+}
+
+TEST(LatticeTest, MembershipMatchesDiophantine)
+{
+    // u in L(T) iff T x = u is solvable over the integers.
+    std::mt19937 rng(123);
+    for (int trial = 0; trial < 30; ++trial) {
+        size_t n = 2 + trial % 3;
+        IntMatrix t = randomInvertibleMatrix(rng, n, -3, 3);
+        Lattice l(t);
+        std::uniform_int_distribution<Int> pt(-6, 6);
+        for (int q = 0; q < 20; ++q) {
+            IntVec u(n);
+            for (size_t i = 0; i < n; ++i)
+                u[i] = pt(rng);
+            bool member = l.contains(u);
+            bool solvable = solveDiophantine(t, u).has_value();
+            EXPECT_EQ(member, solvable);
+        }
+        // Every generated point is a member.
+        IntVec x(n);
+        for (size_t i = 0; i < n; ++i)
+            x[i] = pt(rng);
+        EXPECT_TRUE(l.contains(t.apply(x)));
+    }
+}
+
+TEST(LatticeTest, AnchorAndSolveYRoundTrip)
+{
+    std::mt19937 rng(321);
+    for (int trial = 0; trial < 30; ++trial) {
+        size_t n = 2 + trial % 3;
+        IntMatrix t = randomInvertibleMatrix(rng, n, -3, 3);
+        Lattice l(t);
+        std::uniform_int_distribution<Int> pt(-5, 5);
+        IntVec x(n);
+        for (size_t i = 0; i < n; ++i)
+            x[i] = pt(rng);
+        IntVec u = t.apply(x);
+        // Forward substitution level by level must reconstruct a valid
+        // y with H y == u.
+        IntVec y;
+        for (size_t k = 0; k < n; ++k) {
+            Int a = l.anchor(k, y);
+            EXPECT_EQ(euclidMod(u[k] - a, l.stride(k)), 0);
+            y.push_back(l.solveY(k, u[k], y));
+        }
+        EXPECT_EQ(l.hnf().apply(y), u);
+    }
+}
+
+TEST(LatticeTest, SolveYRejectsOffLatticePoints)
+{
+    Lattice l(IntMatrix{{2}});
+    EXPECT_THROW(l.solveY(0, 3, {}), InternalError);
+    EXPECT_EQ(l.solveY(0, 6, {}), 3);
+}
+
+TEST(LatticeTest, StrideCountsLatticePointsOnAxis)
+{
+    // In coordinate k with outer coordinates fixed to lattice-compatible
+    // values, consecutive lattice points differ by exactly stride(k).
+    IntMatrix t{{2, 4}, {1, 5}};
+    Lattice l(t);
+    // Enumerate all lattice points with u0 = 0: they are (0, v) where
+    // v anchored by y0 = 0 steps by stride(1).
+    IntVec y0;
+    Int a0 = l.anchor(0, y0);
+    EXPECT_EQ(euclidMod(0 - a0, l.stride(0)), 0);
+    IntVec y{l.solveY(0, 0, {})};
+    Int anchor1 = l.anchor(1, y);
+    std::set<Int> vs;
+    for (Int i = -40; i <= 40; ++i)
+        for (Int j = -40; j <= 40; ++j)
+            if (2 * i + 4 * j == 0) {
+                Int v = i + 5 * j;
+                if (v >= -10 && v <= 10)
+                    vs.insert(v);
+            }
+    for (Int v = -10; v <= 10; ++v) {
+        bool in_lattice = euclidMod(v - anchor1, l.stride(1)) == 0;
+        EXPECT_EQ(in_lattice, vs.count(v) == 1) << v;
+    }
+}
+
+} // namespace
+} // namespace anc

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit and property tests for exact rational linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ratmath/linalg.h"
+#include "test_util.h"
+
+namespace anc {
+namespace {
+
+using testutil::randomIntMatrix;
+using testutil::randomInvertibleMatrix;
+
+TEST(Rank, Basics)
+{
+    EXPECT_EQ(rank(IntMatrix{{1, 0}, {0, 1}}), 2u);
+    EXPECT_EQ(rank(IntMatrix{{1, 2}, {2, 4}}), 1u);
+    EXPECT_EQ(rank(IntMatrix(3, 3)), 0u);
+    // The paper's Section 5 example: row 2 is twice row 1.
+    IntMatrix x{{1, 1, -1, 0}, {2, 2, -2, 0}, {0, 0, 1, -1}};
+    EXPECT_EQ(rank(x), 2u);
+}
+
+TEST(Determinant, Basics)
+{
+    EXPECT_EQ(determinant(IntMatrix{{2, 4}, {1, 5}}), 6);
+    EXPECT_EQ(determinant(IntMatrix{{1, 2}, {2, 4}}), 0);
+    EXPECT_EQ(determinant(IntMatrix::identity(4)), 1);
+    // Paper Section 4: the SYR2K-like data access matrix is invertible.
+    IntMatrix x{{-1, 1, 0}, {0, 1, 1}, {1, 0, 0}};
+    EXPECT_EQ(determinant(x), 1);
+    EXPECT_TRUE(isInvertible(x));
+    EXPECT_TRUE(isUnimodular(x));
+    EXPECT_FALSE(isUnimodular(IntMatrix{{2, 0}, {0, 1}}));
+    EXPECT_THROW(determinant(toRational(IntMatrix(2, 3))), InternalError);
+}
+
+TEST(Determinant, SwapChangesSign)
+{
+    IntMatrix a{{0, 1}, {1, 0}};
+    EXPECT_EQ(determinant(a), -1);
+}
+
+TEST(Inverse, KnownInverse)
+{
+    RatMatrix m = toRational(IntMatrix{{2, 4}, {1, 5}});
+    RatMatrix inv = inverse(m);
+    EXPECT_EQ(inv(0, 0), Rational(5, 6));
+    EXPECT_EQ(inv(0, 1), Rational(-2, 3));
+    EXPECT_EQ(inv(1, 0), Rational(-1, 6));
+    EXPECT_EQ(inv(1, 1), Rational(1, 3));
+}
+
+TEST(Inverse, SingularMatrix)
+{
+    RatMatrix s = toRational(IntMatrix{{1, 2}, {2, 4}});
+    EXPECT_FALSE(tryInverse(s).has_value());
+    EXPECT_THROW(inverse(s), MathError);
+}
+
+TEST(Inverse, RandomizedRoundTrip)
+{
+    std::mt19937 rng(12345);
+    for (int trial = 0; trial < 50; ++trial) {
+        size_t n = 1 + trial % 5;
+        IntMatrix m = randomInvertibleMatrix(rng, n);
+        RatMatrix inv = inverse(m);
+        EXPECT_EQ(toRational(m) * inv, toRational(IntMatrix::identity(n)));
+        EXPECT_EQ(inv * toRational(m), toRational(IntMatrix::identity(n)));
+    }
+}
+
+TEST(FirstRowBasisTest, PaperSection5Example)
+{
+    // Rows 1 and 3 form the basis; row 2 = 2 * row 1 is discarded.
+    IntMatrix x{{1, 1, -1, 0}, {2, 2, -2, 0}, {0, 0, 1, -1}};
+    EXPECT_EQ(firstRowBasis(x), (std::vector<size_t>{0, 2}));
+}
+
+TEST(FirstRowBasisTest, PrefersEarlierRows)
+{
+    // Both orderings are rank 2, but the *first* basis must keep row 0.
+    IntMatrix a{{1, 0}, {2, 0}, {0, 1}};
+    EXPECT_EQ(firstRowBasis(a), (std::vector<size_t>{0, 2}));
+    IntMatrix b{{2, 0}, {1, 0}, {0, 1}};
+    EXPECT_EQ(firstRowBasis(b), (std::vector<size_t>{0, 2}));
+}
+
+TEST(FirstRowBasisTest, ZeroRowsSkipped)
+{
+    IntMatrix a{{0, 0}, {1, 2}, {2, 4}, {0, 1}};
+    EXPECT_EQ(firstRowBasis(a), (std::vector<size_t>{1, 3}));
+}
+
+TEST(FirstRowBasisTest, RandomizedGreedyInvariant)
+{
+    std::mt19937 rng(99);
+    for (int trial = 0; trial < 40; ++trial) {
+        IntMatrix m = randomIntMatrix(rng, 5, 3, -2, 2);
+        auto kept = firstRowBasis(m);
+        EXPECT_EQ(kept.size(), rank(m));
+        // Greedy invariant: each kept row increases the rank of the
+        // prefix; each discarded row does not.
+        RatMatrix prefix(0, 3);
+        size_t ki = 0;
+        for (size_t i = 0; i < m.rows(); ++i) {
+            RatMatrix with = prefix;
+            with.appendRow(toRational(m).row(i));
+            bool keeps = ki < kept.size() && kept[ki] == i;
+            if (keeps) {
+                EXPECT_EQ(rank(with), prefix.rows() + 1);
+                prefix = with;
+                ++ki;
+            } else {
+                EXPECT_EQ(rank(with), prefix.rows());
+            }
+        }
+    }
+}
+
+TEST(FirstColumnBasisTest, PaperPaddingExample)
+{
+    // Section 5.2: columns 1 and 3 (0-based: 0 and 2) are independent.
+    IntMatrix b{{1, 1, -1, 0}, {0, 0, 1, -1}};
+    EXPECT_EQ(firstColumnBasis(b), (std::vector<size_t>{0, 2}));
+}
+
+TEST(SolveTest, ConsistentAndInconsistent)
+{
+    RatMatrix a = toRational(IntMatrix{{1, 1}, {1, -1}});
+    auto x = solve(a, RatVec{Rational(3), Rational(1)});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ((*x)[0], Rational(2));
+    EXPECT_EQ((*x)[1], Rational(1));
+
+    RatMatrix s = toRational(IntMatrix{{1, 1}, {2, 2}});
+    EXPECT_FALSE(solve(s, RatVec{Rational(1), Rational(3)}).has_value());
+    ASSERT_TRUE(solve(s, RatVec{Rational(1), Rational(2)}).has_value());
+}
+
+TEST(SolveTest, UnderdeterminedReturnsSomeSolution)
+{
+    RatMatrix a = toRational(IntMatrix{{1, 2, 3}});
+    auto x = solve(a, RatVec{Rational(6)});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(dot(a.row(0), *x), Rational(6));
+}
+
+TEST(NullspaceTest, DimensionsAndMembership)
+{
+    RatMatrix a = toRational(IntMatrix{{1, 1, -1, 0}, {0, 0, 1, -1}});
+    RatMatrix ns = nullspaceBasis(a);
+    EXPECT_EQ(ns.cols(), 2u);
+    for (size_t c = 0; c < ns.cols(); ++c) {
+        RatVec v = ns.column(c);
+        RatVec av = a.apply(v);
+        for (const Rational &x : av)
+            EXPECT_TRUE(x.isZero());
+    }
+    // Full-rank square matrix: trivial null space.
+    EXPECT_EQ(nullspaceBasis(toRational(IntMatrix{{1, 0}, {0, 1}})).cols(),
+              0u);
+}
+
+TEST(NullspaceTest, RandomizedRankNullity)
+{
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 40; ++trial) {
+        IntMatrix m = randomIntMatrix(rng, 3, 5, -2, 2);
+        RatMatrix ns = nullspaceBasis(toRational(m));
+        EXPECT_EQ(ns.cols(), 5u - rank(m));
+        for (size_t c = 0; c < ns.cols(); ++c) {
+            RatVec av = toRational(m).apply(ns.column(c));
+            for (const Rational &x : av)
+                EXPECT_TRUE(x.isZero());
+        }
+    }
+}
+
+TEST(ScaleToPrimitive, Basics)
+{
+    RatVec v{Rational(1, 2), Rational(1, 3), Rational(0)};
+    EXPECT_EQ(scaleToPrimitiveIntegers(v), (IntVec{3, 2, 0}));
+
+    RatVec w{Rational(2), Rational(4)};
+    EXPECT_EQ(scaleToPrimitiveIntegers(w), (IntVec{1, 2}));
+
+    RatVec neg{Rational(-1, 2), Rational(1, 4)};
+    EXPECT_EQ(scaleToPrimitiveIntegers(neg), (IntVec{-2, 1}));
+
+    EXPECT_THROW(scaleToPrimitiveIntegers(RatVec{Rational(0)}), MathError);
+}
+
+} // namespace
+} // namespace anc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Unit tests for the dense matrix container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ratmath/matrix.h"
+
+namespace anc {
+namespace {
+
+TEST(MatrixCtor, InitializerList)
+{
+    IntMatrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m(0, 0), 1);
+    EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixCtor, RaggedInitializerThrows)
+{
+    auto make = [] { IntMatrix m{{1, 2}, {3}}; (void)m; };
+    EXPECT_THROW(make(), InternalError);
+}
+
+TEST(MatrixCtor, Identity)
+{
+    IntMatrix id = IntMatrix::identity(3);
+    for (size_t i = 0; i < 3; ++i)
+        for (size_t j = 0; j < 3; ++j)
+            EXPECT_EQ(id(i, j), i == j ? 1 : 0);
+}
+
+TEST(MatrixCtor, FromRowsAndColumns)
+{
+    IntMatrix r = IntMatrix::fromRows({{1, 2}, {3, 4}});
+    IntMatrix c = IntMatrix::fromColumns({{1, 3}, {2, 4}});
+    EXPECT_EQ(r, c);
+    EXPECT_THROW(IntMatrix::fromRows({{1, 2}, {3}}), InternalError);
+}
+
+TEST(MatrixOps, Product)
+{
+    IntMatrix a{{1, 2}, {3, 4}};
+    IntMatrix b{{5, 6}, {7, 8}};
+    IntMatrix ab{{19, 22}, {43, 50}};
+    EXPECT_EQ(a * b, ab);
+    IntMatrix id = IntMatrix::identity(2);
+    EXPECT_EQ(a * id, a);
+    EXPECT_EQ(id * a, a);
+}
+
+TEST(MatrixOps, ProductShapeMismatchThrows)
+{
+    IntMatrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a * b, InternalError);
+}
+
+TEST(MatrixOps, Apply)
+{
+    IntMatrix a{{2, 4}, {1, 5}};
+    IntVec v{1, 2};
+    IntVec r = a.apply(v);
+    EXPECT_EQ(r, (IntVec{10, 11}));
+    EXPECT_THROW(a.apply(IntVec{1, 2, 3}), InternalError);
+}
+
+TEST(MatrixOps, SumAndNegation)
+{
+    IntMatrix a{{1, 2}, {3, 4}};
+    IntMatrix b{{-1, -2}, {-3, -4}};
+    EXPECT_EQ(-a, b);
+    EXPECT_EQ(a + b, IntMatrix(2, 2));
+}
+
+TEST(MatrixOps, Transpose)
+{
+    IntMatrix a{{1, 2, 3}, {4, 5, 6}};
+    IntMatrix at{{1, 4}, {2, 5}, {3, 6}};
+    EXPECT_EQ(a.transpose(), at);
+    EXPECT_EQ(a.transpose().transpose(), a);
+}
+
+TEST(MatrixEdit, RowAndColumnOps)
+{
+    IntMatrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.row(1), (IntVec{4, 5, 6}));
+    EXPECT_EQ(m.column(2), (IntVec{3, 6}));
+
+    m.appendRow({7, 8, 9});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.row(2), (IntVec{7, 8, 9}));
+
+    m.removeRow(1);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.row(1), (IntVec{7, 8, 9}));
+
+    m.removeColumn(1);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m.row(0), (IntVec{1, 3}));
+
+    m.swapRows(0, 1);
+    EXPECT_EQ(m.row(0), (IntVec{7, 9}));
+    m.swapColumns(0, 1);
+    EXPECT_EQ(m.row(0), (IntVec{9, 7}));
+}
+
+TEST(MatrixEdit, AppendRowToEmpty)
+{
+    IntMatrix m;
+    m.appendRow({1, 2, 3});
+    EXPECT_EQ(m.rows(), 1u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_THROW(m.appendRow({1}), InternalError);
+}
+
+TEST(MatrixConvert, IntToRationalAndBack)
+{
+    IntMatrix a{{1, -2}, {0, 7}};
+    RatMatrix r = toRational(a);
+    EXPECT_EQ(r(0, 1), Rational(-2));
+    EXPECT_EQ(toIntegral(r), a);
+
+    RatMatrix frac{{Rational(1, 2)}};
+    EXPECT_THROW(toIntegral(frac), InternalError);
+}
+
+TEST(MatrixHelpers, DotProducts)
+{
+    EXPECT_EQ(dot(IntVec{1, 2, 3}, IntVec{4, 5, 6}), 32);
+    EXPECT_EQ(dot(RatVec{Rational(1, 2), Rational(1, 3)},
+                  RatVec{Rational(2), Rational(3)}),
+              Rational(2));
+    EXPECT_THROW(dot(IntVec{1}, IntVec{1, 2}), InternalError);
+}
+
+TEST(MatrixHelpers, LeadingSignAndLexPositive)
+{
+    EXPECT_EQ(leadingSign(IntVec{0, 0, 0}), 0);
+    EXPECT_EQ(leadingSign(IntVec{0, 3, -1}), 1);
+    EXPECT_EQ(leadingSign(IntVec{0, -3, 1}), -1);
+    EXPECT_TRUE(lexPositive(IntVec{0, 0, 1}));
+    EXPECT_FALSE(lexPositive(IntVec{0, 0, -1}));
+    EXPECT_FALSE(lexPositive(IntVec{0, 0, 0}));
+    EXPECT_TRUE(isZero(IntVec{0, 0}));
+    EXPECT_FALSE(isZero(IntVec{0, 1}));
+}
+
+TEST(MatrixPrint, Str)
+{
+    IntMatrix a{{1, -2}, {3, 4}};
+    EXPECT_EQ(a.str(), "[1 -2]\n[3 4]\n");
+    RatMatrix r{{Rational(1, 2)}};
+    EXPECT_EQ(r.str(), "[1/2]\n");
+}
+
+} // namespace
+} // namespace anc

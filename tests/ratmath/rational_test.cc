@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for exact rationals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "ratmath/rational.h"
+
+namespace anc {
+namespace {
+
+TEST(RationalCtor, Normalization)
+{
+    Rational r(6, 4);
+    EXPECT_EQ(r.num(), 3);
+    EXPECT_EQ(r.den(), 2);
+
+    Rational s(-6, 4);
+    EXPECT_EQ(s.num(), -3);
+    EXPECT_EQ(s.den(), 2);
+
+    Rational t(6, -4);
+    EXPECT_EQ(t.num(), -3);
+    EXPECT_EQ(t.den(), 2);
+
+    Rational u(-6, -4);
+    EXPECT_EQ(u.num(), 3);
+    EXPECT_EQ(u.den(), 2);
+
+    Rational z(0, 17);
+    EXPECT_EQ(z.num(), 0);
+    EXPECT_EQ(z.den(), 1);
+}
+
+TEST(RationalCtor, ZeroDenominatorThrows)
+{
+    EXPECT_THROW(Rational(1, 0), MathError);
+}
+
+TEST(RationalArith, AddSubMulDiv)
+{
+    Rational a(1, 2), b(1, 3);
+    EXPECT_EQ(a + b, Rational(5, 6));
+    EXPECT_EQ(a - b, Rational(1, 6));
+    EXPECT_EQ(a * b, Rational(1, 6));
+    EXPECT_EQ(a / b, Rational(3, 2));
+    EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(RationalArith, DivisionByZeroThrows)
+{
+    EXPECT_THROW(Rational(1, 2) / Rational(0), MathError);
+    EXPECT_THROW(Rational(0).inverse(), MathError);
+}
+
+TEST(RationalArith, CompoundAssignment)
+{
+    Rational a(1, 2);
+    a += Rational(1, 3);
+    EXPECT_EQ(a, Rational(5, 6));
+    a -= Rational(1, 6);
+    EXPECT_EQ(a, Rational(2, 3));
+    a *= Rational(3, 4);
+    EXPECT_EQ(a, Rational(1, 2));
+    a /= Rational(1, 4);
+    EXPECT_EQ(a, Rational(2));
+}
+
+TEST(RationalArith, IntermediateValuesUse128Bits)
+{
+    // num/den products overflow 64 bits before normalization.
+    Int big = Int(1) << 40;
+    Rational a(big, 3), b(3, big);
+    EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(RationalCompare, Ordering)
+{
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+    EXPECT_LT(Rational(-1), Rational(0));
+    EXPECT_GE(Rational(2, 4), Rational(1, 2));
+    EXPECT_LE(Rational(2, 4), Rational(1, 2));
+    EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(RationalCompare, LargeValuesNoOverflow)
+{
+    Int big = std::numeric_limits<Int>::max() / 2;
+    EXPECT_LT(Rational(big, big + 1), Rational(1));
+    EXPECT_GT(Rational(big + 1, big), Rational(1));
+}
+
+TEST(RationalFloorCeil, Values)
+{
+    EXPECT_EQ(Rational(7, 2).floor(), 3);
+    EXPECT_EQ(Rational(7, 2).ceil(), 4);
+    EXPECT_EQ(Rational(-7, 2).floor(), -4);
+    EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+    EXPECT_EQ(Rational(4).floor(), 4);
+    EXPECT_EQ(Rational(4).ceil(), 4);
+    EXPECT_EQ(Rational(0).floor(), 0);
+}
+
+TEST(RationalPredicates, Flags)
+{
+    EXPECT_TRUE(Rational(0).isZero());
+    EXPECT_TRUE(Rational(3).isInteger());
+    EXPECT_FALSE(Rational(3, 2).isInteger());
+    EXPECT_TRUE(Rational(-1, 2).isNegative());
+    EXPECT_TRUE(Rational(1, 2).isPositive());
+    EXPECT_EQ(Rational(-5).sign(), -1);
+    EXPECT_EQ(Rational(0).sign(), 0);
+    EXPECT_EQ(Rational(5).sign(), 1);
+}
+
+TEST(RationalAccessors, AsIntegerThrowsOnFraction)
+{
+    EXPECT_EQ(Rational(42).asInteger(), 42);
+    EXPECT_THROW(Rational(1, 2).asInteger(), InternalError);
+}
+
+TEST(RationalMisc, AbsAndStr)
+{
+    EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+    EXPECT_EQ(Rational(3, 2).abs(), Rational(3, 2));
+    EXPECT_EQ(Rational(3, 2).str(), "3/2");
+    EXPECT_EQ(Rational(-3).str(), "-3");
+    EXPECT_NEAR(Rational(1, 4).toDouble(), 0.25, 1e-12);
+}
+
+} // namespace
+} // namespace anc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit and property tests for the Smith normal form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ratmath/linalg.h"
+#include "ratmath/smith.h"
+#include "test_util.h"
+
+namespace anc {
+namespace {
+
+using testutil::randomIntMatrix;
+
+void
+expectSmithInvariants(const SmithForm &f, const IntMatrix &a)
+{
+    EXPECT_EQ(f.u * a * f.v, f.s);
+    EXPECT_TRUE(isUnimodular(f.u));
+    EXPECT_TRUE(isUnimodular(f.v));
+    size_t r = std::min(f.s.rows(), f.s.cols());
+    for (size_t i = 0; i < f.s.rows(); ++i)
+        for (size_t j = 0; j < f.s.cols(); ++j)
+            if (i != j) {
+                EXPECT_EQ(f.s(i, j), 0);
+            }
+    Int prev = 0;
+    for (size_t t = 0; t < r; ++t) {
+        Int d = f.s(t, t);
+        EXPECT_GE(d, 0);
+        if (prev != 0) {
+            EXPECT_EQ(d % prev, 0) << "divisibility chain broken";
+        }
+        if (prev == 0 && t > 0) {
+            EXPECT_EQ(d, 0) << "nonzero after zero on diagonal";
+        }
+        prev = d;
+    }
+    // Rank is preserved.
+    size_t nonzero = 0;
+    for (size_t t = 0; t < r; ++t)
+        if (f.s(t, t) != 0)
+            ++nonzero;
+    EXPECT_EQ(nonzero, rank(a));
+}
+
+TEST(SmithTest, Identity)
+{
+    IntMatrix id = IntMatrix::identity(3);
+    SmithForm f = smithForm(id);
+    expectSmithInvariants(f, id);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(f.s(i, i), 1);
+}
+
+TEST(SmithTest, KnownInvariantFactors)
+{
+    // Classic example: diag(2, 6) ~ invariant factors 2 | 6.
+    IntMatrix a{{2, 0}, {0, 6}};
+    SmithForm f = smithForm(a);
+    expectSmithInvariants(f, a);
+    EXPECT_EQ(f.s(0, 0), 2);
+    EXPECT_EQ(f.s(1, 1), 6);
+
+    // diag(4, 6) must become diag(2, 12) (gcd, lcm).
+    IntMatrix b{{4, 0}, {0, 6}};
+    SmithForm g = smithForm(b);
+    expectSmithInvariants(g, b);
+    EXPECT_EQ(g.s(0, 0), 2);
+    EXPECT_EQ(g.s(1, 1), 12);
+}
+
+TEST(SmithTest, LatticeIndexEqualsDeterminant)
+{
+    // The product of invariant factors is |det| for nonsingular input.
+    IntMatrix t{{2, 4}, {1, 5}};
+    SmithForm f = smithForm(t);
+    expectSmithInvariants(f, t);
+    EXPECT_EQ(f.s(0, 0) * f.s(1, 1), 6);
+}
+
+TEST(SmithTest, ZeroAndRankDeficient)
+{
+    IntMatrix z(2, 2);
+    expectSmithInvariants(smithForm(z), z);
+
+    IntMatrix rd{{1, 2}, {2, 4}};
+    SmithForm f = smithForm(rd);
+    expectSmithInvariants(f, rd);
+    EXPECT_EQ(f.s(0, 0), 1);
+    EXPECT_EQ(f.s(1, 1), 0);
+}
+
+TEST(SmithTest, RectangularShapes)
+{
+    IntMatrix wide{{2, 4, 6}, {4, 8, 10}};
+    expectSmithInvariants(smithForm(wide), wide);
+    IntMatrix tall = wide.transpose();
+    expectSmithInvariants(smithForm(tall), tall);
+}
+
+TEST(SmithTest, RandomizedProperty)
+{
+    std::mt19937 rng(555);
+    for (int trial = 0; trial < 100; ++trial) {
+        size_t m = 1 + trial % 4, n = 1 + (trial / 4) % 4;
+        IntMatrix a = randomIntMatrix(rng, m, n, -7, 7);
+        expectSmithInvariants(smithForm(a), a);
+    }
+}
+
+} // namespace
+} // namespace anc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for ratmath tests: deterministic random matrices.
+ */
+
+#ifndef ANC_TESTS_RATMATH_TEST_UTIL_H
+#define ANC_TESTS_RATMATH_TEST_UTIL_H
+
+#include <random>
+
+#include "ratmath/linalg.h"
+#include "ratmath/matrix.h"
+
+namespace anc::testutil {
+
+/** Uniform random integer matrix with entries in [lo, hi]. */
+inline IntMatrix
+randomIntMatrix(std::mt19937 &rng, size_t rows, size_t cols, Int lo, Int hi)
+{
+    std::uniform_int_distribution<Int> dist(lo, hi);
+    IntMatrix m(rows, cols);
+    for (size_t i = 0; i < rows; ++i)
+        for (size_t j = 0; j < cols; ++j)
+            m(i, j) = dist(rng);
+    return m;
+}
+
+/** Random invertible (nonsingular) square integer matrix. */
+inline IntMatrix
+randomInvertibleMatrix(std::mt19937 &rng, size_t n, Int lo = -4, Int hi = 4)
+{
+    while (true) {
+        IntMatrix m = randomIntMatrix(rng, n, n, lo, hi);
+        if (determinant(m) != 0)
+            return m;
+    }
+}
+
+/**
+ * Random unimodular matrix built from elementary row operations (so the
+ * determinant is exactly +1 or -1 by construction).
+ */
+inline IntMatrix
+randomUnimodularMatrix(std::mt19937 &rng, size_t n, int ops = 12)
+{
+    std::uniform_int_distribution<size_t> idx(0, n - 1);
+    std::uniform_int_distribution<Int> fac(-2, 2);
+    std::uniform_int_distribution<int> kind(0, 2);
+    IntMatrix m = IntMatrix::identity(n);
+    for (int o = 0; o < ops; ++o) {
+        size_t a = idx(rng), b = idx(rng);
+        switch (kind(rng)) {
+          case 0:
+            if (a != b) {
+                Int f = fac(rng);
+                for (size_t j = 0; j < n; ++j)
+                    m(a, j) = checkedAdd(m(a, j), checkedMul(f, m(b, j)));
+            }
+            break;
+          case 1:
+            m.swapRows(a, b);
+            break;
+          default:
+            for (size_t j = 0; j < n; ++j)
+                m(a, j) = checkedNeg(m(a, j));
+            break;
+        }
+    }
+    return m;
+}
+
+} // namespace anc::testutil
+
+#endif // ANC_TESTS_RATMATH_TEST_UTIL_H

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the data access matrix and its importance ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/gallery.h"
+#include "xform/access_matrix.h"
+
+namespace anc::xform {
+namespace {
+
+TEST(AccessMatrixTest, Figure1MatchesPaper)
+{
+    // Section 2.2: rows j-i (x2, dist), j+k (x1, dist), i (x3, non-dist).
+    AccessMatrixInfo info = buildAccessMatrix(ir::gallery::figure1());
+    ASSERT_EQ(info.numRows(), 3u);
+    EXPECT_EQ(info.matrix, (IntMatrix{{-1, 1, 0}, {0, 1, 1}, {1, 0, 0}}));
+    EXPECT_TRUE(info.rows[0].distDim);
+    EXPECT_EQ(info.rows[0].count, 2u);
+    EXPECT_TRUE(info.rows[1].distDim);
+    EXPECT_EQ(info.rows[1].count, 1u);
+    EXPECT_FALSE(info.rows[2].distDim);
+    EXPECT_EQ(info.rows[2].count, 3u);
+    EXPECT_EQ(info.rows[0].origin, "B dim 1");
+}
+
+TEST(AccessMatrixTest, GemmMatchesPaperSection81)
+{
+    AccessMatrixInfo info = buildAccessMatrix(ir::gallery::gemm());
+    ASSERT_EQ(info.numRows(), 3u);
+    EXPECT_EQ(info.matrix, (IntMatrix{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}));
+}
+
+TEST(AccessMatrixTest, Syr2kRowsAndClasses)
+{
+    // The three distribution-dimension subscripts (j-i, i-k, j-k) must
+    // precede the non-distribution ones (k, i); k occurs 4 times and so
+    // dominates i (2 times).
+    AccessMatrixInfo info =
+        buildAccessMatrix(ir::gallery::syr2kBanded());
+    ASSERT_EQ(info.numRows(), 5u);
+    EXPECT_EQ(info.matrix.row(0), (IntVec{-1, 1, 0})); // j - i
+    EXPECT_TRUE(info.rows[0].distDim);
+    EXPECT_TRUE(info.rows[1].distDim);
+    EXPECT_TRUE(info.rows[2].distDim);
+    EXPECT_FALSE(info.rows[3].distDim);
+    EXPECT_FALSE(info.rows[4].distDim);
+    EXPECT_EQ(info.matrix.row(3), (IntVec{0, 0, 1})); // k, count 4
+    EXPECT_EQ(info.rows[3].count, 4u);
+    EXPECT_EQ(info.matrix.row(4), (IntVec{1, 0, 0})); // i, count 2
+    EXPECT_EQ(info.rows[4].count, 2u);
+    // The two distribution subscripts of the band arrays:
+    EXPECT_EQ(info.matrix.row(1), (IntVec{1, 0, -1}));  // i - k
+    EXPECT_EQ(info.matrix.row(2), (IntVec{0, 1, -1}));  // j - k
+}
+
+TEST(AccessMatrixTest, LoopInvariantSubscriptsOmitted)
+{
+    ir::ProgramBuilder b(2);
+    size_t n = b.param("N");
+    b.array("A", {b.par(n), b.par(n)}, ir::DistributionSpec::wrapped(1));
+    b.loop("i", b.cst(0), b.cst(4));
+    b.loop("j", b.cst(0), b.cst(4));
+    // A[0, i+N]: first subscript loop-invariant, second has a param.
+    b.assign(b.ref(0, {b.cst(0), b.var(0)}),
+             ir::Expr::arrayRead(b.ref(0, {b.cst(0), b.var(1)})));
+    AccessMatrixInfo info = buildAccessMatrix(b.build());
+    ASSERT_EQ(info.numRows(), 2u);
+    EXPECT_EQ(info.matrix.row(0), (IntVec{1, 0}));
+    EXPECT_EQ(info.matrix.row(1), (IntVec{0, 1}));
+}
+
+TEST(AccessMatrixTest, ProportionalRowsKeptSeparately)
+{
+    // Section 5: i+j-k and 2i+2j-2k are distinct rows; BasisMatrix
+    // discards the dependent one later.
+    AccessMatrixInfo info =
+        buildAccessMatrix(ir::gallery::section5Example());
+    ASSERT_EQ(info.numRows(), 3u);
+    EXPECT_EQ(info.matrix.row(0), (IntVec{1, 1, -1, 0}));
+    EXPECT_EQ(info.matrix.row(1), (IntVec{2, 2, -2, 0}));
+    EXPECT_EQ(info.matrix.row(2), (IntVec{0, 0, 1, -1}));
+}
+
+TEST(AccessMatrixTest, DistArraysRecorded)
+{
+    AccessMatrixInfo info = buildAccessMatrix(ir::gallery::figure1());
+    // j-i is the distribution subscript of B only.
+    ASSERT_EQ(info.rows[0].distArrays.size(), 1u);
+    // arrayId 1 is B in figure1 (A declared first).
+    EXPECT_EQ(info.rows[0].distArrays[0], 1u);
+}
+
+TEST(AccessMatrixTest, CountAggregatesDuplicates)
+{
+    // Same subscript used by two different arrays in their distribution
+    // dimensions: one row, count 2, both arrays recorded.
+    ir::ProgramBuilder b(2);
+    b.array("A", {b.cst(8), b.cst(8)}, ir::DistributionSpec::wrapped(1));
+    b.array("B", {b.cst(8), b.cst(8)}, ir::DistributionSpec::wrapped(1));
+    b.loop("i", b.cst(0), b.cst(4));
+    b.loop("j", b.cst(0), b.cst(3));
+    b.assign(b.ref(0, {b.var(0), b.var(1)}),
+             ir::Expr::arrayRead(b.ref(1, {b.var(0), b.var(1)})));
+    AccessMatrixInfo info = buildAccessMatrix(b.build());
+    ASSERT_EQ(info.numRows(), 2u);
+    EXPECT_EQ(info.matrix.row(0), (IntVec{0, 1}));
+    EXPECT_EQ(info.rows[0].count, 2u);
+    EXPECT_EQ(info.rows[0].distArrays.size(), 2u);
+}
+
+TEST(AccessMatrixTest, DistributionHintToggle)
+{
+    // Ablation switch: without the hint, rows rank purely by frequency,
+    // so Figure 1's matrix is headed by i (3 occurrences) instead of
+    // the distribution subscript j-i.
+    ir::Program p = ir::gallery::figure1();
+    AccessMatrixInfo with = buildAccessMatrix(p, true);
+    AccessMatrixInfo blind = buildAccessMatrix(p, false);
+    EXPECT_EQ(with.matrix.row(0), (IntVec{-1, 1, 0}));  // j - i
+    EXPECT_EQ(blind.matrix.row(0), (IntVec{1, 0, 0}));  // i
+    // Row CONTENT is identical either way; only the order changes.
+    EXPECT_EQ(with.numRows(), blind.numRows());
+}
+
+} // namespace
+} // namespace anc::xform

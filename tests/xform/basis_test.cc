@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for Algorithms BasisMatrix and Padding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../ratmath/test_util.h"
+#include "ratmath/linalg.h"
+#include "xform/basis.h"
+
+namespace anc::xform {
+namespace {
+
+using testutil::randomIntMatrix;
+
+TEST(BasisMatrixTest, PaperSection5Example)
+{
+    IntMatrix x{{1, 1, -1, 0}, {2, 2, -2, 0}, {0, 0, 1, -1}};
+    BasisResult r = basisMatrix(x);
+    EXPECT_EQ(r.rank(), 2u);
+    EXPECT_EQ(r.keptRows, (std::vector<size_t>{0, 2}));
+    EXPECT_EQ(r.basis, (IntMatrix{{1, 1, -1, 0}, {0, 0, 1, -1}}));
+    // The paper's permutation puts rows 1 and 3 first.
+    IntMatrix p = r.permutation(3);
+    EXPECT_EQ(p, (IntMatrix{{1, 0, 0}, {0, 0, 1}, {0, 1, 0}}));
+    EXPECT_TRUE(isUnimodular(p));
+}
+
+TEST(BasisMatrixTest, FullRankKeepsEverything)
+{
+    IntMatrix x{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}};
+    BasisResult r = basisMatrix(x);
+    EXPECT_EQ(r.rank(), 3u);
+    EXPECT_EQ(r.basis, x);
+}
+
+TEST(BasisMatrixTest, ImportanceOrderRespected)
+{
+    // The first of two dependent rows wins regardless of magnitude.
+    IntMatrix x{{2, 2}, {1, 1}, {0, 1}};
+    BasisResult r = basisMatrix(x);
+    EXPECT_EQ(r.keptRows, (std::vector<size_t>{0, 2}));
+    EXPECT_EQ(r.basis.row(0), (IntVec{2, 2}));
+}
+
+TEST(PaddingTest, PaperSection52Example)
+{
+    // Basis rows i+j-k and k-l: columns 1 and 3 are the pivots, so the
+    // padding selects identity rows e2 and e4.
+    IntMatrix b{{1, 1, -1, 0}, {0, 0, 1, -1}};
+    IntMatrix h = paddingMatrix(b);
+    EXPECT_EQ(h, (IntMatrix{{0, 1, 0, 0}, {0, 0, 0, 1}}));
+    IntMatrix t = padToInvertible(b);
+    EXPECT_EQ(t.rows(), 4u);
+    EXPECT_NE(determinant(t), 0);
+    EXPECT_EQ(t.row(0), (IntVec{1, 1, -1, 0}));
+    EXPECT_EQ(t.row(2), (IntVec{0, 1, 0, 0}));
+}
+
+TEST(PaddingTest, EmptyBasisGivesIdentity)
+{
+    IntMatrix empty(0, 3);
+    EXPECT_EQ(padToInvertible(empty), IntMatrix::identity(3));
+}
+
+TEST(PaddingTest, SquareBasisNeedsNoPadding)
+{
+    IntMatrix b{{0, 1}, {1, 0}};
+    EXPECT_EQ(paddingMatrix(b).rows(), 0u);
+    EXPECT_EQ(padToInvertible(b), b);
+}
+
+TEST(PaddingTest, RankDeficientInputRejected)
+{
+    IntMatrix bad{{1, 1}, {2, 2}};
+    EXPECT_THROW(paddingMatrix(bad), InternalError);
+}
+
+TEST(PaddingTest, RandomizedInvertibility)
+{
+    std::mt19937 rng(777);
+    for (int trial = 0; trial < 80; ++trial) {
+        size_t n = 2 + trial % 4;
+        size_t m = 1 + size_t(trial) % n;
+        IntMatrix raw = randomIntMatrix(rng, m, n, -3, 3);
+        BasisResult br = basisMatrix(raw);
+        if (br.rank() == 0)
+            continue;
+        IntMatrix t = padToInvertible(br.basis);
+        EXPECT_EQ(t.rows(), n);
+        EXPECT_NE(determinant(t), 0);
+        // The basis rows appear unchanged at the top.
+        for (size_t i = 0; i < br.rank(); ++i)
+            EXPECT_EQ(t.row(i), br.basis.row(i));
+        // Padding rows are identity rows.
+        for (size_t i = br.rank(); i < n; ++i) {
+            Int sum = 0;
+            for (size_t j = 0; j < n; ++j) {
+                EXPECT_GE(t(i, j), 0);
+                sum += t(i, j);
+            }
+            EXPECT_EQ(sum, 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace anc::xform

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the classic transformation matrices.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ratmath/linalg.h"
+#include "xform/classic.h"
+
+namespace anc::xform {
+namespace {
+
+TEST(ClassicTest, Interchange)
+{
+    EXPECT_EQ(interchange(3, 0, 2),
+              (IntMatrix{{0, 0, 1}, {0, 1, 0}, {1, 0, 0}}));
+    EXPECT_TRUE(isUnimodular(interchange(4, 1, 3)));
+}
+
+TEST(ClassicTest, Permutation)
+{
+    EXPECT_EQ(permutation({1, 2, 0}),
+              (IntMatrix{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}));
+    EXPECT_THROW(permutation({0, 0, 1}), InternalError);
+    EXPECT_THROW(permutation({0, 3, 1}), InternalError);
+}
+
+TEST(ClassicTest, Reversal)
+{
+    IntMatrix r = reversal(2, 1);
+    EXPECT_EQ(r, (IntMatrix{{1, 0}, {0, -1}}));
+    EXPECT_TRUE(isUnimodular(r));
+}
+
+TEST(ClassicTest, Skew)
+{
+    IntMatrix s = skew(2, 1, 0, 3);
+    EXPECT_EQ(s, (IntMatrix{{1, 0}, {3, 1}}));
+    EXPECT_TRUE(isUnimodular(s));
+    EXPECT_THROW(skew(2, 1, 1, 3), InternalError);
+}
+
+TEST(ClassicTest, Scaling)
+{
+    IntMatrix s = scaling(2, 0, 4);
+    EXPECT_EQ(s, (IntMatrix{{4, 0}, {0, 1}}));
+    EXPECT_FALSE(isUnimodular(s));
+    EXPECT_EQ(determinant(s), 4);
+    EXPECT_THROW(scaling(2, 0, 0), InternalError);
+    EXPECT_THROW(scaling(2, 0, -2), InternalError);
+}
+
+TEST(ClassicTest, CompositionsStayInvertible)
+{
+    IntMatrix t = interchange(3, 0, 1) * skew(3, 2, 0, 2) *
+                  scaling(3, 1, 3) * reversal(3, 2);
+    EXPECT_TRUE(isInvertible(t));
+    EXPECT_NE(determinant(t), 0);
+    // |det| = product of scaling factors = 3.
+    Int d = determinant(t);
+    EXPECT_EQ(d < 0 ? -d : d, 3);
+}
+
+} // namespace
+} // namespace anc::xform

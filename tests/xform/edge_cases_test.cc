@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Edge cases and failure injection for the transformation engine:
+ * degenerate iteration spaces, single-iteration loops, large
+ * coefficients near the overflow guards, infeasible parameter bindings,
+ * and pathological-but-legal inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/gallery.h"
+#include "xform/classic.h"
+#include "xform/normalize.h"
+
+namespace anc::xform {
+namespace {
+
+using ir::Expr;
+using ir::Program;
+using ir::ProgramBuilder;
+
+Program
+tinyLoop(Int lo, Int hi)
+{
+    ProgramBuilder b(2);
+    b.array("A", {b.cst(64), b.cst(64)});
+    b.loop("i", b.cst(lo), b.cst(hi));
+    b.loop("j", b.cst(0), b.cst(3));
+    b.assign(b.ref(0, {b.var(0) + b.cst(30), b.var(1)}),
+             Expr::number_(1.0));
+    return b.build();
+}
+
+TEST(EdgeTransform, EmptyIterationSpace)
+{
+    // lo > hi: zero iterations before and after any transformation.
+    Program p = tinyLoop(5, 2);
+    for (const IntMatrix &t :
+         {IntMatrix::identity(2), interchange(2, 0, 1), scaling(2, 0, 3)}) {
+        TransformedNest tn = applyTransform(p, t);
+        EXPECT_EQ(tn.forEachIteration({}, [](const IntVec &) {}), 0u);
+    }
+}
+
+TEST(EdgeTransform, SingleIteration)
+{
+    Program p = tinyLoop(4, 4);
+    TransformedNest tn = applyTransform(p, skew(2, 1, 0, 7));
+    std::vector<IntVec> pts;
+    tn.forEachIteration({}, [&](const IntVec &u) {
+        pts.push_back(tn.oldIteration(u));
+    });
+    ASSERT_EQ(pts.size(), 4u);
+    EXPECT_EQ(pts[0][0], 4);
+}
+
+TEST(EdgeTransform, NegativeBoundsSpace)
+{
+    Program p = tinyLoop(-20, -10);
+    TransformedNest tn = applyTransform(p, scaling(2, 0, 2));
+    uint64_t n = tn.forEachIteration({}, [&](const IntVec &u) {
+        EXPECT_EQ(euclidMod(u[0], 2), 0);
+        EXPECT_LE(tn.oldIteration(u)[0], -10);
+        EXPECT_GE(tn.oldIteration(u)[0], -20);
+    });
+    EXPECT_EQ(n, 11u * 4u);
+}
+
+TEST(EdgeTransform, LargeScalingFactors)
+{
+    // Strides of a million: the lattice arithmetic must stay exact.
+    Program p = tinyLoop(0, 3);
+    TransformedNest tn = applyTransform(p, scaling(2, 0, 1000000));
+    std::vector<Int> us;
+    tn.forEachIteration({}, [&](const IntVec &u) {
+        if (u[1] == 0)
+            us.push_back(u[0]);
+    });
+    EXPECT_EQ(us, (std::vector<Int>{0, 1000000, 2000000, 3000000}));
+}
+
+TEST(EdgeTransform, WrongShapeMatrixRejected)
+{
+    Program p = tinyLoop(0, 3);
+    EXPECT_THROW(applyTransform(p, IntMatrix::identity(3)),
+                 InternalError);
+    EXPECT_THROW(applyTransform(p, IntMatrix(2, 3)), InternalError);
+}
+
+TEST(EdgeTransform, InfeasibleParameterBindingYieldsEmpty)
+{
+    // Loop 0..N-1 with N bound to 0: FM keeps the parametric bounds;
+    // enumeration under N = 0 must simply be empty.
+    ProgramBuilder b(1);
+    size_t pn = b.param("N");
+    b.array("A", {b.par(pn) + b.cst(1)});
+    b.loop("i", b.cst(0), b.par(pn) - b.cst(1));
+    b.assign(b.ref(0, {b.var(0)}), Expr::number_(1.0));
+    Program p = b.build();
+    TransformedNest tn = applyTransform(p, IntMatrix::identity(1));
+    EXPECT_EQ(tn.forEachIteration({0}, [](const IntVec &) {}), 0u);
+    EXPECT_EQ(tn.forEachIteration({5}, [](const IntVec &) {}), 5u);
+    // Parameter conditions recorded by FM mention N.
+    EXPECT_FALSE(tn.paramConditions().empty());
+}
+
+TEST(EdgeNormalize, NoArraysAccessedByLoopVariables)
+{
+    // Constant subscripts only: the access matrix is empty, the basis
+    // is empty, padding yields the identity.
+    ProgramBuilder b(2);
+    b.array("A", {b.cst(4)});
+    b.loop("i", b.cst(0), b.cst(3));
+    b.loop("j", b.cst(0), b.cst(3));
+    b.assign(b.ref(0, {b.cst(1)}), Expr::number_(2.0));
+    NormalizeResult r = accessNormalize(b.build());
+    EXPECT_EQ(r.access.numRows(), 0u);
+    EXPECT_EQ(r.transform, IntMatrix::identity(2));
+}
+
+TEST(EdgeNormalize, DeepNestSixLevels)
+{
+    // Fourier-Motzkin and the legality machinery at depth 6.
+    ProgramBuilder b(6);
+    std::vector<ir::AffineExpr> ext(2, b.cst(40));
+    b.array("A", ext, ir::DistributionSpec::wrapped(1));
+    for (size_t k = 0; k < 6; ++k)
+        b.loop("i" + std::to_string(k), b.cst(0), b.cst(2));
+    // Subscripts couple adjacent loops.
+    auto s0 = b.var(0) + b.var(2) + b.var(4);
+    auto s1 = b.var(1) + b.var(3) + b.var(5);
+    b.assign(b.ref(0, {s0, s1}),
+             Expr::binary('+', Expr::arrayRead(b.ref(0, {s0, s1})),
+                          Expr::number_(1.0)));
+    Program p = b.build();
+    NormalizeResult r = accessNormalize(p);
+    EXPECT_TRUE(r.nest.has_value());
+    // Execution still matches.
+    ir::ArrayStorage seq(p, {}), par(p, {});
+    seq.fillDeterministic(8);
+    par.fillDeterministic(8);
+    ir::run(p, {{}, {}}, seq);
+    r.nest->run({{}, {}}, par);
+    EXPECT_EQ(seq.data(0), par.data(0));
+}
+
+TEST(EdgeNormalize, MultiStatementBody)
+{
+    // Two statements sharing arrays: loop-independent flow dependence
+    // between them plus carried dependences; normalization must keep
+    // body order and values.
+    ProgramBuilder b(2);
+    b.array("A", {b.cst(12), b.cst(12)}, ir::DistributionSpec::wrapped(1));
+    b.array("B", {b.cst(12), b.cst(12)}, ir::DistributionSpec::wrapped(1));
+    b.loop("i", b.cst(0), b.cst(7));
+    b.loop("j", b.cst(0), b.cst(7));
+    auto vi = b.var(0), vj = b.var(1);
+    b.assign(b.ref(0, {vi, vj}),
+             Expr::binary('+', Expr::arrayRead(b.ref(1, {vi, vj})),
+                          Expr::number_(1.0)));
+    b.assign(b.ref(1, {vi, vj}),
+             Expr::binary('*', Expr::arrayRead(b.ref(0, {vi, vj})),
+                          Expr::number_(2.0)));
+    Program p = b.build();
+    NormalizeResult r = accessNormalize(p);
+    ir::ArrayStorage seq(p, {}), par(p, {});
+    seq.fillDeterministic(4);
+    par.fillDeterministic(4);
+    ir::run(p, {{}, {}}, seq);
+    r.nest->run({{}, {}}, par);
+    EXPECT_EQ(seq.data(0), par.data(0));
+    EXPECT_EQ(seq.data(1), par.data(1));
+}
+
+TEST(EdgeNormalize, RationalSubscriptCoefficients)
+{
+    // A[i/2] over even i (via scaling by hand is the usual source, but
+    // the access-matrix builder must also survive direct rational
+    // coefficients by scaling rows to primitive integers).
+    ProgramBuilder b(1);
+    b.array("A", {b.cst(8)});
+    b.loop("i", b.cst(0), b.cst(6));
+    b.assign(b.ref(0, {b.var(0).scaled(Rational(1, 2)) +
+                       b.var(0).scaled(Rational(1, 2))}),
+             Expr::number_(1.0));
+    // (The sum collapses to plain i; the point is the builder path.)
+    Program p = b.build();
+    AccessMatrixInfo info = buildAccessMatrix(p);
+    ASSERT_EQ(info.numRows(), 1u);
+    EXPECT_EQ(info.matrix.row(0), (IntVec{1}));
+}
+
+TEST(EdgeFM, RedundantConstraintsDeduplicated)
+{
+    // The same bound declared five times must not blow up FM.
+    ProgramBuilder b(2);
+    b.array("A", {b.cst(10), b.cst(10)});
+    size_t li = b.loop("i", b.cst(0), b.cst(9));
+    for (int k = 0; k < 4; ++k) {
+        b.addLower(li, b.cst(0));
+        b.addUpper(li, b.cst(9));
+    }
+    b.loop("j", b.cst(0), b.cst(9));
+    b.assign(b.ref(0, {b.var(0), b.var(1)}), Expr::number_(1.0));
+    Program p = b.build();
+    TransformedNest tn = applyTransform(p, interchange(2, 0, 1));
+    EXPECT_EQ(tn.loops()[1].lower.size(), 1u);
+    EXPECT_EQ(tn.loops()[1].upper.size(), 1u);
+    EXPECT_EQ(tn.forEachIteration({}, [](const IntVec &) {}), 100u);
+}
+
+} // namespace
+} // namespace anc::xform

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit and property tests for Fourier-Motzkin elimination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "ir/gallery.h"
+#include "ir/interp.h"
+#include "xform/fourier_motzkin.h"
+
+namespace anc::xform {
+namespace {
+
+using ir::AffineExpr;
+using ir::LinearConstraint;
+
+/** Helper: constraint "sum coeffs_k * x_k + c >= 0" with no params. */
+LinearConstraint
+con(const std::vector<Int> &coeffs, Int c)
+{
+    LinearConstraint lc;
+    lc.varCoeffs.assign(coeffs.size(), Rational(0));
+    for (size_t i = 0; i < coeffs.size(); ++i)
+        lc.varCoeffs[i] = Rational(coeffs[i]);
+    lc.constant = Rational(c);
+    return lc;
+}
+
+/** Enumerate integer points of the FM bounds. */
+std::set<IntVec>
+enumerate(const FMBounds &fm, size_t n, const IntVec &params = {})
+{
+    std::set<IntVec> pts;
+    IntVec x(n, 0);
+    std::function<void(size_t)> walk = [&](size_t k) {
+        if (k == n) {
+            pts.insert(x);
+            return;
+        }
+        bool first = true;
+        Int lo = 0, hi = 0;
+        for (const AffineExpr &e : fm.lower[k]) {
+            Int v = e.evaluate(x, params).ceil();
+            lo = first ? v : std::max(lo, v);
+            first = false;
+        }
+        first = true;
+        for (const AffineExpr &e : fm.upper[k]) {
+            Int v = e.evaluate(x, params).floor();
+            hi = first ? v : std::min(hi, v);
+            first = false;
+        }
+        for (Int v = lo; v <= hi; ++v) {
+            x[k] = v;
+            walk(k + 1);
+        }
+        x[k] = 0;
+    };
+    walk(0);
+    return pts;
+}
+
+TEST(FMBasics, RectangularBox)
+{
+    // 0 <= x <= 3, 1 <= y <= 2.
+    std::vector<LinearConstraint> cs{
+        con({1, 0}, 0), con({-1, 0}, 3), con({0, 1}, -1), con({0, -1}, 2)};
+    FMBounds fm = fourierMotzkin(cs, 2, 0);
+    EXPECT_FALSE(fm.infeasible);
+    EXPECT_EQ(enumerate(fm, 2).size(), 8u);
+    EXPECT_EQ(fm.lower[1].size(), 1u);
+    EXPECT_EQ(fm.upper[1].size(), 1u);
+}
+
+TEST(FMBasics, Triangle)
+{
+    // 0 <= x, 0 <= y, x + y <= 3: 10 points.
+    std::vector<LinearConstraint> cs{
+        con({1, 0}, 0), con({0, 1}, 0), con({-1, -1}, 3)};
+    FMBounds fm = fourierMotzkin(cs, 2, 0);
+    auto pts = enumerate(fm, 2);
+    EXPECT_EQ(pts.size(), 10u);
+    EXPECT_TRUE(pts.count({0, 3}));
+    EXPECT_TRUE(pts.count({3, 0}));
+    EXPECT_FALSE(pts.count({2, 2}));
+}
+
+TEST(FMBasics, UnboundedThrows)
+{
+    std::vector<LinearConstraint> cs{con({1, 0}, 0), con({-1, 0}, 3),
+                                     con({0, 1}, 0)}; // y unbounded above
+    EXPECT_THROW(fourierMotzkin(cs, 2, 0), UserError);
+}
+
+TEST(FMBasics, InfeasibleDetected)
+{
+    // x >= 2 and x <= 1.
+    std::vector<LinearConstraint> cs{con({1}, -2), con({-1}, 1)};
+    FMBounds fm = fourierMotzkin(cs, 1, 0);
+    EXPECT_TRUE(fm.infeasible);
+}
+
+TEST(FMBasics, RationalEmptyIntegerBox)
+{
+    // 1/2 <= 2x <= 3/2 has rational solutions but no integer ones;
+    // FM itself is rational, so the bounds exist and enumerate to
+    // nothing after ceil/floor... 2x >= 1 and 2x <= 1 -> x in [1/2, 1/2].
+    std::vector<LinearConstraint> cs{con({2}, -1), con({-2}, 1)};
+    FMBounds fm = fourierMotzkin(cs, 1, 0);
+    EXPECT_FALSE(fm.infeasible);
+    EXPECT_TRUE(enumerate(fm, 1).empty());
+}
+
+TEST(FMParams, ParametricBounds)
+{
+    // 0 <= x <= N - 1, x <= M: bounds stay symbolic in N, M.
+    LinearConstraint c1 = con({1}, 0);
+    LinearConstraint c2 = con({-1}, 0);
+    c2.paramCoeffs = {Rational(1), Rational(0)};
+    c2.constant = Rational(-1);
+    LinearConstraint c3 = con({-1}, 0);
+    c3.paramCoeffs = {Rational(0), Rational(1)};
+    c1.paramCoeffs = {Rational(0), Rational(0)};
+    FMBounds fm = fourierMotzkin({c1, c2, c3}, 1, 2);
+    EXPECT_EQ(fm.upper[0].size(), 2u);
+    // Combining lower 0 with uppers leaves parameter conditions
+    // N - 1 >= 0 and M >= 0.
+    EXPECT_EQ(fm.paramConditions.size(), 2u);
+    // Evaluate: with N = 5, M = 3 the points are 0..3.
+    EXPECT_EQ(enumerate(fm, 1, {5, 3}).size(), 4u);
+    EXPECT_EQ(enumerate(fm, 1, {2, 9}).size(), 2u);
+}
+
+TEST(FMParams, GemmBoundsRoundTrip)
+{
+    ir::Program p = ir::gallery::gemm();
+    FMBounds fm = fourierMotzkin(p.nest.constraints(1), 3, 1);
+    EXPECT_EQ(enumerate(fm, 3, {3}).size(), 27u);
+}
+
+TEST(FMParams, Syr2kMatchesDirectEnumeration)
+{
+    ir::Program p = ir::gallery::syr2kBanded();
+    FMBounds fm = fourierMotzkin(p.nest.constraints(2), 3, 2);
+    for (IntVec params : {IntVec{8, 3}, IntVec{5, 2}, IntVec{10, 4}}) {
+        std::set<IntVec> direct;
+        ir::forEachIteration(p.nest, params, [&](const IntVec &v) {
+            direct.insert(v);
+        });
+        EXPECT_EQ(enumerate(fm, 3, params), direct);
+    }
+}
+
+TEST(FMProperty, RandomProjectionsAreExact)
+{
+    // For random bounded systems, the FM enumeration must equal the
+    // brute-force integer point set.
+    std::mt19937 rng(808);
+    std::uniform_int_distribution<Int> coef(-3, 3);
+    std::uniform_int_distribution<Int> cons(0, 12);
+    for (int trial = 0; trial < 60; ++trial) {
+        size_t n = 2 + trial % 2;
+        // Box plus random cutting planes keeps the system bounded.
+        std::vector<LinearConstraint> cs;
+        for (size_t k = 0; k < n; ++k) {
+            std::vector<Int> lo(n, 0), hi(n, 0);
+            lo[k] = 1;
+            hi[k] = -1;
+            cs.push_back(con(lo, 4));
+            cs.push_back(con(hi, 4));
+        }
+        for (int extra = 0; extra < 2; ++extra) {
+            std::vector<Int> c(n);
+            bool nonzero = false;
+            for (size_t k = 0; k < n; ++k) {
+                c[k] = coef(rng);
+                nonzero = nonzero || c[k] != 0;
+            }
+            if (!nonzero)
+                continue;
+            cs.push_back(con(c, cons(rng)));
+        }
+        FMBounds fm = fourierMotzkin(cs, n, 0);
+
+        std::set<IntVec> brute;
+        IntVec x(n, -4);
+        std::function<void(size_t)> walk = [&](size_t k) {
+            if (k == n) {
+                for (const LinearConstraint &c : cs) {
+                    Rational acc = c.constant;
+                    for (size_t q = 0; q < n; ++q)
+                        acc += c.varCoeffs[q] * Rational(x[q]);
+                    if (acc.isNegative())
+                        return;
+                }
+                brute.insert(x);
+                return;
+            }
+            for (Int v = -4; v <= 4; ++v) {
+                x[k] = v;
+                walk(k + 1);
+            }
+            x[k] = -4;
+        };
+        walk(0);
+        EXPECT_EQ(enumerate(fm, n), brute) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace anc::xform

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit and property tests for Algorithms LegalBasis and LegalInvt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "../ratmath/test_util.h"
+#include "deps/dependence.h"
+#include "ratmath/linalg.h"
+#include "xform/basis.h"
+#include "xform/legal.h"
+
+namespace anc::xform {
+namespace {
+
+using testutil::randomIntMatrix;
+
+TEST(LegalBasisTest, Section6NegationExample)
+{
+    // A = [[-1,1,0],[0,1,-1]], D = (0,0,1): row 2 has product -1, all
+    // non-positive, so it is reversed.
+    IntMatrix a{{-1, 1, 0}, {0, 1, -1}};
+    IntMatrix d(3, 1);
+    d(2, 0) = 1;
+    IntMatrix l = legalBasis(a, d);
+    EXPECT_EQ(l, (IntMatrix{{-1, 1, 0}, {0, -1, 1}}));
+}
+
+TEST(LegalBasisTest, Syr2kSection82)
+{
+    // The paper's SYR2K basis (first three rows of its access matrix)
+    // becomes legal by negating the second row.
+    IntMatrix b{{-1, 1, 0}, {0, 1, -1}, {0, 0, 1}};
+    IntMatrix d(3, 1);
+    d(2, 0) = 1;
+    IntMatrix l = legalBasis(b, d);
+    EXPECT_EQ(l, (IntMatrix{{-1, 1, 0}, {0, -1, 1}, {0, 0, 1}}));
+    EXPECT_TRUE(deps::isLegalTransformation(l, d));
+}
+
+TEST(LegalBasisTest, MixedSignRowDropped)
+{
+    // Two dependences (1,0,0)... actually craft: row r with products
+    // +1 and -1 must vanish.
+    IntMatrix b{{0, 1, 0}};
+    IntMatrix d{{1, -1}, {1, -2}, {0, 0}};
+    // f = row . D = (1, -2): mixed -> dropped.
+    IntMatrix l = legalBasis(b, d);
+    EXPECT_EQ(l.rows(), 0u);
+    EXPECT_EQ(l.cols(), 3u);
+}
+
+TEST(LegalBasisTest, CarriedDependencesRetired)
+{
+    // Once row 1 carries the dependence, row 2 may violate it freely.
+    IntMatrix b{{1, 0}, {0, -1}};
+    IntMatrix d{{1}, {5}}; // distance (1, 5)
+    IntMatrix l = legalBasis(b, d);
+    // Row 1 carries (product 1 > 0); row 2's product -5 is irrelevant.
+    EXPECT_EQ(l, b);
+}
+
+TEST(LegalBasisTest, ZeroProductKeepsDependenceAlive)
+{
+    // Row 1 orthogonal to the dependence: it must still constrain row 2.
+    IntMatrix b{{1, 0, 0}, {0, 0, -1}};
+    IntMatrix d(3, 1);
+    d(2, 0) = 1;
+    IntMatrix l = legalBasis(b, d);
+    // Row 2 is all non-positive: negated.
+    EXPECT_EQ(l, (IntMatrix{{1, 0, 0}, {0, 0, 1}}));
+}
+
+TEST(LegalBasisTest, EmptyDependenceMatrixKeepsAll)
+{
+    IntMatrix b{{0, 1}, {1, 0}};
+    IntMatrix l = legalBasis(b, IntMatrix(2, 0));
+    EXPECT_EQ(l, b);
+}
+
+TEST(LegalInvtTest, Section62WorkedExample)
+{
+    // B = [-1 1 0], D = [[0,0],[1,0],[0,1]]: the first dependence is
+    // carried by the basis row; the remaining one is carried by the
+    // projection x = e3; padding then adds (0,1,0).
+    IntMatrix b{{-1, 1, 0}};
+    IntMatrix d{{0, 0}, {1, 0}, {0, 1}};
+    IntMatrix t = legalInvertible(b, d);
+    EXPECT_EQ(t, (IntMatrix{{-1, 1, 0}, {0, 0, 1}, {0, 1, 0}}));
+    EXPECT_TRUE(isInvertible(t));
+    EXPECT_TRUE(deps::isLegalTransformation(t, d));
+}
+
+TEST(LegalInvtTest, ProjectionScalesToIntegers)
+{
+    // Remaining dependence (0, 2, 1): Z = that column; the projection of
+    // e2 is (0, 4/5, 2/5) -> scaled to (0, 2, 1).
+    IntMatrix b(0, 3);
+    IntMatrix d{{0}, {2}, {1}};
+    IntMatrix t = legalInvertible(b, d);
+    EXPECT_EQ(t.row(0), (IntVec{0, 2, 1}));
+    EXPECT_TRUE(isInvertible(t));
+    EXPECT_TRUE(deps::isLegalTransformation(t, d));
+}
+
+TEST(LegalInvtTest, IllegalBasisRejected)
+{
+    IntMatrix b{{0, 0, -1}};
+    IntMatrix d(3, 1);
+    d(2, 0) = 1;
+    EXPECT_THROW(legalInvertible(b, d), InternalError);
+}
+
+TEST(LegalInvtTest, NoDependencesReducesToPadding)
+{
+    IntMatrix b{{-1, 1, 0}};
+    IntMatrix t = legalInvertible(b, IntMatrix(3, 0));
+    EXPECT_EQ(t, padToInvertible(b));
+}
+
+TEST(LegalInvtTest, GemmCase)
+{
+    // GEMM: basis = access matrix (invertible), dependence (0,0,1).
+    IntMatrix access{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}};
+    IntMatrix d(3, 1);
+    d(2, 0) = 1;
+    IntMatrix l = legalBasis(access, d);
+    EXPECT_EQ(l, access); // row 2 carries the dependence
+    IntMatrix t = legalInvertible(l, d);
+    EXPECT_EQ(t, access);
+}
+
+TEST(LegalProperty, RandomizedLegalityAndRetention)
+{
+    // For random bases and random lex-positive dependence columns, the
+    // final matrix is always invertible and legal, and every row of the
+    // legal basis appears (possibly negated) among the input rows.
+    std::mt19937 rng(13579);
+    std::uniform_int_distribution<int> depth_dist(2, 5);
+    std::uniform_int_distribution<int> count(0, 3);
+    std::uniform_int_distribution<Int> entry(-2, 2);
+    for (int trial = 0; trial < 120; ++trial) {
+        size_t n = size_t(depth_dist(rng));
+        IntMatrix access = randomIntMatrix(rng, 1 + trial % (2 * n), n,
+                                           -2, 2);
+        // Random lex-positive dependence columns.
+        size_t ndeps = size_t(count(rng));
+        IntMatrix d(n, 0);
+        std::vector<IntVec> cols;
+        while (cols.size() < ndeps) {
+            IntVec c(n);
+            for (size_t i = 0; i < n; ++i)
+                c[i] = entry(rng);
+            if (leadingSign(c) == -1)
+                for (Int &v : c)
+                    v = -v;
+            if (leadingSign(c) == 1)
+                cols.push_back(c);
+        }
+        if (!cols.empty())
+            d = IntMatrix::fromColumns(cols);
+
+        BasisResult br = basisMatrix(access);
+        IntMatrix legal = legalBasis(br.basis, d);
+        IntMatrix t = legalInvertible(legal, d);
+        EXPECT_TRUE(isInvertible(t)) << t.str();
+        EXPECT_TRUE(deps::isLegalTransformation(t, d))
+            << "T=\n" << t.str() << "D=\n" << d.str();
+
+        // Retention: each legal-basis row matches +-(a basis row).
+        for (size_t i = 0; i < legal.rows(); ++i) {
+            bool found = false;
+            for (size_t j = 0; j < br.basis.rows() && !found; ++j) {
+                IntVec r = br.basis.row(j);
+                IntVec neg = r;
+                for (Int &v : neg)
+                    v = -v;
+                found = legal.row(i) == r || legal.row(i) == neg;
+            }
+            EXPECT_TRUE(found);
+        }
+        // The legal basis rows head the final matrix.
+        for (size_t i = 0; i < legal.rows(); ++i)
+            EXPECT_EQ(t.row(i), legal.row(i));
+    }
+}
+
+} // namespace
+} // namespace anc::xform

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Parameterized property sweeps over (program, transformation) pairs:
+ * every legal transformation of every gallery program must preserve the
+ * iteration set bijectively and reproduce the sequential memory state
+ * bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "deps/dependence.h"
+#include "ir/gallery.h"
+#include "ir/interp.h"
+#include "xform/classic.h"
+#include "xform/transform.h"
+
+namespace anc::xform {
+namespace {
+
+struct ProgramCase
+{
+    const char *name;
+    ir::Program (*make)();
+    IntVec params;
+    std::vector<double> scalars;
+};
+
+const ProgramCase kPrograms[] = {
+    {"figure1", ir::gallery::figure1, {5, 4, 3}, {}},
+    {"gemm", ir::gallery::gemm, {5}, {}},
+    {"syr2k", ir::gallery::syr2kBanded, {7, 2}, {1.0, 2.0}},
+};
+
+struct TransformCase
+{
+    const char *name;
+    IntMatrix (*make)(size_t n);
+};
+
+const TransformCase kTransforms[] = {
+    {"identity", [](size_t n) { return IntMatrix::identity(n); }},
+    {"interchange01", [](size_t n) { return interchange(n, 0, 1); }},
+    {"interchange0last",
+     [](size_t n) { return interchange(n, 0, n - 1); }},
+    {"rotate",
+     [](size_t n) {
+         std::vector<size_t> p(n);
+         for (size_t k = 0; k < n; ++k)
+             p[k] = (k + 1) % n;
+         return permutation(p);
+     }},
+    {"skew10", [](size_t n) { return skew(n, 1, 0, 1); }},
+    {"skewNeg", [](size_t n) { return skew(n, 1, 0, -2); }},
+    {"scale0by2", [](size_t n) { return scaling(n, 0, 2); }},
+    {"scale1by3", [](size_t n) { return scaling(n, 1, 3); }},
+    {"scaledSkew",
+     [](size_t n) { return skew(n, 1, 0, 1) * scaling(n, 0, 2); }},
+    {"reverse0", [](size_t n) { return reversal(n, 0); }},
+};
+
+class TransformSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+  protected:
+    const ProgramCase &prog() const
+    {
+        return kPrograms[std::get<0>(GetParam())];
+    }
+    const TransformCase &xf() const
+    {
+        return kTransforms[std::get<1>(GetParam())];
+    }
+};
+
+TEST_P(TransformSweep, BijectiveOnIterationSpace)
+{
+    ir::Program p = prog().make();
+    IntMatrix t = xf().make(p.nest.depth());
+    TransformedNest tn = applyTransform(p, t);
+
+    std::map<IntVec, int> visited, expected;
+    tn.forEachIteration(prog().params, [&](const IntVec &u) {
+        visited[tn.oldIteration(u)] += 1;
+    });
+    ir::forEachIteration(p.nest, prog().params, [&](const IntVec &v) {
+        expected[v] += 1;
+    });
+    EXPECT_EQ(visited, expected);
+}
+
+TEST_P(TransformSweep, LegalTransformsPreserveValues)
+{
+    ir::Program p = prog().make();
+    IntMatrix t = xf().make(p.nest.depth());
+    IntMatrix dep = deps::analyzeDependences(p).matrix(p.nest.depth());
+    if (!deps::isLegalTransformation(t, dep))
+        GTEST_SKIP() << "transformation is illegal for this program";
+
+    ir::Bindings binds{prog().params, prog().scalars};
+    ir::ArrayStorage seq(p, prog().params), par(p, prog().params);
+    seq.fillDeterministic(17);
+    par.fillDeterministic(17);
+    ir::run(p, binds, seq);
+    applyTransform(p, t).run(binds, par);
+    for (size_t a = 0; a < seq.numArrays(); ++a)
+        EXPECT_EQ(seq.data(a), par.data(a)) << "array " << a;
+}
+
+TEST_P(TransformSweep, SubscriptsIntegralEverywhere)
+{
+    ir::Program p = prog().make();
+    IntMatrix t = xf().make(p.nest.depth());
+    TransformedNest tn = applyTransform(p, t);
+    tn.forEachIteration(prog().params, [&](const IntVec &u) {
+        for (const ir::Statement &s : tn.body()) {
+            for (const ir::AffineExpr &e : s.lhs.subscripts)
+                EXPECT_NO_THROW(e.evaluateInt(u, prog().params));
+        }
+    });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProgramsAllTransforms, TransformSweep,
+    ::testing::Combine(::testing::Range<size_t>(0, 3),
+                       ::testing::Range<size_t>(0, 10)),
+    [](const ::testing::TestParamInfo<TransformSweep::ParamType> &info) {
+        return std::string(kPrograms[std::get<0>(info.param)].name) +
+               "_" + kTransforms[std::get<1>(info.param)].name;
+    });
+
+/** Scaling-factor sweep: loop scaling by any factor is a bijection and
+ * the stride equals the factor. */
+class ScalingSweep : public ::testing::TestWithParam<Int>
+{};
+
+TEST_P(ScalingSweep, StrideEqualsFactor)
+{
+    Int f = GetParam();
+    ir::Program p = ir::gallery::scalingExample();
+    TransformedNest tn = applyTransform(p, scaling(1, 0, f));
+    EXPECT_EQ(tn.loops()[0].stride, f);
+    uint64_t n = tn.forEachIteration({}, [&](const IntVec &u) {
+        EXPECT_EQ(euclidMod(u[0], f), 0);
+    });
+    EXPECT_EQ(n, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ScalingSweep,
+                         ::testing::Values(1, 2, 3, 5, 7, 12));
+
+} // namespace
+} // namespace anc::xform

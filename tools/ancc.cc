@@ -1,0 +1,209 @@
+/**
+ * @file
+ * ancc -- the access-normalizing NUMA compiler, as a command-line tool.
+ *
+ * Usage:
+ *   ancc [options] <program.an>
+ *
+ * Options:
+ *   --report             full pipeline report (default)
+ *   --emit               only the SPMD node program
+ *   --no-restructure     keep the original loop order (baseline)
+ *   --suggest            propose data distributions (Section 9 mode)
+ *   --simulate P=<list>  simulate on the Butterfly model, e.g. P=1,4,16
+ *   --param NAME=VALUE   bind a program parameter (repeatable)
+ *   --machine gp1000|ipsc860
+ *   --no-block-transfers
+ *
+ * Exit status: 0 on success, 1 on user error (with a message).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.h"
+#include "dsl/parser.h"
+#include "xform/suggest.h"
+
+namespace {
+
+using namespace anc;
+
+struct Options
+{
+    std::string file;
+    bool report = true;
+    bool emit_only = false;
+    bool restructure = true;
+    bool suggest = false;
+    bool block_transfers = true;
+    std::vector<Int> processors;
+    std::vector<std::pair<std::string, Int>> params;
+    numa::MachineParams machine = numa::MachineParams::butterflyGP1000();
+};
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "ancc: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: ancc [--report|--emit] [--no-restructure] "
+                 "[--suggest]\n"
+                 "            [--simulate P=1,4,16] [--param N=64]...\n"
+                 "            [--machine gp1000|ipsc860] "
+                 "[--no-block-transfers] <program.an>\n");
+    std::exit(1);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--report") {
+            o.report = true;
+        } else if (a == "--emit") {
+            o.emit_only = true;
+        } else if (a == "--no-restructure") {
+            o.restructure = false;
+        } else if (a == "--suggest") {
+            o.suggest = true;
+        } else if (a == "--no-block-transfers") {
+            o.block_transfers = false;
+        } else if (a.rfind("--simulate", 0) == 0) {
+            std::string list = i + 1 < argc && a == "--simulate"
+                                   ? argv[++i]
+                                   : a.substr(a.find('=') + 1);
+            if (list.rfind("P=", 0) == 0)
+                list = list.substr(2);
+            std::stringstream ss(list);
+            std::string tok;
+            while (std::getline(ss, tok, ','))
+                o.processors.push_back(std::strtoll(tok.c_str(),
+                                                    nullptr, 10));
+            if (o.processors.empty())
+                usage("--simulate needs a processor list");
+        } else if (a == "--param") {
+            if (i + 1 >= argc)
+                usage("--param needs NAME=VALUE");
+            std::string kv = argv[++i];
+            size_t eq = kv.find('=');
+            if (eq == std::string::npos)
+                usage("--param needs NAME=VALUE");
+            o.params.emplace_back(
+                kv.substr(0, eq),
+                std::strtoll(kv.c_str() + eq + 1, nullptr, 10));
+        } else if (a == "--machine") {
+            if (i + 1 >= argc)
+                usage("--machine needs a name");
+            std::string m = argv[++i];
+            if (m == "gp1000")
+                o.machine = numa::MachineParams::butterflyGP1000();
+            else if (m == "ipsc860")
+                o.machine = numa::MachineParams::ipsc860();
+            else
+                usage("unknown machine");
+        } else if (!a.empty() && a[0] == '-') {
+            usage(("unknown option " + a).c_str());
+        } else if (o.file.empty()) {
+            o.file = a;
+        } else {
+            usage("multiple input files");
+        }
+    }
+    if (o.file.empty())
+        usage("no input file");
+    return o;
+}
+
+int
+run(const Options &o)
+{
+    std::ifstream in(o.file);
+    if (!in)
+        throw UserError("cannot open '" + o.file + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    ir::Program prog = dsl::parseProgram(buf.str());
+
+    if (o.suggest) {
+        xform::DistributionSuggestion s =
+            xform::suggestDistributions(prog);
+        std::printf("suggested transformation:\n%s",
+                    s.transform.str().c_str());
+        std::printf("suggested distributions:\n%s", s.rationale.c_str());
+        prog = s.applyTo(prog);
+    }
+
+    core::CompileOptions copts;
+    copts.identityTransform = !o.restructure;
+    core::Compilation c = core::compile(prog, copts);
+
+    if (o.emit_only)
+        std::printf("%s", c.nodeProgram.c_str());
+    else if (o.report)
+        std::printf("%s", c.report().c_str());
+
+    if (!o.processors.empty()) {
+        IntVec params(prog.params.size(), 0);
+        std::vector<bool> bound(prog.params.size(), false);
+        for (const auto &[name, value] : o.params) {
+            params[prog.paramIndex(name)] = value;
+            bound[prog.paramIndex(name)] = true;
+        }
+        for (size_t q = 0; q < bound.size(); ++q)
+            if (!bound[q])
+                throw UserError("parameter '" + prog.params[q] +
+                                "' needs --param " + prog.params[q] +
+                                "=<value>");
+        ir::Bindings binds{params, std::vector<double>(
+                                       prog.scalars.size(), 1.0)};
+        double seq = core::sequentialTime(c, o.machine, params);
+        std::printf("\nsimulation (%s)%s:\n", o.machine.name.c_str(),
+                    o.block_transfers ? "" : " without block transfers");
+        std::printf("%6s %10s %14s %12s %12s %8s\n", "P", "speedup",
+                    "time (us)", "remote", "blocks", "sync");
+        for (Int p : o.processors) {
+            numa::SimOptions sopts;
+            sopts.processors = p;
+            sopts.machine = o.machine;
+            sopts.blockTransfers = o.block_transfers;
+            numa::SimStats s = core::simulate(c, sopts, binds);
+            uint64_t syncs = 0;
+            for (const numa::ProcStats &ps : s.perProc)
+                syncs += ps.syncs;
+            std::printf("%6lld %10.2f %14.0f %12llu %12llu %8llu\n",
+                        static_cast<long long>(p), s.speedup(seq),
+                        s.parallelTime(),
+                        static_cast<unsigned long long>(
+                            s.totalRemoteAccesses()),
+                        static_cast<unsigned long long>(
+                            s.totalBlockTransfers()),
+                        static_cast<unsigned long long>(syncs));
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseArgs(argc, argv));
+    } catch (const UserError &e) {
+        std::fprintf(stderr, "ancc: %s\n", e.what());
+        return 1;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "ancc: internal error: %s\n", e.what());
+        return 2;
+    }
+}
