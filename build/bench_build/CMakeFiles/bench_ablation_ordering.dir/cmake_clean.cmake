@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ordering"
+  "../bench/bench_ablation_ordering.pdb"
+  "CMakeFiles/bench_ablation_ordering.dir/bench_ablation_ordering.cc.o"
+  "CMakeFiles/bench_ablation_ordering.dir/bench_ablation_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

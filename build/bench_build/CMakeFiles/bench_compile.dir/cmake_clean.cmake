@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_compile"
+  "../bench/bench_compile.pdb"
+  "CMakeFiles/bench_compile.dir/bench_compile.cc.o"
+  "CMakeFiles/bench_compile.dir/bench_compile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_gemm"
+  "../bench/bench_fig4_gemm.pdb"
+  "CMakeFiles/bench_fig4_gemm.dir/bench_fig4_gemm.cc.o"
+  "CMakeFiles/bench_fig4_gemm.dir/bench_fig4_gemm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

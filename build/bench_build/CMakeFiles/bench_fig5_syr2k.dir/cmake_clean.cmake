@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_syr2k"
+  "../bench/bench_fig5_syr2k.pdb"
+  "CMakeFiles/bench_fig5_syr2k.dir/bench_fig5_syr2k.cc.o"
+  "CMakeFiles/bench_fig5_syr2k.dir/bench_fig5_syr2k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_syr2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_msgsize"
+  "../bench/bench_msgsize.pdb"
+  "CMakeFiles/bench_msgsize.dir/bench_msgsize.cc.o"
+  "CMakeFiles/bench_msgsize.dir/bench_msgsize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ownership"
+  "../bench/bench_ownership.pdb"
+  "CMakeFiles/bench_ownership.dir/bench_ownership.cc.o"
+  "CMakeFiles/bench_ownership.dir/bench_ownership.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perfmodel"
+  "../bench/bench_perfmodel.pdb"
+  "CMakeFiles/bench_perfmodel.dir/bench_perfmodel.cc.o"
+  "CMakeFiles/bench_perfmodel.dir/bench_perfmodel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sec2_overview.cc" "bench_build/CMakeFiles/bench_sec2_overview.dir/bench_sec2_overview.cc.o" "gcc" "bench_build/CMakeFiles/bench_sec2_overview.dir/bench_sec2_overview.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/anc_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/anc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/numa/CMakeFiles/anc_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/anc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/anc_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/anc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratmath/CMakeFiles/anc_ratmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

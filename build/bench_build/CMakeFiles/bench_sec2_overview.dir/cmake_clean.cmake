@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec2_overview"
+  "../bench/bench_sec2_overview.pdb"
+  "CMakeFiles/bench_sec2_overview.dir/bench_sec2_overview.cc.o"
+  "CMakeFiles/bench_sec2_overview.dir/bench_sec2_overview.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolayout.dir/autolayout.cpp.o"
+  "CMakeFiles/autolayout.dir/autolayout.cpp.o.d"
+  "autolayout"
+  "autolayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolayout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

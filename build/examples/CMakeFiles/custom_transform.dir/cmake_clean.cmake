@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_transform.dir/custom_transform.cpp.o"
+  "CMakeFiles/custom_transform.dir/custom_transform.cpp.o.d"
+  "custom_transform"
+  "custom_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_numa.dir/gemm_numa.cpp.o"
+  "CMakeFiles/gemm_numa.dir/gemm_numa.cpp.o.d"
+  "gemm_numa"
+  "gemm_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gemm_numa.
+# This may be replaced when dependencies are built.

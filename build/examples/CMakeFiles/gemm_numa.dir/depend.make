@@ -1,0 +1,2 @@
+# Empty dependencies file for gemm_numa.
+# This may be replaced when dependencies are built.

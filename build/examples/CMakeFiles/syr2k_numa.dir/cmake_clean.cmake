@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syr2k_numa.dir/syr2k_numa.cpp.o"
+  "CMakeFiles/syr2k_numa.dir/syr2k_numa.cpp.o.d"
+  "syr2k_numa"
+  "syr2k_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syr2k_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_stride.dir/vector_stride.cpp.o"
+  "CMakeFiles/vector_stride.dir/vector_stride.cpp.o.d"
+  "vector_stride"
+  "vector_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

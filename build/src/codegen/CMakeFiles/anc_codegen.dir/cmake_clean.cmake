@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_codegen.dir/emit_c.cc.o"
+  "CMakeFiles/anc_codegen.dir/emit_c.cc.o.d"
+  "CMakeFiles/anc_codegen.dir/planner.cc.o"
+  "CMakeFiles/anc_codegen.dir/planner.cc.o.d"
+  "CMakeFiles/anc_codegen.dir/strength.cc.o"
+  "CMakeFiles/anc_codegen.dir/strength.cc.o.d"
+  "libanc_codegen.a"
+  "libanc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

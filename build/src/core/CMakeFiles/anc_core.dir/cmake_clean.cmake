@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_core.dir/compiler.cc.o"
+  "CMakeFiles/anc_core.dir/compiler.cc.o.d"
+  "libanc_core.a"
+  "libanc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

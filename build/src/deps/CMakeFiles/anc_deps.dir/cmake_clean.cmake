@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_deps.dir/dependence.cc.o"
+  "CMakeFiles/anc_deps.dir/dependence.cc.o.d"
+  "libanc_deps.a"
+  "libanc_deps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_deps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

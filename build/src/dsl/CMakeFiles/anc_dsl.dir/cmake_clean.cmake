@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_dsl.dir/lexer.cc.o"
+  "CMakeFiles/anc_dsl.dir/lexer.cc.o.d"
+  "CMakeFiles/anc_dsl.dir/parser.cc.o"
+  "CMakeFiles/anc_dsl.dir/parser.cc.o.d"
+  "CMakeFiles/anc_dsl.dir/printer.cc.o"
+  "CMakeFiles/anc_dsl.dir/printer.cc.o.d"
+  "libanc_dsl.a"
+  "libanc_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

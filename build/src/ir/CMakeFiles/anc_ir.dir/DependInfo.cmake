@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cc" "src/ir/CMakeFiles/anc_ir.dir/affine.cc.o" "gcc" "src/ir/CMakeFiles/anc_ir.dir/affine.cc.o.d"
+  "/root/repo/src/ir/gallery.cc" "src/ir/CMakeFiles/anc_ir.dir/gallery.cc.o" "gcc" "src/ir/CMakeFiles/anc_ir.dir/gallery.cc.o.d"
+  "/root/repo/src/ir/interp.cc" "src/ir/CMakeFiles/anc_ir.dir/interp.cc.o" "gcc" "src/ir/CMakeFiles/anc_ir.dir/interp.cc.o.d"
+  "/root/repo/src/ir/loop_nest.cc" "src/ir/CMakeFiles/anc_ir.dir/loop_nest.cc.o" "gcc" "src/ir/CMakeFiles/anc_ir.dir/loop_nest.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/anc_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/anc_ir.dir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ratmath/CMakeFiles/anc_ratmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

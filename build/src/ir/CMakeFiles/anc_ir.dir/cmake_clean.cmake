@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_ir.dir/affine.cc.o"
+  "CMakeFiles/anc_ir.dir/affine.cc.o.d"
+  "CMakeFiles/anc_ir.dir/gallery.cc.o"
+  "CMakeFiles/anc_ir.dir/gallery.cc.o.d"
+  "CMakeFiles/anc_ir.dir/interp.cc.o"
+  "CMakeFiles/anc_ir.dir/interp.cc.o.d"
+  "CMakeFiles/anc_ir.dir/loop_nest.cc.o"
+  "CMakeFiles/anc_ir.dir/loop_nest.cc.o.d"
+  "CMakeFiles/anc_ir.dir/printer.cc.o"
+  "CMakeFiles/anc_ir.dir/printer.cc.o.d"
+  "libanc_ir.a"
+  "libanc_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_numa.dir/distribution.cc.o"
+  "CMakeFiles/anc_numa.dir/distribution.cc.o.d"
+  "CMakeFiles/anc_numa.dir/machine.cc.o"
+  "CMakeFiles/anc_numa.dir/machine.cc.o.d"
+  "CMakeFiles/anc_numa.dir/perf_model.cc.o"
+  "CMakeFiles/anc_numa.dir/perf_model.cc.o.d"
+  "CMakeFiles/anc_numa.dir/simulator.cc.o"
+  "CMakeFiles/anc_numa.dir/simulator.cc.o.d"
+  "libanc_numa.a"
+  "libanc_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ratmath/diophantine.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/diophantine.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/diophantine.cc.o.d"
+  "/root/repo/src/ratmath/hnf.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/hnf.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/hnf.cc.o.d"
+  "/root/repo/src/ratmath/int_util.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/int_util.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/int_util.cc.o.d"
+  "/root/repo/src/ratmath/lattice.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/lattice.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/lattice.cc.o.d"
+  "/root/repo/src/ratmath/linalg.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/linalg.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/linalg.cc.o.d"
+  "/root/repo/src/ratmath/matrix.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/matrix.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/matrix.cc.o.d"
+  "/root/repo/src/ratmath/rational.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/rational.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/rational.cc.o.d"
+  "/root/repo/src/ratmath/smith.cc" "src/ratmath/CMakeFiles/anc_ratmath.dir/smith.cc.o" "gcc" "src/ratmath/CMakeFiles/anc_ratmath.dir/smith.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

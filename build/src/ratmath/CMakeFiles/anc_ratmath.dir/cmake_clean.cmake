@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_ratmath.dir/diophantine.cc.o"
+  "CMakeFiles/anc_ratmath.dir/diophantine.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/hnf.cc.o"
+  "CMakeFiles/anc_ratmath.dir/hnf.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/int_util.cc.o"
+  "CMakeFiles/anc_ratmath.dir/int_util.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/lattice.cc.o"
+  "CMakeFiles/anc_ratmath.dir/lattice.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/linalg.cc.o"
+  "CMakeFiles/anc_ratmath.dir/linalg.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/matrix.cc.o"
+  "CMakeFiles/anc_ratmath.dir/matrix.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/rational.cc.o"
+  "CMakeFiles/anc_ratmath.dir/rational.cc.o.d"
+  "CMakeFiles/anc_ratmath.dir/smith.cc.o"
+  "CMakeFiles/anc_ratmath.dir/smith.cc.o.d"
+  "libanc_ratmath.a"
+  "libanc_ratmath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_ratmath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanc_ratmath.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/access_matrix.cc" "src/xform/CMakeFiles/anc_xform.dir/access_matrix.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/access_matrix.cc.o.d"
+  "/root/repo/src/xform/basis.cc" "src/xform/CMakeFiles/anc_xform.dir/basis.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/basis.cc.o.d"
+  "/root/repo/src/xform/classic.cc" "src/xform/CMakeFiles/anc_xform.dir/classic.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/classic.cc.o.d"
+  "/root/repo/src/xform/fourier_motzkin.cc" "src/xform/CMakeFiles/anc_xform.dir/fourier_motzkin.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/fourier_motzkin.cc.o.d"
+  "/root/repo/src/xform/legal.cc" "src/xform/CMakeFiles/anc_xform.dir/legal.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/legal.cc.o.d"
+  "/root/repo/src/xform/normalize.cc" "src/xform/CMakeFiles/anc_xform.dir/normalize.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/normalize.cc.o.d"
+  "/root/repo/src/xform/stride.cc" "src/xform/CMakeFiles/anc_xform.dir/stride.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/stride.cc.o.d"
+  "/root/repo/src/xform/suggest.cc" "src/xform/CMakeFiles/anc_xform.dir/suggest.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/suggest.cc.o.d"
+  "/root/repo/src/xform/transform.cc" "src/xform/CMakeFiles/anc_xform.dir/transform.cc.o" "gcc" "src/xform/CMakeFiles/anc_xform.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/anc_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/deps/CMakeFiles/anc_deps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratmath/CMakeFiles/anc_ratmath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anc_xform.dir/access_matrix.cc.o"
+  "CMakeFiles/anc_xform.dir/access_matrix.cc.o.d"
+  "CMakeFiles/anc_xform.dir/basis.cc.o"
+  "CMakeFiles/anc_xform.dir/basis.cc.o.d"
+  "CMakeFiles/anc_xform.dir/classic.cc.o"
+  "CMakeFiles/anc_xform.dir/classic.cc.o.d"
+  "CMakeFiles/anc_xform.dir/fourier_motzkin.cc.o"
+  "CMakeFiles/anc_xform.dir/fourier_motzkin.cc.o.d"
+  "CMakeFiles/anc_xform.dir/legal.cc.o"
+  "CMakeFiles/anc_xform.dir/legal.cc.o.d"
+  "CMakeFiles/anc_xform.dir/normalize.cc.o"
+  "CMakeFiles/anc_xform.dir/normalize.cc.o.d"
+  "CMakeFiles/anc_xform.dir/stride.cc.o"
+  "CMakeFiles/anc_xform.dir/stride.cc.o.d"
+  "CMakeFiles/anc_xform.dir/suggest.cc.o"
+  "CMakeFiles/anc_xform.dir/suggest.cc.o.d"
+  "CMakeFiles/anc_xform.dir/transform.cc.o"
+  "CMakeFiles/anc_xform.dir/transform.cc.o.d"
+  "libanc_xform.a"
+  "libanc_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anc_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_test.dir/emit_test.cc.o"
+  "CMakeFiles/emit_test.dir/emit_test.cc.o.d"
+  "emit_test"
+  "emit_test.pdb"
+  "emit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

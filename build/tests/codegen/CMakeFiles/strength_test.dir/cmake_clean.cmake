@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strength_test.dir/strength_test.cc.o"
+  "CMakeFiles/strength_test.dir/strength_test.cc.o.d"
+  "strength_test"
+  "strength_test.pdb"
+  "strength_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strength_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

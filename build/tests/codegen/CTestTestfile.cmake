@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codegen
+# Build directory: /root/repo/build/tests/codegen
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codegen/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen/emit_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen/strength_test[1]_include.cmake")

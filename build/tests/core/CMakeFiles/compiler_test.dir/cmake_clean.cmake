@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_test.dir/compiler_test.cc.o"
+  "CMakeFiles/compiler_test.dir/compiler_test.cc.o.d"
+  "compiler_test"
+  "compiler_test.pdb"
+  "compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

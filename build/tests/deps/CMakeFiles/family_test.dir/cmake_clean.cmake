@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/family_test.dir/family_test.cc.o"
+  "CMakeFiles/family_test.dir/family_test.cc.o.d"
+  "family_test"
+  "family_test.pdb"
+  "family_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/dsl
+# Build directory: /root/repo/build/tests/dsl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dsl/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl/roundtrip_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_pipeline_test.dir/fuzz_pipeline_test.cc.o"
+  "CMakeFiles/fuzz_pipeline_test.dir/fuzz_pipeline_test.cc.o.d"
+  "fuzz_pipeline_test"
+  "fuzz_pipeline_test.pdb"
+  "fuzz_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_preservation_test.dir/order_preservation_test.cc.o"
+  "CMakeFiles/order_preservation_test.dir/order_preservation_test.cc.o.d"
+  "order_preservation_test"
+  "order_preservation_test.pdb"
+  "order_preservation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_preservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

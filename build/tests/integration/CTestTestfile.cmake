@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/fuzz_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/order_preservation_test[1]_include.cmake")

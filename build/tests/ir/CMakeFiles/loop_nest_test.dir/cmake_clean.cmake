@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_nest_test.dir/loop_nest_test.cc.o"
+  "CMakeFiles/loop_nest_test.dir/loop_nest_test.cc.o.d"
+  "loop_nest_test"
+  "loop_nest_test.pdb"
+  "loop_nest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_nest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

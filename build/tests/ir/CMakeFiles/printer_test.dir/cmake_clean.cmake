@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_test.dir/printer_test.cc.o"
+  "CMakeFiles/printer_test.dir/printer_test.cc.o.d"
+  "printer_test"
+  "printer_test.pdb"
+  "printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distribution_test.dir/distribution_test.cc.o"
+  "CMakeFiles/distribution_test.dir/distribution_test.cc.o.d"
+  "distribution_test"
+  "distribution_test.pdb"
+  "distribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_param_test.dir/partition_param_test.cc.o"
+  "CMakeFiles/partition_param_test.dir/partition_param_test.cc.o.d"
+  "partition_param_test"
+  "partition_param_test.pdb"
+  "partition_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_edge_test.dir/sim_edge_test.cc.o"
+  "CMakeFiles/sim_edge_test.dir/sim_edge_test.cc.o.d"
+  "sim_edge_test"
+  "sim_edge_test.pdb"
+  "sim_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/numa
+# Build directory: /root/repo/build/tests/numa
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/numa/distribution_test[1]_include.cmake")
+include("/root/repo/build/tests/numa/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/numa/partition_param_test[1]_include.cmake")
+include("/root/repo/build/tests/numa/sim_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/numa/perf_model_test[1]_include.cmake")

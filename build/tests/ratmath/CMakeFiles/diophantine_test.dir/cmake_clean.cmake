@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diophantine_test.dir/diophantine_test.cc.o"
+  "CMakeFiles/diophantine_test.dir/diophantine_test.cc.o.d"
+  "diophantine_test"
+  "diophantine_test.pdb"
+  "diophantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diophantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

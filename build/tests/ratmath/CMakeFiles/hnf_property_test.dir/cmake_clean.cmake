@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnf_property_test.dir/hnf_property_test.cc.o"
+  "CMakeFiles/hnf_property_test.dir/hnf_property_test.cc.o.d"
+  "hnf_property_test"
+  "hnf_property_test.pdb"
+  "hnf_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

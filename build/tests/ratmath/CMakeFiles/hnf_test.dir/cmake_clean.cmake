@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hnf_test.dir/hnf_test.cc.o"
+  "CMakeFiles/hnf_test.dir/hnf_test.cc.o.d"
+  "hnf_test"
+  "hnf_test.pdb"
+  "hnf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hnf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

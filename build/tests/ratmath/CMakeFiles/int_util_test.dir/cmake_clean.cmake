@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_util_test.dir/int_util_test.cc.o"
+  "CMakeFiles/int_util_test.dir/int_util_test.cc.o.d"
+  "int_util_test"
+  "int_util_test.pdb"
+  "int_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

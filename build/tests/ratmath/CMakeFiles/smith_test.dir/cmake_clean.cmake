@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smith_test.dir/smith_test.cc.o"
+  "CMakeFiles/smith_test.dir/smith_test.cc.o.d"
+  "smith_test"
+  "smith_test.pdb"
+  "smith_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smith_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ratmath
+# Build directory: /root/repo/build/tests/ratmath
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ratmath/int_util_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/hnf_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/smith_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/diophantine_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/lattice_test[1]_include.cmake")
+include("/root/repo/build/tests/ratmath/hnf_property_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_matrix_test.dir/access_matrix_test.cc.o"
+  "CMakeFiles/access_matrix_test.dir/access_matrix_test.cc.o.d"
+  "access_matrix_test"
+  "access_matrix_test.pdb"
+  "access_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

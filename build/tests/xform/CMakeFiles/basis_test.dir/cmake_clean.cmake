@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basis_test.dir/basis_test.cc.o"
+  "CMakeFiles/basis_test.dir/basis_test.cc.o.d"
+  "basis_test"
+  "basis_test.pdb"
+  "basis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

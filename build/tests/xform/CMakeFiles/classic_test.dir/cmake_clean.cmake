@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_test.dir/classic_test.cc.o"
+  "CMakeFiles/classic_test.dir/classic_test.cc.o.d"
+  "classic_test"
+  "classic_test.pdb"
+  "classic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legal_test.dir/legal_test.cc.o"
+  "CMakeFiles/legal_test.dir/legal_test.cc.o.d"
+  "legal_test"
+  "legal_test.pdb"
+  "legal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

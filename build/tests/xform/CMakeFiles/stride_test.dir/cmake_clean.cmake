@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stride_test.dir/stride_test.cc.o"
+  "CMakeFiles/stride_test.dir/stride_test.cc.o.d"
+  "stride_test"
+  "stride_test.pdb"
+  "stride_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stride_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggest_test.dir/suggest_test.cc.o"
+  "CMakeFiles/suggest_test.dir/suggest_test.cc.o.d"
+  "suggest_test"
+  "suggest_test.pdb"
+  "suggest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

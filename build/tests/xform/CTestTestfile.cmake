@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/xform
+# Build directory: /root/repo/build/tests/xform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/xform/fourier_motzkin_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/transform_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/access_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/basis_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/legal_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/normalize_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/classic_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/suggest_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/param_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/xform/stride_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ancc.dir/ancc.cc.o"
+  "CMakeFiles/ancc.dir/ancc.cc.o.d"
+  "ancc"
+  "ancc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ancc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(ancc_gemm_report "/root/repo/build/tools/ancc" "/root/repo/tools/samples/gemm.an")
+set_tests_properties(ancc_gemm_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ancc_gemm_emit "/root/repo/build/tools/ancc" "--emit" "/root/repo/tools/samples/gemm.an")
+set_tests_properties(ancc_gemm_emit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ancc_syr2k_simulate "/root/repo/build/tools/ancc" "--emit" "--simulate" "P=1,4,8" "--param" "N=24" "--param" "b=4" "/root/repo/tools/samples/syr2k.an")
+set_tests_properties(ancc_syr2k_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ancc_figure1_suggest "/root/repo/build/tools/ancc" "--suggest" "/root/repo/tools/samples/figure1.an")
+set_tests_properties(ancc_figure1_suggest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ancc_no_restructure "/root/repo/build/tools/ancc" "--no-restructure" "--emit" "/root/repo/tools/samples/gemm.an")
+set_tests_properties(ancc_no_restructure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(ancc_missing_file "/root/repo/build/tools/ancc" "/nonexistent.an")
+set_tests_properties(ancc_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
