@@ -47,6 +47,9 @@ printAblation()
     std::printf("%-9s %14s %14s %16s %16s %9s\n", "workload",
                 "remote(hint)", "remote(blind)", "time(hint)",
                 "time(blind)", "penalty");
+    bench::JsonReport report("ablation_ordering");
+    report.flag("N", n);
+    report.flag("P", Int(16));
     for (Workload &w : workloads) {
         core::CompileOptions with, without;
         without.normalize.useDistributionHint = false;
@@ -55,8 +58,16 @@ printAblation()
         numa::SimOptions opts;
         opts.processors = 16;
         ir::Bindings binds{w.params, w.scalars};
+        bench::WallTimer th;
         numa::SimStats sh = core::simulate(ch, opts, binds);
+        double wall_h = th.seconds();
+        bench::WallTimer tb;
         numa::SimStats sb = core::simulate(cb, opts, binds);
+        double wall_b = tb.seconds();
+        report.run(std::string(w.name) + "_hint", 16, wall_h,
+                   sh.parallelTime());
+        report.run(std::string(w.name) + "_blind", 16, wall_b,
+                   sb.parallelTime());
         std::printf("%-9s %14llu %14llu %16.0f %16.0f %8.2fx\n", w.name,
                     static_cast<unsigned long long>(
                         sh.totalRemoteAccesses()),
@@ -71,6 +82,7 @@ printAblation()
                 "the penalty column is the heuristic's measured value.\n"
                 "(A penalty of 1.00x means frequency alone already made "
                 "the right choice.)\n\n");
+    report.write();
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include <random>
 
+#include "bench_util.h"
 #include "core/compiler.h"
 #include "ir/builder.h"
 #include "ratmath/hnf.h"
@@ -128,4 +129,21 @@ BENCHMARK(BM_Compile_FullPipeline)->DenseRange(2, 5, 1)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // No simulated workload here; the JSON records the wall cost of the
+    // full compile pipeline per nest depth (P column carries the depth).
+    bench::JsonReport report("compile");
+    for (Int depth : {2, 3, 4, 5}) {
+        ir::Program p = deepNest(size_t(depth));
+        bench::WallTimer timer;
+        core::Compilation c = core::compile(p);
+        benchmark::DoNotOptimize(c);
+        report.run("full_pipeline_depth", depth, timer.seconds(), 0.0);
+    }
+    report.write();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -61,8 +61,15 @@ data()
     return d;
 }
 
-double
-speedupOf(const core::Compilation &c, Int p, bool blocks)
+struct Measured
+{
+    double speedup;
+    double simTimeUs;
+    double wallSeconds;
+};
+
+Measured
+measure(const core::Compilation &c, Int p, bool blocks)
 {
     numa::SimOptions opts;
     opts.processors = p;
@@ -71,9 +78,16 @@ speedupOf(const core::Compilation &c, Int p, bool blocks)
     // with the number of processors sharing the network. Ablated in
     // bench_msgsize.
     opts.machine.contentionFactor = 0.01;
-    opts.sampleProcs = bench::sampleProcs(p);
+    bench::WallTimer timer;
     numa::SimStats s = core::simulate(c, opts, {{data().n}, {}});
-    return s.speedup(data().seqTime);
+    double wall = timer.seconds();
+    return {s.speedup(data().seqTime), s.parallelTime(), wall};
+}
+
+double
+speedupOf(const core::Compilation &c, Int p, bool blocks)
+{
+    return measure(c, p, blocks).speedup;
 }
 
 void
@@ -85,14 +99,28 @@ printFigure4()
                 "wrapped-column, BBN Butterfly GP1000 model");
     bench::printSpeedupHeader("speedup vs. processors",
                               {"gemm", "gemmT", "gemmB"});
+    bench::JsonReport report("fig4_gemm");
+    report.flag("N", d.n);
+    report.flag("full", bench::fullScale());
+    report.flag("contentionFactor", 0.01);
+    report.flag("sampled", false);
     for (Int p : bench::paperProcessorCounts()) {
-        bench::printSpeedupRow(p, {speedupOf(d.plain, p, false),
-                                   speedupOf(d.normalized, p, false),
-                                   speedupOf(d.normalized, p, true)});
+        Measured plain = measure(d.plain, p, false);
+        Measured norm_t = measure(d.normalized, p, false);
+        Measured norm_b = measure(d.normalized, p, true);
+        report.run("gemm", p, plain.wallSeconds, plain.simTimeUs,
+                   plain.speedup);
+        report.run("gemmT", p, norm_t.wallSeconds, norm_t.simTimeUs,
+                   norm_t.speedup);
+        report.run("gemmB", p, norm_b.wallSeconds, norm_b.simTimeUs,
+                   norm_b.speedup);
+        bench::printSpeedupRow(
+            p, {plain.speedup, norm_t.speedup, norm_b.speedup});
     }
     std::printf("\npaper shape: gemm saturates below ~8; gemmT and gemmB "
                 "keep climbing,\nwith gemmB highest and the T-to-B gap "
                 "modest (3 of 4 accesses already local).\n\n");
+    report.write();
 }
 
 void

@@ -74,8 +74,15 @@ data()
     return d;
 }
 
-double
-speedupOf(const core::Compilation &c, Int p, bool blocks)
+struct Measured
+{
+    double speedup;
+    double simTimeUs;
+    double wallSeconds;
+};
+
+Measured
+measure(const core::Compilation &c, Int p, bool blocks)
 {
     numa::SimOptions opts;
     opts.processors = p;
@@ -84,10 +91,17 @@ speedupOf(const core::Compilation &c, Int p, bool blocks)
     // with the number of processors sharing the network. Ablated in
     // bench_msgsize.
     opts.machine.contentionFactor = 0.01;
-    opts.sampleProcs = bench::sampleProcs(p);
+    bench::WallTimer timer;
     numa::SimStats s =
         core::simulate(c, opts, {{data().n, data().b}, {1.0, 1.0}});
-    return s.speedup(data().seqTime);
+    double wall = timer.seconds();
+    return {s.speedup(data().seqTime), s.parallelTime(), wall};
+}
+
+double
+speedupOf(const core::Compilation &c, Int p, bool blocks)
+{
+    return measure(c, p, blocks).speedup;
 }
 
 void
@@ -100,14 +114,29 @@ printFigure5()
                 static_cast<long long>(d.b));
     bench::printSpeedupHeader("speedup vs. processors",
                               {"syr2k", "syr2kT", "syr2kB"});
+    bench::JsonReport report("fig5_syr2k");
+    report.flag("N", d.n);
+    report.flag("b", d.b);
+    report.flag("full", bench::fullScale());
+    report.flag("contentionFactor", 0.01);
+    report.flag("sampled", false);
     for (Int p : bench::paperProcessorCounts()) {
-        bench::printSpeedupRow(p, {speedupOf(d.plain, p, false),
-                                   speedupOf(d.normalized, p, false),
-                                   speedupOf(d.normalized, p, true)});
+        Measured plain = measure(d.plain, p, false);
+        Measured norm_t = measure(d.normalized, p, false);
+        Measured norm_b = measure(d.normalized, p, true);
+        report.run("syr2k", p, plain.wallSeconds, plain.simTimeUs,
+                   plain.speedup);
+        report.run("syr2kT", p, norm_t.wallSeconds, norm_t.simTimeUs,
+                   norm_t.speedup);
+        report.run("syr2kB", p, norm_b.wallSeconds, norm_b.simTimeUs,
+                   norm_b.speedup);
+        bench::printSpeedupRow(
+            p, {plain.speedup, norm_t.speedup, norm_b.speedup});
     }
     std::printf("\npaper shape: syr2k saturates lowest; block transfers "
                 "matter more than in GEMM\n(many non-local accesses "
                 "remain), so syr2kB rises clearly above syr2kT.\n\n");
+    report.write();
 }
 
 void

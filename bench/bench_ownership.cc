@@ -49,17 +49,26 @@ printTable()
     std::printf("%-9s %3s %14s %14s %9s %12s %12s\n", "workload", "P",
                 "owner t(us)", "normal t(us)", "ratio", "guards/proc",
                 "owner remote");
+    bench::JsonReport report("ownership");
+    report.flag("N", bench::envInt("ANC_BENCH_N", 48));
     for (Workload &w : workloads()) {
         core::Compilation c = core::compile(w.prog);
         for (Int p : {4, 8, 16, 28}) {
             numa::SimOptions opts;
             opts.processors = p;
             ir::Bindings binds{w.params, w.scalars};
+            bench::WallTimer t_own;
             numa::SimStats own = numa::simulateOwnership(w.prog, opts,
                                                          binds);
+            double wall_own = t_own.seconds();
+            bench::WallTimer t_norm;
             numa::SimStats norm = core::simulate(c, opts, binds);
+            double wall_norm = t_norm.seconds();
             double to = own.parallelTime();
             double tn = norm.parallelTime();
+            report.run(std::string(w.name) + "_owner", p, wall_own, to);
+            report.run(std::string(w.name) + "_normalized", p, wall_norm,
+                       tn);
             std::printf("%-9s %3lld %14.0f %14.0f %9.2f %12llu %12llu\n",
                         w.name, static_cast<long long>(p), to, tn,
                         to / tn,
@@ -76,6 +85,7 @@ printTable()
 
     std::printf("--- ownership-rule node program for GEMM ---\n%s\n",
                 codegen::emitOwnershipProgram(ir::gallery::gemm()).c_str());
+    report.write();
 }
 
 void
@@ -84,7 +94,6 @@ BM_Ownership_SimulateGemm(benchmark::State &state)
     ir::Program p = ir::gallery::gemm();
     numa::SimOptions opts;
     opts.processors = state.range(0);
-    opts.sampleProcs = bench::sampleProcs(opts.processors);
     for (auto _ : state)
         benchmark::DoNotOptimize(
             numa::simulateOwnership(p, opts, {{32}, {}}));

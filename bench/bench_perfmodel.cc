@@ -23,7 +23,8 @@ using namespace anc;
 
 void
 printModelTable(const char *title, const core::Compilation &c,
-                const ir::Bindings &binds, bool blocks)
+                const ir::Bindings &binds, bool blocks,
+                bench::JsonReport &report)
 {
     double seq = core::sequentialTime(
         c, numa::MachineParams::butterflyGP1000(), binds.paramValues);
@@ -43,9 +44,12 @@ printModelTable(const char *title, const core::Compilation &c,
         numa::SimOptions opts;
         opts.processors = p;
         opts.blockTransfers = blocks;
-        opts.sampleProcs = bench::sampleProcs(p);
-        double sim = core::simulate(c, opts, binds).speedup(seq);
+        bench::WallTimer timer;
+        numa::SimStats s = core::simulate(c, opts, binds);
+        double wall = timer.seconds();
+        double sim = s.speedup(seq);
         double mod = m.predictSpeedup(p);
+        report.run(title, p, wall, s.parallelTime(), sim);
         std::printf("%6lld %12.2f %12.2f %9.1f%%\n",
                     static_cast<long long>(p), mod, sim,
                     sim > 0 ? 100.0 * (mod - sim) / sim : 0.0);
@@ -62,19 +66,24 @@ printAll()
     core::CompileOptions id;
     id.identityTransform = true;
 
+    bench::JsonReport report("perfmodel");
+    report.flag("N", n);
+    report.flag("sampled", false);
+
     core::Compilation gemm_plain = core::compile(ir::gallery::gemm(), id);
     core::Compilation gemm = core::compile(ir::gallery::gemm());
     ir::Bindings gb{{n}, {}};
-    printModelTable("gemm (plain)", gemm_plain, gb, false);
-    printModelTable("gemmT", gemm, gb, false);
-    printModelTable("gemmB", gemm, gb, true);
+    printModelTable("gemm (plain)", gemm_plain, gb, false, report);
+    printModelTable("gemmT", gemm, gb, false, report);
+    printModelTable("gemmB", gemm, gb, true, report);
 
     core::Compilation syr2k = core::compile(ir::gallery::syr2kBanded());
     ir::Bindings sb{{n, 28}, {1.0, 1.0}};
-    printModelTable("syr2kB", syr2k, sb, true);
+    printModelTable("syr2kB", syr2k, sb, true, report);
     std::printf("the model is exact for the uniform-work GEMM slices; "
                 "the triangular SYR2K\nslices stress its uniform-balance "
                 "assumption at high P (see DESIGN.md).\n\n");
+    report.write();
 }
 
 void

@@ -56,15 +56,24 @@ printSection2()
     std::printf("%-4s %18s %26s %18s %14s\n", "P", "B-remote (1(b))",
                 "formula 2*N1*N2*b*(1-1/P)", "B-remote (1(d))",
                 "A block msgs");
+    bench::JsonReport report("sec2_overview");
+    report.flag("N1", n1);
+    report.flag("N2", n2);
+    report.flag("b", b);
     for (Int p : {2, 4, 8, 16, 28}) {
         numa::SimOptions opts;
         opts.processors = p;
         opts.blockTransfers = false;
+        bench::WallTimer timer;
         numa::SimStats sp = core::simulate(plain, opts, {params, {}});
         numa::SimOptions ob = opts;
         ob.blockTransfers = true;
         numa::SimStats sn = core::simulate(norm, opts, {params, {}});
         numa::SimStats snb = core::simulate(norm, ob, {params, {}});
+        double wall = timer.seconds();
+        report.run("figure1_plain", p, wall, sp.parallelTime());
+        report.run("figure1_normT", p, wall, sn.parallelTime());
+        report.run("figure1_normB", p, wall, snb.parallelTime());
 
         // The paper counts B references once per iteration; we count
         // the read and the write separately, hence the factor 2.
@@ -83,6 +92,7 @@ printSection2()
     std::printf("\nafter normalization B is fully local (column 4) and "
                 "all A traffic moves as\nwhole-column block transfers "
                 "(column 5), exactly the Figure 1(d) schedule.\n\n");
+    report.write();
 }
 
 void
@@ -100,7 +110,6 @@ BM_Sec2_SimulateFigure1(benchmark::State &state)
     static core::Compilation c = core::compile(ir::gallery::figure1());
     numa::SimOptions opts;
     opts.processors = state.range(0);
-    opts.sampleProcs = bench::sampleProcs(opts.processors);
     Int n1 = 64;
     for (auto _ : state)
         benchmark::DoNotOptimize(

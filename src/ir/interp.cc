@@ -1,5 +1,7 @@
 #include "ir/interp.h"
 
+#include "ratmath/int_util.h"
+
 namespace anc::ir {
 
 ArrayStorage::ArrayStorage(const Program &prog, const IntVec &param_values)
@@ -63,6 +65,56 @@ ArrayStorage::fillDeterministic(uint64_t seed)
             v = double(Int(state >> 59)) - 16.0;
         }
     }
+}
+
+CompiledAffine
+CompiledAffine::compile(const AffineExpr &e, const IntVec &params)
+{
+    // Fold parameters and the constant into one rational, then scale
+    // everything by the common denominator of all terms.
+    Rational cst = e.constantTerm();
+    for (size_t q = 0; q < e.numParams(); ++q)
+        if (!e.paramCoeff(q).isZero())
+            cst += e.paramCoeff(q) * Rational(params[q]);
+    Int den = cst.den();
+    for (size_t k = 0; k < e.numVars(); ++k)
+        den = lcmInt(den, e.varCoeff(k).den());
+    CompiledAffine s;
+    s.den = den;
+    s.num.resize(e.numVars());
+    for (size_t k = 0; k < e.numVars(); ++k)
+        s.num[k] = (e.varCoeff(k) * Rational(den)).asInteger();
+    s.cst = (cst * Rational(den)).asInteger();
+    return s;
+}
+
+Int
+CompiledAffine::eval(const IntVec &u) const
+{
+    Int128 acc = cst;
+    for (size_t k = 0; k < num.size(); ++k)
+        acc += Int128(num[k]) * Int128(u[k]);
+    Int v = narrow128(acc);
+    if (den != 1) {
+        if (v % den != 0)
+            throw InternalError("subscript not integral at point");
+        v /= den;
+    }
+    return v;
+}
+
+bool
+CompiledAffine::stepDelta(size_t k, Int stride, Int *delta) const
+{
+    if (k >= num.size() || num[k] == 0) {
+        *delta = 0;
+        return true;
+    }
+    Int scaled = checkedMul(num[k], stride);
+    if (scaled % den != 0)
+        return false;
+    *delta = scaled / den;
+    return true;
 }
 
 Int

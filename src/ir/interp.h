@@ -67,6 +67,53 @@ class ArrayStorage
     std::vector<std::string> names_;
 };
 
+/**
+ * An affine subscript compiled to pure integer arithmetic against fixed
+ * parameter bindings:
+ *
+ *   value(u) = (num . u + cst) / den
+ *
+ * Parameters and the constant are folded into cst, and all coefficients
+ * are scaled by the common denominator den (1 for integer-coefficient
+ * source subscripts; the inverse-transform rows of restructured nests
+ * introduce rationals that are integral at every lattice point).
+ *
+ * Besides plain evaluation this carries the strength-reduction data the
+ * simulator's hot loop needs: stepDelta gives the exact change in value
+ * when one loop variable advances by its stride, so innermost iterations
+ * can update subscript values incrementally instead of re-evaluating the
+ * dot product.
+ */
+struct CompiledAffine
+{
+    IntVec num;  //!< scaled variable coefficients
+    Int cst = 0; //!< parameters and constant, folded and scaled
+    Int den = 1; //!< common denominator
+
+    /** Compile e against concrete parameter values. */
+    static CompiledAffine compile(const AffineExpr &e, const IntVec &params);
+
+    /** Exact value at the point u; throws InternalError if the rational
+     * value is not integral there. */
+    Int eval(const IntVec &u) const;
+
+    /**
+     * Exact integer change in value when variable k advances by stride
+     * with deeper variables unchanged. Returns false when the change is
+     * not an integer (the caller must re-evaluate at each point); this
+     * cannot happen between two consecutive enumerated lattice points,
+     * but callers stay defensive.
+     */
+    bool stepDelta(size_t k, Int stride, Int *delta) const;
+
+    /** True if variable k has a nonzero coefficient. */
+    bool
+    dependsOnVar(size_t k) const
+    {
+        return k < num.size() && num[k] != 0;
+    }
+};
+
 /** One observed array access, reported in execution order. */
 struct AccessEvent
 {

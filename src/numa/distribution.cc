@@ -47,23 +47,12 @@ Distribution::Distribution(const ir::DistributionSpec &spec,
 Int
 Distribution::owner(const IntVec &subs) const
 {
-    switch (spec_.kind) {
-      case ir::DistKind::Replicated:
+    if (spec_.kind == ir::DistKind::Replicated)
         return -1;
-      case ir::DistKind::Wrapped:
-        return euclidMod(subs[spec_.dims[0]], procs_);
-      case ir::DistKind::Blocked:
-        return std::min(procs_ - 1,
-                        floorDiv(subs[spec_.dims[0]], blockSizes_[0]));
-      case ir::DistKind::Block2D: {
-        Int r = std::min(gridRows_ - 1,
-                         floorDiv(subs[spec_.dims[0]], blockSizes_[0]));
-        Int c = std::min(gridCols_ - 1,
-                         floorDiv(subs[spec_.dims[1]], blockSizes_[1]));
-        return r * gridCols_ + c;
-      }
-    }
-    throw InternalError("unknown distribution kind");
+    return ownerOfDistCoords(subs[spec_.dims[0]],
+                             spec_.kind == ir::DistKind::Block2D
+                                 ? subs[spec_.dims[1]]
+                                 : 0);
 }
 
 Int

@@ -11,7 +11,10 @@
 #ifndef ANC_NUMA_DISTRIBUTION_H
 #define ANC_NUMA_DISTRIBUTION_H
 
+#include <algorithm>
+
 #include "ir/array.h"
+#include "ratmath/int_util.h"
 #include "ratmath/matrix.h"
 
 namespace anc::numa {
@@ -35,6 +38,31 @@ class Distribution
     /** Owner from the distribution-dimension index alone (1-D kinds
      * only; throws InternalError for Block2D). */
     Int ownerOfIndex(Int idx) const;
+
+    /**
+     * Owner from the distribution-dimension coordinates alone, given in
+     * spec().dims order (c1 is ignored except for Block2D). Agrees with
+     * owner() on full index tuples; -1 for a replicated array. The
+     * simulator's compiled references evaluate only these coordinates.
+     */
+    Int
+    ownerOfDistCoords(Int c0, Int c1 = 0) const
+    {
+        switch (spec_.kind) {
+          case ir::DistKind::Replicated:
+            return -1;
+          case ir::DistKind::Wrapped:
+            return euclidMod(c0, procs_);
+          case ir::DistKind::Blocked:
+            return std::min(procs_ - 1, floorDiv(c0, blockSizes_[0]));
+          case ir::DistKind::Block2D: {
+            Int r = std::min(gridRows_ - 1, floorDiv(c0, blockSizes_[0]));
+            Int c = std::min(gridCols_ - 1, floorDiv(c1, blockSizes_[1]));
+            return r * gridCols_ + c;
+          }
+        }
+        throw InternalError("unknown distribution kind");
+    }
 
     /** True if the array is replicated (never remote). */
     bool replicated() const { return spec_.kind == ir::DistKind::Replicated; }

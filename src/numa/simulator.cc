@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "numa/thread_pool.h"
 #include "ratmath/diophantine.h"
 
 namespace anc::numa {
@@ -11,57 +12,42 @@ namespace {
 
 constexpr int kNoHoist = -2;
 
-/** A subscript compiled to integer arithmetic: (num . u + cst) / den. */
-struct SubEval
+/** One distribution-dimension subscript of a compiled reference. */
+struct DistSub
 {
-    IntVec num;
-    Int cst = 0;
-    Int den = 1;
-
-    Int
-    eval(const IntVec &u) const
-    {
-        Int128 acc = cst;
-        for (size_t k = 0; k < num.size(); ++k)
-            acc += Int128(num[k]) * Int128(u[k]);
-        Int v = narrow128(acc);
-        if (den != 1) {
-            if (v % den != 0)
-                throw InternalError("subscript not integral at point");
-            v /= den;
-        }
-        return v;
-    }
+    ir::CompiledAffine sub;
+    /** Exact change per innermost iteration (0 when the subscript does
+     * not mention the innermost variable). */
+    Int innerDelta = 0;
 };
 
-SubEval
-compileSub(const ir::AffineExpr &e, const IntVec &params)
+/**
+ * How a reference can be charged across one full innermost-loop run
+ * (between two hoist/ownership boundaries, in the paper's terms).
+ */
+enum class InnerKind : uint8_t
 {
-    // Fold parameters and the constant into one rational.
-    Rational cst = e.constantTerm();
-    for (size_t q = 0; q < e.numParams(); ++q)
-        if (!e.paramCoeff(q).isZero())
-            cst += e.paramCoeff(q) * Rational(params[q]);
-    Int den = cst.den();
-    for (size_t k = 0; k < e.numVars(); ++k)
-        den = lcmInt(den, e.varCoeff(k).den());
-    SubEval s;
-    s.den = den;
-    s.num.resize(e.numVars());
-    for (size_t k = 0; k < e.numVars(); ++k)
-        s.num[k] = (e.varCoeff(k) * Rational(den)).asInteger();
-    s.cst = (cst * Rational(den)).asInteger();
-    return s;
-}
+    Invariant, //!< owner constant across the run: one closed-form charge
+    Wrapped,   //!< wrapped 1-D owner, periodic in the iteration number:
+               //!< charged by counting congruent iterations
+    Stepped,   //!< owner varies non-periodically (blocked/2-D blocks):
+               //!< walk iterations, advancing subscripts incrementally
+    Reeval,    //!< per-iteration delta not integral: re-evaluate (never
+               //!< the case between consecutive lattice points)
+};
 
 /** One compiled array reference. */
 struct RefEval
 {
     size_t arrayId;
     bool isWrite;
-    std::vector<SubEval> subs;
     int hoistLevel = kNoHoist;
-    size_t globalIdx = 0; //!< index into the per-run lastKey table
+    size_t globalIdx = 0;  //!< index into the per-run lastKey table
+    size_t coordBase = 0;  //!< offset into the per-run coordinate buffer
+    /** Compiled distribution-dimension subscripts in spec().dims order;
+     * empty for replicated arrays (always local). */
+    std::vector<DistSub> distSubs;
+    InnerKind innerKind = InnerKind::Invariant;
 };
 
 /** One compiled statement: reads in rhs order, then the write. */
@@ -72,6 +58,44 @@ struct StmtEval
     const ir::Statement *stmt = nullptr;
 };
 
+/**
+ * Number of j in [0, count) with (a + j*delta) mod m == target, the
+ * iteration-counting kernel of the closed-form wrapped-ownership path.
+ * Also reports the largest such j (jLast, meaningful when nonzero).
+ */
+struct CongruentCount
+{
+    uint64_t hits = 0;
+    uint64_t jLast = 0;
+};
+
+CongruentCount
+countCongruent(Int a, Int delta, uint64_t count, Int m, Int target)
+{
+    CongruentCount out;
+    Int need = euclidMod(checkedSub(target, a), m);
+    Int d = euclidMod(delta, m);
+    if (d == 0) {
+        if (need == 0) {
+            out.hits = count;
+            out.jLast = count - 1;
+        }
+        return out;
+    }
+    ExtGcd eg = extGcd(d, m);
+    if (need % eg.g != 0)
+        return out;
+    Int step = m / eg.g;
+    // (d/g) * x == 1 (mod m/g), so j0 = (need/g) * x mod step.
+    Int inv = euclidMod(eg.x, step);
+    Int j0 = Int((Int128(need / eg.g) * Int128(inv)) % Int128(step));
+    if (uint64_t(j0) >= count)
+        return out;
+    out.hits = (count - 1 - uint64_t(j0)) / uint64_t(step) + 1;
+    out.jLast = uint64_t(j0) + (out.hits - 1) * uint64_t(step);
+    return out;
+}
+
 } // namespace
 
 struct Simulator::Compiled
@@ -81,8 +105,8 @@ struct Simulator::Compiled
     IntVec params;
     size_t depth = 0;
     size_t numRefs = 0;
-    double remoteTime = 0.0;
-    double perElementBlockTime = 0.0;
+    size_t numCoords = 0; //!< total distribution coordinates, all refs
+    CostRates rates;
 };
 
 Simulator::Simulator(const ir::Program &prog,
@@ -99,7 +123,6 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
                         ir::ArrayStorage *storage,
                         const ir::Bindings &binds) const
 {
-    const MachineParams &m = opts_.machine;
     size_t n = c.depth;
     const IntVec &params = c.params;
 
@@ -108,7 +131,8 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
     y.reserve(n);
     std::vector<uint64_t> ticks(n, 0);
     std::vector<uint64_t> lastKey(c.numRefs, 0);
-    IntVec subsBuf;
+    IntVec coords(c.numCoords, 0);
+    const bool fast = opts_.fastInner && !storage && n >= 2;
     // Second-level clamp for 2-D block partitioning (lo, hi); hi may be
     // the sentinel max when the last grid column absorbs the remainder.
     bool clamp1 = false;
@@ -116,48 +140,189 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
 
     stats.proc = p;
 
+    auto owner_at = [&](const RefEval &r) -> Int {
+        if (r.distSubs.empty())
+            return -1;
+        Int c0 = r.distSubs[0].sub.eval(u);
+        Int c1 = r.distSubs.size() > 1 ? r.distSubs[1].sub.eval(u) : 0;
+        return c.dists[r.arrayId].ownerOfDistCoords(c0, c1);
+    };
+
+    // Charge `count` consecutive innermost accesses of one reference
+    // whose owner is the same at every one of them. `key` is the hoist
+    // key in effect (callers pass the value the naive walk would see).
+    auto charge_uniform = [&](const RefEval &r, Int own, uint64_t count,
+                              uint64_t key) {
+        if (own < 0 || own == p) {
+            stats.localAccesses += count;
+        } else if (!r.isWrite && opts_.blockTransfers &&
+                   r.hoistLevel != kNoHoist) {
+            if (lastKey[r.globalIdx] != key) {
+                lastKey[r.globalIdx] = key;
+                stats.blockTransfers += 1;
+            }
+            stats.blockElements += count;
+        } else {
+            stats.remoteAccesses += count;
+            if (stats.remoteByArray.empty())
+                stats.remoteByArray.assign(c.dists.size(), 0);
+            stats.remoteByArray[r.arrayId] += count;
+        }
+    };
+
     auto execute_body = [&]() {
         stats.iterations += 1;
-        stats.time += m.loopOverheadTime;
         for (const StmtEval &s : c.stmts) {
             stats.flops += s.flops;
-            stats.time += double(s.flops) * m.flopTime;
             for (const RefEval &r : s.refs) {
-                const Distribution &dist = c.dists[r.arrayId];
-                Int own = -1;
-                if (!dist.replicated()) {
-                    subsBuf.resize(r.subs.size());
-                    for (size_t d = 0; d < r.subs.size(); ++d) {
-                        subsBuf[d] =
-                            dist.spec().isDistributionDim(d)
-                                ? r.subs[d].eval(u)
-                                : 0;
-                    }
-                    own = dist.owner(subsBuf);
-                }
-                bool local = own < 0 || own == p;
-                if (local) {
-                    stats.localAccesses += 1;
-                    stats.time += m.localAccessTime;
-                } else if (!r.isWrite && opts_.blockTransfers &&
-                           r.hoistLevel != kNoHoist) {
-                    uint64_t key =
-                        r.hoistLevel < 0 ? 1 : ticks[size_t(r.hoistLevel)];
-                    if (lastKey[r.globalIdx] != key) {
-                        lastKey[r.globalIdx] = key;
-                        stats.blockTransfers += 1;
-                        stats.time += m.blockStartupTime;
-                    }
-                    stats.blockElements += 1;
-                    stats.time += c.perElementBlockTime + m.localAccessTime;
-                } else {
-                    stats.noteRemote(r.arrayId, c.dists.size());
-                    stats.time += c.remoteTime;
-                }
+                uint64_t key =
+                    r.hoistLevel == kNoHoist
+                        ? 0
+                        : (r.hoistLevel < 0 ? 1
+                                            : ticks[size_t(r.hoistLevel)]);
+                charge_uniform(r, owner_at(r), 1, key);
             }
             if (storage)
                 ir::execStatement(*s.stmt, u, binds, *storage, nullptr);
         }
+    };
+
+    // Strength-reduced / closed-form execution of one full innermost
+    // run [start, hi] by stride s. Equivalent to the naive loop
+    // counter-for-counter; see SimOptions::fastInner.
+    auto run_inner = [&](Int start, Int hi, Int s) {
+        uint64_t count = uint64_t((hi - start) / s) + 1;
+        u[n - 1] = start;
+        stats.iterations += count;
+        bool any_slow = false;
+        for (const StmtEval &se : c.stmts) {
+            stats.flops += se.flops * count;
+            for (const RefEval &r : se.refs) {
+                switch (r.innerKind) {
+                  case InnerKind::Invariant: {
+                    // The hoist key: constant when hoisted above the
+                    // innermost level, fresh every iteration when the
+                    // hoist boundary is the innermost loop itself.
+                    if (r.hoistLevel == int(n) - 1 && !r.isWrite &&
+                        opts_.blockTransfers) {
+                        Int own = owner_at(r);
+                        if (own < 0 || own == p) {
+                            stats.localAccesses += count;
+                        } else {
+                            stats.blockTransfers += count;
+                            stats.blockElements += count;
+                            lastKey[r.globalIdx] = ticks[n - 1] + count;
+                        }
+                    } else {
+                        uint64_t key =
+                            r.hoistLevel == kNoHoist
+                                ? 0
+                                : (r.hoistLevel < 0
+                                       ? 1
+                                       : ticks[size_t(r.hoistLevel)]);
+                        charge_uniform(r, owner_at(r), count, key);
+                    }
+                    break;
+                  }
+                  case InnerKind::Wrapped: {
+                    const Distribution &dist = c.dists[r.arrayId];
+                    Int a = r.distSubs[0].sub.eval(u);
+                    CongruentCount local = countCongruent(
+                        a, r.distSubs[0].innerDelta, count,
+                        dist.processors(), p);
+                    uint64_t remote = count - local.hits;
+                    stats.localAccesses += local.hits;
+                    if (remote == 0)
+                        break;
+                    if (!r.isWrite && opts_.blockTransfers &&
+                        r.hoistLevel != kNoHoist) {
+                        if (r.hoistLevel == int(n) - 1) {
+                            // Every remote iteration ticks the hoist
+                            // level, so each fetches a fresh block; the
+                            // last key consumed belongs to the last
+                            // remote iteration.
+                            uint64_t j_last_remote =
+                                local.hits > 0 && local.jLast == count - 1
+                                    ? count - 2
+                                    : count - 1;
+                            stats.blockTransfers += remote;
+                            stats.blockElements += remote;
+                            lastKey[r.globalIdx] =
+                                ticks[n - 1] + j_last_remote + 1;
+                        } else {
+                            uint64_t key =
+                                r.hoistLevel < 0
+                                    ? 1
+                                    : ticks[size_t(r.hoistLevel)];
+                            if (lastKey[r.globalIdx] != key) {
+                                lastKey[r.globalIdx] = key;
+                                stats.blockTransfers += 1;
+                            }
+                            stats.blockElements += remote;
+                        }
+                    } else {
+                        stats.remoteAccesses += remote;
+                        if (stats.remoteByArray.empty())
+                            stats.remoteByArray.assign(c.dists.size(), 0);
+                        stats.remoteByArray[r.arrayId] += remote;
+                    }
+                    break;
+                  }
+                  case InnerKind::Stepped:
+                  case InnerKind::Reeval:
+                    any_slow = true;
+                    break;
+                }
+            }
+        }
+        if (any_slow) {
+            // Walk the run once for the references the closed forms do
+            // not cover, advancing their subscripts incrementally.
+            for (const StmtEval &se : c.stmts)
+                for (const RefEval &r : se.refs)
+                    if (r.innerKind == InnerKind::Stepped)
+                        for (size_t d = 0; d < r.distSubs.size(); ++d)
+                            coords[r.coordBase + d] =
+                                r.distSubs[d].sub.eval(u);
+            Int v = start;
+            for (uint64_t j = 0; j < count; ++j) {
+                u[n - 1] = v;
+                uint64_t inner_tick = ticks[n - 1] + j + 1;
+                for (const StmtEval &se : c.stmts) {
+                    for (const RefEval &r : se.refs) {
+                        if (r.innerKind != InnerKind::Stepped &&
+                            r.innerKind != InnerKind::Reeval)
+                            continue;
+                        Int own;
+                        if (r.innerKind == InnerKind::Stepped) {
+                            Int c0 = coords[r.coordBase];
+                            Int c1 = r.distSubs.size() > 1
+                                         ? coords[r.coordBase + 1]
+                                         : 0;
+                            own = c.dists[r.arrayId].ownerOfDistCoords(
+                                c0, c1);
+                        } else {
+                            own = owner_at(r);
+                        }
+                        uint64_t key =
+                            r.hoistLevel == kNoHoist
+                                ? 0
+                                : (r.hoistLevel < 0 ? 1
+                                   : r.hoistLevel == int(n) - 1
+                                       ? inner_tick
+                                       : ticks[size_t(r.hoistLevel)]);
+                        charge_uniform(r, own, 1, key);
+                        if (r.innerKind == InnerKind::Stepped)
+                            for (size_t d = 0; d < r.distSubs.size(); ++d)
+                                coords[r.coordBase + d] +=
+                                    r.distSubs[d].innerDelta;
+                    }
+                }
+                v += s;
+            }
+        }
+        ticks[n - 1] += count;
+        u[n - 1] = 0;
     };
 
     std::function<void(size_t)> walk = [&](size_t k) {
@@ -175,6 +340,12 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
             return;
         Int s = nest_.lattice().stride(k);
         Int start = nest_.startAt(k, lo, y);
+        if (start > hi)
+            return;
+        if (fast && k == n - 1) {
+            run_inner(start, hi, s);
+            return;
+        }
         for (Int v = start; v <= hi; v += s) {
             u[k] = v;
             ticks[k] += 1;
@@ -259,10 +430,8 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
         u[0] = v;
         ticks[0] += 1;
         y.push_back(nest_.lattice().solveY(0, v, y));
-        if (!plan_.outerParallel) {
+        if (!plan_.outerParallel)
             stats.syncs += 1;
-            stats.time += opts_.machine.syncTime;
-        }
         walk(1);
         y.pop_back();
     }
@@ -285,12 +454,53 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
     for (const ir::ArrayDecl &a : prog_.arrays)
         c.dists.emplace_back(a.dist, a.evalExtents(binds.paramValues),
                              opts_.processors);
-    c.remoteTime = opts_.machine.remoteTime(int(opts_.processors));
-    c.perElementBlockTime =
-        opts_.machine.blockPerByteTime *
-        (1.0 + opts_.machine.contentionFactor *
-                   double(opts_.processors - 1)) *
-        double(opts_.machine.elementSize);
+    const MachineParams &m = opts_.machine;
+    c.rates.loopOverhead = m.loopOverheadTime;
+    c.rates.flop = m.flopTime;
+    c.rates.local = m.localAccessTime;
+    c.rates.remote = m.remoteTime(int(opts_.processors));
+    c.rates.blockStartup = m.blockStartupTime;
+    c.rates.blockElement =
+        m.blockPerByteTime *
+        (1.0 + m.contentionFactor * double(opts_.processors - 1)) *
+        double(m.elementSize);
+    c.rates.guard = m.guardTime;
+    c.rates.sync = m.syncTime;
+
+    size_t inner = c.depth > 0 ? c.depth - 1 : 0;
+    Int inner_stride = c.depth > 0 ? nest_.lattice().stride(inner) : 1;
+    auto compile_ref = [&](const ir::ArrayRef &ref, bool is_write) {
+        RefEval re;
+        re.arrayId = ref.arrayId;
+        re.isWrite = is_write;
+        re.coordBase = c.numCoords;
+        const Distribution &dist = c.dists[ref.arrayId];
+        bool varies = false, exact = true;
+        for (size_t dim : dist.spec().dims) {
+            if (dim >= ref.subscripts.size())
+                throw InternalError(
+                    "distribution dimension exceeds reference rank");
+            DistSub ds;
+            ds.sub = ir::CompiledAffine::compile(ref.subscripts[dim],
+                                                 c.params);
+            if (c.depth > 0 &&
+                !ds.sub.stepDelta(inner, inner_stride, &ds.innerDelta))
+                exact = false;
+            if (ds.innerDelta != 0 || !exact)
+                varies = true;
+            re.distSubs.push_back(std::move(ds));
+        }
+        c.numCoords += re.distSubs.size();
+        if (!exact)
+            re.innerKind = InnerKind::Reeval;
+        else if (!varies)
+            re.innerKind = InnerKind::Invariant;
+        else if (dist.spec().kind == ir::DistKind::Wrapped)
+            re.innerKind = InnerKind::Wrapped;
+        else
+            re.innerKind = InnerKind::Stepped;
+        return re;
+    };
 
     size_t global = 0;
     for (size_t si = 0; si < nest_.body().size(); ++si) {
@@ -300,11 +510,7 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
         se.flops = stmt.flopCount();
         size_t read_idx = 0;
         stmt.rhs.forEachRef([&](const ir::ArrayRef &r) {
-            RefEval re;
-            re.arrayId = r.arrayId;
-            re.isWrite = false;
-            for (const ir::AffineExpr &e : r.subscripts)
-                re.subs.push_back(compileSub(e, c.params));
+            RefEval re = compile_ref(r, false);
             for (const BlockHoist &h : plan_.hoists)
                 if (h.stmt == si && h.readIdx == read_idx)
                     re.hoistLevel = h.level;
@@ -312,11 +518,7 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
             se.refs.push_back(std::move(re));
             ++read_idx;
         });
-        RefEval w;
-        w.arrayId = stmt.lhs.arrayId;
-        w.isWrite = true;
-        for (const ir::AffineExpr &e : stmt.lhs.subscripts)
-            w.subs.push_back(compileSub(e, c.params));
+        RefEval w = compile_ref(stmt.lhs, true);
         w.globalIdx = global++;
         se.refs.push_back(std::move(w));
         c.stmts.push_back(std::move(se));
@@ -333,10 +535,24 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
     out.sampled = Int(procs.size()) != opts_.processors;
     if (storage && out.sampled)
         throw UserError("executeValues requires simulating all processors");
-    for (Int p : procs) {
-        ProcStats ps;
-        runProcessor(c, p, ps, storage, binds);
-        out.perProc.push_back(ps);
+    out.perProc.assign(procs.size(), ProcStats{});
+
+    size_t threads = opts_.hostThreads > 0
+                         ? size_t(opts_.hostThreads)
+                         : ThreadPool::shared().concurrency();
+    bool serial = storage != nullptr || !plan_.outerParallel ||
+                  threads <= 1 || procs.size() <= 1;
+    if (serial) {
+        for (size_t i = 0; i < procs.size(); ++i) {
+            runProcessor(c, procs[i], out.perProc[i], storage, binds);
+            finalizeProcTime(out.perProc[i], c.rates);
+        }
+    } else {
+        ThreadPool::shared().parallelFor(
+            procs.size(), threads, [&](size_t i) {
+                runProcessor(c, procs[i], out.perProc[i], nullptr, binds);
+                finalizeProcTime(out.perProc[i], c.rates);
+            });
     }
     return out;
 }
@@ -379,52 +595,80 @@ simulateOwnership(const ir::Program &prog, const SimOptions &opts,
         out.perProc[i].proc = sample[i];
         proc_of[size_t(sample[i])] = Int(i);
     }
-    double remote_time = m.remoteTime(int(procs));
+    CostRates rates;
+    rates.loopOverhead = m.loopOverheadTime;
+    rates.flop = m.flopTime;
+    rates.local = m.localAccessTime;
+    rates.remote = m.remoteTime(int(procs));
+    rates.guard = m.guardTime;
+
+    // Compile every reference's distribution coordinates once; the
+    // ownership rule re-walks the untransformed nest, so subscripts are
+    // integer dot products via the shared helper.
+    struct OwnRef
+    {
+        size_t arrayId;
+        std::vector<std::pair<size_t, ir::CompiledAffine>> distSubs;
+    };
+    struct OwnStmt
+    {
+        size_t flops;
+        OwnRef lhs;
+        std::vector<OwnRef> refs; //!< reads, then the write again
+    };
+    auto compile_ref = [&](const ir::ArrayRef &r) {
+        OwnRef o;
+        o.arrayId = r.arrayId;
+        for (size_t dim : dists[r.arrayId].spec().dims) {
+            if (dim >= r.subscripts.size())
+                throw InternalError(
+                    "distribution dimension exceeds reference rank");
+            o.distSubs.emplace_back(
+                dim, ir::CompiledAffine::compile(r.subscripts[dim],
+                                                 binds.paramValues));
+        }
+        return o;
+    };
+    std::vector<OwnStmt> stmts;
+    for (const ir::Statement &s : prog.nest.body()) {
+        OwnStmt os;
+        os.flops = s.flopCount();
+        os.lhs = compile_ref(s.lhs);
+        s.rhs.forEachRef(
+            [&](const ir::ArrayRef &r) { os.refs.push_back(compile_ref(r)); });
+        os.refs.push_back(compile_ref(s.lhs));
+        stmts.push_back(std::move(os));
+    }
+
+    auto owner_of = [&](const OwnRef &r, const IntVec &it) -> Int {
+        if (r.distSubs.empty())
+            return -1;
+        Int c0 = r.distSubs[0].second.eval(it);
+        Int c1 = r.distSubs.size() > 1 ? r.distSubs[1].second.eval(it) : 0;
+        return dists[r.arrayId].ownerOfDistCoords(c0, c1);
+    };
 
     uint64_t total_iterations = 0;
-    IntVec subsBuf;
     ir::forEachIteration(prog.nest, binds.paramValues, [&](const IntVec &it) {
         ++total_iterations;
-        for (const ir::Statement &s : prog.nest.body()) {
-            // Owner of the left-hand side element.
-            const Distribution &ld = dists[s.lhs.arrayId];
-            Int own = 0;
-            if (!ld.replicated()) {
-                subsBuf.clear();
-                for (const ir::AffineExpr &e : s.lhs.subscripts)
-                    subsBuf.push_back(
-                        e.evaluateInt(it, binds.paramValues));
-                own = ld.owner(subsBuf);
-            }
+        for (const OwnStmt &s : stmts) {
+            // Owner of the left-hand side element (replicated lhs runs
+            // on processor 0 by convention).
+            Int own = s.lhs.distSubs.empty() ? 0 : owner_of(s.lhs, it);
             Int slot = own >= 0 && own < procs ? proc_of[size_t(own)] : -1;
             if (slot < 0)
                 continue;
             ProcStats &ps = out.perProc[size_t(slot)];
             ps.iterations += 1;
-            ps.time += m.loopOverheadTime;
-            size_t flops = s.flopCount();
-            ps.flops += flops;
-            ps.time += double(flops) * m.flopTime;
-            auto charge = [&](const ir::ArrayRef &r) {
-                const Distribution &d = dists[r.arrayId];
-                Int o = -1;
-                if (!d.replicated()) {
-                    subsBuf.clear();
-                    for (const ir::AffineExpr &e : r.subscripts)
-                        subsBuf.push_back(
-                            e.evaluateInt(it, binds.paramValues));
-                    o = d.owner(subsBuf);
-                }
+            ps.flops += s.flops;
+            for (const OwnRef &r : s.refs) {
+                Int o = owner_of(r, it);
                 if (o < 0 || o == own) {
                     ps.localAccesses += 1;
-                    ps.time += m.localAccessTime;
                 } else {
                     ps.noteRemote(r.arrayId, dists.size());
-                    ps.time += remote_time;
                 }
-            };
-            s.rhs.forEachRef(charge);
-            charge(s.lhs);
+            }
         }
     });
 
@@ -432,7 +676,7 @@ simulateOwnership(const ir::Program &prog, const SimOptions &opts,
     // "looking for work to do" cost.
     for (ProcStats &ps : out.perProc) {
         ps.guardChecks += total_iterations;
-        ps.time += double(total_iterations) * m.guardTime;
+        finalizeProcTime(ps, rates);
     }
     return out;
 }

@@ -12,6 +12,13 @@
  * of Section 2 ("all processors execute all iterations looking for
  * work").
  *
+ * Simulated processors are independent, so the walks run concurrently
+ * on a host thread pool (SimOptions::hostThreads) and the innermost
+ * loop is strength-reduced and, where ownership is constant or
+ * wrapped-periodic, charged in closed form (SimOptions::fastInner).
+ * Each processor's clock is derived once from its integer event
+ * counters, so every execution strategy yields bit-identical SimStats.
+ *
  * The block-transfer model assumes each element of a fetched block is
  * used once per block epoch (true of the paper's workloads, where the
  * innermost loop sweeps a fresh array row per element): a hoisted read
@@ -48,6 +55,25 @@ struct SimOptions
     std::vector<Int> sampleProcs;
     /** Also execute statement values into storage (slow; for tests). */
     bool executeValues = false;
+    /**
+     * Host threads simulating processors concurrently: 0 means one per
+     * hardware thread, 1 forces the serial path, N caps the pool. Each
+     * simulated processor's walk is independent, and per-processor
+     * results are merged in processor order, so stats are bit-identical
+     * for every thread count. Value-executing runs and plans whose
+     * outer loop is not parallel always take the serial path.
+     */
+    Int hostThreads = 0;
+    /**
+     * Strength-reduce the innermost loop: distribution-dimension
+     * subscripts advance by precomputed per-iteration deltas instead of
+     * re-evaluated dot products, and references whose ownership pattern
+     * is constant or wrapped-periodic across the innermost loop are
+     * charged in closed form without iterating at all. Produces
+     * bit-identical stats to the naive walk (it counts exactly what the
+     * naive walk counts, and simulated time is derived from the counts).
+     */
+    bool fastInner = true;
 };
 
 /** Simulator for a planned SPMD execution of a transformed nest. */

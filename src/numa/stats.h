@@ -42,6 +42,40 @@ struct ProcStats
     }
 };
 
+/**
+ * Per-event costs (microseconds) used to derive ProcStats::time from
+ * the integer counters. Deriving the clock once per processor -- rather
+ * than accumulating doubles event by event -- makes the simulated time
+ * a pure function of the counters, so every execution strategy (serial,
+ * host-parallel, strength-reduced, closed-form) that produces the same
+ * counts produces the bit-identical time.
+ */
+struct CostRates
+{
+    double loopOverhead = 0.0; //!< per innermost iteration
+    double flop = 0.0;
+    double local = 0.0;        //!< per local reference
+    double remote = 0.0;       //!< per element-wise remote, with contention
+    double blockStartup = 0.0; //!< per hoisted block message
+    double blockElement = 0.0; //!< per moved element, with contention
+    double guard = 0.0;        //!< per ownership-rule guard evaluation
+    double sync = 0.0;
+};
+
+/** Set p.time from its counters; the fixed evaluation order below is
+ * part of the simulator's determinism guarantee. */
+inline void
+finalizeProcTime(ProcStats &p, const CostRates &r)
+{
+    p.time = double(p.iterations) * r.loopOverhead +
+             double(p.flops) * r.flop +
+             double(p.localAccesses) * r.local +
+             double(p.remoteAccesses) * r.remote +
+             double(p.blockTransfers) * r.blockStartup +
+             double(p.blockElements) * (r.blockElement + r.local) +
+             double(p.guardChecks) * r.guard + double(p.syncs) * r.sync;
+}
+
 /** Whole-machine result of one simulated run. */
 struct SimStats
 {

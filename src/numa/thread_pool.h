@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host-side worker pool for the NUMA simulator.
+ *
+ * The simulator's per-processor walks are embarrassingly parallel:
+ * each simulated processor accumulates a private ProcStats and never
+ * touches another's state. This pool turns that independence into host
+ * parallelism: parallelFor(count, fn) claims indices from a shared
+ * atomic counter, the calling thread participates, and completion is a
+ * full barrier. Determinism is structural -- every index writes only
+ * its own result slot, so the outcome is bit-identical for any worker
+ * count and any interleaving.
+ *
+ * Workers are created once and parked on a condition variable between
+ * jobs, so repeated simulator runs (the benchmarks' inner loops) do not
+ * pay thread start-up costs.
+ */
+
+#ifndef ANC_NUMA_THREAD_POOL_H
+#define ANC_NUMA_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anc::numa {
+
+/** A fixed set of parked worker threads with a parallel-for entry. */
+class ThreadPool
+{
+  public:
+    /** Create `workers` parked worker threads (0 is valid: every
+     * parallelFor then runs inline on the caller). */
+    explicit ThreadPool(size_t workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker threads plus the participating caller. */
+    size_t concurrency() const { return workers_.size() + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, count) using at most maxThreads
+     * concurrent threads (caller included; 0 means "all of the pool").
+     * Blocks until every index has completed. If any invocation throws,
+     * the remaining indices still run and the first captured exception
+     * is rethrown on the caller. Safe to call from several threads at
+     * once (jobs serialize); must not be called from inside fn.
+     */
+    void parallelFor(size_t count, size_t maxThreads,
+                     const std::function<void(size_t)> &fn);
+
+    /**
+     * Process-wide pool sized to the hardware (hardware_concurrency - 1
+     * workers), built on first use.
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop();
+    void runChunk();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex callerMu_; //!< serializes concurrent parallelFor callers
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    bool stop_ = false;
+    uint64_t generation_ = 0;
+
+    // State of the job in flight (guarded by mu_ except next_).
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t count_ = 0;
+    size_t maxWorkers_ = 0; //!< workers allowed into the current job
+    size_t active_ = 0;     //!< workers currently inside the job
+    std::atomic<size_t> next_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_THREAD_POOL_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the host-side worker pool behind the simulator's
+ * parallel processor walks.
+ */
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "numa/thread_pool.h"
+
+namespace anc::numa {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.concurrency(), 4u);
+    for (size_t count : {0u, 1u, 3u, 4u, 17u, 100u}) {
+        std::vector<std::atomic<int>> hits(count);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(count, 8,
+                         [&](size_t i) { hits[i].fetch_add(1); });
+        for (size_t i = 0; i < count; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPool, JobsCanBeReusedBackToBack)
+{
+    ThreadPool pool(2);
+    std::atomic<size_t> total{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(10, 4, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 500u);
+}
+
+TEST(ThreadPool, MaxThreadsOneRunsInline)
+{
+    ThreadPool pool(2);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(5);
+    pool.parallelFor(5, 1,
+                     [&](size_t i) { ran[i] = std::this_thread::get_id(); });
+    for (const auto &id : ran)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.concurrency(), 1u);
+    std::vector<int> hits(7, 0);
+    pool.parallelFor(7, 8, [&](size_t i) { hits[i]++; });
+    for (int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(20, 4,
+                                  [](size_t i) {
+                                      if (i == 5)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool must remain usable after a failed job.
+    std::atomic<size_t> total{0};
+    pool.parallelFor(12, 4, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 12u);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable)
+{
+    ThreadPool &pool = ThreadPool::shared();
+    EXPECT_GE(pool.concurrency(), 1u);
+    std::atomic<size_t> total{0};
+    pool.parallelFor(9, 4, [&](size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 9u);
+}
+
+} // namespace
+} // namespace anc::numa
