@@ -3,8 +3,217 @@
 #include <sstream>
 
 #include "ir/printer.h"
+#include "ratmath/linalg.h"
+#include "xform/basis.h"
+#include "xform/legal.h"
 
 namespace anc::core {
+
+const char *
+tierName(CompileTier t)
+{
+    switch (t) {
+    case CompileTier::Full:
+        return "full";
+    case CompileTier::Unimodular:
+        return "unimodular";
+    case CompileTier::Identity:
+        return "identity";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * Dependence matrix assumed when dependence analysis itself failed: a
+ * single outer-carried distance. The identity transformation trivially
+ * respects it, the planner sees a carried dependence on the outermost
+ * loop (so outer iterations synchronize), and no restructuring is ever
+ * attempted against it.
+ */
+IntMatrix
+conservativeDepMatrix(size_t n)
+{
+    IntMatrix d(n, 1);
+    if (n > 0)
+        d(0, 0) = 1;
+    return d;
+}
+
+/**
+ * One tier of the normalization pipeline, with stage provenance: the
+ * caller's `stage` always names the stage that is executing, so a catch
+ * site knows exactly where a throw came from.
+ */
+xform::NormalizeResult
+normalizeAtTier(const ir::Program &prog,
+                const xform::AccessMatrixInfo &access,
+                const deps::DependenceInfo &dinfo,
+                const xform::NormalizeOptions &nopts, bool unimodular_only,
+                Stage &stage)
+{
+    size_t n = prog.nest.depth();
+    xform::NormalizeResult r;
+    r.access = access;
+    r.depMatrix = dinfo.matrix(n);
+    r.depsImprecise = dinfo.imprecise;
+
+    stage = Stage::Normalize;
+    r.basis = xform::basisMatrix(r.access.matrix).basis;
+
+    stage = Stage::Legality;
+    if (nopts.enforceLegality) {
+        r.legal = xform::legalBasis(r.basis, r.depMatrix);
+        r.transform =
+            unimodular_only
+                ? xform::unimodularLegalInvertible(r.legal, r.depMatrix, n,
+                                                   &r.unimodularDropped)
+                : xform::legalInvertible(r.legal, r.depMatrix);
+        if (!deps::isLegalTransformation(r.transform, r.depMatrix))
+            throw InternalError("normalization produced illegal transform");
+        if (dinfo.imprecise &&
+            !deps::preservesLexSign(r.transform, dinfo.families)) {
+            r.transform = IntMatrix::identity(n);
+            r.conservativeFallback = true;
+        }
+    } else {
+        r.legal = r.basis;
+        if (unimodular_only) {
+            r.transform = IntMatrix::identity(n);
+            r.unimodularDropped = r.basis.rows();
+            for (size_t keep = r.basis.rows() + 1; keep-- > 0;) {
+                IntMatrix prefix(0, n);
+                for (size_t i = 0; i < keep; ++i)
+                    prefix.appendRow(r.basis.row(i));
+                try {
+                    IntMatrix t = xform::padToInvertible(prefix);
+                    if (isUnimodular(t)) {
+                        r.transform = t;
+                        r.unimodularDropped = r.basis.rows() - keep;
+                        break;
+                    }
+                } catch (const Error &) {
+                    // Try a shorter prefix.
+                }
+            }
+        } else {
+            r.transform = xform::padToInvertible(r.basis);
+        }
+    }
+
+    stage = Stage::Transform;
+    r.unimodular = isUnimodular(r.transform);
+    for (size_t l = 0; l < n; ++l) {
+        IntVec row = r.transform.row(l);
+        IntVec neg_row = row;
+        for (Int &v : neg_row)
+            v = checkedNeg(v);
+        for (size_t a = 0; a < r.access.rows.size(); ++a) {
+            if (r.access.rows[a].coeffs == row ||
+                r.access.rows[a].coeffs == neg_row) {
+                r.normalized.push_back({l, a, r.access.rows[a].distDim});
+                ++r.rowsRetained;
+                break;
+            }
+        }
+    }
+    r.nest = xform::applyTransform(prog, r.transform);
+    return r;
+}
+
+/** Plan, optionally strength-reduce, and emit for the current nest. */
+void
+planAndEmit(Compilation &c, bool with_access, bool with_strength,
+            Stage &stage)
+{
+    stage = Stage::Plan;
+    c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
+                                  c.normalization.depMatrix,
+                                  with_access ? &c.normalization.access
+                                              : nullptr);
+    c.strengthReduction.clear();
+    if (with_strength) {
+        stage = Stage::StrengthReduce;
+        c.strengthReduction =
+            codegen::planStrengthReduction(*c.normalization.nest);
+    }
+    stage = Stage::Emit;
+    c.nodeProgram = codegen::emitNodeProgram(
+        c.program, *c.normalization.nest, c.plan,
+        c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
+}
+
+/** Outcome of one differential verification attempt. */
+struct DiffOutcome
+{
+    bool ran = false;
+    bool passed = false;
+    std::string note;
+};
+
+/**
+ * Run the original program and the compiled nest on a small parameter
+ * binding and compare every array bit-for-bit. Bindings that do not fit
+ * (non-positive extents, out-of-range subscripts, arrays over the cap)
+ * are skipped; any other interpreter failure counts as a check failure.
+ */
+DiffOutcome
+differentialCheck(const Compilation &c, const ResilientOptions &ropts)
+{
+    const ir::Program &prog = c.program;
+    std::vector<Int> candidates = ropts.differentialParamCandidates;
+    if (prog.params.empty())
+        candidates = {0}; // one attempt; the value is unused
+    for (Int v : candidates) {
+        IntVec params(prog.params.size(), v);
+        try {
+            // Size everything up BEFORE allocating: huge-coefficient
+            // programs can have subscript ranges far beyond what any
+            // binding could feasibly materialize.
+            bool feasible = true, too_big = false;
+            for (const ir::ArrayDecl &a : prog.arrays) {
+                double total = 1;
+                for (Int e : a.evalExtents(params)) {
+                    if (e <= 0)
+                        feasible = false;
+                    total *= double(e);
+                }
+                too_big = too_big ||
+                          total > double(ropts.differentialMaxElements);
+            }
+            if (!feasible || too_big)
+                continue; // try the next candidate binding
+            ir::ArrayStorage seq(prog, params);
+            ir::ArrayStorage par(prog, params);
+            seq.fillDeterministic(1);
+            par.fillDeterministic(1);
+            ir::Bindings binds{
+                params, std::vector<double>(prog.scalars.size(), 1.0)};
+            ir::run(prog, binds, seq);
+            c.nest().run(binds, par);
+            for (size_t a = 0; a < seq.numArrays(); ++a) {
+                if (seq.data(a) != par.data(a))
+                    return {true, false,
+                            "array '" + prog.arrays[a].name +
+                                "' differs from the sequential result"};
+            }
+            std::string note = "all arrays bit-identical";
+            if (!prog.params.empty())
+                note += " (parameters bound to " + std::to_string(v) + ")";
+            return {true, true, note};
+        } catch (const UserError &e) {
+            // This binding is infeasible for the program (bad extent or
+            // out-of-range subscript); try the next one.
+        } catch (const Error &e) {
+            return {true, false,
+                    std::string("interpreter failed: ") + e.what()};
+        }
+    }
+    return {false, false, "no feasible small parameter binding"};
+}
+
+} // namespace
 
 Compilation
 compile(ir::Program prog, const CompileOptions &opts)
@@ -28,8 +237,14 @@ compile(ir::Program prog, const CompileOptions &opts)
         r.unimodular = true;
         r.nest = xform::applyTransform(c.program, r.transform);
         c.normalization = std::move(r);
+        c.tier = CompileTier::Identity;
     } else {
         c.normalization = xform::accessNormalize(c.program, opts.normalize);
+        if (c.normalization.conservativeFallback)
+            c.diagnostics.warning(
+                Stage::Legality,
+                "imprecise dependence family rejected the candidate "
+                "transformation; compiled the original nest instead");
     }
 
     c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
@@ -43,6 +258,158 @@ compile(ir::Program prog, const CompileOptions &opts)
     return c;
 }
 
+Compilation
+compileResilient(ir::Program prog, const ResilientOptions &ropts)
+{
+    Compilation c;
+    c.program = std::move(prog);
+    Diagnostics &diags = c.diagnostics;
+    try {
+        c.program.validate();
+    } catch (const UserError &) {
+        throw; // structurally invalid: the caller's to fix
+    } catch (const Error &e) {
+        // Validation itself hit a recoverable fault (e.g. arithmetic
+        // overflow); that says nothing about the program's structure,
+        // so record it and let the ladder proceed.
+        diags.warning(Stage::Validate,
+                      "program validation aborted by a recoverable "
+                      "fault; continuing",
+                      e.what());
+    }
+    size_t n = c.program.nest.depth();
+    const xform::NormalizeOptions &nopts = ropts.base.normalize;
+
+    // Shared analyses, each inside its own recovery boundary. Losing
+    // the access matrix or the dependence information only disables
+    // restructuring; the identity rung needs neither.
+    std::optional<xform::AccessMatrixInfo> access;
+    try {
+        access =
+            xform::buildAccessMatrix(c.program, nopts.useDistributionHint);
+    } catch (const UserError &) {
+        throw;
+    } catch (const Error &e) {
+        diags.warning(Stage::Normalize,
+                      "data access matrix construction failed; "
+                      "restructuring disabled",
+                      e.what());
+    }
+
+    std::optional<deps::DependenceInfo> dinfo;
+    try {
+        dinfo = deps::analyzeDependences(c.program, nopts.includeInputDeps);
+    } catch (const UserError &) {
+        throw;
+    } catch (const Error &e) {
+        diags.warning(Stage::Dependence,
+                      "dependence analysis failed; assuming an "
+                      "outer-carried dependence and compiling the "
+                      "original nest",
+                      e.what());
+    }
+
+    struct Rung
+    {
+        CompileTier tier;
+        bool unimodularOnly;
+    };
+    std::vector<Rung> rungs;
+    if (!ropts.base.identityTransform && access && dinfo) {
+        rungs.push_back({CompileTier::Full, false});
+        rungs.push_back({CompileTier::Unimodular, true});
+    }
+    rungs.push_back({CompileTier::Identity, false});
+
+    std::string last_error;
+    for (const Rung &rung : rungs) {
+        Stage stage = Stage::Normalize;
+        try {
+            if (rung.tier == CompileTier::Identity) {
+                stage = Stage::Transform;
+                xform::NormalizeResult r;
+                if (access)
+                    r.access = *access;
+                if (dinfo) {
+                    r.depMatrix = dinfo->matrix(n);
+                    r.depsImprecise = dinfo->imprecise;
+                } else {
+                    r.depMatrix = conservativeDepMatrix(n);
+                    r.depsImprecise = true;
+                }
+                r.transform = IntMatrix::identity(n);
+                r.basis = r.transform;
+                r.legal = r.transform;
+                r.unimodular = true;
+                r.nest = xform::applyTransform(c.program, r.transform);
+                c.normalization = std::move(r);
+            } else {
+                c.normalization =
+                    normalizeAtTier(c.program, *access, *dinfo, nopts,
+                                    rung.unimodularOnly, stage);
+            }
+            planAndEmit(c, access.has_value(),
+                        /*with_strength=*/rung.tier == CompileTier::Full,
+                        stage);
+            c.tier = rung.tier;
+
+            if (c.normalization.conservativeFallback)
+                diags.warning(Stage::Legality,
+                              "imprecise dependence family rejected the "
+                              "candidate transformation; compiled the "
+                              "original nest instead");
+            if (rung.unimodularOnly &&
+                c.normalization.unimodularDropped > 0)
+                diags.note(
+                    Stage::Legality,
+                    "dropped " +
+                        std::to_string(c.normalization.unimodularDropped) +
+                        " basis row(s) to keep the transformation "
+                        "unimodular");
+            if (c.tier != CompileTier::Full)
+                diags.note(Stage::Driver,
+                           std::string("compilation degraded to the '") +
+                               tierName(c.tier) + "' tier");
+
+            if (c.degraded() && ropts.differentialCheck) {
+                stage = Stage::DifferentialCheck;
+                DiffOutcome d = differentialCheck(c, ropts);
+                if (d.ran && !d.passed) {
+                    last_error = d.note;
+                    diags.error(Stage::DifferentialCheck,
+                                std::string("tier '") + tierName(c.tier) +
+                                    "' failed differential verification; "
+                                    "degrading further",
+                                d.note);
+                    continue;
+                }
+                c.differentialChecked = d.ran;
+                diags.note(Stage::DifferentialCheck,
+                           d.ran ? "differential check passed"
+                                 : "differential check skipped",
+                           d.note);
+            }
+            return c;
+        } catch (const UserError &) {
+            throw;
+        } catch (const Error &e) {
+            last_error = e.what();
+            diags.warning(stage,
+                          std::string("tier '") + tierName(rung.tier) +
+                              "' failed in stage '" + stageName(stage) +
+                              "'; degrading",
+                          e.what());
+        }
+    }
+
+    diags.error(Stage::Driver,
+                "every tier of the degradation ladder failed",
+                last_error);
+    throw InternalError(
+        "compileResilient: even the identity tier failed: " + last_error +
+        "\ndiagnostics:\n" + diags.render());
+}
+
 std::string
 Compilation::report() const
 {
@@ -53,6 +420,13 @@ Compilation::report() const
        << xform::describe(normalization, program) << "\n";
     os << "=== NUMA code generation ===\n"
        << codegen::describePlan(plan, program) << "\n";
+    if (tier != CompileTier::Full || !diagnostics.empty()) {
+        os << "=== diagnostics ===\n"
+           << "tier: " << tierName(tier) << "\n";
+        if (differentialChecked)
+            os << "differential check: passed\n";
+        os << diagnostics.render() << "\n";
+    }
     os << "=== node program ===\n" << nodeProgram;
     return os.str();
 }

@@ -18,6 +18,7 @@
 #include "codegen/emit_c.h"
 #include "codegen/planner.h"
 #include "codegen/strength.h"
+#include "core/diagnostics.h"
 #include "numa/simulator.h"
 #include "xform/normalize.h"
 
@@ -33,6 +34,20 @@ struct CompileOptions
     bool identityTransform = false;
 };
 
+/**
+ * The rung of compileResilient()'s degradation ladder a compilation
+ * came out of. Lower rungs give up optimization, never correctness.
+ */
+enum class CompileTier
+{
+    Full,       //!< full access normalization (scaling, HNF strides)
+    Unimodular, //!< unimodular-only transformation (Banerjee's special
+                //!< case: no scaling, no stride synthesis)
+    Identity,   //!< original nest, round-robin outer distribution
+};
+
+const char *tierName(CompileTier t);
+
 /** The result of compiling one program. */
 struct Compilation
 {
@@ -45,6 +60,23 @@ struct Compilation
      * nodeProgram is emitted in strength-reduced form. */
     std::vector<codegen::InductionPlan> strengthReduction;
 
+    /** Ladder rung this result came out of (Full for plain compile()). */
+    CompileTier tier = CompileTier::Full;
+    /** What was given up and why, with stage provenance. */
+    Diagnostics diagnostics;
+    /** True when the differential interpreter check ran and passed. */
+    bool differentialChecked = false;
+
+    /** True when some optimization was given up: a lower ladder rung
+     * was used, or normalization conservatively fell back to the
+     * identity transformation. */
+    bool
+    degraded() const
+    {
+        return tier != CompileTier::Full ||
+               normalization.conservativeFallback;
+    }
+
     const xform::TransformedNest &nest() const
     {
         return *normalization.nest;
@@ -56,6 +88,42 @@ struct Compilation
 
 /** Run the full pipeline. */
 Compilation compile(ir::Program prog, const CompileOptions &opts = {});
+
+/** Options for resilient compilation. */
+struct ResilientOptions
+{
+    CompileOptions base;
+    /**
+     * Verify every degraded result by interpretation: run the original
+     * program and the emitted nest on a small parameter binding and
+     * compare all array contents bit-for-bit. A mismatch fails the rung
+     * (the ladder continues downward); an infeasible binding (arrays
+     * too large, no in-range binding found) records a note and skips.
+     */
+    bool differentialCheck = true;
+    /** Per-array element cap for the differential check. */
+    Int differentialMaxElements = 1 << 16;
+    /** Parameter values tried (all parameters get the same value). */
+    std::vector<Int> differentialParamCandidates = {4, 3, 2, 6, 1};
+};
+
+/**
+ * Never-crash compilation: walk the degradation ladder (full access
+ * normalization -> unimodular-only -> identity transform), wrapping
+ * every pipeline stage in a recovery boundary. Arithmetic overflow,
+ * math errors, and internal invariant violations degrade the result to
+ * a lower tier instead of escaping; the returned Compilation records
+ * the tier reached and a diagnostic for everything given up.
+ *
+ * UserError (malformed input) still propagates: bad programs are the
+ * caller's to fix, and the parser rejects them with line information.
+ * The guarantee is: any program that validates compiles to a correct
+ * plan, or -- only if even the identity rung fails, which no
+ * non-adversarial input reaches -- throws InternalError carrying the
+ * full diagnostic report.
+ */
+Compilation compileResilient(ir::Program prog,
+                             const ResilientOptions &opts = {});
 
 /** Simulate a compilation on a modeled NUMA machine. */
 numa::SimStats simulate(const Compilation &c, const numa::SimOptions &opts,

@@ -41,6 +41,48 @@ class Parser
         return prog_;
     }
 
+    ParseResult
+    parseRecovering(size_t max_errors)
+    {
+        ParseResult out;
+        while (!at(Tok::End) && out.diagnostics.size() < max_errors) {
+            try {
+                if (at(Tok::KwParam) || at(Tok::KwScalar) ||
+                    at(Tok::KwArray))
+                    parseOneDecl();
+                else if (at(Tok::KwFor))
+                    parseForLine();
+                else if (at(Tok::Ident))
+                    parseStatement();
+                else
+                    fail("expected a declaration, loop header, or "
+                         "statement");
+            } catch (const UserError &e) {
+                out.diagnostics.push_back(
+                    {cur().line, stripLinePrefix(e.what())});
+                syncToNextUnit();
+            }
+        }
+        if (!at(Tok::End))
+            out.diagnostics.push_back(
+                {cur().line, "too many errors; giving up"});
+        else if (depth_ == 0)
+            out.diagnostics.push_back(
+                {cur().line, "program has no loop nest"});
+        try {
+            if (prog_.nest.body().empty())
+                throw UserError("program has no statements");
+            prog_.validate();
+            out.program = std::move(prog_);
+        } catch (const UserError &e) {
+            // Whatever survived recovery is not a whole program; keep
+            // the cause only when no earlier error explains it.
+            if (out.diagnostics.empty())
+                out.diagnostics.push_back({-1, e.what()});
+        }
+        return out;
+    }
+
   private:
     std::vector<Token> toks_;
     size_t pos_ = 0;
@@ -85,31 +127,67 @@ class Parser
             fail("name '" + name + "' is already declared");
     }
 
+    // --- error recovery --------------------------------------------
+
+    /** "line 12: expected ..." -> "expected ..." (the line is carried
+     * separately in ParseDiagnostic). */
+    static std::string
+    stripLinePrefix(const std::string &msg)
+    {
+        if (msg.rfind("line ", 0) == 0) {
+            size_t colon = msg.find(": ");
+            if (colon != std::string::npos)
+                return msg.substr(colon + 2);
+        }
+        return msg;
+    }
+
+    /** Skip to the first token on a later line that can start a new
+     * unit (declaration keyword, 'for', or an identifier). */
+    void
+    syncToNextUnit()
+    {
+        int err_line = cur().line;
+        if (!at(Tok::End))
+            ++pos_;
+        while (!at(Tok::End)) {
+            if (cur().line > err_line &&
+                (at(Tok::KwFor) || at(Tok::KwParam) || at(Tok::KwScalar) ||
+                 at(Tok::KwArray) || at(Tok::Ident)))
+                return;
+            ++pos_;
+        }
+    }
+
     // --- declarations ----------------------------------------------
 
     void
     parseDecls()
     {
-        while (true) {
-            if (accept(Tok::KwParam)) {
-                do {
-                    Token t = expect(Tok::Ident);
-                    declareName(t.text);
-                    params_[t.text] = prog_.params.size();
-                    prog_.params.push_back(t.text);
-                } while (accept(Tok::Comma));
-            } else if (accept(Tok::KwScalar)) {
-                do {
-                    Token t = expect(Tok::Ident);
-                    declareName(t.text);
-                    scalars_[t.text] = prog_.scalars.size();
-                    prog_.scalars.push_back(t.text);
-                } while (accept(Tok::Comma));
-            } else if (accept(Tok::KwArray)) {
-                parseArrayDecl();
-            } else {
-                return;
-            }
+        while (at(Tok::KwParam) || at(Tok::KwScalar) || at(Tok::KwArray))
+            parseOneDecl();
+    }
+
+    void
+    parseOneDecl()
+    {
+        if (accept(Tok::KwParam)) {
+            do {
+                Token t = expect(Tok::Ident);
+                declareName(t.text);
+                params_[t.text] = prog_.params.size();
+                prog_.params.push_back(t.text);
+            } while (accept(Tok::Comma));
+        } else if (accept(Tok::KwScalar)) {
+            do {
+                Token t = expect(Tok::Ident);
+                declareName(t.text);
+                scalars_[t.text] = prog_.scalars.size();
+                prog_.scalars.push_back(t.text);
+            } while (accept(Tok::Comma));
+        } else {
+            expect(Tok::KwArray);
+            parseArrayDecl();
         }
     }
 
@@ -384,6 +462,12 @@ ir::Program
 parseProgram(const std::string &source)
 {
     return Parser(source).parse();
+}
+
+ParseResult
+parseProgramRecovering(const std::string &source, size_t max_errors)
+{
+    return Parser(source).parseRecovering(max_errors);
 }
 
 } // namespace anc::dsl

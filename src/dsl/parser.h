@@ -30,7 +30,9 @@
 #ifndef ANC_DSL_PARSER_H
 #define ANC_DSL_PARSER_H
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "ir/loop_nest.h"
 
@@ -38,6 +40,35 @@ namespace anc::dsl {
 
 /** Parse a whole program; throws UserError with line info on errors. */
 ir::Program parseProgram(const std::string &source);
+
+/** One recovered parse error. */
+struct ParseDiagnostic
+{
+    int line = -1; //!< 1-based source line
+    std::string message;
+};
+
+/** What error-recovering parsing produced. */
+struct ParseResult
+{
+    /** The parsed program, present when the source (or what remained
+     * of it after skipping malformed units) builds a valid program. */
+    std::optional<ir::Program> program;
+    /** All errors found, in source order. */
+    std::vector<ParseDiagnostic> diagnostics;
+
+    bool ok() const { return program.has_value() && diagnostics.empty(); }
+};
+
+/**
+ * Parse with bounded error recovery: a malformed declaration, loop
+ * header, or statement is reported and skipped (resynchronizing at the
+ * next line that starts a new unit), so one pass reports multiple
+ * independent errors instead of stopping at the first. Never throws
+ * UserError for malformed source; collection stops after max_errors.
+ */
+ParseResult parseProgramRecovering(const std::string &source,
+                                   size_t max_errors = 25);
 
 } // namespace anc::dsl
 

@@ -116,6 +116,39 @@ Simulator::Simulator(const ir::Program &prog,
 {
     if (opts_.processors <= 0)
         throw UserError("processor count must be positive");
+
+    // A degraded compilation may hand over a plan assembled from
+    // partial analysis results; reject an inconsistent one up front
+    // rather than faulting mid-run.
+    if (plan_.scheme != PartitionScheme::RoundRobin) {
+        if (!plan_.alignedArray)
+            throw UserError("owner-computes partition scheme requires "
+                            "an aligned array");
+        if (*plan_.alignedArray >= prog_.arrays.size())
+            throw UserError("plan aligned with array " +
+                            std::to_string(*plan_.alignedArray) +
+                            " but the program declares only " +
+                            std::to_string(prog_.arrays.size()));
+    }
+    const std::vector<ir::Statement> &body = prog_.nest.body();
+    for (const BlockHoist &h : plan_.hoists) {
+        if (h.stmt >= body.size())
+            throw UserError("block hoist names statement " +
+                            std::to_string(h.stmt) + " of " +
+                            std::to_string(body.size()));
+        size_t reads = 0;
+        body[h.stmt].rhs.forEachRef([&](const ir::ArrayRef &) { ++reads; });
+        if (h.readIdx >= reads)
+            throw UserError("block hoist names read " +
+                            std::to_string(h.readIdx) + " of " +
+                            std::to_string(reads) + " in statement " +
+                            std::to_string(h.stmt));
+        if (h.level < -1 || h.level >= int(prog_.nest.depth()))
+            throw UserError("block hoist level " +
+                            std::to_string(h.level) +
+                            " outside the nest depth " +
+                            std::to_string(prog_.nest.depth()));
+    }
 }
 
 void

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "ratmath/fault.h"
+
 namespace anc {
 
 namespace {
@@ -14,6 +16,7 @@ constexpr Int kMin = std::numeric_limits<Int>::min();
 Int
 checkedAdd(Int a, Int b)
 {
+    fault::detail::checkpoint();
     Int r;
     if (__builtin_add_overflow(a, b, &r))
         throw OverflowError("integer overflow in addition");
@@ -23,6 +26,7 @@ checkedAdd(Int a, Int b)
 Int
 checkedSub(Int a, Int b)
 {
+    fault::detail::checkpoint();
     Int r;
     if (__builtin_sub_overflow(a, b, &r))
         throw OverflowError("integer overflow in subtraction");
@@ -32,6 +36,7 @@ checkedSub(Int a, Int b)
 Int
 checkedMul(Int a, Int b)
 {
+    fault::detail::checkpoint();
     Int r;
     if (__builtin_mul_overflow(a, b, &r))
         throw OverflowError("integer overflow in multiplication");
@@ -41,6 +46,7 @@ checkedMul(Int a, Int b)
 Int
 checkedNeg(Int a)
 {
+    fault::detail::checkpoint();
     if (a == kMin)
         throw OverflowError("integer overflow in negation");
     return -a;
@@ -49,6 +55,7 @@ checkedNeg(Int a)
 Int
 narrow128(Int128 v)
 {
+    fault::detail::checkpoint();
     if (v > Int128(kMax) || v < Int128(kMin))
         throw OverflowError("128-bit value does not fit in 64 bits");
     return Int(v);
@@ -57,6 +64,7 @@ narrow128(Int128 v)
 Int
 gcdInt(Int a, Int b)
 {
+    fault::detail::checkpoint();
     // Work in unsigned space so INT64_MIN does not overflow on negation.
     std::uint64_t ua = a < 0 ? 0ull - std::uint64_t(a) : std::uint64_t(a);
     std::uint64_t ub = b < 0 ? 0ull - std::uint64_t(b) : std::uint64_t(b);
@@ -114,6 +122,7 @@ extGcd(Int a, Int b)
 Int
 floorDiv(Int a, Int b)
 {
+    fault::detail::checkpoint();
     if (b == 0)
         throw MathError("floorDiv by zero");
     Int q = a / b;
@@ -126,6 +135,7 @@ floorDiv(Int a, Int b)
 Int
 ceilDiv(Int a, Int b)
 {
+    fault::detail::checkpoint();
     if (b == 0)
         throw MathError("ceilDiv by zero");
     Int q = a / b;
@@ -138,6 +148,7 @@ ceilDiv(Int a, Int b)
 Int
 euclidMod(Int a, Int b)
 {
+    fault::detail::checkpoint();
     if (b == 0)
         throw MathError("euclidMod by zero");
     Int r = a % b;
@@ -149,6 +160,7 @@ euclidMod(Int a, Int b)
 Int
 exactDiv(Int a, Int b)
 {
+    fault::detail::checkpoint();
     if (b == 0)
         throw MathError("exactDiv by zero");
     if (a % b != 0)

@@ -27,7 +27,11 @@ accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
 
     if (opts.enforceLegality) {
         r.legal = legalBasis(r.basis, r.depMatrix);
-        r.transform = legalInvertible(r.legal, r.depMatrix);
+        r.transform =
+            opts.unimodularOnly
+                ? unimodularLegalInvertible(r.legal, r.depMatrix, n,
+                                            &r.unimodularDropped)
+                : legalInvertible(r.legal, r.depMatrix);
         if (!deps::isLegalTransformation(r.transform, r.depMatrix))
             throw InternalError("normalization produced illegal transform");
         // The distance-vector algorithms above are exact when every
@@ -42,7 +46,27 @@ accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
         }
     } else {
         r.legal = r.basis;
-        r.transform = padToInvertible(r.basis);
+        if (opts.unimodularOnly) {
+            r.transform = IntMatrix::identity(n);
+            for (size_t keep = r.basis.rows() + 1; keep-- > 0;) {
+                IntMatrix prefix(0, n);
+                for (size_t i = 0; i < keep; ++i)
+                    prefix.appendRow(r.basis.row(i));
+                try {
+                    IntMatrix t = padToInvertible(prefix);
+                    if (isUnimodular(t)) {
+                        r.transform = t;
+                        r.unimodularDropped = r.basis.rows() - keep;
+                        break;
+                    }
+                } catch (const Error &) {
+                    // Try a shorter prefix.
+                }
+                r.unimodularDropped = r.basis.rows();
+            }
+        } else {
+            r.transform = padToInvertible(r.basis);
+        }
     }
 
     r.unimodular = isUnimodular(r.transform);
@@ -67,6 +91,31 @@ accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
 
     r.nest = applyTransform(prog, r.transform);
     return r;
+}
+
+IntMatrix
+unimodularLegalInvertible(const IntMatrix &legal, const IntMatrix &deps,
+                          size_t depth, size_t *rows_dropped)
+{
+    for (size_t keep = legal.rows() + 1; keep-- > 0;) {
+        IntMatrix prefix(0, depth);
+        for (size_t i = 0; i < keep; ++i)
+            prefix.appendRow(legal.row(i));
+        try {
+            IntMatrix t = legalInvertible(prefix, deps);
+            if (isUnimodular(t)) {
+                if (rows_dropped)
+                    *rows_dropped = legal.rows() - keep;
+                return t;
+            }
+        } catch (const Error &) {
+            // Padding this prefix failed (overflow, degenerate
+            // projection); a shorter prefix may still work.
+        }
+    }
+    if (rows_dropped)
+        *rows_dropped = legal.rows();
+    return IntMatrix::identity(depth);
 }
 
 std::string

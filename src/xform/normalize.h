@@ -35,6 +35,15 @@ struct NormalizeOptions
     /** Use the paper's Section 2.2 ordering heuristic (distribution
      * dimensions first). Disable only to ablate the heuristic. */
     bool useDistributionHint = true;
+    /**
+     * Restrict the transformation to unimodular matrices (Banerjee's
+     * special case): trailing basis rows are dropped until the padded
+     * matrix has determinant +/-1, falling back to the identity when no
+     * prefix works. Unimodular transformations need no image-lattice
+     * strides or strength-reduced division code, so this is the middle
+     * rung of core::compileResilient()'s degradation ladder.
+     */
+    bool unimodularOnly = false;
 };
 
 /** Which normalized subscript, if any, a transformed loop exposes. */
@@ -70,6 +79,9 @@ struct NormalizeResult
      * which is always legal.
      */
     bool conservativeFallback = false;
+    /** Under unimodularOnly: basis rows dropped to reach a unimodular
+     * transformation. */
+    size_t unimodularDropped = 0;
 };
 
 /**
@@ -82,6 +94,16 @@ NormalizeResult accessNormalize(const ir::Program &prog,
 
 /** Human-readable report of a normalization run (matrices, choices). */
 std::string describe(const NormalizeResult &r, const ir::Program &prog);
+
+/**
+ * LegalInvt restricted to unimodular results: pads the longest prefix of
+ * the (already legal) basis whose padded matrix is unimodular; when even
+ * the empty prefix fails, returns the identity, which is always legal.
+ * rows_dropped, when given, receives the number of discarded rows.
+ */
+IntMatrix unimodularLegalInvertible(const IntMatrix &legal,
+                                    const IntMatrix &deps, size_t depth,
+                                    size_t *rows_dropped = nullptr);
 
 } // namespace anc::xform
 

@@ -127,5 +127,89 @@ TEST(Robustness, HugeIntegerLiteralsDoNotWrap)
     EXPECT_THROW(parseProgram(bad), Error);
 }
 
+// --- bounded error recovery -----------------------------------------
+
+TEST(Recovery, ValidProgramRecoversIdentically)
+{
+    ParseResult r = parseProgramRecovering(kValid);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.diagnostics.empty());
+    EXPECT_EQ(r.program->nest.depth(), 2u);
+    EXPECT_EQ(r.program->arrays.size(), 2u);
+}
+
+TEST(Recovery, OneBadStatementStillYieldsProgram)
+{
+    // The malformed middle statement is skipped; the two good ones
+    // survive, and exactly one diagnostic names its line.
+    const char *src = "array A(16)\n"
+                      "for i = 0, 15\n"
+                      "  A[i] = 1.0\n"
+                      "  A[i] = * 2.0\n"
+                      "  A[i] = 3.0\n";
+    ParseResult r = parseProgramRecovering(src);
+    ASSERT_TRUE(r.program.has_value());
+    EXPECT_EQ(r.program->nest.body().size(), 2u);
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].line, 4);
+}
+
+TEST(Recovery, MultipleErrorsAllReported)
+{
+    // Three independent mistakes on three lines: one pass finds all
+    // three instead of stopping at the first.
+    const char *src = "array A(16)\n"
+                      "array B(8, ) \n"           // bad extent list
+                      "for i = 0, 15\n"
+                      "  A[i] = C[i]\n"            // unknown array C
+                      "  A[i] = + \n"              // bad expression
+                      "  A[i] = 1.0\n";
+    ParseResult r = parseProgramRecovering(src);
+    ASSERT_EQ(r.diagnostics.size(), 3u);
+    EXPECT_EQ(r.diagnostics[0].line, 2);
+    EXPECT_EQ(r.diagnostics[1].line, 4);
+    EXPECT_EQ(r.diagnostics[2].line, 5);
+    EXPECT_NE(r.diagnostics[1].message.find("unknown identifier"),
+              std::string::npos);
+    ASSERT_TRUE(r.program.has_value());
+    EXPECT_EQ(r.program->nest.body().size(), 1u);
+}
+
+TEST(Recovery, ErrorCountIsBounded)
+{
+    // A long stream of bad statements stops at the cap instead of
+    // producing an unbounded report.
+    std::string src = "array A(16)\nfor i = 0, 15\n  A[i] = 1.0\n";
+    for (int k = 0; k < 100; ++k)
+        src += "  A[i] = *\n";
+    ParseResult r = parseProgramRecovering(src, /*max_errors=*/10);
+    EXPECT_EQ(r.diagnostics.size(), 11u); // 10 errors + "giving up"
+    EXPECT_NE(r.diagnostics.back().message.find("too many errors"),
+              std::string::npos);
+}
+
+TEST(Recovery, NothingUsableLeavesNoProgram)
+{
+    ParseResult r = parseProgramRecovering("for i = 0, ***\n");
+    EXPECT_FALSE(r.program.has_value());
+    EXPECT_FALSE(r.diagnostics.empty());
+    EXPECT_FALSE(r.ok());
+
+    ParseResult empty = parseProgramRecovering("");
+    EXPECT_FALSE(empty.program.has_value());
+    ASSERT_FALSE(empty.diagnostics.empty());
+    EXPECT_NE(empty.diagnostics[0].message.find("no loop nest"),
+              std::string::npos);
+}
+
+TEST(Recovery, NeverThrowsOnTruncatedSource)
+{
+    // Same truncation fuzz as EveryPrefixFailsCleanly, but through the
+    // recovering entry point, which must not throw at all.
+    std::string src = kValid;
+    for (size_t len = 0; len < src.size(); ++len)
+        EXPECT_NO_THROW(parseProgramRecovering(src.substr(0, len)));
+}
+
 } // namespace
 } // namespace anc::dsl

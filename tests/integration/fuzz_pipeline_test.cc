@@ -10,12 +10,18 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <random>
 
 #include "core/compiler.h"
 #include "deps/dependence.h"
+#include "dsl/parser.h"
 #include "ir/builder.h"
 #include "ir/interp.h"
+#include "ratmath/fault.h"
 #include "ratmath/linalg.h"
 
 namespace anc {
@@ -178,6 +184,168 @@ TEST(FuzzPipeline, HundredRandomProgramsSurviveNormalization)
     }
     EXPECT_EQ(value_checked, 100);
     EXPECT_GT(parallel_checked, 20);
+}
+
+/**
+ * A random depth-4 nest over a 1-D array whose subscript coefficients
+ * are mixed-sign values near 10^5: individual coefficients and extents
+ * fit comfortably in 64 bits, but the legality stage's intermediate
+ * products genuinely overflow (the 128-bit accumulators no longer
+ * narrow back to 64 bits), so plain compile() throws and the resilient
+ * driver must degrade. Trip counts stay at 2 per loop so the
+ * differential interpreter check remains cheap.
+ */
+GenProgram
+generateOverflowing(std::mt19937 &rng)
+{
+    constexpr size_t depth = 3;
+    std::uniform_int_distribution<Int> coef(80000, 120000);
+    std::uniform_int_distribution<int> sign(0, 1);
+    ir::ProgramBuilder b(depth);
+
+    IntVec row(depth);
+    Int span = 0, offset = 0;
+    for (size_t k = 0; k < depth; ++k) {
+        row[k] = coef(rng);
+        if (k > 0 && sign(rng))
+            row[k] = -row[k];
+        span += row[k] < 0 ? -row[k] : row[k];
+        offset += row[k] < 0 ? -row[k] : 0;
+    }
+    size_t ax = b.array("A", {b.cst(span + 1)},
+                        ir::DistributionSpec::wrapped(0));
+    for (size_t k = 0; k < depth; ++k)
+        b.loop("i" + std::to_string(k), b.cst(0), b.cst(1));
+
+    ir::AffineExpr sub = b.cst(offset);
+    for (size_t k = 0; k < depth; ++k)
+        sub = sub + b.var(k).scaled(Rational(row[k]));
+    b.assign(b.ref(ax, {sub}),
+             ir::Expr::binary('+',
+                              ir::Expr::arrayRead(b.ref(ax, {sub})),
+                              ir::Expr::number_(0.5)));
+    return {b.build(), {}};
+}
+
+TEST(FuzzPipeline, LargeCoefficientProgramsDegradeGracefully)
+{
+    std::mt19937 rng(20260806);
+    core::ResilientOptions ropts;
+    ropts.differentialMaxElements = 1 << 22;
+    int overflowed = 0, diff_checked = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        GenProgram g = generateOverflowing(rng);
+
+        // The coefficients genuinely overflow the plain pipeline.
+        bool plain_threw = false;
+        try {
+            core::compile(g.prog);
+        } catch (const UserError &) {
+            FAIL() << "generated program rejected as user error";
+        } catch (const Error &) {
+            plain_threw = true;
+        }
+        overflowed += plain_threw;
+
+        // The resilient driver must absorb the same overflow.
+        core::Compilation c;
+        ASSERT_NO_THROW(c = core::compileResilient(g.prog, ropts));
+        if (plain_threw) {
+            EXPECT_TRUE(c.degraded());
+            EXPECT_TRUE(c.diagnostics.hasWarnings());
+        }
+        if (c.degraded()) {
+            // The safety net ran (extents fit under the raised cap)
+            // and the degraded nest computes the right values.
+            EXPECT_TRUE(c.differentialChecked)
+                << c.diagnostics.render();
+            diff_checked += c.differentialChecked;
+        }
+    }
+    EXPECT_GT(overflowed, 15);
+    EXPECT_GT(diff_checked, 15);
+}
+
+#ifndef ANC_CORPUS_DIR
+#define ANC_CORPUS_DIR "tests/integration/corpus"
+#endif
+
+TEST(FuzzPipeline, CorpusSeedsNeverCrashTheResilientDriver)
+{
+    namespace fs = std::filesystem;
+    size_t seeds = 0, compiled = 0, degraded = 0, rejected = 0;
+    for (const fs::directory_entry &ent :
+         fs::directory_iterator(ANC_CORPUS_DIR)) {
+        if (ent.path().extension() != ".an")
+            continue;
+        SCOPED_TRACE(ent.path().filename().string());
+        ++seeds;
+        std::ifstream in(ent.path());
+        ASSERT_TRUE(in.good());
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        dsl::ParseResult parsed;
+        ASSERT_NO_THROW(parsed = dsl::parseProgramRecovering(buf.str()));
+        if (!parsed.ok()) {
+            EXPECT_FALSE(parsed.diagnostics.empty());
+            ++rejected;
+            continue;
+        }
+        core::ResilientOptions ropts;
+        ropts.differentialMaxElements = 1 << 22;
+        core::Compilation c;
+        ASSERT_NO_THROW(c = core::compileResilient(*parsed.program, ropts));
+        ++compiled;
+        if (c.degraded()) {
+            ++degraded;
+            // Degradation is explained, and verified or skipped with a
+            // note -- never silent.
+            EXPECT_FALSE(c.diagnostics.empty());
+            EXPECT_TRUE(c.differentialChecked ||
+                        c.diagnostics.mentionsStage(
+                            core::Stage::DifferentialCheck));
+        }
+    }
+    EXPECT_GE(seeds, 6u);
+    EXPECT_GE(compiled, 4u);
+    EXPECT_GE(degraded, 1u); // the overflow seeds really degrade
+    EXPECT_GE(rejected, 1u); // the malformed seed really is rejected
+}
+
+TEST(FuzzPipeline, TimeBoxedRandomSmoke)
+{
+    // CI sets ANC_FUZZ_SECONDS for a longer soak; the default keeps
+    // local ctest fast. Interleaves well-formed, overflowing, and
+    // fault-injected compilations; nothing may escape the driver.
+    double seconds = 1.0;
+    if (const char *s = std::getenv("ANC_FUZZ_SECONDS"))
+        seconds = std::atof(s);
+    uint64_t seed = 20260806;
+    if (const char *s = std::getenv("ANC_FUZZ_SEED"))
+        seed = std::strtoull(s, nullptr, 10);
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> mode(0, 3);
+    std::uniform_int_distribution<uint64_t> site(1, 400);
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration<double>(seconds);
+    uint64_t runs = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        int m = mode(rng);
+        GenProgram g = m == 1 ? generateOverflowing(rng)
+                              : generate(rng, 2 + size_t(m == 3));
+        if (m >= 2)
+            fault::armAt(site(rng));
+        core::Compilation c;
+        ASSERT_NO_THROW(c = core::compileResilient(g.prog))
+            << "run " << runs << " mode " << m << " seed " << seed;
+        fault::disarm();
+        EXPECT_TRUE(c.degraded() || c.diagnostics.empty());
+        ++runs;
+    }
+    EXPECT_GT(runs, 0u);
 }
 
 TEST(FuzzPipeline, RandomProgramsWithLegalityDisabledStayBijective)

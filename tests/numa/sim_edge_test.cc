@@ -142,5 +142,53 @@ TEST(SimEdge, OwnershipWithReplicatedLhs)
         EXPECT_EQ(ps.guardChecks, 8u);
 }
 
+TEST(PlanValidation, OwnerSchemeRequiresAlignedArray)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    ASSERT_NE(c.plan.scheme, PartitionScheme::RoundRobin);
+    SimOptions opts;
+    ExecutionPlan bad = c.plan;
+    bad.alignedArray.reset();
+    EXPECT_THROW(Simulator(c.program, c.nest(), bad, opts), UserError);
+    bad = c.plan;
+    bad.alignedArray = 99;
+    EXPECT_THROW(Simulator(c.program, c.nest(), bad, opts), UserError);
+}
+
+TEST(PlanValidation, HoistBoundsChecked)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    SimOptions opts;
+    ExecutionPlan bad = c.plan;
+    bad.hoists.push_back({99, 0, 0});
+    EXPECT_THROW(Simulator(c.program, c.nest(), bad, opts), UserError);
+    bad = c.plan;
+    bad.hoists.push_back({0, 99, 0});
+    EXPECT_THROW(Simulator(c.program, c.nest(), bad, opts), UserError);
+    bad = c.plan;
+    bad.hoists.push_back({0, 0, 99});
+    EXPECT_THROW(Simulator(c.program, c.nest(), bad, opts), UserError);
+    bad = c.plan;
+    bad.hoists.push_back({0, 0, -5});
+    EXPECT_THROW(Simulator(c.program, c.nest(), bad, opts), UserError);
+    // The compiler's own plan still constructs.
+    EXPECT_NO_THROW(Simulator(c.program, c.nest(), c.plan, opts));
+}
+
+TEST(PlanValidation, DegradedCompilationSimulates)
+{
+    // An identity-tier result (the bottom of the degradation ladder)
+    // must pass plan validation and simulate end to end.
+    core::ResilientOptions ropts;
+    ropts.base.identityTransform = true;
+    core::Compilation c =
+        core::compileResilient(ir::gallery::gemm(), ropts);
+    EXPECT_EQ(c.tier, core::CompileTier::Identity);
+    SimOptions opts;
+    opts.processors = 4;
+    SimStats s = core::simulate(c, opts, {{8}, {}});
+    EXPECT_EQ(s.totalIterations(), 8u * 8u * 8u);
+}
+
 } // namespace
 } // namespace anc::numa

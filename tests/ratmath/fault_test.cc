@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The deterministic fault injector: scheduling, one-shot semantics,
+ * kind selection, counting, and RAII disarming.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ratmath/fault.h"
+#include "ratmath/int_util.h"
+
+namespace anc {
+namespace {
+
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(FaultTest, DisarmedByDefault)
+{
+    EXPECT_FALSE(fault::armed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(checkedAdd(i, i), 2 * i);
+}
+
+TEST_F(FaultTest, FiresExactlyAtTheArmedIndex)
+{
+    fault::armAt(3);
+    EXPECT_EQ(checkedAdd(1, 1), 2); // op 1
+    EXPECT_EQ(checkedMul(2, 2), 4); // op 2
+    EXPECT_THROW(checkedAdd(0, 0), OverflowError); // op 3
+    // One-shot: the schedule is exhausted, later ops run clean.
+    EXPECT_FALSE(fault::armed());
+    EXPECT_EQ(checkedAdd(5, 5), 10);
+}
+
+TEST_F(FaultTest, MathKindThrowsMathError)
+{
+    fault::armAt(1, fault::Kind::Math);
+    EXPECT_THROW(checkedSub(1, 1), MathError);
+}
+
+TEST_F(FaultTest, ScheduleFiresEachIndexInTurn)
+{
+    fault::arm({2, 4});
+    EXPECT_EQ(checkedAdd(1, 1), 2);
+    EXPECT_THROW(checkedAdd(1, 1), OverflowError);
+    EXPECT_TRUE(fault::armed()); // second fault still pending
+    EXPECT_EQ(checkedAdd(1, 1), 2);
+    EXPECT_THROW(checkedAdd(1, 1), OverflowError);
+    EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultTest, CountingDoesNotThrow)
+{
+    fault::startCounting();
+    EXPECT_EQ(gcdInt(12, 18), 6);
+    EXPECT_EQ(floorDiv(7, 2), 3);
+    EXPECT_EQ(exactDiv(8, 2), 4);
+    EXPECT_GE(fault::opCount(), 3u);
+    EXPECT_FALSE(fault::armed()); // counting is not a pending fault
+}
+
+TEST_F(FaultTest, EveryCheckedEntryPointIsInstrumented)
+{
+    // Each public checked operation must pass through the injection
+    // point, or fault sweeps would silently miss recovery paths.
+    struct Op
+    {
+        const char *name;
+        void (*fn)();
+    };
+    const Op ops[] = {
+        {"checkedAdd", [] { checkedAdd(1, 2); }},
+        {"checkedSub", [] { checkedSub(5, 2); }},
+        {"checkedMul", [] { checkedMul(3, 4); }},
+        {"checkedNeg", [] { checkedNeg(7); }},
+        {"gcdInt", [] { gcdInt(6, 9); }},
+        {"floorDiv", [] { floorDiv(7, 2); }},
+        {"ceilDiv", [] { ceilDiv(7, 2); }},
+        {"euclidMod", [] { euclidMod(-3, 5); }},
+        {"exactDiv", [] { exactDiv(9, 3); }},
+    };
+    for (const Op &op : ops) {
+        fault::armAt(1);
+        EXPECT_THROW(op.fn(), OverflowError) << op.name;
+        fault::disarm();
+    }
+}
+
+TEST_F(FaultTest, ScopedFaultDisarmsOnExit)
+{
+    {
+        fault::ScopedFault f(1000000); // never reached
+        EXPECT_TRUE(fault::armed());
+    }
+    EXPECT_FALSE(fault::armed());
+    EXPECT_EQ(checkedAdd(2, 3), 5);
+}
+
+TEST_F(FaultTest, RealOverflowStillDetectedWhileCounting)
+{
+    // Counting mode must not mask genuine overflow detection.
+    fault::startCounting();
+    EXPECT_THROW(checkedMul(Int(1) << 62, 4), OverflowError);
+}
+
+} // namespace
+} // namespace anc

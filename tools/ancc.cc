@@ -14,11 +14,24 @@
  *   --param NAME=VALUE   bind a program parameter (repeatable)
  *   --machine gp1000|ipsc860
  *   --no-block-transfers
+ *   --strict             exit 3 when compilation degraded (a lower
+ *                        ladder tier or a conservative fallback)
+ *   --diag               print machine-readable diagnostics to stdout
  *
- * Exit status: 0 on success, 1 on user error (with a message).
+ * Exit status:
+ *   0  success
+ *   1  user error (bad arguments, unreadable file, malformed program)
+ *   2  internal error (a compiler bug; please report)
+ *   3  compilation succeeded but degraded (only with --strict)
+ *
+ * For testing the recovery ladder end to end, the environment variable
+ * ANCC_INJECT_FAULT=<n> arms the deterministic fault injector to throw
+ * on the n-th checked arithmetic operation of the compilation
+ * (ANCC_INJECT_KIND=math selects MathError instead of OverflowError).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -27,6 +40,7 @@
 
 #include "core/compiler.h"
 #include "dsl/parser.h"
+#include "ratmath/fault.h"
 #include "xform/suggest.h"
 
 namespace {
@@ -41,6 +55,8 @@ struct Options
     bool restructure = true;
     bool suggest = false;
     bool block_transfers = true;
+    bool strict = false;
+    bool diag = false;
     std::vector<Int> processors;
     std::vector<std::pair<std::string, Int>> params;
     numa::MachineParams machine = numa::MachineParams::butterflyGP1000();
@@ -56,7 +72,8 @@ usage(const char *msg = nullptr)
                  "[--suggest]\n"
                  "            [--simulate P=1,4,16] [--param N=64]...\n"
                  "            [--machine gp1000|ipsc860] "
-                 "[--no-block-transfers] <program.an>\n");
+                 "[--no-block-transfers]\n"
+                 "            [--strict] [--diag] <program.an>\n");
     std::exit(1);
 }
 
@@ -76,6 +93,10 @@ parseArgs(int argc, char **argv)
             o.suggest = true;
         } else if (a == "--no-block-transfers") {
             o.block_transfers = false;
+        } else if (a == "--strict") {
+            o.strict = true;
+        } else if (a == "--diag") {
+            o.diag = true;
         } else if (a.rfind("--simulate", 0) == 0) {
             std::string list = i + 1 < argc && a == "--simulate"
                                    ? argv[++i]
@@ -122,6 +143,20 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
+/** Arm the deterministic fault injector from the environment (testing
+ * hook for the degradation ladder; see the file comment). */
+void
+armInjectorFromEnv()
+{
+    const char *n = std::getenv("ANCC_INJECT_FAULT");
+    if (!n || !*n)
+        return;
+    const char *k = std::getenv("ANCC_INJECT_KIND");
+    fault::armAt(std::strtoull(n, nullptr, 10),
+                 k && std::strcmp(k, "math") == 0 ? fault::Kind::Math
+                                                  : fault::Kind::Overflow);
+}
+
 int
 run(const Options &o)
 {
@@ -131,7 +166,27 @@ run(const Options &o)
     std::stringstream buf;
     buf << in.rdbuf();
 
-    ir::Program prog = dsl::parseProgram(buf.str());
+    dsl::ParseResult parsed = dsl::parseProgramRecovering(buf.str());
+    if (!parsed.ok()) {
+        // Report every recovered error, not just the first.
+        for (const dsl::ParseDiagnostic &d : parsed.diagnostics) {
+            if (d.line >= 0)
+                std::fprintf(stderr, "ancc: %s: line %d: %s\n",
+                             o.file.c_str(), d.line, d.message.c_str());
+            else
+                std::fprintf(stderr, "ancc: %s: %s\n", o.file.c_str(),
+                             d.message.c_str());
+        }
+        if (o.diag) {
+            core::Diagnostics diags;
+            for (const dsl::ParseDiagnostic &d : parsed.diagnostics)
+                diags.add({core::Severity::Error, core::Stage::Parse,
+                           d.message, "", d.line});
+            std::printf("%s", diags.renderMachine().c_str());
+        }
+        return 1;
+    }
+    ir::Program prog = std::move(*parsed.program);
 
     if (o.suggest) {
         xform::DistributionSuggestion s =
@@ -142,14 +197,22 @@ run(const Options &o)
         prog = s.applyTo(prog);
     }
 
-    core::CompileOptions copts;
-    copts.identityTransform = !o.restructure;
-    core::Compilation c = core::compile(prog, copts);
+    core::ResilientOptions ropts;
+    ropts.base.identityTransform = !o.restructure;
+    armInjectorFromEnv();
+    core::Compilation c = core::compileResilient(prog, ropts);
+    fault::disarm();
 
     if (o.emit_only)
         std::printf("%s", c.nodeProgram.c_str());
     else if (o.report)
         std::printf("%s", c.report().c_str());
+
+    if (o.diag) {
+        std::printf("tier=%s degraded=%d\n", core::tierName(c.tier),
+                    c.degraded() ? 1 : 0);
+        std::printf("%s", c.diagnostics.renderMachine().c_str());
+    }
 
     if (!o.processors.empty()) {
         IntVec params(prog.params.size(), 0);
@@ -189,6 +252,15 @@ run(const Options &o)
                         static_cast<unsigned long long>(syncs));
         }
     }
+
+    if (o.strict && c.degraded()) {
+        std::fprintf(stderr,
+                     "ancc: compilation degraded to the '%s' tier "
+                     "(--strict):\n%s",
+                     core::tierName(c.tier),
+                     c.diagnostics.render().c_str());
+        return 3;
+    }
     return 0;
 }
 
@@ -203,7 +275,12 @@ main(int argc, char **argv)
         std::fprintf(stderr, "ancc: %s\n", e.what());
         return 1;
     } catch (const Error &e) {
-        std::fprintf(stderr, "ancc: internal error: %s\n", e.what());
+        std::fprintf(stderr,
+                     "ancc: internal error: %s\n"
+                     "ancc: this is a bug in the compiler; please "
+                     "report it together with the input program and "
+                     "the diagnostics above\n",
+                     e.what());
         return 2;
     }
 }
