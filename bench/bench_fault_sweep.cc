@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Fault-sweep bench: degradation curves of the simulated GEMM and
+ * SYR2K workloads as the machine-fault rate rises, with and without
+ * block transfers.
+ *
+ * For each workload the sweep arms "drop every kth block transfer" and
+ * "every kth remote access transiently fails" for k on a divisor chain
+ * (so each step's armed event set contains the previous one's), then
+ * records the simulated parallel time at P = 16. Asserted along the
+ * way: recovery never throws, simulated time is monotonically
+ * non-decreasing in the fault rate, work (iterations) is conserved,
+ * and a value-executing run under faults is fletcher64-identical to a
+ * fault-free one.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "numa/simulator.h"
+
+namespace {
+
+using namespace anc;
+
+Int
+benchN()
+{
+    return bench::fullScale() ? 400 : bench::envInt("ANC_BENCH_N", 96);
+}
+
+/** Every-k fault periods, divisor chain from rare to every event
+ * (k = 0 is the fault-free baseline). */
+const Int kPeriods[] = {0, 256, 64, 16, 4, 1};
+
+struct SweepData
+{
+    core::Compilation gemm;
+    core::Compilation syr2k;
+    Int n, b;
+};
+
+SweepData &
+data()
+{
+    static SweepData d = [] {
+        Int n = benchN();
+        return SweepData{core::compile(ir::gallery::gemm()),
+                         core::compile(ir::gallery::syr2kBanded()), n,
+                         std::max<Int>(2, n / 12)};
+    }();
+    return d;
+}
+
+ir::Bindings
+bindingsFor(const core::Compilation &c)
+{
+    if (&c == &data().syr2k)
+        return {{data().n, data().b}, {1.5, 0.5}};
+    return {{data().n}, {}};
+}
+
+numa::SimStats
+runFaulty(const core::Compilation &c, Int p, bool blocks, Int k)
+{
+    numa::SimOptions opts;
+    opts.processors = p;
+    opts.blockTransfers = blocks;
+    if (k > 0) {
+        opts.faults.dropTransferEvery = uint64_t(k);
+        opts.faults.remoteFailEvery = uint64_t(k);
+    }
+    return core::simulate(c, opts, bindingsFor(c));
+}
+
+/** Certify that a value-executing run under heavy faults produces the
+ * bit-identical arrays of a fault-free run (small N: executing values
+ * is slow). */
+void
+certifyValues(const core::Compilation &c, const IntVec &params,
+              const ir::Bindings &binds)
+{
+    numa::SimOptions opts;
+    opts.processors = 8;
+    opts.executeValues = true;
+    ir::ArrayStorage clean(c.program, params);
+    clean.fillDeterministic(11);
+    numa::Simulator(c.program, c.nest(), c.plan, opts).run(binds, &clean);
+
+    opts.faults = numa::parseFaultSpec(
+        "drop-transfer/2,corrupt-transfer/3,remote-fail/2,kill:1@1");
+    ir::ArrayStorage faulty(c.program, params);
+    faulty.fillDeterministic(11);
+    numa::Simulator(c.program, c.nest(), c.plan, opts).run(binds, &faulty);
+
+    for (size_t a = 0; a < c.program.arrays.size(); ++a) {
+        uint64_t want = numa::fletcher64(clean.data(a).data(),
+                                         clean.data(a).size());
+        uint64_t got = numa::fletcher64(faulty.data(a).data(),
+                                        faulty.data(a).size());
+        if (want != got)
+            throw InternalError("fault sweep: values diverged under "
+                                "faults (array " +
+                                std::to_string(a) + ")");
+    }
+}
+
+void
+printSweep()
+{
+    SweepData &d = data();
+    const Int P = 16;
+    std::printf("=== Fault sweep: simulated time vs. fault rate "
+                "(N = %lld, P = %lld) ===\n",
+                static_cast<long long>(d.n), static_cast<long long>(P));
+    std::printf("faults: drop-transfer/k + remote-fail/k; k = 0 is "
+                "fault-free\n");
+
+    bench::JsonReport report("fault_sweep");
+    report.flag("N", d.n);
+    report.flag("b", d.b);
+    report.flag("P", P);
+    report.flag("full", bench::fullScale());
+    report.flag("faults", "drop-transfer/k,remote-fail/k");
+
+    struct Curve
+    {
+        const char *label;
+        const core::Compilation *comp;
+        bool blocks;
+    };
+    const Curve curves[] = {
+        {"gemmB", &d.gemm, true},
+        {"gemmT", &d.gemm, false},
+        {"syr2kB", &d.syr2k, true},
+        {"syr2kT", &d.syr2k, false},
+    };
+
+    std::printf("%10s", "k");
+    for (const Curve &c : curves)
+        std::printf("  %14s", c.label);
+    std::printf("\n");
+
+    std::vector<double> last(std::size(curves), 0.0);
+    std::vector<uint64_t> base_iters(std::size(curves), 0);
+    for (Int k : kPeriods) {
+        std::printf("%10lld", static_cast<long long>(k));
+        for (size_t ci = 0; ci < std::size(curves); ++ci) {
+            const Curve &cv = curves[ci];
+            bench::WallTimer timer;
+            numa::SimStats s = runFaulty(*cv.comp, P, cv.blocks, k);
+            double wall = timer.seconds();
+            double t = s.parallelTime();
+            // Non-negotiable shape: more faults never means less
+            // simulated time, and recovery never loses work.
+            if (t < last[ci])
+                throw InternalError(
+                    std::string("fault sweep: time decreased for ") +
+                    cv.label + " at k=" + std::to_string(k));
+            if (k == 0)
+                base_iters[ci] = s.totalIterations();
+            else if (s.totalIterations() != base_iters[ci])
+                throw InternalError(
+                    std::string("fault sweep: iterations changed for ") +
+                    cv.label + " at k=" + std::to_string(k));
+            last[ci] = t;
+            report.run(std::string(cv.label) + "/k=" +
+                           std::to_string(static_cast<long long>(k)),
+                       P, wall, t);
+            std::printf("  %14.0f", t);
+        }
+        std::printf("\n");
+    }
+
+    // Value integrity under combined faults, at a size where executing
+    // values is affordable.
+    certifyValues(data().gemm, {8}, {{8}, {}});
+    certifyValues(data().syr2k, {9, 3}, {{9, 3}, {1.5, 0.5}});
+    std::printf("\nvalues certified fletcher64-identical under "
+                "drop+corrupt+remote-fail+kill injection\n\n");
+    report.write();
+}
+
+void
+BM_FaultSweep_SimulateGemmB(benchmark::State &state)
+{
+    Int k = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runFaulty(data().gemm, 16, true, k).parallelTime());
+    }
+}
+BENCHMARK(BM_FaultSweep_SimulateGemmB)->Arg(0)->Arg(16)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FaultSweep_SimulateSyr2kB(benchmark::State &state)
+{
+    Int k = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runFaulty(data().syr2k, 16, true, k).parallelTime());
+    }
+}
+BENCHMARK(BM_FaultSweep_SimulateSyr2kB)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printSweep();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

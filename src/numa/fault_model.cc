@@ -1,0 +1,192 @@
+#include "numa/fault_model.h"
+
+#include <cstdlib>
+
+namespace anc::numa {
+
+namespace {
+
+/** Multiples of k in [lo, hi]; 0 when k == 0. */
+uint64_t
+countMultiples(uint64_t k, uint64_t lo, uint64_t hi)
+{
+    if (k == 0 || lo > hi)
+        return 0;
+    return hi / k - (lo - 1) / k;
+}
+
+uint64_t
+lcmU64(uint64_t a, uint64_t b)
+{
+    uint64_t g = uint64_t(gcdInt(Int(a), Int(b)));
+    return a / g * b;
+}
+
+} // namespace
+
+void
+FaultOptions::validate() const
+{
+    if (failuresPerEvent < 1 || failuresPerEvent > 1000)
+        throw UserError("failuresPerEvent must be in [1, 1000], got " +
+                        std::to_string(failuresPerEvent));
+    if (killProc < -1)
+        throw UserError("killProc must be -1 (off) or a processor id");
+    // Keep the every-k schedules within a range where lcm-based overlap
+    // counting cannot overflow.
+    const uint64_t kMaxEvery = uint64_t(1) << 40;
+    for (uint64_t every :
+         {dropTransferEvery, corruptTransferEvery, remoteFailEvery})
+        if (every > kMaxEvery)
+            throw UserError("fault period too large");
+}
+
+std::string
+FaultOptions::str() const
+{
+    std::string out;
+    auto add = [&](const std::string &s) {
+        if (!out.empty())
+            out += ",";
+        out += s;
+    };
+    if (dropTransferAt)
+        add("drop-transfer@" + std::to_string(dropTransferAt));
+    if (dropTransferEvery)
+        add("drop-transfer/" + std::to_string(dropTransferEvery));
+    if (corruptTransferAt)
+        add("corrupt-transfer@" + std::to_string(corruptTransferAt));
+    if (corruptTransferEvery)
+        add("corrupt-transfer/" + std::to_string(corruptTransferEvery));
+    if (remoteFailAt)
+        add("remote-fail@" + std::to_string(remoteFailAt));
+    if (remoteFailEvery)
+        add("remote-fail/" + std::to_string(remoteFailEvery));
+    if (killProc >= 0)
+        add("kill:" + std::to_string(killProc) + "@" +
+            std::to_string(killAfterSlices));
+    if (failuresPerEvent != 1)
+        add("x" + std::to_string(failuresPerEvent));
+    return out.empty() ? "none" : out;
+}
+
+FaultOptions
+parseFaultSpec(const std::string &spec)
+{
+    FaultOptions f;
+    size_t pos = 0;
+    auto parseCount = [&](const std::string &tok, size_t off,
+                          const char *what) -> uint64_t {
+        if (off >= tok.size())
+            throw UserError(std::string("fault spec: missing ") + what +
+                            " in '" + tok + "'");
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(tok.c_str() + off, &end, 10);
+        if (end == tok.c_str() + off || *end != '\0' || v == 0)
+            throw UserError(std::string("fault spec: bad ") + what +
+                            " in '" + tok + "'");
+        return v;
+    };
+    while (pos <= spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string tok = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (tok.empty()) {
+            if (spec.empty())
+                break;
+            throw UserError("fault spec: empty event in '" + spec + "'");
+        }
+        auto atOrEvery = [&](const std::string &kind, uint64_t &at,
+                             uint64_t &every) {
+            size_t k = kind.size();
+            if (tok.size() <= k || (tok[k] != '@' && tok[k] != '/'))
+                throw UserError("fault spec: expected '" + kind +
+                                "@N' or '" + kind + "/K', got '" + tok +
+                                "'");
+            uint64_t v = parseCount(tok, k + 1, "count");
+            (tok[k] == '@' ? at : every) = v;
+        };
+        if (tok.rfind("drop-transfer", 0) == 0) {
+            atOrEvery("drop-transfer", f.dropTransferAt,
+                      f.dropTransferEvery);
+        } else if (tok.rfind("corrupt-transfer", 0) == 0) {
+            atOrEvery("corrupt-transfer", f.corruptTransferAt,
+                      f.corruptTransferEvery);
+        } else if (tok.rfind("remote-fail", 0) == 0) {
+            atOrEvery("remote-fail", f.remoteFailAt, f.remoteFailEvery);
+        } else if (tok.rfind("kill:", 0) == 0) {
+            size_t amp = tok.find('@');
+            if (amp == std::string::npos || amp <= 5)
+                throw UserError(
+                    "fault spec: expected 'kill:P@K', got '" + tok + "'");
+            char *end = nullptr;
+            long long p = std::strtoll(tok.c_str() + 5, &end, 10);
+            if (end != tok.c_str() + amp || p < 0)
+                throw UserError("fault spec: bad processor in '" + tok +
+                                "'");
+            f.killProc = p;
+            // K = 0 (die before any work) is legal here, so parse it
+            // separately from the nonzero counts.
+            char *kend = nullptr;
+            unsigned long long k =
+                std::strtoull(tok.c_str() + amp + 1, &kend, 10);
+            if (kend == tok.c_str() + amp + 1 || *kend != '\0')
+                throw UserError("fault spec: bad slice count in '" + tok +
+                                "'");
+            f.killAfterSlices = k;
+        } else if (tok[0] == 'x') {
+            f.failuresPerEvent = int(parseCount(tok, 1, "failure count"));
+        } else {
+            throw UserError("fault spec: unknown event '" + tok + "'");
+        }
+        if (pos > spec.size())
+            break;
+    }
+    f.validate();
+    return f;
+}
+
+bool
+faultScheduledAt(uint64_t at, uint64_t every, uint64_t idx)
+{
+    return (at != 0 && idx == at) || (every != 0 && idx % every == 0);
+}
+
+uint64_t
+faultsInRange(uint64_t at, uint64_t every, uint64_t lo, uint64_t hi)
+{
+    if (lo > hi || lo == 0)
+        return 0;
+    uint64_t n = countMultiples(every, lo, hi);
+    if (at >= lo && at <= hi && !(every != 0 && at % every == 0))
+        ++n;
+    return n;
+}
+
+uint64_t
+faultsInRangeBoth(uint64_t at1, uint64_t every1, uint64_t at2,
+                  uint64_t every2, uint64_t lo, uint64_t hi)
+{
+    if (lo > hi || lo == 0)
+        return 0;
+    uint64_t l = (every1 && every2) ? lcmU64(every1, every2) : 0;
+    uint64_t n = countMultiples(l, lo, hi);
+    // The two distinguished "at" indices, counted once each if they are
+    // armed by both schedules and not already among the lcm multiples.
+    uint64_t pts[2] = {at1, at2};
+    for (int i = 0; i < 2; ++i) {
+        uint64_t x = pts[i];
+        if (x < lo || x > hi)
+            continue;
+        if (i == 1 && x == at1)
+            continue; // same point, already considered
+        if (faultScheduledAt(at1, every1, x) &&
+            faultScheduledAt(at2, every2, x) && !(l != 0 && x % l == 0))
+            ++n;
+    }
+    return n;
+}
+
+} // namespace anc::numa

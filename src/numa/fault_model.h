@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Deterministic machine-fault model for the NUMA simulator.
+ *
+ * The simulator charges every remote access and block transfer as if
+ * the Butterfly's switch network and nodes were perfect. This module
+ * lets a run inject the failures real machines exhibit -- lost block
+ * transfers, corrupted arrivals, transiently failing remote accesses,
+ * and fail-stop processor deaths -- without giving up any of the
+ * simulator's determinism guarantees.
+ *
+ * Like the compiler-side injector (ratmath/fault.*), the model is
+ * counter-based, not random: faults are armed at logical event indices
+ * ("the Nth block transfer", "every kth remote access"), and the
+ * logical event streams are counted per simulated processor and per
+ * compiled array reference. Because those streams are a pure function
+ * of the program, the plan, and the bindings -- independent of host
+ * thread count and of the strength-reduced fast path -- arming index N
+ * always faults the same logical event, runs are bit-reproducible, and
+ * a test can sweep N across every reachable fault site exactly once.
+ *
+ * Indices are 1-based. A recovered fault never changes which logical
+ * events happen afterwards (recovery restores the fault-free state),
+ * so injected faults only ever *add* recovery work; simulated time is
+ * monotonically non-decreasing in the set of armed events.
+ */
+
+#ifndef ANC_NUMA_FAULT_MODEL_H
+#define ANC_NUMA_FAULT_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "ratmath/int_util.h"
+
+namespace anc::numa {
+
+/**
+ * What to break during a simulated run. All fields off by default.
+ * "at" fields arm one index of the per-processor, per-reference event
+ * stream; "every" fields arm each multiple of k. Both may be set; an
+ * index scheduled by both is faulted once.
+ */
+struct FaultOptions
+{
+    /** The Nth hoisted block transfer is lost in the network (the
+     * sender retries under the RetryPolicy). 0 = never. */
+    uint64_t dropTransferAt = 0;
+    /** Every kth block transfer is lost. 0 = never. */
+    uint64_t dropTransferEvery = 0;
+
+    /** The Nth block transfer arrives with its payload corrupted; the
+     * receiver's checksum check fails and the block is re-fetched. */
+    uint64_t corruptTransferAt = 0;
+    /** Every kth block transfer arrives corrupted. */
+    uint64_t corruptTransferEvery = 0;
+
+    /** The Nth element-wise remote access transiently fails. */
+    uint64_t remoteFailAt = 0;
+    /** Every kth element-wise remote access transiently fails. */
+    uint64_t remoteFailEvery = 0;
+
+    /**
+     * Consecutive failed attempts injected at each armed drop/remote
+     * event before the operation is allowed to succeed. When this
+     * reaches RetryPolicy::maxAttempts, a block transfer is abandoned
+     * (its elements fall back to element-wise remote access) and a
+     * remote access escalates to a synchronous fetch.
+     */
+    int failuresPerEvent = 1;
+
+    /** Processor to kill (fail-stop), or -1 for none. */
+    Int killProc = -1;
+    /** The victim dies after completing this many of its outer-slice
+     * iterations (0 = before doing any work). Its unstarted slices are
+     * redistributed to the surviving processors; if there are no
+     * survivors, or the outer loop is not parallel, the victim reboots
+     * and finishes its own slice (charged MachineParams::restartTime). */
+    uint64_t killAfterSlices = 0;
+
+    /** True when any fault is armed. */
+    bool
+    any() const
+    {
+        return anyMessage() || killProc >= 0;
+    }
+
+    /** True when any transfer/remote (message-level) fault is armed. */
+    bool
+    anyMessage() const
+    {
+        return dropTransferAt || dropTransferEvery || corruptTransferAt ||
+               corruptTransferEvery || remoteFailAt || remoteFailEvery;
+    }
+
+    /** Throws UserError on out-of-range knobs. */
+    void validate() const;
+
+    /** Render in the --inject-machine-fault syntax (for reports). */
+    std::string str() const;
+};
+
+/**
+ * Parse the ancc --inject-machine-fault specification: a comma-
+ * separated list of events,
+ *
+ *   drop-transfer@N      lose the Nth block transfer
+ *   drop-transfer/K      lose every Kth block transfer
+ *   corrupt-transfer@N   corrupt the Nth block transfer (checksum
+ *   corrupt-transfer/K     mismatch, re-fetched)
+ *   remote-fail@N        Nth remote access transiently fails
+ *   remote-fail/K        every Kth remote access transiently fails
+ *   kill:P@K             processor P dies after K outer slices
+ *   x<F>                 inject F consecutive failures per armed event
+ *
+ * e.g. "drop-transfer/8,remote-fail@3,x2". Throws UserError on
+ * malformed input.
+ */
+FaultOptions parseFaultSpec(const std::string &spec);
+
+/** True when the 1-based event index i is armed by at/every. */
+bool faultScheduledAt(uint64_t at, uint64_t every, uint64_t idx);
+
+/**
+ * Number of armed indices i with lo <= i <= hi (an index armed by both
+ * the at and the every schedule counts once). The closed-form charging
+ * paths use this to fault a whole run of events without enumerating
+ * them.
+ */
+uint64_t faultsInRange(uint64_t at, uint64_t every, uint64_t lo,
+                       uint64_t hi);
+
+/**
+ * Number of indices in [lo, hi] armed by BOTH schedules (at1/every1 and
+ * at2/every2). Used to give drop faults precedence over corruption
+ * faults scheduled at the same transfer.
+ */
+uint64_t faultsInRangeBoth(uint64_t at1, uint64_t every1, uint64_t at2,
+                           uint64_t every2, uint64_t lo, uint64_t hi);
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_FAULT_MODEL_H

@@ -1,6 +1,46 @@
 #include "numa/machine.h"
 
+#include <cmath>
+
+#include "ratmath/int_util.h"
+
 namespace anc::numa {
+
+void
+MachineParams::validate() const
+{
+    auto positive = [&](double v, const char *what) {
+        if (!(v > 0.0) || !std::isfinite(v))
+            throw UserError("MachineParams." + std::string(what) +
+                            " must be a positive finite time, got " +
+                            std::to_string(v) + " (" +
+                            (name.empty() ? "unnamed machine" : name) +
+                            ")");
+    };
+    auto nonNegative = [&](double v, const char *what) {
+        if (!(v >= 0.0) || !std::isfinite(v))
+            throw UserError("MachineParams." + std::string(what) +
+                            " must be a non-negative finite time, got " +
+                            std::to_string(v) + " (" +
+                            (name.empty() ? "unnamed machine" : name) +
+                            ")");
+    };
+    positive(localAccessTime, "localAccessTime");
+    positive(remoteAccessTime, "remoteAccessTime");
+    positive(blockStartupTime, "blockStartupTime");
+    positive(blockPerByteTime, "blockPerByteTime");
+    positive(flopTime, "flopTime");
+    nonNegative(loopOverheadTime, "loopOverheadTime");
+    nonNegative(guardTime, "guardTime");
+    nonNegative(syncTime, "syncTime");
+    nonNegative(retryBackoffTime, "retryBackoffTime");
+    nonNegative(restartTime, "restartTime");
+    nonNegative(contentionFactor, "contentionFactor");
+    if (elementSize <= 0)
+        throw UserError("MachineParams.elementSize must be at least 1 "
+                        "byte, got " +
+                        std::to_string(elementSize));
+}
 
 MachineParams
 MachineParams::butterflyGP1000()
@@ -19,6 +59,10 @@ MachineParams::butterflyGP1000()
     m.loopOverheadTime = 1.0;
     m.guardTime = 1.2; // two local references worth of mod/compare
     m.syncTime = 30.0;
+    // Fault recovery: back off in units of roughly three remote
+    // accesses; a node reboot is four orders of magnitude above that.
+    m.retryBackoffTime = 25.0;
+    m.restartTime = 10000.0;
     return m;
 }
 
@@ -37,6 +81,10 @@ MachineParams::ipsc860()
     m.loopOverheadTime = 0.1;
     m.guardTime = 0.2;
     m.syncTime = 100.0;
+    // Message-passing retries wait about two message startups; a node
+    // reboot dwarfs any single message.
+    m.retryBackoffTime = 140.0;
+    m.restartTime = 100000.0;
     return m;
 }
 

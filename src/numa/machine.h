@@ -26,16 +26,23 @@ namespace anc::numa {
 struct MachineParams
 {
     std::string name;
-    double localAccessTime;  //!< one local memory reference
-    double remoteAccessTime; //!< one remote reference, contention-free
-    double blockStartupTime; //!< block transfer setup
-    double blockPerByteTime; //!< per byte once started
-    double flopTime;         //!< one floating-point operation
-    double loopOverheadTime; //!< per executed iteration (index update,
-                             //!< branch, bound checks)
-    double guardTime;        //!< ownership-rule per-iteration guard
-    double syncTime;         //!< one synchronization event
-    int elementSize = 8;     //!< bytes per double
+    double localAccessTime = 0.0;  //!< one local memory reference
+    double remoteAccessTime = 0.0; //!< one remote reference,
+                                   //!< contention-free
+    double blockStartupTime = 0.0; //!< block transfer setup
+    double blockPerByteTime = 0.0; //!< per byte once started
+    double flopTime = 0.0;         //!< one floating-point operation
+    double loopOverheadTime = 0.0; //!< per executed iteration (index
+                                   //!< update, branch, bound checks)
+    double guardTime = 0.0;        //!< ownership-rule per-iteration guard
+    double syncTime = 0.0;         //!< one synchronization event
+    /** One unit of exponential backoff between retries of a failed
+     * block transfer or remote access (fault injection only). */
+    double retryBackoffTime = 0.0;
+    /** Fail-stop reboot of a processor, when its work cannot be
+     * redistributed (fault injection only). */
+    double restartTime = 0.0;
+    int elementSize = 8;           //!< bytes per double
 
     /**
      * Optional contention model, after Agarwal's analysis [1] that long
@@ -50,6 +57,14 @@ struct MachineParams
 
     /** Intel iPSC/i860 (Section 1 message costs). */
     static MachineParams ipsc860();
+
+    /**
+     * Sanity-check the cost model: the five core times (local, remote,
+     * block startup, block per-byte, flop) must be strictly positive
+     * and finite, the overhead times non-negative and finite, and
+     * elementSize at least one byte. Throws UserError otherwise.
+     */
+    void validate() const;
 
     /** Remote access time under load from P processors. */
     double

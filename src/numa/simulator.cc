@@ -116,6 +116,9 @@ Simulator::Simulator(const ir::Program &prog,
 {
     if (opts_.processors <= 0)
         throw UserError("processor count must be positive");
+    opts_.machine.validate();
+    opts_.retry.validate();
+    opts_.faults.validate();
 
     // A degraded compilation may hand over a plan assembled from
     // partial analysis results; reject an inconsistent one up front
@@ -151,11 +154,99 @@ Simulator::Simulator(const ir::Program &prog,
     }
 }
 
-void
-Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
-                        ir::ArrayStorage *storage,
-                        const ir::Bindings &binds) const
+Simulator::OuterSlice
+Simulator::outerSlice(const Compiled &c, Int p) const
 {
+    OuterSlice os;
+    IntVec u(c.depth, 0);
+    IntVec y;
+    Int lo = nest_.lowerAt(0, u, c.params);
+    Int hi = nest_.upperAt(0, u, c.params);
+    if (lo > hi)
+        return os;
+    Int s = nest_.lattice().stride(0);
+    Int base = nest_.startAt(0, lo, y);
+    Int start = base, step = s;
+    Int block_lo = lo, block_hi = hi;
+
+    switch (plan_.scheme) {
+      case PartitionScheme::RoundRobin:
+        start = checkedAdd(base, checkedMul(p, s));
+        step = checkedMul(s, opts_.processors);
+        break;
+      case PartitionScheme::OwnerWrapped: {
+        // u == anchor (mod s) and u == p (mod P): the Diophantine
+        // alignment of Section 7 (unit-step loops reduce to the paper's
+        // ceil((lb - p)/P)*P + p formula).
+        auto cc = combineCongruences(euclidMod(base, s), s, p,
+                                     opts_.processors);
+        if (!cc)
+            return os; // this processor owns no iteration
+        start = checkedAdd(lo, euclidMod(checkedSub(cc->rem, lo), cc->mod));
+        step = cc->mod;
+        break;
+      }
+      case PartitionScheme::OwnerBlock2D: {
+        if (!plan_.alignedArray)
+            throw InternalError("OwnerBlock2D without aligned array");
+        const Distribution &d = c.dists[*plan_.alignedArray];
+        Int pr = p / d.gridCols();
+        Int pc = p % d.gridCols();
+        Int bs0 = d.blockSize(0), bs1 = d.blockSize(1);
+        block_lo = std::max(lo, checkedMul(pr, bs0));
+        block_hi = std::min(hi, checkedSub(checkedMul(pr + 1, bs0), 1));
+        if (pr == d.gridRows() - 1)
+            block_hi = hi; // last grid row absorbs the remainder
+        if (block_lo > block_hi)
+            return os;
+        start = checkedAdd(block_lo,
+                           euclidMod(checkedSub(base, block_lo), s));
+        step = s;
+        hi = block_hi;
+        // Second-level clamp for 2-D block partitioning (lo, hi); hi
+        // may be the sentinel max when the last grid column absorbs
+        // the remainder.
+        os.clamp1 = true;
+        os.clamp1Lo = checkedMul(pc, bs1);
+        os.clamp1Hi = pc == d.gridCols() - 1
+                          ? std::numeric_limits<Int>::max()
+                          : checkedSub(checkedMul(pc + 1, bs1), 1);
+        break;
+      }
+      case PartitionScheme::OwnerBlocked: {
+        if (!plan_.alignedArray)
+            throw InternalError("OwnerBlocked without aligned array");
+        const Distribution &d = c.dists[*plan_.alignedArray];
+        Int bs = d.blockSize();
+        block_lo = std::max(lo, checkedMul(p, bs));
+        block_hi = std::min(hi, checkedSub(checkedMul(p + 1, bs), 1));
+        if (p == opts_.processors - 1)
+            block_hi = hi; // last block absorbs the remainder
+        if (block_lo > block_hi)
+            return os;
+        start = checkedAdd(block_lo,
+                           euclidMod(checkedSub(base, block_lo), s));
+        step = s;
+        hi = block_hi;
+        break;
+      }
+    }
+
+    os.empty = false;
+    os.start = start;
+    os.step = step;
+    os.hi = hi;
+    return os;
+}
+
+void
+Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
+                    Int fromIdx, Int toIdx, Int idxStep, ProcStats &stats,
+                    ir::ArrayStorage *storage,
+                    const ir::Bindings &binds) const
+{
+    if (slice.empty || fromIdx >= toIdx || idxStep <= 0)
+        return;
     size_t n = c.depth;
     const IntVec &params = c.params;
 
@@ -166,12 +257,23 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
     std::vector<uint64_t> lastKey(c.numRefs, 0);
     IntVec coords(c.numCoords, 0);
     const bool fast = opts_.fastInner && !storage && n >= 2;
-    // Second-level clamp for 2-D block partitioning (lo, hi); hi may be
-    // the sentinel max when the last grid column absorbs the remainder.
-    bool clamp1 = false;
-    Int clamp1_lo = 0, clamp1_hi = 0;
+    const bool clamp1 = slice.clamp1;
+    const Int clamp1_lo = slice.clamp1Lo, clamp1_hi = slice.clamp1Hi;
 
-    stats.proc = p;
+    // Fault injection: logical event streams counted per compiled
+    // reference (see fault_model.h); empty when nothing is armed.
+    const FaultOptions &fi = opts_.faults;
+    const RetryPolicy &rp = opts_.retry;
+    const bool faulty = fi.anyMessage();
+    const size_t n_arrays = c.dists.size();
+    std::vector<uint64_t> transferEvents, remoteEvents, keyMult;
+    std::vector<uint8_t> keyAbandoned;
+    if (faulty) {
+        transferEvents.assign(c.numRefs, 0);
+        remoteEvents.assign(c.numRefs, 0);
+        keyMult.assign(c.numRefs, 0);
+        keyAbandoned.assign(c.numRefs, 0);
+    }
 
     auto owner_at = [&](const RefEval &r) -> Int {
         if (r.distSubs.empty())
@@ -179,6 +281,67 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
         Int c0 = r.distSubs[0].sub.eval(u);
         Int c1 = r.distSubs.size() > 1 ? r.distSubs[1].sub.eval(u) : 0;
         return c.dists[r.arrayId].ownerOfDistCoords(c0, c1);
+    };
+
+    // One new logical block transfer of reference r begins (its hoist
+    // key changed). Charges the transfer-level recovery costs and
+    // records, for the element charges that follow under the same key,
+    // whether the block was abandoned and how many extra element copies
+    // the re-sends moved.
+    auto new_transfer = [&](const RefEval &r) {
+        size_t g = r.globalIdx;
+        uint64_t idx = ++transferEvents[g];
+        TransferBatchOutcome outc = chargeTransferBatch(
+            stats, fi, rp, idx - 1, 1, 0, r.arrayId, n_arrays);
+        keyAbandoned[g] = outc.abandoned != 0;
+        uint64_t mult = 0;
+        if (faultScheduledAt(fi.dropTransferAt, fi.dropTransferEvery, idx))
+            mult = outc.abandoned ? uint64_t(rp.maxAttempts)
+                                  : uint64_t(fi.failuresPerEvent);
+        else if (faultScheduledAt(fi.corruptTransferAt,
+                                  fi.corruptTransferEvery, idx))
+            mult = 1;
+        keyMult[g] = mult;
+        if (!outc.abandoned)
+            stats.blockTransfers += 1;
+    };
+
+    // `count` elements of reference r arrive under hoist key `key`
+    // (block-transfer path). Exactly the fault-free key bookkeeping
+    // when nothing is armed.
+    auto charge_hoisted = [&](const RefEval &r, uint64_t key,
+                              uint64_t count) {
+        size_t g = r.globalIdx;
+        if (lastKey[g] != key) {
+            lastKey[g] = key;
+            if (faulty)
+                new_transfer(r);
+            else
+                stats.blockTransfers += 1;
+        }
+        if (faulty && keyAbandoned[g]) {
+            // The block never arrived: its elements fall back to
+            // element-wise remote access (not re-injected).
+            chargeAbandonedElements(stats, r.arrayId, n_arrays, count);
+            stats.recoveryElements += keyMult[g] * count;
+        } else {
+            stats.blockElements += count;
+            if (faulty)
+                stats.recoveryElements += keyMult[g] * count;
+        }
+    };
+
+    // `count` consecutive element-wise remote accesses of reference r.
+    auto charge_remote_elems = [&](const RefEval &r, uint64_t count) {
+        if (faulty) {
+            uint64_t first = remoteEvents[r.globalIdx];
+            remoteEvents[r.globalIdx] += count;
+            chargeRemoteBatch(stats, fi, rp, first, count);
+        }
+        stats.remoteAccesses += count;
+        if (stats.remoteByArray.empty())
+            stats.remoteByArray.assign(c.dists.size(), 0);
+        stats.remoteByArray[r.arrayId] += count;
     };
 
     // Charge `count` consecutive innermost accesses of one reference
@@ -190,17 +353,29 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
             stats.localAccesses += count;
         } else if (!r.isWrite && opts_.blockTransfers &&
                    r.hoistLevel != kNoHoist) {
-            if (lastKey[r.globalIdx] != key) {
-                lastKey[r.globalIdx] = key;
-                stats.blockTransfers += 1;
-            }
-            stats.blockElements += count;
+            charge_hoisted(r, key, count);
         } else {
-            stats.remoteAccesses += count;
-            if (stats.remoteByArray.empty())
-                stats.remoteByArray.assign(c.dists.size(), 0);
-            stats.remoteByArray[r.arrayId] += count;
+            charge_remote_elems(r, count);
         }
+    };
+
+    // `num` consecutive one-element block transfers of reference r
+    // (hoist boundary at the innermost level: every remote iteration
+    // fetches a fresh block). Abandoned transfers complete nothing;
+    // their single elements are charged remote by chargeTransferBatch.
+    auto charge_bulk_transfers = [&](const RefEval &r, uint64_t num) {
+        if (!faulty) {
+            stats.blockTransfers += num;
+            stats.blockElements += num;
+            return;
+        }
+        size_t g = r.globalIdx;
+        uint64_t first = transferEvents[g];
+        transferEvents[g] += num;
+        TransferBatchOutcome outc = chargeTransferBatch(
+            stats, fi, rp, first, num, 1, r.arrayId, n_arrays);
+        stats.blockTransfers += outc.completed;
+        stats.blockElements += outc.completed;
     };
 
     auto execute_body = [&]() {
@@ -242,8 +417,7 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
                         if (own < 0 || own == p) {
                             stats.localAccesses += count;
                         } else {
-                            stats.blockTransfers += count;
-                            stats.blockElements += count;
+                            charge_bulk_transfers(r, count);
                             lastKey[r.globalIdx] = ticks[n - 1] + count;
                         }
                     } else {
@@ -278,8 +452,7 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
                                 local.hits > 0 && local.jLast == count - 1
                                     ? count - 2
                                     : count - 1;
-                            stats.blockTransfers += remote;
-                            stats.blockElements += remote;
+                            charge_bulk_transfers(r, remote);
                             lastKey[r.globalIdx] =
                                 ticks[n - 1] + j_last_remote + 1;
                         } else {
@@ -287,17 +460,10 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
                                 r.hoistLevel < 0
                                     ? 1
                                     : ticks[size_t(r.hoistLevel)];
-                            if (lastKey[r.globalIdx] != key) {
-                                lastKey[r.globalIdx] = key;
-                                stats.blockTransfers += 1;
-                            }
-                            stats.blockElements += remote;
+                            charge_hoisted(r, key, remote);
                         }
                     } else {
-                        stats.remoteAccesses += remote;
-                        if (stats.remoteByArray.empty())
-                            stats.remoteByArray.assign(c.dists.size(), 0);
-                        stats.remoteByArray[r.arrayId] += remote;
+                        charge_remote_elems(r, remote);
                     }
                     break;
                   }
@@ -389,77 +555,10 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
         u[k] = 0;
     };
 
-    // Outermost level: assign iterations to this processor per the plan.
-    Int lo = nest_.lowerAt(0, u, params);
-    Int hi = nest_.upperAt(0, u, params);
-    if (lo > hi)
-        return;
-    Int s = nest_.lattice().stride(0);
-    Int base = nest_.startAt(0, lo, y);
-    Int start = base, step = s;
-    Int block_lo = lo, block_hi = hi;
-
-    switch (plan_.scheme) {
-      case PartitionScheme::RoundRobin:
-        start = checkedAdd(base, checkedMul(p, s));
-        step = checkedMul(s, opts_.processors);
-        break;
-      case PartitionScheme::OwnerWrapped: {
-        // u == anchor (mod s) and u == p (mod P): the Diophantine
-        // alignment of Section 7 (unit-step loops reduce to the paper's
-        // ceil((lb - p)/P)*P + p formula).
-        auto cc = combineCongruences(euclidMod(base, s), s, p,
-                                     opts_.processors);
-        if (!cc)
-            return; // this processor owns no iteration
-        start = checkedAdd(lo, euclidMod(checkedSub(cc->rem, lo), cc->mod));
-        step = cc->mod;
-        break;
-      }
-      case PartitionScheme::OwnerBlock2D: {
-        if (!plan_.alignedArray)
-            throw InternalError("OwnerBlock2D without aligned array");
-        const Distribution &d = c.dists[*plan_.alignedArray];
-        Int pr = p / d.gridCols();
-        Int pc = p % d.gridCols();
-        Int bs0 = d.blockSize(0), bs1 = d.blockSize(1);
-        block_lo = std::max(lo, checkedMul(pr, bs0));
-        block_hi = std::min(hi, checkedSub(checkedMul(pr + 1, bs0), 1));
-        if (pr == d.gridRows() - 1)
-            block_hi = hi; // last grid row absorbs the remainder
-        if (block_lo > block_hi)
-            return;
-        start = checkedAdd(block_lo,
-                           euclidMod(checkedSub(base, block_lo), s));
-        step = s;
-        hi = block_hi;
-        clamp1 = true;
-        clamp1_lo = checkedMul(pc, bs1);
-        clamp1_hi = pc == d.gridCols() - 1
-                        ? std::numeric_limits<Int>::max()
-                        : checkedSub(checkedMul(pc + 1, bs1), 1);
-        break;
-      }
-      case PartitionScheme::OwnerBlocked: {
-        if (!plan_.alignedArray)
-            throw InternalError("OwnerBlocked without aligned array");
-        const Distribution &d = c.dists[*plan_.alignedArray];
-        Int bs = d.blockSize();
-        block_lo = std::max(lo, checkedMul(p, bs));
-        block_hi = std::min(hi, checkedSub(checkedMul(p + 1, bs), 1));
-        if (p == opts_.processors - 1)
-            block_hi = hi; // last block absorbs the remainder
-        if (block_lo > block_hi)
-            return;
-        start = checkedAdd(block_lo,
-                           euclidMod(checkedSub(base, block_lo), s));
-        step = s;
-        hi = block_hi;
-        break;
-      }
-    }
-
-    for (Int v = start; v <= hi; v += step) {
+    // Walk the requested positions of the slice (positions are 0-based
+    // within the slice's arithmetic progression).
+    for (Int idx = fromIdx; idx < toIdx; idx += idxStep) {
+        Int v = checkedAdd(slice.start, checkedMul(idx, slice.step));
         u[0] = v;
         ticks[0] += 1;
         y.push_back(nest_.lattice().solveY(0, v, y));
@@ -468,6 +567,16 @@ Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
         walk(1);
         y.pop_back();
     }
+}
+
+void
+Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
+                        ir::ArrayStorage *storage,
+                        const ir::Bindings &binds) const
+{
+    stats.proc = p;
+    OuterSlice slice = outerSlice(c, p);
+    runSlice(c, p, slice, 0, slice.count(), 1, stats, storage, binds);
 }
 
 SimStats
@@ -499,6 +608,8 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
         double(m.elementSize);
     c.rates.guard = m.guardTime;
     c.rates.sync = m.syncTime;
+    c.rates.backoffUnit = m.retryBackoffTime;
+    c.rates.restart = m.restartTime;
 
     size_t inner = c.depth > 0 ? c.depth - 1 : 0;
     Int inner_stride = c.depth > 0 ? nest_.lattice().stride(inner) : 1;
@@ -570,23 +681,86 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
         throw UserError("executeValues requires simulating all processors");
     out.perProc.assign(procs.size(), ProcStats{});
 
+    // Fail-stop injection: the victim stops after killAfterSlices of
+    // its outer-slice iterations (phase 1); its unstarted positions are
+    // redistributed or restarted afterwards (phase 2).
+    const FaultOptions &f = opts_.faults;
+    const bool kill = f.killProc >= 0 && f.killProc < opts_.processors;
+    OuterSlice victim_slice;
+    Int victim_total = 0, victim_done = 0;
+    if (kill) {
+        victim_slice = outerSlice(c, f.killProc);
+        victim_total = victim_slice.count();
+        victim_done = f.killAfterSlices > uint64_t(victim_total)
+                          ? victim_total
+                          : Int(f.killAfterSlices);
+    }
+
+    // Phase 1: every sampled processor walks its own slice (the victim
+    // only up to its point of death).
+    auto phase1 = [&](size_t i, ir::ArrayStorage *st) {
+        Int p = procs[i];
+        ProcStats &ps = out.perProc[i];
+        if (kill && p == f.killProc) {
+            ps.proc = p;
+            ps.killed = 1;
+            runSlice(c, p, victim_slice, 0, victim_done, 1, ps, st, binds);
+        } else {
+            runProcessor(c, p, ps, st, binds);
+        }
+    };
+
     size_t threads = opts_.hostThreads > 0
                          ? size_t(opts_.hostThreads)
                          : ThreadPool::shared().concurrency();
     bool serial = storage != nullptr || !plan_.outerParallel ||
                   threads <= 1 || procs.size() <= 1;
     if (serial) {
-        for (size_t i = 0; i < procs.size(); ++i) {
-            runProcessor(c, procs[i], out.perProc[i], storage, binds);
-            finalizeProcTime(out.perProc[i], c.rates);
-        }
+        for (size_t i = 0; i < procs.size(); ++i)
+            phase1(i, storage);
     } else {
         ThreadPool::shared().parallelFor(
-            procs.size(), threads, [&](size_t i) {
-                runProcessor(c, procs[i], out.perProc[i], nullptr, binds);
-                finalizeProcTime(out.perProc[i], c.rates);
-            });
+            procs.size(), threads,
+            [&](size_t i) { phase1(i, nullptr); });
     }
+
+    // Phase 2: the victim's unstarted outer-slice positions. With a
+    // parallel outer loop and survivors, position done + j is adopted
+    // by survivor j mod (P - 1) (survivors keep their own identity for
+    // locality, pay one redistribution sync each, and walk with fresh
+    // state); otherwise the victim reboots and finishes its own slice.
+    if (kill && victim_done < victim_total) {
+        Int survivors = opts_.processors - 1;
+        if (survivors > 0 && plan_.outerParallel) {
+            for (size_t i = 0; i < procs.size(); ++i) {
+                Int p = procs[i];
+                if (p == f.killProc)
+                    continue;
+                ProcStats &ps = out.perProc[i];
+                ps.syncs += 1;
+                Int si = p < f.killProc ? p : p - 1;
+                Int first = victim_done + si;
+                if (first >= victim_total)
+                    continue;
+                Int adopted = (victim_total - 1 - first) / survivors + 1;
+                ps.reassignedSlices += uint64_t(adopted);
+                runSlice(c, p, victim_slice, first, victim_total,
+                         survivors, ps, storage, binds);
+            }
+        } else {
+            for (size_t i = 0; i < procs.size(); ++i) {
+                if (procs[i] != f.killProc)
+                    continue;
+                ProcStats &ps = out.perProc[i];
+                ps.restarts += 1;
+                runSlice(c, f.killProc, victim_slice, victim_done,
+                         victim_total, 1, ps, storage, binds);
+            }
+        }
+    }
+
+    for (ProcStats &ps : out.perProc)
+        finalizeProcTime(ps, c.rates);
     return out;
 }
 
@@ -610,6 +784,7 @@ simulateOwnership(const ir::Program &prog, const SimOptions &opts,
                   const ir::Bindings &binds)
 {
     const MachineParams &m = opts.machine;
+    m.validate();
     Int procs = opts.processors;
     std::vector<Distribution> dists;
     for (const ir::ArrayDecl &a : prog.arrays)

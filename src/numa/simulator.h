@@ -31,8 +31,10 @@
 
 #include "ir/interp.h"
 #include "numa/distribution.h"
+#include "numa/fault_model.h"
 #include "numa/machine.h"
 #include "numa/plan.h"
+#include "numa/recovery.h"
 #include "numa/stats.h"
 #include "xform/transform.h"
 
@@ -74,6 +76,15 @@ struct SimOptions
      * naive walk counts, and simulated time is derived from the counts).
      */
     bool fastInner = true;
+    /**
+     * Deterministic machine-fault injection (see numa/fault_model.h).
+     * Off by default; when armed, recovery work is charged to the
+     * simulated clock and counted in the ProcStats fault counters, but
+     * executed values and all fault-free counters are unchanged.
+     */
+    FaultOptions faults;
+    /** Retry protocol used to recover from injected faults. */
+    RetryPolicy retry;
 };
 
 /** Simulator for a planned SPMD execution of a transformed nest. */
@@ -99,6 +110,39 @@ class Simulator
     SimOptions opts_;
 
     struct Compiled; // per-run compiled representation
+
+    /** One processor's share of the distributed outer loop. */
+    struct OuterSlice
+    {
+        bool empty = true;
+        Int start = 0, step = 1, hi = 0;
+        bool clamp1 = false;      //!< also clamp loop level 1 (2D owner)
+        Int clamp1Lo = 0, clamp1Hi = -1;
+
+        /** Number of outer iterations in the slice. */
+        Int count() const
+        {
+            if (empty || step <= 0 || start > hi)
+                return 0;
+            return (hi - start) / step + 1;
+        }
+    };
+
+    /** Processor p's slice of the distributed outer loop under the
+     * plan's partition scheme (empty when p has no work). */
+    OuterSlice outerSlice(const Compiled &c, Int p) const;
+
+    /**
+     * Walk outer-slice positions fromIdx, fromIdx + idxStep, ... up to
+     * (excluding) toIdx, charging stats as processor `p`. Used both
+     * for a processor's own slice (step 1) and for the round-robin
+     * share of slices adopted from a dead one.
+     */
+    void runSlice(const Compiled &c, Int p, const OuterSlice &slice,
+                  Int fromIdx, Int toIdx, Int idxStep, ProcStats &stats,
+                  ir::ArrayStorage *storage,
+                  const ir::Bindings &binds) const;
+
     void runProcessor(const Compiled &c, Int p, ProcStats &stats,
                       ir::ArrayStorage *storage,
                       const ir::Bindings &binds) const;
@@ -117,6 +161,10 @@ double sequentialTime(const ir::Program &prog,
  * ENTIRE original iteration space, evaluates the guard, and executes
  * the statement body only for iterations whose left-hand side it owns.
  * Reads of remote data are element-wise remote accesses.
+ *
+ * Ignores SimOptions::faults: the baseline exists to measure the
+ * untransformed program's traffic, and injecting faults into it would
+ * not exercise any recovery machinery the paper's compiler emits.
  */
 SimStats simulateOwnership(const ir::Program &prog, const SimOptions &opts,
                            const ir::Bindings &binds);

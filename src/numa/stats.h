@@ -7,6 +7,7 @@
 #define ANC_NUMA_STATS_H
 
 #include <cstdint>
+#include <iomanip>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,10 +24,21 @@ struct ProcStats
     uint64_t flops = 0;
     uint64_t localAccesses = 0;
     uint64_t remoteAccesses = 0; //!< element-wise remote references
-    uint64_t blockTransfers = 0; //!< hoisted block messages
+    uint64_t blockTransfers = 0; //!< hoisted block messages (completed)
     uint64_t blockElements = 0;  //!< elements moved by block transfers
     uint64_t guardChecks = 0;    //!< ownership-rule guard evaluations
     uint64_t syncs = 0;
+    // Machine-fault recovery counters (all zero in a fault-free run).
+    uint64_t transferRetries = 0;   //!< failed block sends re-issued
+    uint64_t transferRefetches = 0; //!< checksum-failed blocks refetched
+    uint64_t remoteRetries = 0;     //!< failed remote accesses re-issued
+    uint64_t recoveryElements = 0;  //!< elements moved by re-sent blocks
+    uint64_t backoffUnits = 0;      //!< exponential-backoff wait units
+    uint64_t abandonedTransfers = 0;//!< blocks given up after maxAttempts
+    uint64_t reassignedSlices = 0;  //!< outer slices adopted from a dead
+                                    //!< processor
+    uint64_t restarts = 0;          //!< fail-stop reboots (no survivors)
+    uint64_t killed = 0;            //!< 1 when this processor was killed
     double time = 0.0;           //!< microseconds of simulated work
     /** Element-wise remote accesses broken down by array id (empty
      * until the first remote access; sized to the program's arrays). */
@@ -60,6 +72,8 @@ struct CostRates
     double blockElement = 0.0; //!< per moved element, with contention
     double guard = 0.0;        //!< per ownership-rule guard evaluation
     double sync = 0.0;
+    double backoffUnit = 0.0;  //!< per retry-backoff wait unit
+    double restart = 0.0;      //!< per fail-stop processor reboot
 };
 
 /** Set p.time from its counters; the fixed evaluation order below is
@@ -73,8 +87,54 @@ finalizeProcTime(ProcStats &p, const CostRates &r)
              double(p.remoteAccesses) * r.remote +
              double(p.blockTransfers) * r.blockStartup +
              double(p.blockElements) * (r.blockElement + r.local) +
-             double(p.guardChecks) * r.guard + double(p.syncs) * r.sync;
+             double(p.guardChecks) * r.guard + double(p.syncs) * r.sync +
+             // Recovery work: every re-sent block pays a fresh startup
+             // and its bytes (but not the per-element local use, which
+             // only the finally-delivered copy gets), every re-issued
+             // remote access a fresh remote reference, every backoff
+             // unit and reboot their machine-specific wait.
+             double(p.transferRetries + p.transferRefetches) *
+                 r.blockStartup +
+             double(p.recoveryElements) * r.blockElement +
+             double(p.remoteRetries) * r.remote +
+             double(p.backoffUnits) * r.backoffUnit +
+             double(p.restarts) * r.restart;
 }
+
+/** Machine-fault recovery totals for one simulated run. */
+struct FaultReport
+{
+    uint64_t transferRetries = 0;
+    uint64_t transferRefetches = 0;
+    uint64_t remoteRetries = 0;
+    uint64_t recoveryElements = 0;
+    uint64_t backoffUnits = 0;
+    uint64_t abandonedTransfers = 0;
+    uint64_t reassignedSlices = 0;
+    uint64_t restarts = 0;
+    uint64_t deadProcs = 0;
+
+    bool
+    any() const
+    {
+        return transferRetries || transferRefetches || remoteRetries ||
+               recoveryElements || backoffUnits || abandonedTransfers ||
+               reassignedSlices || restarts || deadProcs;
+    }
+
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        os << "faults: " << transferRetries << " transfer retries, "
+           << transferRefetches << " refetches, " << remoteRetries
+           << " remote retries, " << abandonedTransfers << " abandoned, "
+           << reassignedSlices << " reassigned slices, " << restarts
+           << " restarts, " << deadProcs << " dead, " << backoffUnits
+           << " backoff units";
+        return os.str();
+    }
+};
 
 /** Whole-machine result of one simulated run. */
 struct SimStats
@@ -160,6 +220,25 @@ struct SimStats
         double mean = sum / double(perProc.size());
         return mean > 0.0 ? parallelTime() / mean : 1.0;
     }
+
+    /** Machine-fault recovery totals across the simulated processors. */
+    FaultReport
+    faultReport() const
+    {
+        FaultReport f;
+        for (const ProcStats &p : perProc) {
+            f.transferRetries += p.transferRetries;
+            f.transferRefetches += p.transferRefetches;
+            f.remoteRetries += p.remoteRetries;
+            f.recoveryElements += p.recoveryElements;
+            f.backoffUnits += p.backoffUnits;
+            f.abandonedTransfers += p.abandonedTransfers;
+            f.reassignedSlices += p.reassignedSlices;
+            f.restarts += p.restarts;
+            f.deadProcs += p.killed;
+        }
+        return f;
+    }
 };
 
 /** Human-readable per-processor traffic table. */
@@ -170,13 +249,28 @@ summarize(const SimStats &s)
     os << "P = " << s.processors << (s.sampled ? " (sampled)" : "")
        << ", parallel time " << s.parallelTime() << " us, imbalance "
        << s.imbalance() << "\n";
-    os << "proc  iterations      local     remote     blocks      "
-          "syncs   time(us)\n";
+    os << std::setw(5) << "proc" << std::setw(12) << "iterations"
+       << std::setw(11) << "local" << std::setw(11) << "remote"
+       << std::setw(8) << "blocks" << std::setw(9) << "retries"
+       << std::setw(9) << "refetch" << std::setw(8) << "reasgn"
+       << std::setw(7) << "syncs" << std::setw(13) << "time(us)" << "\n";
     for (const ProcStats &p : s.perProc) {
-        os << p.proc << "  " << p.iterations << "  " << p.localAccesses
-           << "  " << p.remoteAccesses << "  " << p.blockTransfers
-           << "  " << p.syncs << "  " << p.time << "\n";
+        os << std::setw(5) << p.proc << std::setw(12) << p.iterations
+           << std::setw(11) << p.localAccesses << std::setw(11)
+           << p.remoteAccesses << std::setw(8) << p.blockTransfers
+           << std::setw(9) << (p.transferRetries + p.remoteRetries)
+           << std::setw(9) << p.transferRefetches << std::setw(8)
+           << p.reassignedSlices << std::setw(7) << p.syncs
+           << std::setw(13) << p.time;
+        if (p.killed)
+            os << "  (killed)";
+        if (p.restarts)
+            os << "  (restarted)";
+        os << "\n";
     }
+    FaultReport f = s.faultReport();
+    if (f.any())
+        os << f.str() << "\n";
     return os.str();
 }
 

@@ -1,0 +1,510 @@
+/**
+ * @file
+ * Fault injection and recovery: the simulator must survive every fault
+ * the deterministic machine-fault model can inject -- without throwing,
+ * without changing executed values, with bit-identical stats across
+ * host thread counts and execution strategies, and with simulated time
+ * monotonically non-decreasing in the set of armed transfer/remote
+ * faults (recovery only ever adds work).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "numa/simulator.h"
+
+namespace anc::numa {
+namespace {
+
+using core::Compilation;
+
+void
+expectIdentical(const SimStats &a, const SimStats &b, const char *what)
+{
+    ASSERT_EQ(a.perProc.size(), b.perProc.size()) << what;
+    EXPECT_EQ(a.processors, b.processors) << what;
+    for (size_t i = 0; i < a.perProc.size(); ++i) {
+        const ProcStats &x = a.perProc[i];
+        const ProcStats &y = b.perProc[i];
+        SCOPED_TRACE(std::string(what) + " proc " + std::to_string(x.proc));
+        EXPECT_EQ(x.proc, y.proc);
+        EXPECT_EQ(x.iterations, y.iterations);
+        EXPECT_EQ(x.flops, y.flops);
+        EXPECT_EQ(x.localAccesses, y.localAccesses);
+        EXPECT_EQ(x.remoteAccesses, y.remoteAccesses);
+        EXPECT_EQ(x.blockTransfers, y.blockTransfers);
+        EXPECT_EQ(x.blockElements, y.blockElements);
+        EXPECT_EQ(x.guardChecks, y.guardChecks);
+        EXPECT_EQ(x.syncs, y.syncs);
+        EXPECT_EQ(x.transferRetries, y.transferRetries);
+        EXPECT_EQ(x.transferRefetches, y.transferRefetches);
+        EXPECT_EQ(x.remoteRetries, y.remoteRetries);
+        EXPECT_EQ(x.recoveryElements, y.recoveryElements);
+        EXPECT_EQ(x.backoffUnits, y.backoffUnits);
+        EXPECT_EQ(x.abandonedTransfers, y.abandonedTransfers);
+        EXPECT_EQ(x.reassignedSlices, y.reassignedSlices);
+        EXPECT_EQ(x.restarts, y.restarts);
+        EXPECT_EQ(x.killed, y.killed);
+        EXPECT_EQ(x.remoteByArray, y.remoteByArray);
+        EXPECT_EQ(x.time, y.time);
+    }
+}
+
+struct Workload
+{
+    const char *name;
+    Compilation comp;
+    ir::Bindings binds;
+};
+
+std::vector<Workload>
+gallery()
+{
+    std::vector<Workload> w;
+    w.push_back({"gemm", core::compile(ir::gallery::gemm()), {{6}, {}}});
+    w.push_back({"syr2k", core::compile(ir::gallery::syr2kBanded()),
+                 {{9, 3}, {1.5, 0.5}}});
+    return w;
+}
+
+SimStats
+runWith(const Workload &w, Int p, const FaultOptions &f,
+        RetryPolicy rp = RetryPolicy{}, Int threads = 1, bool fast = true,
+        bool blocks = true)
+{
+    SimOptions o;
+    o.processors = p;
+    o.blockTransfers = blocks;
+    o.hostThreads = threads;
+    o.fastInner = fast;
+    o.faults = f;
+    o.retry = rp;
+    return core::simulate(w.comp, o, w.binds);
+}
+
+uint64_t
+maxPerProc(const SimStats &s, uint64_t ProcStats::*field)
+{
+    uint64_t m = 0;
+    for (const ProcStats &p : s.perProc)
+        m = std::max(m, p.*field);
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Fault model unit tests
+// ---------------------------------------------------------------------
+
+TEST(FaultModel, ParseSpecSingleEvents)
+{
+    FaultOptions f = parseFaultSpec("drop-transfer@3");
+    EXPECT_EQ(f.dropTransferAt, 3u);
+    EXPECT_TRUE(f.any());
+
+    f = parseFaultSpec("corrupt-transfer/8");
+    EXPECT_EQ(f.corruptTransferEvery, 8u);
+
+    f = parseFaultSpec("remote-fail@12");
+    EXPECT_EQ(f.remoteFailAt, 12u);
+
+    f = parseFaultSpec("kill:2@0"); // dying before any work is legal
+    EXPECT_EQ(f.killProc, 2);
+    EXPECT_EQ(f.killAfterSlices, 0u);
+}
+
+TEST(FaultModel, ParseSpecCombined)
+{
+    FaultOptions f = parseFaultSpec(
+        "drop-transfer/8,corrupt-transfer@2,remote-fail/5,kill:2@7,x3");
+    EXPECT_EQ(f.dropTransferEvery, 8u);
+    EXPECT_EQ(f.corruptTransferAt, 2u);
+    EXPECT_EQ(f.remoteFailEvery, 5u);
+    EXPECT_EQ(f.killProc, 2);
+    EXPECT_EQ(f.killAfterSlices, 7u);
+    EXPECT_EQ(f.failuresPerEvent, 3);
+    // str() renders back in the spec syntax.
+    EXPECT_EQ(parseFaultSpec(f.str()).str(), f.str());
+}
+
+TEST(FaultModel, ParseSpecRejectsMalformedInput)
+{
+    for (const char *bad :
+         {"bogus", "drop-transfer", "drop-transfer@", "drop-transfer@0",
+          "drop-transfer@x", "kill:@3", "kill:2", "kill:-1@2", "x0", "x",
+          "remote-fail@1,,remote-fail@2"})
+        EXPECT_THROW(parseFaultSpec(bad), UserError) << bad;
+}
+
+TEST(FaultModel, ValidateRejectsOutOfRangeKnobs)
+{
+    FaultOptions f;
+    f.failuresPerEvent = 0;
+    EXPECT_THROW(f.validate(), UserError);
+    f.failuresPerEvent = 1001;
+    EXPECT_THROW(f.validate(), UserError);
+    f = FaultOptions{};
+    f.killProc = -2;
+    EXPECT_THROW(f.validate(), UserError);
+    f = FaultOptions{};
+    f.dropTransferEvery = uint64_t(1) << 41;
+    EXPECT_THROW(f.validate(), UserError);
+    EXPECT_NO_THROW(FaultOptions{}.validate());
+}
+
+TEST(FaultModel, ScheduleCountingClosedForms)
+{
+    // at only.
+    EXPECT_EQ(faultsInRange(5, 0, 1, 10), 1u);
+    EXPECT_EQ(faultsInRange(15, 0, 1, 10), 0u);
+    // every only.
+    EXPECT_EQ(faultsInRange(0, 3, 1, 10), 3u);
+    EXPECT_EQ(faultsInRange(0, 3, 4, 10), 2u);
+    // at covered by every counts once.
+    EXPECT_EQ(faultsInRange(6, 3, 1, 10), 3u);
+    EXPECT_EQ(faultsInRange(5, 3, 1, 10), 4u);
+    // Point queries agree with the range count.
+    for (uint64_t i = 1; i <= 20; ++i) {
+        uint64_t n = faultScheduledAt(5, 3, i) ? 1u : 0u;
+        EXPECT_EQ(faultsInRange(5, 3, i, i), n) << i;
+    }
+    // Overlap of two schedules: multiples of lcm(2, 3) = 6 in [1, 12].
+    EXPECT_EQ(faultsInRangeBoth(0, 2, 0, 3, 1, 12), 2u);
+    // Plus an at-point armed by both (4 is even, and at2 == 4).
+    EXPECT_EQ(faultsInRangeBoth(0, 2, 4, 3, 1, 12), 3u);
+    // An at-point already counted as an lcm multiple is not doubled.
+    EXPECT_EQ(faultsInRangeBoth(6, 2, 6, 3, 1, 12), 2u);
+}
+
+TEST(FaultModel, BackoffUnitsAreGeometricSums)
+{
+    EXPECT_EQ(backoffUnitsFor(0, 2), 0u);
+    EXPECT_EQ(backoffUnitsFor(1, 2), 1u);
+    EXPECT_EQ(backoffUnitsFor(3, 2), 7u);  // 1 + 2 + 4
+    EXPECT_EQ(backoffUnitsFor(3, 3), 13u); // 1 + 3 + 9
+    EXPECT_EQ(backoffUnitsFor(4, 1), 4u);  // constant backoff
+}
+
+TEST(FaultModel, RetryPolicyValidation)
+{
+    EXPECT_NO_THROW(RetryPolicy{}.validate());
+    RetryPolicy rp;
+    rp.maxAttempts = 0;
+    EXPECT_THROW(rp.validate(), UserError);
+    rp = RetryPolicy{};
+    rp.maxAttempts = 17;
+    EXPECT_THROW(rp.validate(), UserError);
+    rp = RetryPolicy{};
+    rp.backoffBase = 0;
+    EXPECT_THROW(rp.validate(), UserError);
+    rp.backoffBase = 5;
+    EXPECT_THROW(rp.validate(), UserError);
+}
+
+TEST(FaultModel, Fletcher64DetectsCorruption)
+{
+    std::vector<double> a = {1.0, 2.0, 3.5, -4.25};
+    std::vector<double> b = a;
+    EXPECT_EQ(fletcher64(a.data(), a.size()), fletcher64(b.data(), b.size()));
+    b[2] = 3.5000001;
+    EXPECT_NE(fletcher64(a.data(), a.size()), fletcher64(b.data(), b.size()));
+    // Position-sensitive: a swap changes the sum.
+    std::vector<double> c = {2.0, 1.0, 3.5, -4.25};
+    EXPECT_NE(fletcher64(a.data(), a.size()), fletcher64(c.data(), c.size()));
+    EXPECT_EQ(fletcher64(a.data(), 0), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Injection sweeps: every reachable transfer/access site
+// ---------------------------------------------------------------------
+
+TEST(FaultRecovery, TransferFaultSweepNeverThrowsAndIsMonotone)
+{
+    for (const Workload &w : gallery()) {
+        for (Int p : {1, 4, 32}) {
+            SimStats base = runWith(w, p, FaultOptions{});
+            // Per-processor totals sum over all reference streams, so
+            // high indices may miss every stream -- that must be
+            // harmless, while index 1 must hit whenever transfers
+            // happen at all.
+            uint64_t sites =
+                std::min<uint64_t>(
+                    maxPerProc(base, &ProcStats::blockTransfers), 40);
+            uint64_t fired = 0;
+            for (uint64_t n = 1; n <= sites; ++n) {
+                for (bool corrupt : {false, true}) {
+                    FaultOptions f;
+                    (corrupt ? f.corruptTransferAt : f.dropTransferAt) = n;
+                    SimStats s;
+                    ASSERT_NO_THROW(s = runWith(w, p, f))
+                        << w.name << " P=" << p << " n=" << n;
+                    // Work is conserved; recovery only adds time.
+                    EXPECT_EQ(s.totalIterations(), base.totalIterations());
+                    EXPECT_GE(s.parallelTime(), base.parallelTime());
+                    FaultReport fr = s.faultReport();
+                    if (!fr.any()) {
+                        // The index misses every stream: nothing may
+                        // change.
+                        EXPECT_EQ(s.parallelTime(), base.parallelTime());
+                        continue;
+                    }
+                    ++fired;
+                    if (corrupt)
+                        EXPECT_GT(fr.transferRefetches, 0u);
+                    else
+                        EXPECT_GT(fr.transferRetries, 0u);
+                    EXPECT_GT(s.parallelTime(), base.parallelTime());
+                }
+            }
+            if (sites > 0)
+                EXPECT_GT(fired, 0u) << w.name << " P=" << p;
+        }
+    }
+}
+
+TEST(FaultRecovery, RemoteFaultSweepNeverThrowsAndIsMonotone)
+{
+    for (const Workload &w : gallery()) {
+        for (Int p : {1, 4, 32}) {
+            // Without block transfers every remote reference is an
+            // element-wise access -- the paper's "T" configuration.
+            SimStats base =
+                runWith(w, p, FaultOptions{}, RetryPolicy{}, 1, true,
+                        false);
+            uint64_t sites = std::min<uint64_t>(
+                maxPerProc(base, &ProcStats::remoteAccesses), 40);
+            uint64_t fired = 0;
+            for (uint64_t n = 1; n <= sites; ++n) {
+                FaultOptions f;
+                f.remoteFailAt = n;
+                SimStats s;
+                ASSERT_NO_THROW(s = runWith(w, p, f, RetryPolicy{}, 1,
+                                            true, false))
+                    << w.name << " P=" << p << " n=" << n;
+                EXPECT_EQ(s.totalIterations(), base.totalIterations());
+                EXPECT_GE(s.parallelTime(), base.parallelTime());
+                FaultReport fr = s.faultReport();
+                if (!fr.any()) {
+                    EXPECT_EQ(s.parallelTime(), base.parallelTime());
+                    continue;
+                }
+                ++fired;
+                EXPECT_GT(fr.remoteRetries, 0u);
+                EXPECT_GT(s.parallelTime(), base.parallelTime());
+            }
+            if (sites > 0)
+                EXPECT_GT(fired, 0u) << w.name << " P=" << p;
+        }
+    }
+}
+
+TEST(FaultRecovery, TimeMonotoneInFaultRate)
+{
+    // every-k schedules with k a chain of divisors arm nested event
+    // sets, so simulated time must be non-decreasing as k shrinks.
+    for (const Workload &w : gallery()) {
+        for (bool blocks : {true, false}) {
+            double last = runWith(w, 4, FaultOptions{}, RetryPolicy{}, 1,
+                                  true, blocks)
+                              .parallelTime();
+            for (uint64_t k : {64, 16, 4, 1}) {
+                FaultOptions f;
+                f.dropTransferEvery = k;
+                f.remoteFailEvery = k;
+                double t = runWith(w, 4, f, RetryPolicy{}, 1, true, blocks)
+                               .parallelTime();
+                EXPECT_GE(t, last)
+                    << w.name << " blocks=" << blocks << " k=" << k;
+                last = t;
+            }
+        }
+    }
+}
+
+TEST(FaultRecovery, StatsIdenticalAcrossThreadsAndStrategies)
+{
+    std::vector<FaultOptions> configs;
+    configs.push_back(parseFaultSpec("drop-transfer/3"));
+    configs.push_back(parseFaultSpec("corrupt-transfer/4,remote-fail/7"));
+    configs.push_back(parseFaultSpec("drop-transfer/2,x5"));
+    configs.push_back(parseFaultSpec("kill:1@1,drop-transfer/2"));
+    for (const Workload &w : gallery()) {
+        for (Int p : {4, 32}) {
+            for (const FaultOptions &f : configs) {
+                SimStats serial = runWith(w, p, f, RetryPolicy{}, 1, true);
+                SimStats threaded =
+                    runWith(w, p, f, RetryPolicy{}, 0, true);
+                expectIdentical(serial, threaded, w.name);
+                SimStats naive = runWith(w, p, f, RetryPolicy{}, 1, false);
+                expectIdentical(serial, naive, w.name);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value integrity
+// ---------------------------------------------------------------------
+
+void
+expectValuesIdentical(const Workload &w, Int p, const FaultOptions &f,
+                      RetryPolicy rp = RetryPolicy{})
+{
+    const Compilation &c = w.comp;
+    SimOptions base;
+    base.processors = p;
+    base.executeValues = true;
+    ir::ArrayStorage clean(c.program, w.binds.paramValues);
+    clean.fillDeterministic(7);
+    Simulator s0(c.program, c.nest(), c.plan, base);
+    s0.run(w.binds, &clean);
+
+    SimOptions fo = base;
+    fo.faults = f;
+    fo.retry = rp;
+    ir::ArrayStorage damaged(c.program, w.binds.paramValues);
+    damaged.fillDeterministic(7);
+    Simulator s1(c.program, c.nest(), c.plan, fo);
+    ASSERT_NO_THROW(s1.run(w.binds, &damaged))
+        << w.name << " P=" << p << " faults=" << f.str();
+    for (size_t a = 0; a < c.program.arrays.size(); ++a) {
+        SCOPED_TRACE(std::string(w.name) + " P=" + std::to_string(p) +
+                     " faults=" + f.str() + " array " + std::to_string(a));
+        EXPECT_EQ(clean.data(a), damaged.data(a));
+        EXPECT_EQ(fletcher64(clean.data(a).data(), clean.data(a).size()),
+                  fletcher64(damaged.data(a).data(),
+                             damaged.data(a).size()));
+    }
+}
+
+TEST(FaultRecovery, ValuesBitIdenticalUnderMessageFaults)
+{
+    for (const Workload &w : gallery()) {
+        for (Int p : {1, 4, 32}) {
+            expectValuesIdentical(w, p, parseFaultSpec("drop-transfer/2"));
+            expectValuesIdentical(
+                w, p,
+                parseFaultSpec(
+                    "drop-transfer/3,corrupt-transfer/2,remote-fail/2"));
+            // Abandonment: more consecutive failures than attempts.
+            expectValuesIdentical(w, p,
+                                  parseFaultSpec("drop-transfer/1,x5"));
+        }
+    }
+}
+
+TEST(FaultRecovery, ValuesBitIdenticalUnderProcessorDeath)
+{
+    for (const Workload &w : gallery()) {
+        for (Int p : {1, 4, 32}) {
+            for (Int victim : {Int(0), p - 1}) {
+                for (uint64_t k : {0, 1, 3}) {
+                    FaultOptions f;
+                    f.killProc = victim;
+                    f.killAfterSlices = k;
+                    expectValuesIdentical(w, p, f);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery semantics
+// ---------------------------------------------------------------------
+
+TEST(FaultRecovery, AbandonedTransfersFallBackToRemoteAccess)
+{
+    Workload w{"gemm", core::compile(ir::gallery::gemm()), {{6}, {}}};
+    SimStats base = runWith(w, 4, FaultOptions{});
+    ASSERT_GT(base.totalBlockTransfers(), 0u);
+
+    FaultOptions f = parseFaultSpec("drop-transfer/1,x5"); // every, fatal
+    SimStats s = runWith(w, 4, f);
+    FaultReport fr = s.faultReport();
+    // Every transfer exhausted its attempts: none completed, each was
+    // abandoned, and the blocks' elements became element-wise remote.
+    EXPECT_EQ(s.totalBlockTransfers(), 0u);
+    EXPECT_EQ(fr.abandonedTransfers, base.totalBlockTransfers());
+    EXPECT_GT(s.totalRemoteAccesses(), base.totalRemoteAccesses());
+    EXPECT_GT(s.parallelTime(), base.parallelTime());
+    EXPECT_EQ(s.totalIterations(), base.totalIterations());
+}
+
+TEST(FaultRecovery, ExhaustedRemoteRetriesEscalateToSync)
+{
+    Workload w{"gemm", core::compile(ir::gallery::gemm()), {{6}, {}}};
+    SimStats base =
+        runWith(w, 4, FaultOptions{}, RetryPolicy{}, 1, true, false);
+    FaultOptions f = parseFaultSpec("remote-fail/1,x5");
+    SimStats s = runWith(w, 4, f, RetryPolicy{}, 1, true, false);
+    uint64_t base_syncs = 0, syncs = 0;
+    for (const ProcStats &ps : base.perProc)
+        base_syncs += ps.syncs;
+    for (const ProcStats &ps : s.perProc)
+        syncs += ps.syncs;
+    EXPECT_EQ(syncs - base_syncs, base.totalRemoteAccesses());
+    EXPECT_EQ(s.totalRemoteAccesses(), base.totalRemoteAccesses());
+}
+
+TEST(FaultRecovery, DeathRedistributesUnstartedSlices)
+{
+    Workload w{"gemm", core::compile(ir::gallery::gemm()), {{12}, {}}};
+    SimStats base = runWith(w, 4, FaultOptions{});
+    SimStats s = runWith(w, 4, parseFaultSpec("kill:0@1"));
+    FaultReport fr = s.faultReport();
+    EXPECT_EQ(fr.deadProcs, 1u);
+    EXPECT_GT(fr.reassignedSlices, 0u);
+    EXPECT_EQ(fr.restarts, 0u);
+    // Work is conserved: the survivors absorbed the victim's slices.
+    EXPECT_EQ(s.totalIterations(), base.totalIterations());
+    EXPECT_EQ(s.perProc[0].killed, 1u);
+    for (size_t i = 1; i < s.perProc.size(); ++i) {
+        EXPECT_EQ(s.perProc[i].killed, 0u);
+        // Each survivor paid the redistribution barrier.
+        EXPECT_EQ(s.perProc[i].syncs, base.perProc[i].syncs + 1);
+    }
+}
+
+TEST(FaultRecovery, LoneProcessorRestartsInsteadOfRedistributing)
+{
+    Workload w{"gemm", core::compile(ir::gallery::gemm()), {{6}, {}}};
+    SimStats base = runWith(w, 1, FaultOptions{});
+    SimStats s = runWith(w, 1, parseFaultSpec("kill:0@2"));
+    FaultReport fr = s.faultReport();
+    EXPECT_EQ(fr.deadProcs, 1u);
+    EXPECT_EQ(fr.restarts, 1u);
+    EXPECT_EQ(fr.reassignedSlices, 0u);
+    EXPECT_EQ(s.totalIterations(), base.totalIterations());
+    // The reboot is charged to the simulated clock.
+    EXPECT_GT(s.parallelTime(), base.parallelTime());
+}
+
+TEST(FaultRecovery, DeathAfterAllSlicesIsHarmless)
+{
+    Workload w{"gemm", core::compile(ir::gallery::gemm()), {{6}, {}}};
+    SimStats base = runWith(w, 4, FaultOptions{});
+    SimStats s = runWith(w, 4, parseFaultSpec("kill:2@1000"));
+    FaultReport fr = s.faultReport();
+    EXPECT_EQ(fr.deadProcs, 1u);
+    EXPECT_EQ(fr.reassignedSlices, 0u);
+    EXPECT_EQ(fr.restarts, 0u);
+    EXPECT_EQ(s.totalIterations(), base.totalIterations());
+    EXPECT_EQ(s.parallelTime(), base.parallelTime());
+}
+
+TEST(FaultRecovery, FaultReportAppearsInSummary)
+{
+    Workload w{"gemm", core::compile(ir::gallery::gemm()), {{6}, {}}};
+    SimStats s = runWith(w, 3, parseFaultSpec("drop-transfer/2"));
+    std::string sum = summarize(s);
+    EXPECT_NE(sum.find("P = 3"), std::string::npos);
+    EXPECT_NE(sum.find("faults:"), std::string::npos);
+    EXPECT_NE(sum.find("retries"), std::string::npos);
+    // Fault-free summaries stay fault-silent.
+    SimStats clean = runWith(w, 3, FaultOptions{});
+    EXPECT_EQ(summarize(clean).find("faults:"), std::string::npos);
+}
+
+} // namespace
+} // namespace anc::numa

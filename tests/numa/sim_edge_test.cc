@@ -142,6 +142,68 @@ TEST(SimEdge, OwnershipWithReplicatedLhs)
         EXPECT_EQ(ps.guardChecks, 8u);
 }
 
+TEST(SimEdge, OwnershipWithMoreProcessorsThanIterations)
+{
+    // 3 wrapped elements on 8 processors: processors 3..7 own nothing,
+    // yet every processor still scans (and pays the guard for) the
+    // whole iteration space.
+    ir::ProgramBuilder b(1);
+    b.array("A", {b.cst(3)}, ir::DistributionSpec::wrapped(0));
+    b.loop("i", b.cst(0), b.cst(2));
+    b.assign(b.ref(0, {b.var(0)}), ir::Expr::number_(1.0));
+    SimOptions opts;
+    opts.processors = 8;
+    SimStats s = simulateOwnership(b.build(), opts, {{}, {}});
+    EXPECT_EQ(s.totalIterations(), 3u);
+    for (const ProcStats &ps : s.perProc) {
+        EXPECT_EQ(ps.iterations, ps.proc < 3 ? 1u : 0u);
+        EXPECT_EQ(ps.guardChecks, 3u);
+        EXPECT_GT(ps.time, 0.0); // idle processors still paid the scan
+    }
+}
+
+TEST(SimEdge, OwnershipZeroTripNest)
+{
+    // An empty iteration space: no iterations, no guards, zero time.
+    ir::ProgramBuilder b(1);
+    b.array("A", {b.cst(4)}, ir::DistributionSpec::wrapped(0));
+    b.loop("i", b.cst(3), b.cst(1)); // lo > hi
+    b.assign(b.ref(0, {b.var(0)}), ir::Expr::number_(1.0));
+    SimOptions opts;
+    opts.processors = 4;
+    SimStats s = simulateOwnership(b.build(), opts, {{}, {}});
+    EXPECT_EQ(s.totalIterations(), 0u);
+    for (const ProcStats &ps : s.perProc) {
+        EXPECT_EQ(ps.guardChecks, 0u);
+        EXPECT_EQ(ps.time, 0.0);
+    }
+}
+
+TEST(SimEdge, OwnershipRemoteByArrayBreakdown)
+{
+    // A owned wrapped, B deliberately misaligned (shifted by one): all
+    // B reads are remote for P > 1, and the per-array breakdown must
+    // attribute every remote access to B.
+    ir::ProgramBuilder b(1);
+    b.array("A", {b.cst(8)}, ir::DistributionSpec::wrapped(0));
+    b.array("B", {b.cst(9)}, ir::DistributionSpec::wrapped(0));
+    b.loop("i", b.cst(0), b.cst(7));
+    b.assign(b.ref(0, {b.var(0)}),
+             ir::Expr::arrayRead(b.ref(1, {b.var(0) + b.cst(1)})));
+    SimOptions opts;
+    opts.processors = 4;
+    SimStats s = simulateOwnership(b.build(), opts, {{}, {}});
+    EXPECT_EQ(s.remoteAccessesTo(1), 8u); // every B read
+    EXPECT_EQ(s.remoteAccessesTo(0), 0u); // A writes are owner-local
+    EXPECT_EQ(s.totalRemoteAccesses(),
+              s.remoteAccessesTo(0) + s.remoteAccessesTo(1));
+    uint64_t by_array = 0;
+    for (const ProcStats &ps : s.perProc)
+        for (uint64_t n : ps.remoteByArray)
+            by_array += n;
+    EXPECT_EQ(by_array, s.totalRemoteAccesses());
+}
+
 TEST(PlanValidation, OwnerSchemeRequiresAlignedArray)
 {
     core::Compilation c = core::compile(ir::gallery::gemm());

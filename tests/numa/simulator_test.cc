@@ -3,6 +3,8 @@
  * Unit and property tests for the NUMA SPMD simulator.
  */
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "codegen/planner.h"
@@ -302,6 +304,51 @@ TEST(MachineTest, PresetsAndScaling)
     EXPECT_DOUBLE_EQ(ip.blockStartupTime, 70.0);
     // Breakeven for a 1-element message never happens on iPSC.
     EXPECT_GT(ip.blockTransferTime(1, 1), ip.remoteTime(1));
+}
+
+TEST(MachineTest, PresetsValidate)
+{
+    EXPECT_NO_THROW(MachineParams::butterflyGP1000().validate());
+    EXPECT_NO_THROW(MachineParams::ipsc860().validate());
+}
+
+TEST(MachineTest, ValidateRejectsDegenerateCostModels)
+{
+    // A default-constructed machine has no cost model at all.
+    EXPECT_THROW(MachineParams{}.validate(), UserError);
+
+    MachineParams m = MachineParams::butterflyGP1000();
+    m.localAccessTime = 0.0;
+    EXPECT_THROW(m.validate(), UserError);
+    m = MachineParams::butterflyGP1000();
+    m.remoteAccessTime = -6.6;
+    EXPECT_THROW(m.validate(), UserError);
+    m = MachineParams::butterflyGP1000();
+    m.blockPerByteTime =
+        std::numeric_limits<double>::infinity();
+    EXPECT_THROW(m.validate(), UserError);
+    m = MachineParams::butterflyGP1000();
+    m.syncTime = -1.0;
+    EXPECT_THROW(m.validate(), UserError);
+    m = MachineParams::butterflyGP1000();
+    m.elementSize = 0;
+    EXPECT_THROW(m.validate(), UserError);
+    m = MachineParams::butterflyGP1000();
+    m.retryBackoffTime = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(m.validate(), UserError);
+}
+
+TEST(MachineTest, SimulatorRejectsInvalidMachine)
+{
+    core::Compilation c = core::compile(ir::gallery::gemm());
+    SimOptions opts;
+    opts.processors = 4;
+    opts.machine.flopTime = -1.0;
+    EXPECT_THROW(Simulator(c.program, c.nest(), c.plan, opts), UserError);
+    // The ownership baseline checks the cost model too.
+    opts.machine = MachineParams::butterflyGP1000();
+    opts.machine.elementSize = -8;
+    EXPECT_THROW(simulateOwnership(c.program, opts, {{4}, {}}), UserError);
 }
 
 } // namespace

@@ -14,6 +14,12 @@
  *   --param NAME=VALUE   bind a program parameter (repeatable)
  *   --machine gp1000|ipsc860
  *   --no-block-transfers
+ *   --inject-machine-fault=SPEC
+ *                        break the simulated machine deterministically,
+ *                        e.g. drop-transfer/8,remote-fail@3,kill:2@1
+ *                        (see numa/fault_model.h for the grammar); the
+ *                        recovery costs show up in the simulation table
+ *                        and a fault report is printed per run
  *   --strict             exit 3 when compilation degraded (a lower
  *                        ladder tier or a conservative fallback)
  *   --diag               print machine-readable diagnostics to stdout
@@ -60,6 +66,7 @@ struct Options
     std::vector<Int> processors;
     std::vector<std::pair<std::string, Int>> params;
     numa::MachineParams machine = numa::MachineParams::butterflyGP1000();
+    numa::FaultOptions faults;
 };
 
 [[noreturn]] void
@@ -73,7 +80,8 @@ usage(const char *msg = nullptr)
                  "            [--simulate P=1,4,16] [--param N=64]...\n"
                  "            [--machine gp1000|ipsc860] "
                  "[--no-block-transfers]\n"
-                 "            [--strict] [--diag] <program.an>\n");
+                 "            [--inject-machine-fault=SPEC] [--strict] "
+                 "[--diag] <program.an>\n");
     std::exit(1);
 }
 
@@ -120,6 +128,18 @@ parseArgs(int argc, char **argv)
             o.params.emplace_back(
                 kv.substr(0, eq),
                 std::strtoll(kv.c_str() + eq + 1, nullptr, 10));
+        } else if (a.rfind("--inject-machine-fault", 0) == 0) {
+            std::string spec;
+            if (a == "--inject-machine-fault") {
+                if (i + 1 >= argc)
+                    usage("--inject-machine-fault needs a fault spec");
+                spec = argv[++i];
+            } else if (a[22] == '=') {
+                spec = a.substr(23);
+            } else {
+                usage(("unknown option " + a).c_str());
+            }
+            o.faults = numa::parseFaultSpec(spec);
         } else if (a == "--machine") {
             if (i + 1 >= argc)
                 usage("--machine needs a name");
@@ -231,6 +251,9 @@ run(const Options &o)
         double seq = core::sequentialTime(c, o.machine, params);
         std::printf("\nsimulation (%s)%s:\n", o.machine.name.c_str(),
                     o.block_transfers ? "" : " without block transfers");
+        if (o.faults.any())
+            std::printf("injecting machine faults: %s\n",
+                        o.faults.str().c_str());
         std::printf("%6s %10s %14s %12s %12s %8s\n", "P", "speedup",
                     "time (us)", "remote", "blocks", "sync");
         for (Int p : o.processors) {
@@ -238,6 +261,7 @@ run(const Options &o)
             sopts.processors = p;
             sopts.machine = o.machine;
             sopts.blockTransfers = o.block_transfers;
+            sopts.faults = o.faults;
             numa::SimStats s = core::simulate(c, sopts, binds);
             uint64_t syncs = 0;
             for (const numa::ProcStats &ps : s.perProc)
@@ -250,6 +274,9 @@ run(const Options &o)
                         static_cast<unsigned long long>(
                             s.totalBlockTransfers()),
                         static_cast<unsigned long long>(syncs));
+            numa::FaultReport fr = s.faultReport();
+            if (fr.any())
+                std::printf("       %s\n", fr.str().c_str());
         }
     }
 
