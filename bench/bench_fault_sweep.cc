@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "core/compiler.h"
+#include "core/profile.h"
 #include "ir/gallery.h"
 #include "numa/simulator.h"
 
@@ -180,6 +181,19 @@ printSweep()
     certifyValues(data().syr2k, {9, 3}, {{9, 3}, {1.5, 0.5}});
     std::printf("\nvalues certified fletcher64-identical under "
                 "drop+corrupt+remote-fail+kill injection\n\n");
+
+    // Embed metrics snapshots of the fault-free and heaviest-fault
+    // gemmB runs, derived from the same SimStats the sweep measured.
+    obs::MetricsRegistry reg;
+    core::recordSimMetrics(reg, runFaulty(d.gemm, P, true, 0),
+                           numa::MachineParams::butterflyGP1000(),
+                           "sim.clean.");
+    core::recordSimMetrics(reg,
+                           runFaulty(d.gemm, P, true,
+                                     kPeriods[std::size(kPeriods) - 1]),
+                           numa::MachineParams::butterflyGP1000(),
+                           "sim.faulty.");
+    report.metrics(reg);
     report.write();
 }
 

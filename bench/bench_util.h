@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "ratmath/int_util.h"
 
 namespace anc::bench {
@@ -145,6 +146,14 @@ class JsonReport
         runs_.push_back({label, p, wall_s, sim_time_us, speedup});
     }
 
+    /** Embed a metrics snapshot in the report (a "metrics" key holding
+     * the registry's counters/histograms JSON). */
+    void
+    metrics(const obs::MetricsRegistry &reg)
+    {
+        metrics_ = reg.renderJson();
+    }
+
     /** Write BENCH_<name>.json into the current directory. */
     void
     write() const
@@ -162,7 +171,10 @@ class JsonReport
             std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
                          escape(flags_[i].first).c_str(),
                          flags_[i].second.c_str());
-        std::fprintf(f, "},\n  \"runs\": [");
+        std::fprintf(f, "},\n");
+        if (!metrics_.empty())
+            std::fprintf(f, "  \"metrics\": %s,\n", metrics_.c_str());
+        std::fprintf(f, "  \"runs\": [");
         for (size_t i = 0; i < runs_.size(); ++i) {
             const Run &r = runs_[i];
             std::fprintf(f,
@@ -211,6 +223,7 @@ class JsonReport
     std::string name_;
     std::vector<std::pair<std::string, std::string>> flags_;
     std::vector<Run> runs_;
+    std::string metrics_; //!< pre-rendered registry JSON, may be empty
 };
 
 } // namespace anc::bench

@@ -51,7 +51,7 @@ normalizeAtTier(const ir::Program &prog,
                 const xform::AccessMatrixInfo &access,
                 const deps::DependenceInfo &dinfo,
                 const xform::NormalizeOptions &nopts, bool unimodular_only,
-                Stage &stage)
+                Stage &stage, obs::PhaseClock &pc)
 {
     size_t n = prog.nest.depth();
     xform::NormalizeResult r;
@@ -60,11 +60,18 @@ normalizeAtTier(const ir::Program &prog,
     r.depsImprecise = dinfo.imprecise;
 
     stage = Stage::Normalize;
-    r.basis = xform::basisMatrix(r.access.matrix).basis;
+    {
+        auto s = pc.phase("basis-matrix");
+        r.basis = xform::basisMatrix(r.access.matrix).basis;
+    }
 
     stage = Stage::Legality;
     if (nopts.enforceLegality) {
-        r.legal = xform::legalBasis(r.basis, r.depMatrix);
+        {
+            auto s = pc.phase("legal-basis");
+            r.legal = xform::legalBasis(r.basis, r.depMatrix);
+        }
+        auto s = pc.phase("legal-invertible");
         r.transform =
             unimodular_only
                 ? xform::unimodularLegalInvertible(r.legal, r.depMatrix, n,
@@ -78,6 +85,7 @@ normalizeAtTier(const ir::Program &prog,
             r.conservativeFallback = true;
         }
     } else {
+        auto s = pc.phase("padding");
         r.legal = r.basis;
         if (unimodular_only) {
             r.transform = IntMatrix::identity(n);
@@ -103,6 +111,7 @@ normalizeAtTier(const ir::Program &prog,
     }
 
     stage = Stage::Transform;
+    auto s = pc.phase("apply-transform");
     r.unimodular = isUnimodular(r.transform);
     for (size_t l = 0; l < n; ++l) {
         IntVec row = r.transform.row(l);
@@ -125,20 +134,25 @@ normalizeAtTier(const ir::Program &prog,
 /** Plan, optionally strength-reduce, and emit for the current nest. */
 void
 planAndEmit(Compilation &c, bool with_access, bool with_strength,
-            Stage &stage)
+            Stage &stage, obs::PhaseClock &pc)
 {
     stage = Stage::Plan;
-    c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
-                                  c.normalization.depMatrix,
-                                  with_access ? &c.normalization.access
-                                              : nullptr);
+    {
+        auto s = pc.phase("plan");
+        c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
+                                      c.normalization.depMatrix,
+                                      with_access ? &c.normalization.access
+                                                  : nullptr);
+    }
     c.strengthReduction.clear();
     if (with_strength) {
         stage = Stage::StrengthReduce;
+        auto s = pc.phase("strength-reduce");
         c.strengthReduction =
             codegen::planStrengthReduction(*c.normalization.nest);
     }
     stage = Stage::Emit;
+    auto s = pc.phase("emit");
     c.nodeProgram = codegen::emitNodeProgram(
         c.program, *c.normalization.nest, c.plan,
         c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
@@ -221,24 +235,38 @@ compile(ir::Program prog, const CompileOptions &opts)
     prog.validate();
     Compilation c;
     c.program = std::move(prog);
+    obs::PhaseClock pc(&c.phaseTimes, opts.trace, opts.tracePid);
+    pc.setTier(tierName(opts.identityTransform ? CompileTier::Identity
+                                               : CompileTier::Full));
 
     if (opts.identityTransform) {
         // Baseline: keep the nest, distribute the original outer loop.
         size_t n = c.program.nest.depth();
         xform::NormalizeResult r;
-        r.access = xform::buildAccessMatrix(c.program);
-        deps::DependenceInfo dinfo = deps::analyzeDependences(
-            c.program, opts.normalize.includeInputDeps);
+        {
+            auto s = pc.phase("access-matrix");
+            r.access = xform::buildAccessMatrix(c.program);
+        }
+        deps::DependenceInfo dinfo;
+        {
+            auto s = pc.phase("dependence");
+            dinfo = deps::analyzeDependences(
+                c.program, opts.normalize.includeInputDeps);
+        }
         r.depMatrix = dinfo.matrix(n);
         r.depsImprecise = dinfo.imprecise;
         r.transform = IntMatrix::identity(n);
         r.basis = r.transform;
         r.legal = r.transform;
         r.unimodular = true;
-        r.nest = xform::applyTransform(c.program, r.transform);
+        {
+            auto s = pc.phase("apply-transform");
+            r.nest = xform::applyTransform(c.program, r.transform);
+        }
         c.normalization = std::move(r);
         c.tier = CompileTier::Identity;
     } else {
+        auto s = pc.phase("normalize");
         c.normalization = xform::accessNormalize(c.program, opts.normalize);
         if (c.normalization.conservativeFallback)
             c.diagnostics.warning(
@@ -247,11 +275,18 @@ compile(ir::Program prog, const CompileOptions &opts)
                 "transformation; compiled the original nest instead");
     }
 
-    c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
-                                  c.normalization.depMatrix,
-                                  &c.normalization.access);
-    c.strengthReduction =
-        codegen::planStrengthReduction(*c.normalization.nest);
+    {
+        auto s = pc.phase("plan");
+        c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
+                                      c.normalization.depMatrix,
+                                      &c.normalization.access);
+    }
+    {
+        auto s = pc.phase("strength-reduce");
+        c.strengthReduction =
+            codegen::planStrengthReduction(*c.normalization.nest);
+    }
+    auto s = pc.phase("emit");
     c.nodeProgram = codegen::emitNodeProgram(
         c.program, *c.normalization.nest, c.plan,
         c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
@@ -264,7 +299,10 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     Compilation c;
     c.program = std::move(prog);
     Diagnostics &diags = c.diagnostics;
+    obs::PhaseClock pc(&c.phaseTimes, ropts.base.trace,
+                       ropts.base.tracePid);
     try {
+        auto s = pc.phase("validate");
         c.program.validate();
     } catch (const UserError &) {
         throw; // structurally invalid: the caller's to fix
@@ -285,6 +323,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     // restructuring; the identity rung needs neither.
     std::optional<xform::AccessMatrixInfo> access;
     try {
+        auto s = pc.phase("access-matrix");
         access =
             xform::buildAccessMatrix(c.program, nopts.useDistributionHint);
     } catch (const UserError &) {
@@ -298,6 +337,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
 
     std::optional<deps::DependenceInfo> dinfo;
     try {
+        auto s = pc.phase("dependence");
         dinfo = deps::analyzeDependences(c.program, nopts.includeInputDeps);
     } catch (const UserError &) {
         throw;
@@ -324,6 +364,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     std::string last_error;
     for (const Rung &rung : rungs) {
         Stage stage = Stage::Normalize;
+        pc.setTier(tierName(rung.tier));
         try {
             if (rung.tier == CompileTier::Identity) {
                 stage = Stage::Transform;
@@ -341,16 +382,19 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
                 r.basis = r.transform;
                 r.legal = r.transform;
                 r.unimodular = true;
-                r.nest = xform::applyTransform(c.program, r.transform);
+                {
+                    auto s = pc.phase("apply-transform");
+                    r.nest = xform::applyTransform(c.program, r.transform);
+                }
                 c.normalization = std::move(r);
             } else {
                 c.normalization =
                     normalizeAtTier(c.program, *access, *dinfo, nopts,
-                                    rung.unimodularOnly, stage);
+                                    rung.unimodularOnly, stage, pc);
             }
             planAndEmit(c, access.has_value(),
                         /*with_strength=*/rung.tier == CompileTier::Full,
-                        stage);
+                        stage, pc);
             c.tier = rung.tier;
 
             if (c.normalization.conservativeFallback)
@@ -373,6 +417,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
 
             if (c.degraded() && ropts.differentialCheck) {
                 stage = Stage::DifferentialCheck;
+                auto s = pc.phase("differential-check");
                 DiffOutcome d = differentialCheck(c, ropts);
                 if (d.ran && !d.passed) {
                     last_error = d.note;

@@ -20,6 +20,7 @@
 #include "codegen/strength.h"
 #include "core/diagnostics.h"
 #include "numa/simulator.h"
+#include "obs/metrics.h"
 #include "xform/normalize.h"
 
 namespace anc::core {
@@ -32,6 +33,11 @@ struct CompileOptions
      * round-robin outer distribution (the paper's untransformed
      * "gemm"/"syr2k" baselines). */
     bool identityTransform = false;
+    /** Trace sink for wall-clock compiler-phase spans (null = off).
+     * Phase wall times land in Compilation::phaseTimes regardless. */
+    obs::Trace *trace = nullptr;
+    /** Process track for the phase spans (see obs::Trace::process). */
+    int64_t tracePid = 0;
 };
 
 /**
@@ -59,6 +65,13 @@ struct Compilation
      * (empty for unimodular transformations). When non-empty,
      * nodeProgram is emitted in strength-reduced form. */
     std::vector<codegen::InductionPlan> strengthReduction;
+
+    /** Wall-clock time of every pipeline phase that ran, in execution
+     * order, annotated with the degradation-ladder rung it ran under.
+     * Rungs that failed partway leave their phases here too: the record
+     * answers "where did the compile time go", including time spent on
+     * work that was then thrown away. */
+    std::vector<obs::PhaseTime> phaseTimes;
 
     /** Ladder rung this result came out of (Full for plain compile()). */
     CompileTier tier = CompileTier::Full;

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deriving metrics and human-readable profiles from finished results.
+ *
+ * Everything here reads the counters a compilation / simulated run
+ * already produced (Compilation::phaseTimes, numa::SimStats) and either
+ * folds them into an obs::MetricsRegistry or formats them as a table.
+ * Nothing is measured here, so the numbers can never disagree with the
+ * structures they came from: SimStats is the single source of truth for
+ * traffic, phaseTimes for compile time.
+ */
+
+#ifndef ANC_CORE_PROFILE_H
+#define ANC_CORE_PROFILE_H
+
+#include <string>
+
+#include "core/compiler.h"
+#include "numa/machine.h"
+#include "numa/stats.h"
+#include "obs/metrics.h"
+
+namespace anc::core {
+
+/**
+ * Fold a compilation's phase wall times and degradation outcome into
+ * the registry: one `compile.phase_us.<name>` counter per phase
+ * (microseconds, rounded; repeated phases accumulate), plus
+ * `compile.degraded` and `compile.tier.<tierName>` = 1.
+ */
+void recordCompileMetrics(obs::MetricsRegistry &reg, const Compilation &c);
+
+/**
+ * Fold a simulated run's stats into the registry under `prefix` (e.g.
+ * "sim.p32."): total traffic counters (local / remote / block transfer
+ * and element counts, `block_bytes` scaled by the machine's element
+ * size, retries, refetches, backoff units, reassigned slices,
+ * restarts), per-processor `proc_time_us` and `proc_remote` histograms
+ * filled in processor order, and -- when the run collected them --
+ * per-reference `ref.<label>.{local,remote,block_elements}` counters.
+ */
+void recordSimMetrics(obs::MetricsRegistry &reg, const numa::SimStats &s,
+                      const numa::MachineParams &machine,
+                      const std::string &prefix);
+
+/** Aligned per-phase wall-time table ("phase / tier / time(us)"). */
+std::string phaseTable(const Compilation &c);
+
+/**
+ * Aligned per-reference traffic table ("reference / local / remote /
+ * blk elems / remote%"), with a totals row that equals the SimStats
+ * aggregate counters. Empty string when the run did not collect
+ * per-reference counters.
+ */
+std::string refTable(const numa::SimStats &s);
+
+} // namespace anc::core
+
+#endif // ANC_CORE_PROFILE_H

@@ -30,6 +30,16 @@
  * so the strength-reduced simulator paths stay closed-form and the
  * counters -- and therefore the derived clock -- are bit-identical
  * across host thread counts and execution strategies.
+ *
+ * Observability: recovery work is never traced from inside these
+ * helpers (they run in the simulator's hot path). Instead, the fault
+ * counters they charge (ProcStats::transferRetries / transferRefetches
+ * / remoteRetries / abandonedTransfers) are snapshotted by the
+ * simulator at outer-slice boundaries and surface in the trace as
+ * "retry" / "refetch" / "abandon" instant events stamped from the
+ * simulated clock, and in the metrics registry as
+ * `sim.*.transfer_retries` etc. (core::recordSimMetrics). That keeps
+ * the off-switch free and the events as deterministic as the counters.
  */
 
 #ifndef ANC_NUMA_RECOVERY_H

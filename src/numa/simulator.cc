@@ -242,8 +242,9 @@ Simulator::outerSlice(const Compiled &c, Int p) const
 void
 Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                     Int fromIdx, Int toIdx, Int idxStep, ProcStats &stats,
-                    ir::ArrayStorage *storage,
-                    const ir::Bindings &binds) const
+                    ir::ArrayStorage *storage, const ir::Bindings &binds,
+                    std::vector<obs::TraceEvent> *events,
+                    const char *spanName) const
 {
     if (slice.empty || fromIdx >= toIdx || idxStep <= 0)
         return;
@@ -274,6 +275,29 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         keyMult.assign(c.numRefs, 0);
         keyAbandoned.assign(c.numRefs, 0);
     }
+
+    // Per-reference observability counters (off by default). The
+    // helpers below are called next to every aggregate-counter charge;
+    // with perRef false they are single never-taken branches, so the
+    // off switch costs no atomics and no allocation on the hot path.
+    const bool perRef = opts_.perReference;
+    if (perRef && stats.localByRef.empty()) {
+        stats.localByRef.assign(c.numRefs, 0);
+        stats.remoteByRef.assign(c.numRefs, 0);
+        stats.blockElementsByRef.assign(c.numRefs, 0);
+    }
+    auto ref_local = [&](size_t g, uint64_t count) {
+        if (perRef)
+            stats.localByRef[g] += count;
+    };
+    auto ref_remote = [&](size_t g, uint64_t count) {
+        if (perRef)
+            stats.remoteByRef[g] += count;
+    };
+    auto ref_block_elems = [&](size_t g, uint64_t count) {
+        if (perRef)
+            stats.blockElementsByRef[g] += count;
+    };
 
     auto owner_at = [&](const RefEval &r) -> Int {
         if (r.distSubs.empty())
@@ -323,9 +347,11 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             // The block never arrived: its elements fall back to
             // element-wise remote access (not re-injected).
             chargeAbandonedElements(stats, r.arrayId, n_arrays, count);
+            ref_remote(g, count);
             stats.recoveryElements += keyMult[g] * count;
         } else {
             stats.blockElements += count;
+            ref_block_elems(g, count);
             if (faulty)
                 stats.recoveryElements += keyMult[g] * count;
         }
@@ -339,6 +365,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             chargeRemoteBatch(stats, fi, rp, first, count);
         }
         stats.remoteAccesses += count;
+        ref_remote(r.globalIdx, count);
         if (stats.remoteByArray.empty())
             stats.remoteByArray.assign(c.dists.size(), 0);
         stats.remoteByArray[r.arrayId] += count;
@@ -351,6 +378,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                               uint64_t key) {
         if (own < 0 || own == p) {
             stats.localAccesses += count;
+            ref_local(r.globalIdx, count);
         } else if (!r.isWrite && opts_.blockTransfers &&
                    r.hoistLevel != kNoHoist) {
             charge_hoisted(r, key, count);
@@ -367,6 +395,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         if (!faulty) {
             stats.blockTransfers += num;
             stats.blockElements += num;
+            ref_block_elems(r.globalIdx, num);
             return;
         }
         size_t g = r.globalIdx;
@@ -376,6 +405,10 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             stats, fi, rp, first, num, 1, r.arrayId, n_arrays);
         stats.blockTransfers += outc.completed;
         stats.blockElements += outc.completed;
+        ref_block_elems(g, outc.completed);
+        // chargeTransferBatch charged the abandoned one-element blocks
+        // as element-wise remote accesses; mirror them per reference.
+        ref_remote(g, outc.abandoned);
     };
 
     auto execute_body = [&]() {
@@ -416,6 +449,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                         Int own = owner_at(r);
                         if (own < 0 || own == p) {
                             stats.localAccesses += count;
+                            ref_local(r.globalIdx, count);
                         } else {
                             charge_bulk_transfers(r, count);
                             lastKey[r.globalIdx] = ticks[n - 1] + count;
@@ -439,6 +473,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                         dist.processors(), p);
                     uint64_t remote = count - local.hits;
                     stats.localAccesses += local.hits;
+                    ref_local(r.globalIdx, local.hits);
                     if (remote == 0)
                         break;
                     if (!r.isWrite && opts_.blockTransfers &&
@@ -556,9 +591,21 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     };
 
     // Walk the requested positions of the slice (positions are 0-based
-    // within the slice's arithmetic progression).
+    // within the slice's arithmetic progression). When tracing, one
+    // span is recorded per position, stamped from the simulated clock
+    // derived from the counters at the position boundary -- where every
+    // execution strategy agrees bit-for-bit -- with the counter deltas
+    // (element counts of the closed-form bulk charges included) as
+    // args, and instant events for any recovery work inside it.
+    ProcStats snap;
     for (Int idx = fromIdx; idx < toIdx; idx += idxStep) {
         Int v = checkedAdd(slice.start, checkedMul(idx, slice.step));
+        double ts0 = 0.0;
+        if (events) {
+            snap = stats;
+            finalizeProcTime(snap, c.rates);
+            ts0 = snap.time;
+        }
         u[0] = v;
         ticks[0] += 1;
         y.push_back(nest_.lattice().solveY(0, v, y));
@@ -566,17 +613,62 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             stats.syncs += 1;
         walk(1);
         y.pop_back();
+        if (events) {
+            ProcStats now = stats;
+            finalizeProcTime(now, c.rates);
+            obs::TraceEvent e;
+            e.name = spanName;
+            e.ph = 'X';
+            e.tid = p;
+            e.ts = ts0;
+            e.dur = now.time - ts0;
+            e.arg("v", obs::jsonNum(int64_t(v)));
+            auto delta = [&](const char *key, uint64_t now_v,
+                             uint64_t before) {
+                if (now_v > before)
+                    e.arg(key, obs::jsonNum(now_v - before));
+            };
+            delta("iterations", stats.iterations, snap.iterations);
+            delta("local", stats.localAccesses, snap.localAccesses);
+            delta("remote", stats.remoteAccesses, snap.remoteAccesses);
+            delta("blockTransfers", stats.blockTransfers,
+                  snap.blockTransfers);
+            delta("blockElements", stats.blockElements,
+                  snap.blockElements);
+            delta("syncs", stats.syncs, snap.syncs);
+            events->push_back(std::move(e));
+            auto instant = [&](const char *name, uint64_t now_v,
+                               uint64_t before) {
+                if (now_v <= before)
+                    return;
+                obs::TraceEvent f;
+                f.name = name;
+                f.ph = 'i';
+                f.tid = p;
+                f.ts = now.time;
+                f.arg("count", obs::jsonNum(now_v - before));
+                events->push_back(std::move(f));
+            };
+            instant("retry",
+                    stats.transferRetries + stats.remoteRetries,
+                    snap.transferRetries + snap.remoteRetries);
+            instant("refetch", stats.transferRefetches,
+                    snap.transferRefetches);
+            instant("abandon", stats.abandonedTransfers,
+                    snap.abandonedTransfers);
+        }
     }
 }
 
 void
 Simulator::runProcessor(const Compiled &c, Int p, ProcStats &stats,
-                        ir::ArrayStorage *storage,
-                        const ir::Bindings &binds) const
+                        ir::ArrayStorage *storage, const ir::Bindings &binds,
+                        std::vector<obs::TraceEvent> *events) const
 {
     stats.proc = p;
     OuterSlice slice = outerSlice(c, p);
-    runSlice(c, p, slice, 0, slice.count(), 1, stats, storage, binds);
+    runSlice(c, p, slice, 0, slice.count(), 1, stats, storage, binds,
+             events);
 }
 
 SimStats
@@ -696,6 +788,17 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
                           : Int(f.killAfterSlices);
     }
 
+    // Trace-event buffers: one per simulated processor, filled inside
+    // the (possibly host-parallel) walks and merged in processor order
+    // afterwards, so the emitted trace never depends on host-thread
+    // interleaving.
+    const bool tracing = opts_.trace != nullptr;
+    std::vector<std::vector<obs::TraceEvent>> buffers(
+        tracing ? procs.size() : 0);
+    auto buf = [&](size_t i) {
+        return tracing ? &buffers[i] : nullptr;
+    };
+
     // Phase 1: every sampled processor walks its own slice (the victim
     // only up to its point of death).
     auto phase1 = [&](size_t i, ir::ArrayStorage *st) {
@@ -704,9 +807,21 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
         if (kill && p == f.killProc) {
             ps.proc = p;
             ps.killed = 1;
-            runSlice(c, p, victim_slice, 0, victim_done, 1, ps, st, binds);
+            runSlice(c, p, victim_slice, 0, victim_done, 1, ps, st, binds,
+                     buf(i));
+            if (tracing) {
+                ProcStats at = ps;
+                finalizeProcTime(at, c.rates);
+                obs::TraceEvent e;
+                e.name = "killed";
+                e.ph = 'i';
+                e.tid = p;
+                e.ts = at.time;
+                e.arg("afterSlices", obs::jsonNum(uint64_t(victim_done)));
+                buffers[i].push_back(std::move(e));
+            }
         } else {
-            runProcessor(c, p, ps, st, binds);
+            runProcessor(c, p, ps, st, binds, buf(i));
         }
     };
 
@@ -745,7 +860,7 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
                 Int adopted = (victim_total - 1 - first) / survivors + 1;
                 ps.reassignedSlices += uint64_t(adopted);
                 runSlice(c, p, victim_slice, first, victim_total,
-                         survivors, ps, storage, binds);
+                         survivors, ps, storage, binds, buf(i), "adopt");
             }
         } else {
             for (size_t i = 0; i < procs.size(); ++i) {
@@ -753,14 +868,76 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
                     continue;
                 ProcStats &ps = out.perProc[i];
                 ps.restarts += 1;
+                if (tracing) {
+                    ProcStats at = ps;
+                    finalizeProcTime(at, c.rates);
+                    obs::TraceEvent e;
+                    e.name = "restart";
+                    e.ph = 'i';
+                    e.tid = f.killProc;
+                    e.ts = at.time;
+                    buffers[i].push_back(std::move(e));
+                }
                 runSlice(c, f.killProc, victim_slice, victim_done,
-                         victim_total, 1, ps, storage, binds);
+                         victim_total, 1, ps, storage, binds, buf(i),
+                         "restart");
             }
         }
     }
 
     for (ProcStats &ps : out.perProc)
         finalizeProcTime(ps, c.rates);
+
+    // Per-reference labels, for the observability layer's tables.
+    if (opts_.perReference) {
+        out.refNames.assign(c.numRefs, "");
+        for (size_t si = 0; si < c.stmts.size(); ++si) {
+            const StmtEval &se = c.stmts[si];
+            size_t read_idx = 0;
+            for (const RefEval &re : se.refs) {
+                std::string label = "s" + std::to_string(si) +
+                                    (re.isWrite
+                                         ? ".w "
+                                         : ".r" + std::to_string(read_idx++) +
+                                               " ") +
+                                    prog_.arrays[re.arrayId].name;
+                out.refNames[re.globalIdx] = std::move(label);
+            }
+        }
+    }
+
+    // Merge the per-processor trace buffers in processor order, then
+    // add one summary span per processor spanning its whole simulated
+    // run. The merged order (and every timestamp, already stamped from
+    // the simulated clock) is a pure function of the counters, so the
+    // trace is byte-identical across host-thread counts and inner-loop
+    // strategies.
+    if (tracing) {
+        obs::Trace &tr = *opts_.trace;
+        for (size_t i = 0; i < procs.size(); ++i) {
+            tr.thread(opts_.tracePid, procs[i],
+                      "proc " + std::to_string(procs[i]));
+            obs::TraceEvent sum;
+            sum.name = "slice";
+            sum.ph = 'X';
+            sum.tid = procs[i];
+            sum.ts = 0.0;
+            sum.dur = out.perProc[i].time;
+            const ProcStats &ps = out.perProc[i];
+            sum.arg("iterations", obs::jsonNum(ps.iterations));
+            sum.arg("local", obs::jsonNum(ps.localAccesses));
+            sum.arg("remote", obs::jsonNum(ps.remoteAccesses));
+            sum.arg("blockTransfers", obs::jsonNum(ps.blockTransfers));
+            sum.arg("blockElements", obs::jsonNum(ps.blockElements));
+            sum.arg("syncs", obs::jsonNum(ps.syncs));
+            sum.pid = opts_.tracePid;
+            tr.add(std::move(sum));
+            for (obs::TraceEvent &e : buffers[i]) {
+                e.pid = opts_.tracePid;
+                tr.add(std::move(e));
+            }
+        }
+    }
     return out;
 }
 

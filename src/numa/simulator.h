@@ -31,6 +31,7 @@
 
 #include "ir/interp.h"
 #include "numa/distribution.h"
+#include "obs/trace.h"
 #include "numa/fault_model.h"
 #include "numa/machine.h"
 #include "numa/plan.h"
@@ -85,6 +86,30 @@ struct SimOptions
     FaultOptions faults;
     /** Retry protocol used to recover from injected faults. */
     RetryPolicy retry;
+    /**
+     * Trace sink (null = off, the default). When set, the simulator
+     * records one span per outer-slice position per processor, stamped
+     * from the simulated clock (derived from the integer counters at
+     * outer boundaries, where every execution strategy agrees
+     * bit-for-bit), plus instant events for recovery work and
+     * fail-stop handling, and a whole-slice summary span per
+     * processor. Events are buffered per processor and merged in
+     * processor order after the host-parallel section, so the trace is
+     * byte-identical across hostThreads, fastInner, and the naive
+     * walk. simulateOwnership() ignores this (the baseline has no
+     * plan-driven structure worth a track).
+     */
+    obs::Trace *trace = nullptr;
+    /** Process track to stamp simulator trace events with (one per
+     * simulated run; see obs::Trace::process). */
+    int64_t tracePid = 0;
+    /**
+     * Collect per-reference counters (ProcStats::localByRef /
+     * remoteByRef / blockElementsByRef, SimStats::refNames). Off by
+     * default: the hot path then sees only dead never-taken branches --
+     * no atomics, no allocation.
+     */
+    bool perReference = false;
 };
 
 /** Simulator for a planned SPMD execution of a transformed nest. */
@@ -136,16 +161,19 @@ class Simulator
      * Walk outer-slice positions fromIdx, fromIdx + idxStep, ... up to
      * (excluding) toIdx, charging stats as processor `p`. Used both
      * for a processor's own slice (step 1) and for the round-robin
-     * share of slices adopted from a dead one.
+     * share of slices adopted from a dead one. When `events` is set,
+     * one trace span named `spanName` is recorded per position,
+     * stamped from the simulated clock.
      */
     void runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                   Int fromIdx, Int toIdx, Int idxStep, ProcStats &stats,
-                  ir::ArrayStorage *storage,
-                  const ir::Bindings &binds) const;
+                  ir::ArrayStorage *storage, const ir::Bindings &binds,
+                  std::vector<obs::TraceEvent> *events = nullptr,
+                  const char *spanName = "outer") const;
 
     void runProcessor(const Compiled &c, Int p, ProcStats &stats,
-                      ir::ArrayStorage *storage,
-                      const ir::Bindings &binds) const;
+                      ir::ArrayStorage *storage, const ir::Bindings &binds,
+                      std::vector<obs::TraceEvent> *events = nullptr) const;
 };
 
 /**

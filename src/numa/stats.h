@@ -43,6 +43,17 @@ struct ProcStats
     /** Element-wise remote accesses broken down by array id (empty
      * until the first remote access; sized to the program's arrays). */
     std::vector<uint64_t> remoteByArray;
+    /**
+     * Per-compiled-reference breakdowns, indexed like
+     * SimStats::refNames. Empty unless SimOptions::perReference: the
+     * observability layer pays for its detail only when asked, and the
+     * sums are invariants against the aggregate counters above
+     * (sum(localByRef) == localAccesses, sum(remoteByRef) ==
+     * remoteAccesses, sum(blockElementsByRef) == blockElements).
+     */
+    std::vector<uint64_t> localByRef;
+    std::vector<uint64_t> remoteByRef;
+    std::vector<uint64_t> blockElementsByRef;
 
     void
     noteRemote(size_t array_id, size_t num_arrays)
@@ -142,6 +153,10 @@ struct SimStats
     Int processors = 1;
     std::vector<ProcStats> perProc; //!< only the simulated processors
     bool sampled = false;           //!< true if not all P were simulated
+    /** Labels of the compiled references ("s0.r1 A", "s0.w C"), in
+     * globalIdx order; filled only under SimOptions::perReference and
+     * indexing the ProcStats::*ByRef vectors. */
+    std::vector<std::string> refNames;
 
     /** Parallel completion time: the slowest simulated processor. */
     double
@@ -194,6 +209,27 @@ struct SimStats
         uint64_t n = 0;
         for (const ProcStats &p : perProc)
             n += p.iterations;
+        return n;
+    }
+
+    uint64_t
+    totalBlockElements() const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            n += p.blockElements;
+        return n;
+    }
+
+    /** Sum of one per-reference vector across processors (0 when the
+     * per-reference counters were not collected). */
+    uint64_t
+    totalByRef(std::vector<uint64_t> ProcStats::* which, size_t ref) const
+    {
+        uint64_t n = 0;
+        for (const ProcStats &p : perProc)
+            if (ref < (p.*which).size())
+                n += (p.*which)[ref];
         return n;
     }
 

@@ -1,0 +1,101 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace anc::obs {
+
+void
+Histogram::record(uint64_t v)
+{
+    count_ += 1;
+    sum_ += v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    buckets_[std::bit_width(v)] += 1;
+}
+
+std::string
+Histogram::renderJson() const
+{
+    std::string out = "{\"count\": " + jsonNum(count_) +
+                      ", \"sum\": " + jsonNum(sum_) +
+                      ", \"min\": " + jsonNum(min()) +
+                      ", \"max\": " + jsonNum(max_) + ", \"buckets\": {";
+    bool first = true;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!first)
+            out += ", ";
+        first = false;
+        // Bucket i holds values of bit-width i: upper bound 2^i - 1.
+        uint64_t upper = i >= 64 ? ~0ull : (uint64_t(1) << i) - 1;
+        out += "\"<=" + jsonNum(upper) + "\": " + jsonNum(buckets_[i]);
+    }
+    out += "}}";
+    return out;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    for (auto &[n, c] : counters_)
+        if (n == name)
+            return c;
+    counters_.emplace_back(name, Counter{});
+    return counters_.back().second;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    for (auto &[n, h] : histograms_)
+        if (n == name)
+            return h;
+    histograms_.emplace_back(name, Histogram{});
+    return histograms_.back().second;
+}
+
+uint64_t
+MetricsRegistry::value(const std::string &name) const
+{
+    for (const auto &[n, c] : counters_)
+        if (n == name)
+            return c.value();
+    return 0;
+}
+
+bool
+MetricsRegistry::hasCounter(const std::string &name) const
+{
+    for (const auto &[n, c] : counters_)
+        if (n == name)
+            return true;
+    return false;
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    std::string out = "{\"counters\": {";
+    for (size_t i = 0; i < counters_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "\n  " + jsonStr(counters_[i].first) + ": " +
+               jsonNum(counters_[i].second.value());
+    }
+    out += counters_.empty() ? "}," : "\n },";
+    out += "\n\"histograms\": {";
+    for (size_t i = 0; i < histograms_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "\n  " + jsonStr(histograms_[i].first) + ": " +
+               histograms_[i].second.renderJson();
+    }
+    out += histograms_.empty() ? "}}\n" : "\n }}\n";
+    return out;
+}
+
+} // namespace anc::obs

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Typed counter/histogram metrics registry.
+ *
+ * The registry is a *sink*, not an instrumentation point: hot loops
+ * (the simulator's walkers) keep accumulating their plain per-processor
+ * integer counters exactly as before, and the registry is filled once
+ * per run from the finished numa::SimStats / core::Compilation, in
+ * processor order. That gives three properties the hot path could not
+ * provide:
+ *
+ *   - zero overhead when off: disabled runs never see the registry at
+ *     all -- no atomics, no branches beyond the existing code;
+ *   - a single source of truth: every metric is derived from the same
+ *     counters the simulator reports, so they can never disagree with
+ *     SimStats (no double counting);
+ *   - determinism: aggregation order is fixed (processor order,
+ *     insertion order), so the rendered snapshot is byte-stable for a
+ *     deterministic run.
+ *
+ * Counters are monotone uint64 sums; histograms bucket uint64 samples
+ * by power of two (bucket i holds values with bit-width i) and track
+ * count/sum/min/max exactly.
+ */
+
+#ifndef ANC_OBS_METRICS_H
+#define ANC_OBS_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace anc::obs {
+
+/** Monotone counter. */
+class Counter
+{
+  public:
+    void add(uint64_t d) { value_ += d; }
+    void set(uint64_t v) { value_ = v; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Power-of-two histogram of uint64 samples. */
+class Histogram
+{
+  public:
+    void record(uint64_t v);
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    /** Samples in bucket i (values of bit-width i; v = 0 is bucket 0,
+     * 1 is bucket 1, 2..3 bucket 2, 4..7 bucket 3, ...). */
+    uint64_t bucket(size_t i) const { return buckets_[i]; }
+    static constexpr size_t kBuckets = 65;
+
+    /** {"count": n, "sum": s, "min": m, "max": M,
+     *  "buckets": {"<=upper": n, ...}} -- only nonempty buckets. */
+    std::string renderJson() const;
+
+  private:
+    uint64_t count_ = 0, sum_ = 0;
+    uint64_t min_ = ~0ull, max_ = 0;
+    uint64_t buckets_[kBuckets] = {};
+};
+
+/**
+ * A named registry of counters and histograms, insertion-ordered so the
+ * rendered snapshot is deterministic. Lookup is linear: the registry
+ * holds dozens of entries and is only touched outside hot loops.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Value of a counter, 0 when absent. */
+    uint64_t value(const std::string &name) const;
+    bool hasCounter(const std::string &name) const;
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && histograms_.empty();
+    }
+
+    const std::vector<std::pair<std::string, Counter>> &
+    counters() const
+    {
+        return counters_;
+    }
+
+    const std::vector<std::pair<std::string, Histogram>> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
+    /** {"counters": {...}, "histograms": {...}} in insertion order. */
+    std::string renderJson() const;
+
+  private:
+    std::vector<std::pair<std::string, Counter>> counters_;
+    std::vector<std::pair<std::string, Histogram>> histograms_;
+};
+
+/** One timed compilation phase (BasisMatrix, LegalBasis, codegen, ...). */
+struct PhaseTime
+{
+    std::string name;
+    std::string tier; //!< degradation-ladder rung it ran under ("" = n/a)
+    double us = 0.0;  //!< wall-clock microseconds
+};
+
+/**
+ * Wall-clock stopwatch for compiler phases: records a PhaseTime per
+ * phase and, when a Trace is attached, a matching wall-clock span. The
+ * output vector is always recorded (a steady_clock read per phase is
+ * noise next to any pipeline stage); only the trace is optional.
+ */
+class PhaseClock
+{
+  public:
+    PhaseClock(std::vector<PhaseTime> *out, Trace *trace, int64_t pid)
+        : out_(out), trace_(trace), pid_(pid)
+    {
+    }
+
+    /** Annotate subsequently recorded phases with a ladder tier. */
+    void setTier(std::string tier) { tier_ = std::move(tier); }
+
+    /** RAII scope: times one phase from construction to destruction. */
+    class Scope
+    {
+      public:
+        Scope(PhaseClock &pc, const char *name)
+            : pc_(pc), name_(name),
+              t0_(std::chrono::steady_clock::now()),
+              traceTs0_(pc.trace_ ? pc.trace_->nowUs() : 0.0)
+        {
+        }
+
+        ~Scope()
+        {
+            double us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - t0_)
+                            .count();
+            if (pc_.out_)
+                pc_.out_->push_back({name_, pc_.tier_, us});
+            if (pc_.trace_) {
+                std::vector<std::pair<std::string, std::string>> args;
+                if (!pc_.tier_.empty())
+                    args.emplace_back("tier", jsonStr(pc_.tier_));
+                pc_.trace_->completeWallSpan(name_, pc_.pid_, 0, traceTs0_,
+                                             std::move(args));
+            }
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        PhaseClock &pc_;
+        const char *name_;
+        std::chrono::steady_clock::time_point t0_;
+        double traceTs0_;
+    };
+
+    Scope phase(const char *name) { return Scope(*this, name); }
+
+  private:
+    friend class Scope;
+    std::vector<PhaseTime> *out_;
+    Trace *trace_;
+    int64_t pid_;
+    std::string tier_;
+};
+
+} // namespace anc::obs
+
+#endif // ANC_OBS_METRICS_H

@@ -1,0 +1,191 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "ratmath/error.h"
+
+namespace anc::obs {
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonNum(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    return buf;
+}
+
+std::string
+jsonNum(int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    return buf;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+namespace {
+
+/** Fixed-precision microsecond stamp: deterministic for deterministic
+ * doubles, fractional-microsecond resolution for Perfetto. */
+std::string
+stampUs(double us)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.3f", us);
+    return buf;
+}
+
+} // namespace
+
+std::string
+TraceEvent::renderJson() const
+{
+    std::string out = "{\"name\": " + jsonStr(name) + ", \"ph\": \"";
+    out.push_back(ph);
+    out += "\", \"pid\": " + jsonNum(pid) + ", \"tid\": " + jsonNum(tid);
+    if (ph != 'M') {
+        out += ", \"ts\": " + stampUs(ts);
+        if (ph == 'X')
+            out += ", \"dur\": " + stampUs(dur);
+        if (ph == 'i')
+            out += ", \"s\": \"t\""; // instant scope: this thread
+    }
+    if (!args.empty()) {
+        out += ", \"args\": {";
+        for (size_t i = 0; i < args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += jsonStr(args[i].first) + ": " + args[i].second;
+        }
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
+int64_t
+Trace::process(const std::string &name)
+{
+    int64_t pid = nextPid_++;
+    TraceEvent e;
+    e.name = "process_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = 0;
+    e.arg("name", jsonStr(name));
+    add(std::move(e));
+    return pid;
+}
+
+void
+Trace::thread(int64_t pid, int64_t tid, const std::string &name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.arg("name", jsonStr(name));
+    add(std::move(e));
+}
+
+void
+Trace::completeWallSpan(
+    std::string name, int64_t pid, int64_t tid, double ts0,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.ph = 'X';
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts0;
+    e.dur = nowUs() - ts0;
+    e.args = std::move(args);
+    add(std::move(e));
+}
+
+std::string
+Trace::renderJson() const
+{
+    std::string out = "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+    for (size_t i = 0; i < events_.size(); ++i) {
+        out += i ? ",\n " : "\n ";
+        out += events_[i].renderJson();
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::string
+Trace::renderEvents(int64_t pid) const
+{
+    std::string out;
+    for (const TraceEvent &e : events_) {
+        if (e.pid != pid)
+            continue;
+        out += e.renderJson();
+        out.push_back('\n');
+    }
+    return out;
+}
+
+void
+Trace::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        throw UserError("cannot write trace file '" + path + "'");
+    std::string json = renderJson();
+    size_t n = std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = n == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        throw UserError("short write to trace file '" + path + "'");
+}
+
+} // namespace anc::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Span-based tracer emitting Chrome trace-event / Perfetto JSON.
+ *
+ * The tracer serves two very different clocks:
+ *
+ *   - Compiler-phase spans are stamped from the host's wall clock
+ *     (steady_clock microseconds since the Trace was created). They
+ *     answer "where did the compile time go" and are inherently
+ *     non-reproducible.
+ *
+ *   - Simulator spans are stamped from the *simulated* clock, which is
+ *     a pure function of the per-processor integer event counters
+ *     (numa::finalizeProcTime). The simulator snapshots its counters at
+ *     outer-iteration boundaries -- where every execution strategy
+ *     agrees bit-for-bit (the PR 1/3 determinism contract) -- so the
+ *     emitted events are byte-identical across host thread counts,
+ *     fastInner on/off, and the naive walk, including under injected
+ *     machine faults. A whole closed-form inner run appears as one span
+ *     whose args carry the element counts it charged.
+ *
+ * Events are buffered (the simulator merges its per-processor buffers
+ * in processor order after the host-parallel section) and rendered once
+ * at the end; nothing in this file is touched by a hot loop. A null
+ * Trace pointer is the off switch everywhere: disabled runs never
+ * allocate, never take a lock, and never touch an atomic.
+ */
+
+#ifndef ANC_OBS_TRACE_H
+#define ANC_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anc::obs {
+
+/** Render helpers for pre-encoded JSON argument values. */
+std::string jsonStr(const std::string &s); //!< quoted + escaped
+std::string jsonNum(uint64_t v);
+std::string jsonNum(int64_t v);
+std::string jsonNum(double v); //!< %.9g (shortest round-trippable-ish)
+
+/**
+ * One trace event. `args` values are pre-rendered JSON (use jsonStr /
+ * jsonNum), so rendering the whole trace is deterministic string
+ * concatenation.
+ */
+struct TraceEvent
+{
+    std::string name;
+    char ph = 'X';   //!< 'X' complete span, 'i' instant, 'M' metadata
+    int64_t pid = 0; //!< process track (one per compile / simulated run)
+    int64_t tid = 0; //!< thread track (simulated processor id)
+    double ts = 0.0; //!< microseconds (simulated or wall, see file doc)
+    double dur = 0.0; //!< 'X' only
+    std::vector<std::pair<std::string, std::string>> args;
+
+    void
+    arg(std::string key, std::string json_value)
+    {
+        args.emplace_back(std::move(key), std::move(json_value));
+    }
+
+    /** One JSON object, fixed field order, ts/dur as %.3f. */
+    std::string renderJson() const;
+};
+
+/** An ordered buffer of trace events with named process/thread tracks. */
+class Trace
+{
+  public:
+    Trace() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Wall-clock microseconds since this Trace was created. */
+    double
+    nowUs() const
+    {
+        return std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Open a new process track; returns its pid and records the
+     * process_name metadata event. */
+    int64_t process(const std::string &name);
+
+    /** Record a thread_name metadata event for (pid, tid). */
+    void thread(int64_t pid, int64_t tid, const std::string &name);
+
+    void
+    add(TraceEvent e)
+    {
+        events_.push_back(std::move(e));
+    }
+
+    /** Convenience: a completed wall-clock span [ts0, nowUs()]. */
+    void completeWallSpan(std::string name, int64_t pid, int64_t tid,
+                          double ts0,
+                          std::vector<std::pair<std::string, std::string>>
+                              args = {});
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /** The full Chrome trace: {"traceEvents": [...], ...}. */
+    std::string renderJson() const;
+
+    /**
+     * Canonical one-event-per-line rendering of one process track, for
+     * byte-identity tests: only events with the given pid, in buffer
+     * order (which the simulator makes deterministic).
+     */
+    std::string renderEvents(int64_t pid) const;
+
+    /** Write renderJson() to a file. Throws UserError on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    std::vector<TraceEvent> events_;
+    int64_t nextPid_ = 0;
+};
+
+} // namespace anc::obs
+
+#endif // ANC_OBS_TRACE_H

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Trace determinism and single-source-of-truth tests.
+ *
+ * The simulator's trace events are stamped from the simulated clock at
+ * outer-slice boundaries, where the PR 1/3 determinism contract makes
+ * every execution strategy agree bit-for-bit -- so the canonical
+ * rendering of a run's events must be byte-identical across host thread
+ * counts, fastInner on/off, and under injected machine faults. The
+ * metrics registry is filled from the finished SimStats, so its values
+ * must equal the stats exactly (no second accounting to drift).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "core/profile.h"
+#include "ir/gallery.h"
+#include "numa/simulator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace anc::numa {
+namespace {
+
+using core::Compilation;
+
+struct TraceRun
+{
+    std::string events; //!< canonical one-per-line rendering
+    SimStats stats;
+};
+
+TraceRun
+traceRun(const Compilation &c, const ir::Bindings &binds, Int p,
+         Int host_threads, bool fast_inner,
+         const FaultOptions &faults = {})
+{
+    obs::Trace trace;
+    SimOptions opts;
+    opts.processors = p;
+    opts.hostThreads = host_threads;
+    opts.fastInner = fast_inner;
+    opts.faults = faults;
+    opts.perReference = true;
+    opts.trace = &trace;
+    opts.tracePid = trace.process("sim");
+    TraceRun r;
+    r.stats = core::simulate(c, opts, binds);
+    r.events = trace.renderEvents(opts.tracePid);
+    return r;
+}
+
+void
+expectByteIdenticalAcrossStrategies(const Compilation &c,
+                                    const ir::Bindings &binds, Int p,
+                                    const FaultOptions &faults = {})
+{
+    TraceRun base = traceRun(c, binds, p, 1, false, faults);
+    ASSERT_FALSE(base.events.empty());
+    for (Int threads : {1, 4}) {
+        for (bool fast : {false, true}) {
+            TraceRun r = traceRun(c, binds, p, threads, fast, faults);
+            SCOPED_TRACE("hostThreads=" + std::to_string(threads) +
+                         " fastInner=" + std::to_string(fast));
+            EXPECT_EQ(base.events, r.events);
+        }
+    }
+}
+
+TEST(TraceDeterminism, GemmByteIdenticalAcrossStrategies)
+{
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{24}, {}};
+    for (Int p : {4, 32})
+        expectByteIdenticalAcrossStrategies(c, binds, p);
+}
+
+TEST(TraceDeterminism, Syr2kByteIdenticalAcrossStrategies)
+{
+    Compilation c = core::compile(ir::gallery::syr2kBanded());
+    ir::Bindings binds{{17, 5}, {1.5, 0.5}};
+    expectByteIdenticalAcrossStrategies(c, binds, 7);
+}
+
+TEST(TraceDeterminism, ByteIdenticalUnderInjectedFaults)
+{
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{24}, {}};
+    FaultOptions f = parseFaultSpec("drop-transfer/3");
+    expectByteIdenticalAcrossStrategies(c, binds, 8, f);
+    // Fault events actually fired: the trace carries retry instants.
+    TraceRun r = traceRun(c, binds, 8, 1, true, f);
+    EXPECT_GT(r.stats.faultReport().transferRetries, 0u);
+    EXPECT_NE(r.events.find("\"retry\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, KilledProcessorLeavesInstantEvent)
+{
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{24}, {}};
+    FaultOptions f = parseFaultSpec("kill:2@1");
+    expectByteIdenticalAcrossStrategies(c, binds, 6, f);
+    TraceRun r = traceRun(c, binds, 6, 4, true, f);
+    EXPECT_NE(r.events.find("\"killed\""), std::string::npos);
+    EXPECT_NE(r.events.find("\"adopt\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, TracedRunLeavesStatsUnchanged)
+{
+    // Tracing is observation only: the traced run's stats equal an
+    // untraced run's bit-for-bit.
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{24}, {}};
+    SimOptions plain;
+    plain.processors = 8;
+    SimStats off = core::simulate(c, plain, binds);
+    TraceRun on = traceRun(c, binds, 8, 1, true);
+    ASSERT_EQ(off.perProc.size(), on.stats.perProc.size());
+    for (size_t i = 0; i < off.perProc.size(); ++i) {
+        EXPECT_EQ(off.perProc[i].localAccesses,
+                  on.stats.perProc[i].localAccesses);
+        EXPECT_EQ(off.perProc[i].remoteAccesses,
+                  on.stats.perProc[i].remoteAccesses);
+        EXPECT_EQ(off.perProc[i].time, on.stats.perProc[i].time);
+    }
+}
+
+TEST(PerReference, SumsMatchAggregateCounters)
+{
+    // The per-reference vectors are charged beside the aggregate
+    // counters at every site; their sums are exact invariants.
+    for (bool identity : {false, true}) {
+        core::CompileOptions copts;
+        copts.identityTransform = identity;
+        Compilation c = core::compile(ir::gallery::gemm(), copts);
+        ir::Bindings binds{{24}, {}};
+        for (bool blocks : {false, true}) {
+            SimOptions opts;
+            opts.processors = 8;
+            opts.blockTransfers = blocks;
+            opts.perReference = true;
+            SimStats s = core::simulate(c, opts, binds);
+            ASSERT_FALSE(s.refNames.empty());
+            for (const ProcStats &p : s.perProc) {
+                ASSERT_EQ(p.localByRef.size(), s.refNames.size());
+                uint64_t loc = 0, rem = 0, blk = 0;
+                for (size_t r = 0; r < s.refNames.size(); ++r) {
+                    loc += p.localByRef[r];
+                    rem += p.remoteByRef[r];
+                    blk += p.blockElementsByRef[r];
+                }
+                EXPECT_EQ(loc, p.localAccesses);
+                EXPECT_EQ(rem, p.remoteAccesses);
+                EXPECT_EQ(blk, p.blockElements);
+            }
+        }
+    }
+}
+
+TEST(PerReference, SumsMatchUnderFaults)
+{
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{24}, {}};
+    SimOptions opts;
+    opts.processors = 8;
+    opts.perReference = true;
+    opts.faults = parseFaultSpec("drop-transfer/3,remote-fail@2");
+    SimStats s = core::simulate(c, opts, binds);
+    for (const ProcStats &p : s.perProc) {
+        uint64_t loc = 0, rem = 0, blk = 0;
+        for (size_t r = 0; r < s.refNames.size(); ++r) {
+            loc += p.localByRef[r];
+            rem += p.remoteByRef[r];
+            blk += p.blockElementsByRef[r];
+        }
+        EXPECT_EQ(loc, p.localAccesses);
+        EXPECT_EQ(rem, p.remoteAccesses);
+        EXPECT_EQ(blk, p.blockElements);
+    }
+}
+
+TEST(PerReference, OffByDefaultLeavesVectorsEmpty)
+{
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{24}, {}};
+    SimOptions opts;
+    opts.processors = 4;
+    SimStats s = core::simulate(c, opts, binds);
+    EXPECT_TRUE(s.refNames.empty());
+    for (const ProcStats &p : s.perProc) {
+        EXPECT_TRUE(p.localByRef.empty());
+        EXPECT_TRUE(p.remoteByRef.empty());
+        EXPECT_TRUE(p.blockElementsByRef.empty());
+    }
+}
+
+TEST(Metrics, GemmP32MatchesSimStatsExactly)
+{
+    // The acceptance check: the registry is derived from SimStats, so
+    // remote / local / block counts agree exactly -- one source of
+    // truth, no double counting.
+    Compilation c = core::compile(ir::gallery::gemm());
+    ir::Bindings binds{{32}, {}};
+    SimOptions opts;
+    opts.processors = 32;
+    opts.perReference = true;
+    SimStats s = core::simulate(c, opts, binds);
+
+    obs::MetricsRegistry reg;
+    core::recordSimMetrics(reg, s, opts.machine, "sim.p32.");
+    EXPECT_EQ(reg.value("sim.p32.remote"), s.totalRemoteAccesses());
+    EXPECT_EQ(reg.value("sim.p32.local"), s.totalLocalAccesses());
+    EXPECT_EQ(reg.value("sim.p32.block_transfers"),
+              s.totalBlockTransfers());
+    EXPECT_EQ(reg.value("sim.p32.block_elements"),
+              s.totalBlockElements());
+    EXPECT_EQ(reg.value("sim.p32.block_bytes"),
+              s.totalBlockElements() *
+                  uint64_t(opts.machine.elementSize));
+    EXPECT_EQ(reg.value("sim.p32.iterations"), s.totalIterations());
+
+    // Per-reference counters re-sum to the same aggregates.
+    uint64_t ref_remote = 0, ref_local = 0;
+    for (const std::string &name : s.refNames) {
+        ref_local += reg.value("sim.p32.ref." + name + ".local");
+        ref_remote += reg.value("sim.p32.ref." + name + ".remote");
+    }
+    EXPECT_EQ(ref_remote, s.totalRemoteAccesses());
+    EXPECT_EQ(ref_local, s.totalLocalAccesses());
+
+    // And the rendered table's totals row is consistent.
+    std::string table = core::refTable(s);
+    EXPECT_NE(table.find("total"), std::string::npos);
+    EXPECT_NE(table.find(std::to_string(s.totalRemoteAccesses())),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace anc::numa

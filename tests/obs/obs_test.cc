@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the observability primitives: trace-event JSON
+ * rendering (escaping, field order, fixed-point timestamps) and the
+ * counter / histogram registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace anc::obs {
+namespace {
+
+TEST(TraceJson, StringEscaping)
+{
+    EXPECT_EQ(jsonStr("plain"), "\"plain\"");
+    EXPECT_EQ(jsonStr("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonStr("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonStr("a\nb\tc"), "\"a\\nb\\tc\"");
+    EXPECT_EQ(jsonStr(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(TraceJson, Numbers)
+{
+    EXPECT_EQ(jsonNum(uint64_t(0)), "0");
+    EXPECT_EQ(jsonNum(uint64_t(18446744073709551615ull)),
+              "18446744073709551615");
+    EXPECT_EQ(jsonNum(int64_t(-42)), "-42");
+}
+
+TEST(TraceJson, CompleteSpanFieldOrderAndFixedPoint)
+{
+    TraceEvent e;
+    e.name = "outer";
+    e.ph = 'X';
+    e.pid = 1;
+    e.tid = 3;
+    e.ts = 1.0 / 3.0;
+    e.dur = 2.5;
+    e.arg("v", jsonNum(uint64_t(7)));
+    EXPECT_EQ(e.renderJson(),
+              "{\"name\": \"outer\", \"ph\": \"X\", \"pid\": 1, "
+              "\"tid\": 3, \"ts\": 0.333, \"dur\": 2.500, "
+              "\"args\": {\"v\": 7}}");
+}
+
+TEST(TraceJson, InstantEventCarriesThreadScope)
+{
+    TraceEvent e;
+    e.name = "retry";
+    e.ph = 'i';
+    e.ts = 10.0;
+    std::string json = e.renderJson();
+    EXPECT_NE(json.find("\"s\": \"t\""), std::string::npos);
+    EXPECT_EQ(json.find("\"dur\""), std::string::npos);
+}
+
+TEST(Trace, ProcessAndThreadMetadata)
+{
+    Trace t;
+    int64_t a = t.process("compile");
+    int64_t b = t.process("simulate P=4");
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    t.thread(b, 2, "proc 2");
+    std::string json = t.renderJson();
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Trace, RenderEventsFiltersByPid)
+{
+    Trace t;
+    int64_t a = t.process("a");
+    int64_t b = t.process("b");
+    TraceEvent e;
+    e.name = "only-a";
+    e.pid = a;
+    t.add(e);
+    e.name = "only-b";
+    e.pid = b;
+    t.add(e);
+    std::string ea = t.renderEvents(a);
+    EXPECT_NE(ea.find("only-a"), std::string::npos);
+    EXPECT_EQ(ea.find("only-b"), std::string::npos);
+}
+
+TEST(Metrics, CounterAccumulates)
+{
+    MetricsRegistry reg;
+    reg.counter("x").add(3);
+    reg.counter("x").add(4);
+    EXPECT_EQ(reg.value("x"), 7u);
+    EXPECT_EQ(reg.value("absent"), 0u);
+    EXPECT_TRUE(reg.hasCounter("x"));
+    EXPECT_FALSE(reg.hasCounter("absent"));
+}
+
+TEST(Metrics, HistogramBucketsByBitWidth)
+{
+    Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1006u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.bucket(0), 1u); // value 0
+    EXPECT_EQ(h.bucket(1), 1u); // value 1
+    EXPECT_EQ(h.bucket(2), 2u); // values 2..3
+    EXPECT_EQ(h.bucket(10), 1u); // 512..1023
+}
+
+TEST(Metrics, RenderJsonIsInsertionOrderedAndStable)
+{
+    MetricsRegistry reg;
+    reg.counter("z.second").add(2);
+    reg.counter("a.first").add(1);
+    reg.histogram("h").record(5);
+    std::string one = reg.renderJson();
+    std::string two = reg.renderJson();
+    EXPECT_EQ(one, two);
+    // Insertion order, not lexicographic.
+    EXPECT_LT(one.find("z.second"), one.find("a.first"));
+    EXPECT_NE(one.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, EmptyRegistryRendersValidShell)
+{
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    std::string json = reg.renderJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(PhaseClockTest, RecordsPhasesWithTier)
+{
+    std::vector<PhaseTime> out;
+    PhaseClock pc(&out, nullptr, 0);
+    pc.setTier("full");
+    {
+        auto s = pc.phase("basis-matrix");
+    }
+    {
+        auto s = pc.phase("emit");
+    }
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].name, "basis-matrix");
+    EXPECT_EQ(out[0].tier, "full");
+    EXPECT_EQ(out[1].name, "emit");
+    EXPECT_GE(out[0].us, 0.0);
+}
+
+TEST(PhaseClockTest, EmitsWallSpansWhenTraced)
+{
+    Trace t;
+    int64_t pid = t.process("compile");
+    std::vector<PhaseTime> out;
+    PhaseClock pc(&out, &t, pid);
+    pc.setTier("identity");
+    {
+        auto s = pc.phase("plan");
+    }
+    bool found = false;
+    for (const TraceEvent &e : t.events())
+        if (e.name == "plan" && e.ph == 'X' && e.pid == pid)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace anc::obs

@@ -2,27 +2,9 @@
  * @file
  * ancc -- the access-normalizing NUMA compiler, as a command-line tool.
  *
- * Usage:
- *   ancc [options] <program.an>
- *
- * Options:
- *   --report             full pipeline report (default)
- *   --emit               only the SPMD node program
- *   --no-restructure     keep the original loop order (baseline)
- *   --suggest            propose data distributions (Section 9 mode)
- *   --simulate P=<list>  simulate on the Butterfly model, e.g. P=1,4,16
- *   --param NAME=VALUE   bind a program parameter (repeatable)
- *   --machine gp1000|ipsc860
- *   --no-block-transfers
- *   --inject-machine-fault=SPEC
- *                        break the simulated machine deterministically,
- *                        e.g. drop-transfer/8,remote-fail@3,kill:2@1
- *                        (see numa/fault_model.h for the grammar); the
- *                        recovery costs show up in the simulation table
- *                        and a fault report is printed per run
- *   --strict             exit 3 when compilation degraded (a lower
- *                        ladder tier or a conservative fallback)
- *   --diag               print machine-readable diagnostics to stdout
+ * Run `ancc --help` for the option list; it is generated from the same
+ * option table the parser dispatches on (kOptSpecs below), so the two
+ * cannot drift apart.
  *
  * Exit status:
  *   0  success
@@ -45,6 +27,7 @@
 #include <vector>
 
 #include "core/compiler.h"
+#include "core/profile.h"
 #include "dsl/parser.h"
 #include "ratmath/fault.h"
 #include "xform/suggest.h"
@@ -63,26 +46,123 @@ struct Options
     bool block_transfers = true;
     bool strict = false;
     bool diag = false;
+    bool profile = false;
+    bool metrics = false;
+    std::string metrics_file; //!< empty with metrics=true means stdout
+    std::string trace_file;
     std::vector<Int> processors;
     std::vector<std::pair<std::string, Int>> params;
     numa::MachineParams machine = numa::MachineParams::butterflyGP1000();
     numa::FaultOptions faults;
 };
 
+/** How an option consumes a value. */
+enum class Arg
+{
+    None,     //!< flag only
+    Required, //!< --opt=VALUE or --opt VALUE
+    Optional, //!< bare --opt or --opt=VALUE (never the next argv)
+};
+
+/**
+ * One command-line option: the single source of truth for both the
+ * parser and the --help text.
+ */
+struct OptSpec
+{
+    const char *name;    //!< "--simulate"
+    Arg arg;
+    const char *valueHint; //!< "P=<list>"; "" when Arg::None
+    const char *help;
+};
+
+const OptSpec kOptSpecs[] = {
+    {"--report", Arg::None, "", "full pipeline report (default)"},
+    {"--emit", Arg::None, "", "only the SPMD node program"},
+    {"--no-restructure", Arg::None, "",
+     "keep the original loop order (baseline)"},
+    {"--suggest", Arg::None, "",
+     "propose data distributions (Section 9 mode)"},
+    {"--simulate", Arg::Required, "P=<list>",
+     "simulate on the machine model, e.g. P=1,4,16"},
+    {"--param", Arg::Required, "NAME=VALUE",
+     "bind a program parameter (repeatable)"},
+    {"--machine", Arg::Required, "gp1000|ipsc860",
+     "machine model to simulate (default gp1000)"},
+    {"--no-block-transfers", Arg::None, "",
+     "charge element-wise remote accesses instead of hoisted blocks"},
+    {"--inject-machine-fault", Arg::Required, "SPEC",
+     "break the simulated machine deterministically, e.g. "
+     "drop-transfer/8,remote-fail@3,kill:2@1 (see numa/fault_model.h); "
+     "recovery costs show up in the simulation table and a fault "
+     "report is printed per run"},
+    {"--trace", Arg::Required, "FILE",
+     "write a Chrome trace-event / Perfetto JSON trace of the "
+     "compilation phases (wall clock) and every simulated run "
+     "(simulated clock) to FILE"},
+    {"--metrics", Arg::Optional, "FILE",
+     "dump a counters/histograms snapshot as JSON to FILE (stdout "
+     "when no FILE)"},
+    {"--profile", Arg::None, "",
+     "print the per-phase compile-time table and the per-reference "
+     "traffic table of each simulated run"},
+    {"--strict", Arg::None, "",
+     "exit 3 when compilation degraded (a lower ladder tier or a "
+     "conservative fallback)"},
+    {"--diag", Arg::None, "",
+     "print machine-readable diagnostics to stdout"},
+    {"--help", Arg::None, "", "print this help and exit"},
+};
+
+/** The usage text, generated from kOptSpecs. */
+std::string
+usageText()
+{
+    std::string out = "usage: ancc [options] <program.an>\n\noptions:\n";
+    for (const OptSpec &s : kOptSpecs) {
+        std::string head = std::string("  ") + s.name;
+        if (s.arg == Arg::Required)
+            head += std::string(" ") + s.valueHint;
+        else if (s.arg == Arg::Optional)
+            head += std::string("[=") + s.valueHint + "]";
+        out += head;
+        // Wrap the help text to column 78, indented past the flags.
+        const size_t indent = 24;
+        out += head.size() < indent ? std::string(indent - head.size(), ' ')
+                                    : "\n" + std::string(indent, ' ');
+        std::string line;
+        std::istringstream words(s.help);
+        std::string w;
+        while (words >> w) {
+            if (!line.empty() && indent + line.size() + 1 + w.size() > 78) {
+                out += line + "\n" + std::string(indent, ' ');
+                line.clear();
+            }
+            if (!line.empty())
+                line += " ";
+            line += w;
+        }
+        out += line + "\n";
+    }
+    return out;
+}
+
 [[noreturn]] void
 usage(const char *msg = nullptr)
 {
     if (msg)
         std::fprintf(stderr, "ancc: %s\n", msg);
-    std::fprintf(stderr,
-                 "usage: ancc [--report|--emit] [--no-restructure] "
-                 "[--suggest]\n"
-                 "            [--simulate P=1,4,16] [--param N=64]...\n"
-                 "            [--machine gp1000|ipsc860] "
-                 "[--no-block-transfers]\n"
-                 "            [--inject-machine-fault=SPEC] [--strict] "
-                 "[--diag] <program.an>\n");
+    std::fprintf(stderr, "%s", usageText().c_str());
     std::exit(1);
+}
+
+const OptSpec *
+findSpec(const std::string &name)
+{
+    for (const OptSpec &s : kOptSpecs)
+        if (name == s.name)
+            return &s;
+    return nullptr;
 }
 
 Options
@@ -91,71 +171,80 @@ parseArgs(int argc, char **argv)
     Options o;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        if (a == "--report") {
+        if (a.empty() || a[0] != '-') {
+            if (!o.file.empty())
+                usage("multiple input files");
+            o.file = a;
+            continue;
+        }
+        // Split "--opt=value" and look the name up in the table.
+        size_t eq = a.find('=');
+        std::string name = eq == std::string::npos ? a : a.substr(0, eq);
+        bool has_inline = eq != std::string::npos;
+        std::string value = has_inline ? a.substr(eq + 1) : "";
+        const OptSpec *spec = findSpec(name);
+        if (!spec)
+            usage(("unknown option " + name).c_str());
+        if (spec->arg == Arg::None && has_inline)
+            usage((name + " takes no value").c_str());
+        if (spec->arg == Arg::Required && !has_inline) {
+            if (i + 1 >= argc)
+                usage((name + " needs " + spec->valueHint).c_str());
+            value = argv[++i];
+        }
+
+        if (name == "--help") {
+            std::printf("%s", usageText().c_str());
+            std::exit(0);
+        } else if (name == "--report") {
             o.report = true;
-        } else if (a == "--emit") {
+        } else if (name == "--emit") {
             o.emit_only = true;
-        } else if (a == "--no-restructure") {
+        } else if (name == "--no-restructure") {
             o.restructure = false;
-        } else if (a == "--suggest") {
+        } else if (name == "--suggest") {
             o.suggest = true;
-        } else if (a == "--no-block-transfers") {
+        } else if (name == "--no-block-transfers") {
             o.block_transfers = false;
-        } else if (a == "--strict") {
+        } else if (name == "--strict") {
             o.strict = true;
-        } else if (a == "--diag") {
+        } else if (name == "--diag") {
             o.diag = true;
-        } else if (a.rfind("--simulate", 0) == 0) {
-            std::string list = i + 1 < argc && a == "--simulate"
-                                   ? argv[++i]
-                                   : a.substr(a.find('=') + 1);
-            if (list.rfind("P=", 0) == 0)
-                list = list.substr(2);
-            std::stringstream ss(list);
+        } else if (name == "--profile") {
+            o.profile = true;
+        } else if (name == "--metrics") {
+            o.metrics = true;
+            o.metrics_file = value;
+        } else if (name == "--trace") {
+            if (value.empty())
+                usage("--trace needs FILE");
+            o.trace_file = value;
+        } else if (name == "--simulate") {
+            if (value.rfind("P=", 0) == 0)
+                value = value.substr(2);
+            std::stringstream ss(value);
             std::string tok;
             while (std::getline(ss, tok, ','))
-                o.processors.push_back(std::strtoll(tok.c_str(),
-                                                    nullptr, 10));
+                o.processors.push_back(
+                    std::strtoll(tok.c_str(), nullptr, 10));
             if (o.processors.empty())
                 usage("--simulate needs a processor list");
-        } else if (a == "--param") {
-            if (i + 1 >= argc)
-                usage("--param needs NAME=VALUE");
-            std::string kv = argv[++i];
-            size_t eq = kv.find('=');
-            if (eq == std::string::npos)
+        } else if (name == "--param") {
+            size_t veq = value.find('=');
+            if (veq == std::string::npos)
                 usage("--param needs NAME=VALUE");
             o.params.emplace_back(
-                kv.substr(0, eq),
-                std::strtoll(kv.c_str() + eq + 1, nullptr, 10));
-        } else if (a.rfind("--inject-machine-fault", 0) == 0) {
-            std::string spec;
-            if (a == "--inject-machine-fault") {
-                if (i + 1 >= argc)
-                    usage("--inject-machine-fault needs a fault spec");
-                spec = argv[++i];
-            } else if (a[22] == '=') {
-                spec = a.substr(23);
-            } else {
-                usage(("unknown option " + a).c_str());
-            }
-            o.faults = numa::parseFaultSpec(spec);
-        } else if (a == "--machine") {
-            if (i + 1 >= argc)
-                usage("--machine needs a name");
-            std::string m = argv[++i];
-            if (m == "gp1000")
+                value.substr(0, veq),
+                std::strtoll(value.c_str() + veq + 1, nullptr, 10));
+        } else if (name == "--inject-machine-fault") {
+            o.faults = numa::parseFaultSpec(value);
+        } else if (name == "--machine") {
+            if (value == "gp1000")
                 o.machine = numa::MachineParams::butterflyGP1000();
-            else if (m == "ipsc860")
+            else if (value == "ipsc860")
                 o.machine = numa::MachineParams::ipsc860();
             else
                 usage("unknown machine");
-        } else if (!a.empty() && a[0] == '-') {
-            usage(("unknown option " + a).c_str());
-        } else if (o.file.empty()) {
-            o.file = a;
-        } else {
-            usage("multiple input files");
         }
     }
     if (o.file.empty())
@@ -217,8 +306,20 @@ run(const Options &o)
         prog = s.applyTo(prog);
     }
 
+    // The observability switches. The Trace exists only under --trace;
+    // the registry only under --metrics; per-reference counters only
+    // when some consumer (--profile or --metrics) will read them.
+    obs::Trace trace;
+    const bool tracing = !o.trace_file.empty();
+    const bool per_ref = o.profile || o.metrics;
+    obs::MetricsRegistry reg;
+
     core::ResilientOptions ropts;
     ropts.base.identityTransform = !o.restructure;
+    if (tracing) {
+        ropts.base.trace = &trace;
+        ropts.base.tracePid = trace.process("compile");
+    }
     armInjectorFromEnv();
     core::Compilation c = core::compileResilient(prog, ropts);
     fault::disarm();
@@ -233,6 +334,11 @@ run(const Options &o)
                     c.degraded() ? 1 : 0);
         std::printf("%s", c.diagnostics.renderMachine().c_str());
     }
+
+    if (o.profile)
+        std::printf("\n%s", core::phaseTable(c).c_str());
+    if (o.metrics)
+        core::recordCompileMetrics(reg, c);
 
     if (!o.processors.empty()) {
         IntVec params(prog.params.size(), 0);
@@ -262,6 +368,12 @@ run(const Options &o)
             sopts.machine = o.machine;
             sopts.blockTransfers = o.block_transfers;
             sopts.faults = o.faults;
+            sopts.perReference = per_ref;
+            if (tracing) {
+                sopts.trace = &trace;
+                sopts.tracePid = trace.process(
+                    "simulate P=" + std::to_string(p));
+            }
             numa::SimStats s = core::simulate(c, sopts, binds);
             uint64_t syncs = 0;
             for (const numa::ProcStats &ps : s.perProc)
@@ -277,6 +389,25 @@ run(const Options &o)
             numa::FaultReport fr = s.faultReport();
             if (fr.any())
                 std::printf("       %s\n", fr.str().c_str());
+            if (o.profile && !s.refNames.empty())
+                std::printf("\n%s\n", core::refTable(s).c_str());
+            if (o.metrics)
+                core::recordSimMetrics(
+                    reg, s, o.machine,
+                    "sim.p" + std::to_string(p) + ".");
+        }
+    }
+
+    if (tracing)
+        trace.writeFile(o.trace_file);
+    if (o.metrics) {
+        if (o.metrics_file.empty()) {
+            std::printf("%s\n", reg.renderJson().c_str());
+        } else {
+            std::ofstream mf(o.metrics_file);
+            mf << reg.renderJson() << "\n";
+            if (!mf)
+                throw UserError("cannot write '" + o.metrics_file + "'");
         }
     }
 

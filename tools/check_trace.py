@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON files emitted by `ancc --trace`.
+
+Checks the structural contract Perfetto / chrome://tracing rely on:
+
+  * the file is valid JSON with a "traceEvents" list;
+  * every event has a string "name", a one-char "ph" in {X, i, M},
+    integer "pid"/"tid", and numeric "ts" (metadata events excepted);
+  * complete spans (ph == "X") carry a numeric "dur" >= 0;
+  * instant events (ph == "i") carry scope "s" in {g, p, t};
+  * metadata events (ph == "M") carry an args.name string.
+
+Exit status: 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+ALLOWED_PH = {"X", "i", "M"}
+
+
+def check_event(ev, idx, errors):
+    def bad(msg):
+        errors.append("event %d: %s: %r" % (idx, msg, ev))
+
+    if not isinstance(ev, dict):
+        bad("not an object")
+        return
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        bad("missing or empty name")
+    ph = ev.get("ph")
+    if ph not in ALLOWED_PH:
+        bad("unexpected phase %r" % (ph,))
+        return
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            bad("missing integer %s" % key)
+    if ph == "M":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not isinstance(
+            args.get("name"), str
+        ):
+            bad("metadata event without args.name")
+        return
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+        bad("missing numeric ts")
+    if ph == "X":
+        dur = ev.get("dur")
+        if (
+            not isinstance(dur, (int, float))
+            or isinstance(dur, bool)
+            or dur < 0
+        ):
+            bad("complete span without numeric dur >= 0")
+    if ph == "i" and ev.get("s") not in ("g", "p", "t"):
+        bad("instant event without scope s in {g, p, t}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["cannot load: %s" % e]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for idx, ev in enumerate(events):
+        check_event(ev, idx, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace.py TRACE.json...", file=sys.stderr)
+        return 1
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for e in errors[:20]:
+                print("%s: %s" % (path, e), file=sys.stderr)
+            if len(errors) > 20:
+                print(
+                    "%s: ... and %d more" % (path, len(errors) - 20),
+                    file=sys.stderr,
+                )
+        else:
+            with open(path) as f:
+                n = len(json.load(f)["traceEvents"])
+            print("%s: OK (%d events)" % (path, n))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
