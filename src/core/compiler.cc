@@ -4,6 +4,7 @@
 
 #include "ir/printer.h"
 #include "ratmath/linalg.h"
+#include "verify/verify.h"
 #include "xform/basis.h"
 #include "xform/legal.h"
 
@@ -286,10 +287,21 @@ compile(ir::Program prog, const CompileOptions &opts)
         c.strengthReduction =
             codegen::planStrengthReduction(*c.normalization.nest);
     }
-    auto s = pc.phase("emit");
-    c.nodeProgram = codegen::emitNodeProgram(
-        c.program, *c.normalization.nest, c.plan,
-        c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
+    {
+        auto s = pc.phase("emit");
+        c.nodeProgram = codegen::emitNodeProgram(
+            c.program, *c.normalization.nest, c.plan,
+            c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
+    }
+    if (opts.validate) {
+        auto s = pc.phase("translation-validate");
+        c.validation = verify::validate(c.program, c.nest(),
+                                        c.normalization.depMatrix);
+        c.validated = c.validation.passed() && c.validation.complete();
+        if (!c.validation.passed())
+            throw InternalError("translation validation failed: " +
+                                c.validation.firstFailure());
+    }
     return c;
 }
 
@@ -434,6 +446,29 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
                                  : "differential check skipped",
                            d.note);
             }
+            if (ropts.base.validate) {
+                stage = Stage::TranslationValidate;
+                auto s = pc.phase("translation-validate");
+                c.validation = verify::validate(
+                    c.program, c.nest(), c.normalization.depMatrix,
+                    ropts.validation);
+                if (!c.validation.passed()) {
+                    last_error = c.validation.firstFailure();
+                    diags.error(Stage::TranslationValidate,
+                                std::string("tier '") + tierName(c.tier) +
+                                    "' failed translation validation; "
+                                    "degrading further",
+                                last_error);
+                    continue;
+                }
+                c.validated = c.validation.complete();
+                diags.note(Stage::TranslationValidate,
+                           c.validated
+                               ? "translation validation passed"
+                               : "translation validation passed "
+                                 "(some checks skipped)",
+                           c.validation.firstFailure());
+            }
             return c;
         } catch (const UserError &) {
             throw;
@@ -472,6 +507,8 @@ Compilation::report() const
             os << "differential check: passed\n";
         os << diagnostics.render() << "\n";
     }
+    if (!validation.checks.empty())
+        os << "=== translation validation ===\n" << validation.render();
     os << "=== node program ===\n" << nodeProgram;
     return os.str();
 }

@@ -21,6 +21,7 @@
 #include "core/diagnostics.h"
 #include "numa/simulator.h"
 #include "obs/metrics.h"
+#include "verify/verify.h"
 #include "xform/normalize.h"
 
 namespace anc::core {
@@ -33,6 +34,12 @@ struct CompileOptions
      * round-robin outer distribution (the paper's untransformed
      * "gemm"/"syr2k" baselines). */
     bool identityTransform = false;
+    /** Run translation validation (verify::validate) on the result.
+     * Under compile(), a validation failure throws InternalError; under
+     * compileResilient(), it degrades the ladder one tier, making the
+     * ladder self-checking. The report lands in
+     * Compilation::validation either way. */
+    bool validate = false;
     /** Trace sink for wall-clock compiler-phase spans (null = off).
      * Phase wall times land in Compilation::phaseTimes regardless. */
     obs::Trace *trace = nullptr;
@@ -79,6 +86,11 @@ struct Compilation
     Diagnostics diagnostics;
     /** True when the differential interpreter check ran and passed. */
     bool differentialChecked = false;
+    /** Translation-validation verdict (empty checks list when
+     * CompileOptions::validate was off). */
+    verify::ValidationReport validation;
+    /** True when every validation check ran and none failed. */
+    bool validated = false;
 
     /** True when some optimization was given up: a lower ladder rung
      * was used, or normalization conservatively fell back to the
@@ -118,6 +130,9 @@ struct ResilientOptions
     Int differentialMaxElements = 1 << 16;
     /** Parameter values tried (all parameters get the same value). */
     std::vector<Int> differentialParamCandidates = {4, 3, 2, 6, 1};
+    /** Knobs for the translation-validation post-pass (only consulted
+     * when base.validate is set). */
+    verify::ValidateOptions validation;
 };
 
 /**

@@ -42,6 +42,8 @@ stageName(Stage s)
         return "emit";
     case Stage::DifferentialCheck:
         return "differential-check";
+    case Stage::TranslationValidate:
+        return "translation-validate";
     case Stage::Driver:
         return "driver";
     }

@@ -42,6 +42,7 @@ enum class Stage
     StrengthReduce,    //!< HNF-based induction-variable planning
     Emit,              //!< node program emission
     DifferentialCheck, //!< degraded-result interpreter comparison
+    TranslationValidate, //!< independent translation validation
     Driver,            //!< the compileResilient ladder itself
 };
 

@@ -125,6 +125,10 @@ floorDiv(Int a, Int b)
     fault::detail::checkpoint();
     if (b == 0)
         throw MathError("floorDiv by zero");
+    // kMin / -1 is the one quotient that overflows (and hardware
+    // division traps on it before any sign fixup could run).
+    if (b == -1)
+        return checkedNeg(a);
     Int q = a / b;
     Int r = a % b;
     if (r != 0 && ((r < 0) != (b < 0)))
@@ -138,6 +142,8 @@ ceilDiv(Int a, Int b)
     fault::detail::checkpoint();
     if (b == 0)
         throw MathError("ceilDiv by zero");
+    if (b == -1)
+        return checkedNeg(a); // see floorDiv
     Int q = a / b;
     Int r = a % b;
     if (r != 0 && ((r < 0) == (b < 0)))
@@ -151,9 +157,13 @@ euclidMod(Int a, Int b)
     fault::detail::checkpoint();
     if (b == 0)
         throw MathError("euclidMod by zero");
+    if (b == 1 || b == -1)
+        return 0; // and kMin % -1 would trap in hardware
     Int r = a % b;
+    // Adding |b| directly would overflow for b == kMin; subtracting a
+    // negative b is the same adjustment without forming |b|.
     if (r < 0)
-        r += (b < 0 ? -b : b);
+        r = b < 0 ? checkedSub(r, b) : checkedAdd(r, b);
     return r;
 }
 
@@ -163,6 +173,8 @@ exactDiv(Int a, Int b)
     fault::detail::checkpoint();
     if (b == 0)
         throw MathError("exactDiv by zero");
+    if (b == -1)
+        return checkedNeg(a); // see floorDiv
     if (a % b != 0)
         throw InternalError("exactDiv: not divisible");
     return a / b;

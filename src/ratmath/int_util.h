@@ -54,16 +54,21 @@ struct ExtGcd
 };
 ExtGcd extGcd(Int a, Int b);
 
-/** Floor division: largest q with q*b <= a. Requires b != 0. */
+/** Floor division: largest q with q*b <= a, for any operand signs.
+ * Requires b != 0; throws OverflowError for the one unrepresentable
+ * quotient, INT64_MIN / -1. */
 Int floorDiv(Int a, Int b);
 
-/** Ceiling division: smallest q with q*b >= a. Requires b != 0. */
+/** Ceiling division: smallest q with q*b >= a, for any operand signs.
+ * Requires b != 0; throws OverflowError for INT64_MIN / -1. */
 Int ceilDiv(Int a, Int b);
 
-/** Euclidean remainder in [0, |b|). Requires b != 0. */
+/** Euclidean remainder in [0, |b|), for any operand signs including
+ * b == INT64_MIN. Requires b != 0. */
 Int euclidMod(Int a, Int b);
 
-/** Exact division; throws InternalError if b does not divide a. */
+/** Exact division; throws InternalError if b does not divide a and
+ * OverflowError for INT64_MIN / -1. */
 Int exactDiv(Int a, Int b);
 
 } // namespace anc

@@ -1,0 +1,486 @@
+#include "verify/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "numa/recovery.h"
+
+namespace anc::verify {
+
+namespace {
+
+/** Thrown to abort an enumeration that exceeded its point cap. */
+struct EnumerationCapped
+{
+    uint64_t seen;
+};
+
+std::string
+pointStr(const IntVec &v)
+{
+    std::ostringstream os;
+    os << "(";
+    for (size_t i = 0; i < v.size(); ++i)
+        os << (i ? ", " : "") << v[i];
+    os << ")";
+    return os.str();
+}
+
+/** T * x with plain checked arithmetic (no shared transform code). */
+IntVec
+applyT(const IntMatrix &t, const IntVec &x)
+{
+    IntVec u(t.rows(), 0);
+    for (size_t i = 0; i < t.rows(); ++i)
+        for (size_t j = 0; j < t.cols(); ++j)
+            u[i] = checkedAdd(u[i], checkedMul(t(i, j), x[j]));
+    return u;
+}
+
+/** -1, 0, +1 for a < b, a == b, a > b in lexicographic order. */
+int
+lexCompare(const IntVec &a, const IntVec &b)
+{
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i])
+            return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+/** Enumerate the source iteration space; throws EnumerationCapped. */
+std::vector<IntVec>
+sourcePoints(const ir::Program &prog, const IntVec &params, uint64_t cap)
+{
+    std::vector<IntVec> pts;
+    uint64_t seen = 0;
+    ir::forEachIteration(prog.nest, params, [&](const IntVec &x) {
+        if (++seen > cap)
+            throw EnumerationCapped{seen};
+        pts.push_back(x);
+    });
+    return pts;
+}
+
+/** Deterministic 64-bit mixer for the differential bindings. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** The concrete data shared by the two enumeration checks. */
+struct Enumeration
+{
+    bool feasible = false;  //!< a binding under the cap was found
+    std::string skipReason; //!< set when !feasible
+    IntVec params;
+    std::vector<IntVec> source;  //!< source points, visit order
+    std::vector<IntVec> emitted; //!< emitted points, visit order
+    bool emittedCapped = false;  //!< emitted enumeration hit its cap
+};
+
+/**
+ * Find a parameter binding whose source space fits under the cap and
+ * enumerate both sides with it. Prefers a binding with a nonempty
+ * space so that the comparison is not vacuous.
+ */
+Enumeration
+enumerateBoth(const ir::Program &prog, const xform::TransformedNest &nest,
+              const ValidateOptions &opts)
+{
+    Enumeration en;
+    std::vector<Int> candidates = opts.paramCandidates;
+    if (prog.params.empty())
+        candidates = {0}; // one attempt; the value is unused
+    std::string last_error = "no candidate parameter value worked";
+    bool have_empty = false;
+    IntVec empty_params;
+    for (Int v : candidates) {
+        IntVec params(prog.params.size(), v);
+        try {
+            std::vector<IntVec> src =
+                sourcePoints(prog, params, opts.maxPoints);
+            if (src.empty()) {
+                // Usable, but keep looking for a nonempty space.
+                if (!have_empty) {
+                    have_empty = true;
+                    empty_params = params;
+                }
+                continue;
+            }
+            en.feasible = true;
+            en.params = params;
+            en.source = std::move(src);
+            break;
+        } catch (const EnumerationCapped &) {
+            last_error = "source space exceeds " +
+                         std::to_string(opts.maxPoints) + " points";
+        } catch (const Error &e) {
+            last_error = e.what();
+        }
+    }
+    if (!en.feasible && have_empty) {
+        en.feasible = true;
+        en.params = empty_params;
+    }
+    if (!en.feasible) {
+        en.skipReason =
+            "no feasible small parameter binding (" + last_error + ")";
+        return en;
+    }
+
+    // The emitted side is the artifact under test: cap it relative to
+    // the source count so a wrong nest cannot run away, and remember
+    // whether the cap was hit (that alone disproves equivalence).
+    uint64_t cap = uint64_t(en.source.size()) + 1024;
+    try {
+        uint64_t seen = 0;
+        nest.forEachIteration(en.params, [&](const IntVec &u) {
+            if (++seen > cap)
+                throw EnumerationCapped{seen};
+            en.emitted.push_back(u);
+        });
+    } catch (const EnumerationCapped &) {
+        en.emittedCapped = true;
+    }
+    return en;
+}
+
+std::string
+bindingStr(const ir::Program &prog, const IntVec &params)
+{
+    if (prog.params.empty())
+        return "no parameters";
+    std::ostringstream os;
+    for (size_t p = 0; p < prog.params.size(); ++p)
+        os << (p ? ", " : "") << prog.params[p] << "=" << params[p];
+    return os.str();
+}
+
+/** Check 1: emitted points == T * (source points), as multisets. */
+CheckResult
+checkLattice(const ir::Program &prog, const xform::TransformedNest &nest,
+             const Enumeration &en)
+{
+    CheckResult r;
+    r.kind = CheckKind::LatticeEquivalence;
+    if (!en.feasible) {
+        r.detail = en.skipReason;
+        return r;
+    }
+    r.ran = true;
+
+    if (en.emittedCapped) {
+        r.detail = "emitted nest enumerates more than " +
+                   std::to_string(en.source.size() + 1024) +
+                   " points, but the source space has only " +
+                   std::to_string(en.source.size()) + " (" +
+                   bindingStr(prog, en.params) + ")";
+        return r;
+    }
+
+    // The reference image: every source point mapped through T by hand.
+    std::vector<std::pair<IntVec, IntVec>> image; // (u = T x, x)
+    image.reserve(en.source.size());
+    for (const IntVec &x : en.source)
+        image.emplace_back(applyT(nest.transform(), x), x);
+    std::sort(image.begin(), image.end());
+
+    std::vector<IntVec> emitted = en.emitted;
+    std::sort(emitted.begin(), emitted.end());
+
+    // A duplicate visit breaks the bijection even if the sets agree.
+    for (size_t i = 1; i < emitted.size(); ++i) {
+        if (emitted[i] == emitted[i - 1]) {
+            r.detail = "emitted nest enumerates point u=" +
+                       pointStr(emitted[i]) + " more than once (" +
+                       bindingStr(prog, en.params) + ")";
+            return r;
+        }
+    }
+
+    // Merge-walk both sorted sequences for the first discrepancy.
+    size_t i = 0, j = 0;
+    while (i < image.size() || j < emitted.size()) {
+        int cmp = i == image.size()    ? 1
+                  : j == emitted.size() ? -1
+                                        : lexCompare(image[i].first,
+                                                     emitted[j]);
+        if (cmp < 0) {
+            r.detail = "counterexample: source iteration x=" +
+                       pointStr(image[i].second) + " has image point u=" +
+                       pointStr(image[i].first) +
+                       " which the emitted nest never enumerates (" +
+                       bindingStr(prog, en.params) + ")";
+            return r;
+        }
+        if (cmp > 0) {
+            r.detail =
+                "counterexample: emitted nest enumerates u=" +
+                pointStr(emitted[j]) +
+                " which is the image of no source iteration (" +
+                bindingStr(prog, en.params) + ")";
+            return r;
+        }
+        ++i;
+        ++j;
+    }
+
+    r.passed = true;
+    std::ostringstream os;
+    os << en.source.size() << " iteration point(s) map bijectively ("
+       << bindingStr(prog, en.params) << ")";
+    r.detail = os.str();
+    return r;
+}
+
+/** Check 2: every T*d lex-positive; emitted visit order strictly lex. */
+CheckResult
+checkDependences(const xform::TransformedNest &nest,
+                 const IntMatrix &dep_matrix, const Enumeration &en)
+{
+    CheckResult r;
+    r.kind = CheckKind::DependencePreservation;
+    r.ran = true;
+
+    const IntMatrix &t = nest.transform();
+    for (size_t c = 0; c < dep_matrix.cols(); ++c) {
+        IntVec d(dep_matrix.rows());
+        for (size_t i = 0; i < dep_matrix.rows(); ++i)
+            d[i] = dep_matrix(i, c);
+        IntVec td = applyT(t, d);
+        Int leading = 0;
+        for (Int v : td) {
+            if (v != 0) {
+                leading = v;
+                break;
+            }
+        }
+        if (leading < 0 || (leading == 0 && lexCompare(d, IntVec(
+                                                d.size(), 0)) != 0)) {
+            r.detail = "counterexample: dependence column " +
+                       std::to_string(c) + " d=" + pointStr(d) +
+                       " maps to T*d=" + pointStr(td) +
+                       ", which is not lexicographically positive: the "
+                       "emitted loop order runs the dependent iteration "
+                       "first";
+            return r;
+        }
+    }
+
+    // The T*d criterion presumes the emitted nest really visits points
+    // in increasing lexicographic order; verify that premise on the
+    // enumerated binding.
+    if (en.feasible && !en.emittedCapped) {
+        for (size_t k = 1; k < en.emitted.size(); ++k) {
+            if (lexCompare(en.emitted[k - 1], en.emitted[k]) >= 0) {
+                r.detail =
+                    "counterexample: emitted nest visits u=" +
+                    pointStr(en.emitted[k]) + " after u=" +
+                    pointStr(en.emitted[k - 1]) +
+                    ", violating lexicographic execution order";
+                return r;
+            }
+        }
+    }
+
+    r.passed = true;
+    std::ostringstream os;
+    os << dep_matrix.cols() << " dependence column(s) stay "
+       << "lexicographically positive";
+    if (en.feasible && !en.emittedCapped)
+        os << "; emitted order verified on " << en.emitted.size()
+           << " point(s)";
+    r.detail = os.str();
+    return r;
+}
+
+/** Check 3: fletcher64 footprints of both executions are identical. */
+CheckResult
+checkDifferential(const ir::Program &prog,
+                  const xform::TransformedNest &nest,
+                  const ValidateOptions &opts)
+{
+    CheckResult r;
+    r.kind = CheckKind::DifferentialExecution;
+
+    std::vector<Int> candidates = opts.paramCandidates;
+    if (prog.params.empty())
+        candidates = {0};
+    uint64_t rng = opts.seed;
+    std::string skip = "no feasible small parameter binding";
+    for (Int v : candidates) {
+        IntVec params(prog.params.size(), v);
+        try {
+            bool feasible = true, too_big = false;
+            for (const ir::ArrayDecl &a : prog.arrays) {
+                double total = 1;
+                for (Int e : a.evalExtents(params)) {
+                    if (e <= 0)
+                        feasible = false;
+                    total *= double(e);
+                }
+                too_big = too_big || total > double(opts.maxElements);
+            }
+            if (!feasible || too_big) {
+                skip = too_big ? "arrays exceed the element cap"
+                               : skip;
+                continue;
+            }
+            for (int trial = 0; trial < opts.trials; ++trial) {
+                ir::ArrayStorage seq(prog, params);
+                ir::ArrayStorage xfm(prog, params);
+                uint64_t fill = splitmix64(rng) | 1;
+                seq.fillDeterministic(fill);
+                xfm.fillDeterministic(fill);
+                std::vector<double> scalars(prog.scalars.size());
+                for (double &s : scalars)
+                    s = double(Int(splitmix64(rng) % 9) - 4) / 2.0;
+                ir::Bindings binds{params, scalars};
+                ir::run(prog, binds, seq);
+                nest.run(binds, xfm);
+                for (size_t a = 0; a < seq.numArrays(); ++a) {
+                    uint64_t cs = numa::fletcher64(seq.data(a).data(),
+                                                   seq.data(a).size());
+                    uint64_t cx = numa::fletcher64(xfm.data(a).data(),
+                                                   xfm.data(a).size());
+                    if (cs != cx) {
+                        r.ran = true;
+                        std::ostringstream os;
+                        os << "counterexample: array '"
+                           << prog.arrays[a].name << "' footprint "
+                           << std::hex << cx << " != sequential "
+                           << cs << std::dec << " (trial " << trial
+                           << ", " << bindingStr(prog, params) << ")";
+                        r.detail = os.str();
+                        return r;
+                    }
+                }
+            }
+            r.ran = true;
+            r.passed = true;
+            std::ostringstream os;
+            os << opts.trials << " randomized trial(s), fletcher64 "
+               << "footprints identical (" << bindingStr(prog, params)
+               << ")";
+            r.detail = os.str();
+            return r;
+        } catch (const UserError &) {
+            // Binding infeasible for this program; try the next one.
+        } catch (const Error &e) {
+            r.ran = true;
+            r.detail = std::string("execution failed: ") + e.what();
+            return r;
+        }
+    }
+    r.detail = skip;
+    return r;
+}
+
+} // namespace
+
+const char *
+checkName(CheckKind k)
+{
+    switch (k) {
+    case CheckKind::LatticeEquivalence:
+        return "lattice-equivalence";
+    case CheckKind::DependencePreservation:
+        return "dependence-preservation";
+    case CheckKind::DifferentialExecution:
+        return "differential-execution";
+    }
+    return "unknown";
+}
+
+bool
+ValidationReport::passed() const
+{
+    for (const CheckResult &c : checks)
+        if (c.ran && !c.passed)
+            return false;
+    return true;
+}
+
+bool
+ValidationReport::complete() const
+{
+    if (checks.empty())
+        return false;
+    for (const CheckResult &c : checks)
+        if (!c.ran)
+            return false;
+    return true;
+}
+
+std::string
+ValidationReport::firstFailure() const
+{
+    for (const CheckResult &c : checks)
+        if (c.ran && !c.passed)
+            return std::string(checkName(c.kind)) + ": " + c.detail;
+    return "";
+}
+
+std::string
+ValidationReport::render() const
+{
+    std::ostringstream os;
+    os << "translation validation: "
+       << (passed() ? (complete() ? "PASS" : "PASS (incomplete)")
+                    : "FAIL")
+       << "\n";
+    for (const CheckResult &c : checks) {
+        os << "  " << checkName(c.kind) << ": "
+           << (!c.ran ? "skipped" : c.passed ? "pass" : "FAIL");
+        if (!c.detail.empty())
+            os << " -- " << c.detail;
+        os << "\n";
+    }
+    return os.str();
+}
+
+ValidationReport
+validate(const ir::Program &prog, const xform::TransformedNest &nest,
+         const IntMatrix &dep_matrix, const ValidateOptions &opts)
+{
+    ValidationReport report;
+
+    Enumeration en;
+    try {
+        en = enumerateBoth(prog, nest, opts);
+    } catch (const Error &e) {
+        en.feasible = false;
+        en.skipReason = std::string("enumeration aborted: ") + e.what();
+    }
+    report.params = en.params;
+
+    auto guarded = [&](CheckKind kind, auto &&fn) {
+        CheckResult r;
+        try {
+            r = fn();
+        } catch (const Error &e) {
+            // An arithmetic fault is not a verdict either way: the
+            // check could not complete, so it must not claim "pass".
+            r.kind = kind;
+            r.ran = false;
+            r.passed = false;
+            r.detail = std::string("aborted: ") + e.what();
+        }
+        report.checks.push_back(std::move(r));
+    };
+
+    guarded(CheckKind::LatticeEquivalence,
+            [&] { return checkLattice(prog, nest, en); });
+    guarded(CheckKind::DependencePreservation,
+            [&] { return checkDependences(nest, dep_matrix, en); });
+    guarded(CheckKind::DifferentialExecution,
+            [&] { return checkDifferential(prog, nest, opts); });
+    return report;
+}
+
+} // namespace anc::verify

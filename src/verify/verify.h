@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Translation validation for compiled plans.
+ *
+ * The paper's central claim is that invertible (including
+ * non-unimodular) transformations are *exact*: the HNF-derived strides
+ * and congruence anchors of a transformed nest scan precisely the image
+ * lattice T.Z^n intersected with the image polyhedron, in
+ * lexicographic order, and every dependence stays lexicographically
+ * non-negative. This module proves that claim for one concrete
+ * Compilation after the fact, the way a translation validator checks a
+ * production compiler: it never trusts the pipeline that produced the
+ * nest, only the source program, the matrix T, and the emitted loops.
+ *
+ * Three independent checks:
+ *
+ *  1. Lattice equivalence -- enumerate the source iteration space with
+ *     the sequential interpreter, map every point through T with plain
+ *     checked integer arithmetic, and compare the resulting set
+ *     point-for-point against what the emitted nest enumerates. A
+ *     mismatch is reported with a concrete counterexample point
+ *     (a missed image point, an invented point, or a duplicate).
+ *
+ *  2. Dependence preservation -- recheck every column d of the
+ *     dependence matrix directly: the leading nonzero of T*d must be
+ *     positive. The check shares no code with LegalBasis/LegalInvt
+ *     (it is a dozen lines of checked multiply-accumulate), so it can
+ *     catch their bugs. It also verifies that the emitted nest visits
+ *     its points in strictly increasing lexicographic order, which is
+ *     the premise the T*d criterion stands on.
+ *
+ *  3. Differential execution -- run the original program and the
+ *     emitted nest over seeded randomized bindings and compare the
+ *     fletcher64 footprint of every array (the same checksum the
+ *     simulated block-transfer runtime ships with each message).
+ *
+ * What this deliberately does NOT prove: the checks are per-binding
+ * (small concrete parameter values), so a bound that is wrong only for
+ * parameters outside the candidate list escapes; the simulator's cost
+ * model is out of scope (validation is about values and iteration
+ * sets, not simulated time); and a check that cannot find a feasible
+ * small binding is reported as skipped, never as passed.
+ */
+
+#ifndef ANC_VERIFY_VERIFY_H
+#define ANC_VERIFY_VERIFY_H
+
+#include <string>
+#include <vector>
+
+#include "xform/transform.h"
+
+namespace anc::verify {
+
+/** The three independent validation checks. */
+enum class CheckKind
+{
+    LatticeEquivalence,     //!< emitted points == T * (source lattice)
+    DependencePreservation, //!< T*d lex-positive, emitted order lex
+    DifferentialExecution,  //!< fletcher64 footprints identical
+};
+
+const char *checkName(CheckKind k);
+
+/** Outcome of one check. */
+struct CheckResult
+{
+    CheckKind kind = CheckKind::LatticeEquivalence;
+    /** The check actually ran (false: skipped, detail says why). */
+    bool ran = false;
+    /** The check ran and found no violation. */
+    bool passed = false;
+    /** Explanation; on failure, includes a concrete counterexample
+     * (a point, a dependence column, or an array checksum pair). */
+    std::string detail;
+};
+
+/** Options for one validation run. */
+struct ValidateOptions
+{
+    /** Parameter values tried until a binding is feasible (every
+     * parameter gets the same value, like the differential check of
+     * the resilient driver). */
+    std::vector<Int> paramCandidates = {4, 3, 2, 6, 1, 8};
+    /** Iteration-count cap for the enumeration checks; spaces larger
+     * than this are skipped, not sampled (sampling could miss the
+     * counterexample and report a false pass). */
+    uint64_t maxPoints = 1u << 18;
+    /** Per-array element cap for the differential execution check. */
+    Int maxElements = 1 << 16;
+    /** Randomized bindings tried by the differential check. */
+    int trials = 3;
+    /** Seed for the deterministic binding generator. */
+    uint64_t seed = 0x414e2d56; // "AN-V"
+};
+
+/** The full validation verdict for one compiled nest. */
+struct ValidationReport
+{
+    std::vector<CheckResult> checks;
+    /** Parameter binding used by the enumeration checks (empty when the
+     * program has no parameters or every check was skipped). */
+    IntVec params;
+
+    /** No check that ran found a violation. */
+    bool passed() const;
+    /** Every check ran (nothing was skipped for infeasibility). */
+    bool complete() const;
+    /** Detail of the first failed check, or "" when none failed. */
+    std::string firstFailure() const;
+    /** Human-readable multi-line report. */
+    std::string render() const;
+};
+
+/**
+ * Validate that `nest` is an exact restructuring of `prog` under the
+ * transformation it carries, and that it respects every dependence
+ * column of `dep_matrix` (source-space distance vectors, one per
+ * column, as produced by deps::DependenceInfo::matrix()).
+ *
+ * Never throws for a wrong nest -- wrongness is the verdict. Internal
+ * arithmetic faults (overflow on a pathological binding) downgrade the
+ * affected check to skipped with the cause in its detail.
+ */
+ValidationReport validate(const ir::Program &prog,
+                          const xform::TransformedNest &nest,
+                          const IntMatrix &dep_matrix,
+                          const ValidateOptions &opts = {});
+
+} // namespace anc::verify
+
+#endif // ANC_VERIFY_VERIFY_H

@@ -45,6 +45,47 @@ mentionsVars(const LinearConstraint &c)
     return false;
 }
 
+bool
+mentionsParams(const LinearConstraint &c)
+{
+    for (const Rational &r : c.paramCoeffs)
+        if (!r.isZero())
+            return true;
+    return false;
+}
+
+/**
+ * Dominance-pruning key for a solved bound "x >= e" / "x <= e": the
+ * constraint-space coefficient vector (1 for the bound variable itself,
+ * then e's coefficients) scaled to primitive integers, with the
+ * constant rescaled by the same positive factor. Key-equal bounds are
+ * positive scalings of the same constraint family, so their (rescaled)
+ * constants are directly comparable and only the tighter one can ever
+ * bind -- even when the two arrived with rational coefficients that
+ * differ by a scale factor.
+ */
+struct BoundKey
+{
+    IntVec coeffs;
+    Rational constant;
+};
+
+BoundKey
+boundKey(const AffineExpr &e)
+{
+    RatVec v;
+    v.reserve(e.varCoeffs().size() + e.paramCoeffs().size() + 1);
+    v.push_back(Rational(1)); // the bound variable itself
+    for (const Rational &r : e.varCoeffs())
+        v.push_back(r);
+    for (const Rational &r : e.paramCoeffs())
+        v.push_back(r);
+    IntVec prim = scaleToPrimitiveIntegers(v);
+    // v[0] == 1, so the scale factor applied is exactly prim[0] > 0.
+    Rational scaled_const = e.constantTerm() * Rational(prim[0]);
+    return {std::move(prim), std::move(scaled_const)};
+}
+
 } // namespace
 
 FMBounds
@@ -62,6 +103,11 @@ fourierMotzkin(const std::vector<LinearConstraint> &cons, size_t num_vars,
         IntVec key = canonical(c);
         if (key.empty())
             return; // trivial 0 >= 0
+        // A constant-only false constraint proves the space empty; flag
+        // it eagerly so infeasibility wins over "unbounded" below.
+        if (!mentionsVars(c) && !mentionsParams(c) &&
+            c.constant.isNegative())
+            out.infeasible = true;
         if (seen.insert(key).second)
             active.push_back(c);
     };
@@ -83,9 +129,21 @@ fourierMotzkin(const std::vector<LinearConstraint> &cons, size_t num_vars,
             else
                 uppers.push_back(c); // a*x + r >= 0  =>  x <= -r/|a|
         }
-        if (lowers.empty() || uppers.empty())
+        if (lowers.empty() || uppers.empty()) {
+            // In a provably empty space a missing side is vacuous, not
+            // unboundedness: project the variable away (its bounds stay
+            // unsolved) and keep eliminating so the remaining levels
+            // still get usable zero-trip bounds.
+            if (out.infeasible) {
+                seen.clear();
+                active.clear();
+                for (const LinearConstraint &c : rest)
+                    add(c);
+                continue;
+            }
             throw UserError("iteration space is unbounded at level " +
                             std::to_string(level));
+        }
 
         // Record solved bounds for this level.
         auto solve_for = [&](const LinearConstraint &c) {
@@ -97,30 +155,34 @@ fourierMotzkin(const std::vector<LinearConstraint> &cons, size_t num_vars,
             AffineExpr e = r.toAffine().scaled(-a.inverse());
             return e;
         };
-        // Syntactic dominance pruning: of two bounds differing only in
-        // the constant term, only the tighter one can ever bind (max
-        // constant for lower bounds, min for upper).
-        auto record = [&](std::vector<AffineExpr> &dst, AffineExpr e,
+        // Syntactic dominance pruning: of two bounds whose primitive
+        // constraint-space keys agree (i.e. they are positive scalings
+        // of the same bound family), only the tighter one can ever bind
+        // (max rescaled constant for lower bounds, min for upper).
+        std::vector<BoundKey> lo_keys, up_keys;
+        auto record = [&](std::vector<AffineExpr> &dst,
+                          std::vector<BoundKey> &keys, AffineExpr e,
                           bool is_lower) {
-            for (AffineExpr &prev : dst) {
-                if (prev.varCoeffs() == e.varCoeffs() &&
-                    prev.paramCoeffs() == e.paramCoeffs()) {
+            BoundKey k = boundKey(e);
+            for (size_t i = 0; i < dst.size(); ++i) {
+                if (keys[i].coeffs == k.coeffs) {
                     bool replace = is_lower
-                                       ? e.constantTerm() >
-                                             prev.constantTerm()
-                                       : e.constantTerm() <
-                                             prev.constantTerm();
-                    if (replace)
-                        prev = std::move(e);
+                                       ? k.constant > keys[i].constant
+                                       : k.constant < keys[i].constant;
+                    if (replace) {
+                        dst[i] = std::move(e);
+                        keys[i] = std::move(k);
+                    }
                     return;
                 }
             }
             dst.push_back(std::move(e));
+            keys.push_back(std::move(k));
         };
         for (const LinearConstraint &c : lowers)
-            record(out.lower[level], solve_for(c), true);
+            record(out.lower[level], lo_keys, solve_for(c), true);
         for (const LinearConstraint &c : uppers)
-            record(out.upper[level], solve_for(c), false);
+            record(out.upper[level], up_keys, solve_for(c), false);
 
         // Combine each (lower, upper) pair to eliminate the variable:
         // L: a*x + r1 >= 0 (a > 0), U: -b*x + r2 >= 0 (b > 0)
@@ -144,21 +206,23 @@ fourierMotzkin(const std::vector<LinearConstraint> &cons, size_t num_vars,
     }
 
     // Whatever is left involves only parameters (or is constant).
+    // paramConditions are deduped by the same canonical primitive form
+    // the active set uses, so positive scalings of one condition can
+    // never leak through as distinct entries.
+    std::set<IntVec> cond_seen;
     for (const LinearConstraint &c : active) {
         if (mentionsVars(c))
             throw InternalError("FM left a variable constraint");
-        AffineExpr e = c.toAffine();
-        bool has_param = false;
-        for (const Rational &r : c.paramCoeffs)
-            if (!r.isZero())
-                has_param = true;
-        if (!has_param) {
+        if (!mentionsParams(c)) {
             if (c.constant.isNegative())
                 out.infeasible = true;
             continue;
         }
-        out.paramConditions.push_back(e);
+        if (cond_seen.insert(canonical(c)).second)
+            out.paramConditions.push_back(c.toAffine());
     }
+    if (out.infeasible)
+        out.paramConditions.clear(); // an empty space needs no caveats
     return out;
 }
 

@@ -36,14 +36,21 @@ struct FMBounds
      */
     std::vector<ir::AffineExpr> paramConditions;
     /** True if elimination derived the contradiction "negative >= 0"
-     * with no parameters involved: the space is provably empty. */
+     * with no parameters involved: the space is provably empty. When
+     * set, paramConditions is empty; the bound lists are still solved
+     * wherever both sides exist (so emitted loops run zero trips), but
+     * a level whose lower or upper side is missing -- vacuous in an
+     * empty space, not unbounded -- is left without bounds. */
     bool infeasible = false;
 };
 
 /**
  * Eliminate all num_vars variables from the constraint system
  * (each constraint means expr >= 0). Throws UserError if some level
- * ends up with no lower or no upper bound (unbounded space).
+ * ends up with no lower or no upper bound (unbounded space). A
+ * constant-only false constraint -- in the input or derived while
+ * eliminating -- makes the call return with `infeasible` set instead,
+ * taking precedence over any unboundedness discovered later.
  */
 FMBounds fourierMotzkin(const std::vector<ir::LinearConstraint> &cons,
                         size_t num_vars, size_t num_params);

@@ -37,6 +37,10 @@ analyzeInnerStrides(const ir::LoopNest &nest)
 std::vector<RefStride>
 analyzeInnerStrides(const TransformedNest &nest)
 {
+    // Guard before touching loops().back(): a zero-depth nest has no
+    // innermost loop (and no references that could stride along it).
+    if (nest.depth() == 0)
+        return {};
     return analyze(nest.body(), nest.depth(),
                    nest.loops().back().stride);
 }

@@ -23,7 +23,16 @@ struct RefStride
     size_t arrayId;
     bool isWrite;
     /** Per-dimension change of the subscript per innermost-loop step
-     * (already scaled by the loop's stride for transformed nests). */
+     * (already scaled by the loop's stride for transformed nests).
+     *
+     * Sign semantics: HNF lattice strides are always positive (the
+     * emitted innermost loop always counts upward), so a reversed loop
+     * (transform row with a negative innermost entry) shows up here as
+     * a negative subscript coefficient -- the sign of each entry is
+     * the physical direction the reference moves through that array
+     * dimension per executed innermost iteration. This is exactly what
+     * the planner's block-transfer contiguity check assumes: |stride|
+     * measures contiguity, the sign only direction. */
     std::vector<Rational> strides;
 
     /** All strides integral: a constant-stride (vectorizable) access. */
@@ -53,7 +62,9 @@ struct RefStride
 std::vector<RefStride> analyzeInnerStrides(const ir::LoopNest &nest);
 
 /** Strides of every reference along the innermost loop of a
- * transformed nest (scaled by the lattice stride of that loop). */
+ * transformed nest (scaled by the lattice stride of that loop, which
+ * HNF makes positive -- see RefStride::strides for the sign
+ * semantics). Returns an empty list for a zero-depth nest. */
 std::vector<RefStride> analyzeInnerStrides(const TransformedNest &nest);
 
 } // namespace anc::xform

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include "core/compiler.h"
+#include "ir/builder.h"
 #include "ir/gallery.h"
+#include "ir/interp.h"
 
 namespace anc::core {
 namespace {
@@ -75,6 +77,49 @@ TEST(CompileTest, Syr2kEndToEnd)
     double tt = simulate(c, ot, binds).parallelTime();
     // Block transfers matter for SYR2K (Section 8.2).
     EXPECT_LT(tb, tt);
+}
+
+TEST(CompileTest, ZeroTripCountAgreesAcrossAllEngines)
+{
+    // Loop i from 2 to N with N bound to 1: the FM lower bound exceeds
+    // the upper, so the interpreter, the transformed nest, the naive
+    // simulator, and the fastInner simulator must all agree on "no
+    // iterations" -- and must not touch a single array element.
+    ir::ProgramBuilder b(1);
+    size_t pn = b.param("N");
+    size_t arr = b.array("A", {b.cst(8)});
+    b.loop("i", b.cst(2), b.par(pn));
+    b.assign(b.ref(arr, {b.var(0)}), ir::Expr::number_(1.0));
+    ir::Program p = b.build();
+
+    Compilation c = compile(p);
+    IntVec params{1};
+    ir::Bindings binds{params, {}};
+
+    uint64_t interp_count = 0;
+    ir::forEachIteration(c.program.nest, params,
+                         [&](const IntVec &) { ++interp_count; });
+    EXPECT_EQ(interp_count, 0u);
+    EXPECT_EQ(c.nest().forEachIteration(params,
+                                        [](const IntVec &) {}),
+              0u);
+
+    ir::ArrayStorage store(c.program, params);
+    store.fillDeterministic(7);
+    std::vector<double> before = store.data(0);
+    EXPECT_EQ(c.nest().run(binds, store), 0u);
+    EXPECT_EQ(store.data(0), before);
+
+    for (bool fast : {false, true}) {
+        numa::SimOptions o;
+        o.processors = 4;
+        o.fastInner = fast;
+        numa::SimStats s = simulate(c, o, binds);
+        uint64_t iters = 0;
+        for (const numa::ProcStats &ps : s.perProc)
+            iters += ps.iterations;
+        EXPECT_EQ(iters, 0u) << "fastInner=" << fast;
+    }
 }
 
 } // namespace

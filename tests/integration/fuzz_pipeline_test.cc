@@ -372,5 +372,31 @@ TEST(FuzzPipeline, RandomProgramsWithLegalityDisabledStayBijective)
     }
 }
 
+TEST(FuzzPipeline, RandomProgramsSurviveTranslationValidation)
+{
+    // The validator as the fuzz oracle: every random program compiled
+    // through the full pipeline must also satisfy the independent
+    // translation-validation checks -- and any skipped check is
+    // surfaced, never silently counted as a pass.
+    std::mt19937 rng(424242);
+    int complete = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        GenProgram g = generate(rng, 2 + trial % 2);
+        core::ResilientOptions ropts;
+        ropts.base.validate = true;
+        core::Compilation c;
+        ASSERT_NO_THROW(c = core::compileResilient(g.prog, ropts))
+            << "trial " << trial;
+        ASSERT_TRUE(c.validation.passed())
+            << "trial " << trial << "\n" << c.validation.render();
+        ASSERT_EQ(c.validation.checks.size(), 3u);
+        if (c.validated)
+            ++complete;
+    }
+    // Concrete-bound generated programs are small: the checks should
+    // actually run, not skip, for the vast majority of trials.
+    EXPECT_GE(complete, 35) << "too many skipped validations";
+}
+
 } // namespace
 } // namespace anc

@@ -157,5 +157,74 @@ TEST(ExactDivTest, ExactAndInexact)
     EXPECT_THROW(exactDiv(7, 0), MathError);
 }
 
+TEST(FloorCeilDiv, ExhaustiveSmallRangePropertyCheck)
+{
+    // The mathematical definitions, for every sign combination:
+    // f <= a/b < f+1 and c-1 < a/b <= c as exact rationals --
+    // expressed through remainders so no inequality direction depends
+    // on the sign of b -- and euclidMod in [0, |b|).
+    for (Int a = -8; a <= 8; ++a) {
+        for (Int b = -8; b <= 8; ++b) {
+            if (b == 0)
+                continue;
+            Int f = floorDiv(a, b);
+            Int rf = a - f * b; // floor remainder carries b's sign
+            if (b > 0) {
+                EXPECT_GE(rf, 0) << a << "/" << b;
+                EXPECT_LT(rf, b) << a << "/" << b;
+            } else {
+                EXPECT_LE(rf, 0) << a << "/" << b;
+                EXPECT_GT(rf, b) << a << "/" << b;
+            }
+
+            Int c = ceilDiv(a, b);
+            Int rc = a - c * b; // ceil remainder carries -b's sign
+            if (b > 0) {
+                EXPECT_LE(rc, 0) << a << "/" << b;
+                EXPECT_GT(rc, -b) << a << "/" << b;
+            } else {
+                EXPECT_GE(rc, 0) << a << "/" << b;
+                EXPECT_LT(rc, -b) << a << "/" << b;
+            }
+
+            // ceil and floor agree exactly on exact divisions and
+            // differ by one everywhere else.
+            EXPECT_EQ(c - f, a % b == 0 ? 0 : 1) << a << "/" << b;
+
+            Int m = euclidMod(a, b);
+            EXPECT_GE(m, 0) << a << " mod " << b;
+            EXPECT_LT(m, b < 0 ? -b : b) << a << " mod " << b;
+            EXPECT_EQ((a - m) % b, 0) << a << " mod " << b;
+        }
+    }
+}
+
+TEST(FloorCeilDiv, Int64MinByMinusOneThrowsInsteadOfTrapping)
+{
+    // kMin / -1 is the one 64-bit quotient that does not exist;
+    // hardware division traps on it, so the helpers must reject it
+    // through checked negation rather than reach the divide.
+    EXPECT_THROW(floorDiv(kMin, -1), OverflowError);
+    EXPECT_THROW(ceilDiv(kMin, -1), OverflowError);
+    EXPECT_THROW(exactDiv(kMin, -1), OverflowError);
+    EXPECT_EQ(euclidMod(kMin, -1), 0);
+
+    // One away from the singularity everything is exact.
+    EXPECT_EQ(floorDiv(kMin + 1, -1), kMax);
+    EXPECT_EQ(ceilDiv(kMin + 1, -1), kMax);
+    EXPECT_EQ(exactDiv(kMin + 1, -1), kMax);
+    EXPECT_EQ(floorDiv(kMin, 1), kMin);
+    EXPECT_EQ(ceilDiv(kMin, 1), kMin);
+}
+
+TEST(EuclidModTest, Int64MinDivisorDoesNotOverflow)
+{
+    // |kMin| is unrepresentable: the adjustment must not form it.
+    EXPECT_EQ(euclidMod(-7, kMin), kMax - 6); // -7 + 2^63
+    EXPECT_EQ(euclidMod(7, kMin), 7);
+    EXPECT_EQ(euclidMod(0, kMin), 0);
+    EXPECT_EQ(euclidMod(kMin, kMin), 0);
+}
+
 } // namespace
 } // namespace anc

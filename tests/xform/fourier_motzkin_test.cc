@@ -155,6 +155,119 @@ TEST(FMParams, Syr2kMatchesDirectEnumeration)
     }
 }
 
+TEST(FMPruning, ScaledDuplicateRowsCollapse)
+{
+    // The regression from the dominance-pruning audit: 2x + 2N >= 0 is
+    // the same halfspace as x + N >= 0 and must not survive as a second
+    // min/max term at any stage (dedup of the active set, pruning of
+    // the solved bounds, or paramConditions).
+    LinearConstraint a = con({2}, 0);
+    a.paramCoeffs = {Rational(2)};
+    LinearConstraint b = con({1}, 0);
+    b.paramCoeffs = {Rational(1)};
+    LinearConstraint up = con({-1}, 0);
+    up.paramCoeffs = {Rational(1)}; // x <= N
+    FMBounds fm = fourierMotzkin({a, b, up}, 1, 1);
+    EXPECT_EQ(fm.lower[0].size(), 1u);
+    EXPECT_EQ(fm.upper[0].size(), 1u);
+    // -N >= -N combined with x <= N leaves exactly one condition family
+    // (2N >= 0 is the same as N >= 0).
+    EXPECT_LE(fm.paramConditions.size(), 1u);
+    EXPECT_EQ(enumerate(fm, 1, {3}).size(), 7u); // -3..3
+}
+
+TEST(FMPruning, ProportionalBoundFamiliesAreNotMerged)
+{
+    // x <= y + 1 and x <= 2y + 2 solve for y as y >= x - 1 and
+    // y >= x/2 - 1: proportional variable parts ({1} vs {1/2}, both
+    // scaling to the primitive vector {1}) but DIFFERENT constraints,
+    // neither dominating for all x. A pruning key that drops the
+    // implicit pivot coefficient would merge them; with the pivot
+    // included ({1,1,...} vs {2,1,...}) both must survive, next to the
+    // plain y >= 0.
+    std::vector<LinearConstraint> cs{
+        con({1, 0}, 0),   // x >= 0
+        con({0, 1}, 0),   // y >= 0
+        con({0, -1}, 3),  // y <= 3
+        con({-1, 1}, 1),  // x <= y + 1
+        con({-1, 2}, 2),  // x <= 2y + 2
+    };
+    FMBounds fm = fourierMotzkin(cs, 2, 0);
+    EXPECT_EQ(fm.lower[1].size(), 3u);
+    // The level-0 uppers derived by elimination (x <= 4 and x <= 8) are
+    // genuinely the same constant family; there pruning SHOULD fire.
+    EXPECT_EQ(fm.upper[0].size(), 1u);
+    std::set<IntVec> pts = enumerate(fm, 2);
+    EXPECT_TRUE(pts.count({1, 0}));  // x <= min(1, 2)
+    EXPECT_FALSE(pts.count({2, 0}));
+    EXPECT_TRUE(pts.count({4, 3}));  // x <= min(4, 8)
+}
+
+TEST(FMDegenerate, EqualityOnlySystemPinsEveryVariable)
+{
+    // x == 2 (as a pair of opposing inequalities) and y == x.
+    std::vector<LinearConstraint> cs{
+        con({1, 0}, -2), con({-1, 0}, 2),  // x == 2
+        con({-1, 1}, 0), con({1, -1}, 0),  // y == x
+    };
+    FMBounds fm = fourierMotzkin(cs, 2, 0);
+    EXPECT_FALSE(fm.infeasible);
+    std::set<IntVec> pts = enumerate(fm, 2);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_TRUE(pts.count({2, 2}));
+}
+
+TEST(FMDegenerate, InfeasibleSpaceLeaksNoParamConditions)
+{
+    // x >= 5, x <= 2 is empty regardless of N; the x <= N constraint
+    // must not deposit a spurious "N - 5 >= 0" caveat on the way out.
+    LinearConstraint lo = con({1}, -5);
+    lo.paramCoeffs = {Rational(0)};
+    LinearConstraint hi = con({-1}, 2);
+    hi.paramCoeffs = {Rational(0)};
+    LinearConstraint par = con({-1}, 0);
+    par.paramCoeffs = {Rational(1)}; // x <= N
+    FMBounds fm = fourierMotzkin({lo, hi, par}, 1, 1);
+    EXPECT_TRUE(fm.infeasible);
+    EXPECT_TRUE(fm.paramConditions.empty());
+}
+
+TEST(FMDegenerate, InfeasibilityWinsOverUnboundedness)
+{
+    // A constant-false constraint proves the space empty even when a
+    // variable has no upper bound; "unbounded" would be the wrong
+    // verdict for an empty space.
+    std::vector<LinearConstraint> cs{con({1}, 0), con({0}, -1)};
+    FMBounds fm = fourierMotzkin(cs, 1, 0);
+    EXPECT_TRUE(fm.infeasible);
+}
+
+TEST(FMDegenerate, RedundantConstraintStressKeepsOutputBounded)
+{
+    // 40 positive scalings and 40 constant-slackened copies of the same
+    // 2-D box: elimination must prune them to the one binding bound per
+    // side instead of letting min/max terms (or the intermediate
+    // active set) blow up combinatorially.
+    std::vector<LinearConstraint> cs;
+    for (Int s = 1; s <= 20; ++s) {
+        cs.push_back(con({s, 0}, 0));        // s*x >= 0
+        cs.push_back(con({-s, 0}, 4 * s));   // s*x <= 4s
+        cs.push_back(con({0, s}, 0));
+        cs.push_back(con({0, -s}, 4 * s));
+        // Slackened duplicates: dominated, never binding.
+        cs.push_back(con({1, 0}, s));        // x >= -s
+        cs.push_back(con({-1, 0}, 4 + s));   // x <= 4 + s
+        cs.push_back(con({0, 1}, s));
+        cs.push_back(con({0, -1}, 4 + s));
+    }
+    FMBounds fm = fourierMotzkin(cs, 2, 0);
+    for (size_t k = 0; k < 2; ++k) {
+        EXPECT_EQ(fm.lower[k].size(), 1u) << "level " << k;
+        EXPECT_EQ(fm.upper[k].size(), 1u) << "level " << k;
+    }
+    EXPECT_EQ(enumerate(fm, 2).size(), 25u);
+}
+
 TEST(FMProperty, RandomProjectionsAreExact)
 {
     // For random bounded systems, the FM enumeration must equal the

@@ -93,6 +93,95 @@ TEST(StrideTest, EmptyAndDegenerate)
     EXPECT_TRUE(strides[0].singleDimension());
 }
 
+/** Subscript deltas of successive innermost iterations must equal the
+ * reported strides -- the empirical meaning of RefStride::strides. */
+void
+expectStridesMatchExecution(const TransformedNest &tn)
+{
+    auto strides = analyzeInnerStrides(tn);
+    std::vector<IntVec> visited;
+    tn.forEachIteration({}, [&](const IntVec &u) {
+        visited.push_back(u);
+    });
+    ASSERT_GE(visited.size(), 2u);
+    size_t inner = tn.depth() - 1;
+    size_t ri = 0;
+    for (const ir::Statement &s : tn.body()) {
+        s.forEachRef([&](const ir::ArrayRef &r, bool) {
+            const RefStride &rs = strides[ri++];
+            for (size_t k = 1; k < visited.size(); ++k) {
+                bool same_prefix = true;
+                for (size_t d = 0; d < inner; ++d)
+                    same_prefix = same_prefix &&
+                                  visited[k][d] == visited[k - 1][d];
+                if (!same_prefix)
+                    continue; // innermost loop restarted
+                for (size_t d = 0; d < r.subscripts.size(); ++d) {
+                    Rational delta =
+                        r.subscripts[d].evaluate(visited[k], {}) -
+                        r.subscripts[d].evaluate(visited[k - 1], {});
+                    EXPECT_EQ(delta, rs.strides[d])
+                        << "dim " << d << " between steps " << k - 1
+                        << " and " << k;
+                }
+            }
+        });
+    }
+    ASSERT_EQ(ri, strides.size());
+}
+
+TEST(StrideTest, ReversalGivesNegativeStrideUnderPositiveLoopStep)
+{
+    // T = [[-1]] reverses the loop. HNF keeps the emitted step
+    // positive, so the reversal must surface as a negative subscript
+    // stride: the reference physically walks DOWN the array.
+    ir::Program p = ir::gallery::scalingExample();
+    IntMatrix rev(1, 1);
+    rev(0, 0) = -1;
+    TransformedNest tn = applyTransform(p, rev);
+    EXPECT_GT(tn.loops().back().stride, 0);
+    auto strides = analyzeInnerStrides(tn);
+    ASSERT_FALSE(strides.empty());
+    EXPECT_TRUE(strides[0].strides[0].isNegative());
+    EXPECT_EQ(strides[0].strides[0], Rational(-2)); // A[2i], step -1
+    expectStridesMatchExecution(tn);
+}
+
+TEST(StrideTest, ScaledReversalCombinesLatticeStepAndSign)
+{
+    // T = [[-2]]: the lattice stride is |−2| = 2 (HNF is positive),
+    // the direction lives in the subscript coefficient −1; together
+    // the reference moves −2 elements per executed iteration.
+    ir::Program p = ir::gallery::scalingExample();
+    IntMatrix t(1, 1);
+    t(0, 0) = -2;
+    TransformedNest tn = applyTransform(p, t);
+    EXPECT_EQ(tn.loops().back().stride, 2);
+    auto strides = analyzeInnerStrides(tn);
+    ASSERT_FALSE(strides.empty());
+    EXPECT_EQ(strides[0].strides[0], Rational(-2));
+    EXPECT_TRUE(strides[0].constantStride());
+    expectStridesMatchExecution(tn);
+}
+
+TEST(StrideTest, DepthOneIdentityMatchesSourceAnalysis)
+{
+    ir::Program p = ir::gallery::scalingExample();
+    TransformedNest tn = applyTransform(p, IntMatrix::identity(1));
+    auto src = analyzeInnerStrides(p.nest);
+    auto xfm = analyzeInnerStrides(tn);
+    ASSERT_EQ(src.size(), xfm.size());
+    for (size_t i = 0; i < src.size(); ++i)
+        EXPECT_EQ(src[i].strides, xfm[i].strides) << "ref " << i;
+}
+
+TEST(StrideTest, ZeroDepthTransformedNestYieldsNoStrides)
+{
+    TransformedNest empty(IntMatrix(0, 0), RatMatrix(0, 0),
+                          Lattice(IntMatrix(0, 0)), {}, {}, {});
+    EXPECT_TRUE(analyzeInnerStrides(empty).empty());
+}
+
 TEST(FMPruning, DominatedBoundsDropped)
 {
     // i >= 0, i >= -5, i >= -1 collapse to the single bound i >= 0;

@@ -45,6 +45,7 @@ struct Options
     bool suggest = false;
     bool block_transfers = true;
     bool strict = false;
+    bool validate = false;
     bool diag = false;
     bool profile = false;
     bool metrics = false;
@@ -109,6 +110,10 @@ const OptSpec kOptSpecs[] = {
     {"--strict", Arg::None, "",
      "exit 3 when compilation degraded (a lower ladder tier or a "
      "conservative fallback)"},
+    {"--validate", Arg::None, "",
+     "independently validate the compiled nest (lattice equivalence, "
+     "dependence preservation, differential execution) and print the "
+     "verdict; exit 3 when any check fails at any ladder tier"},
     {"--diag", Arg::None, "",
      "print machine-readable diagnostics to stdout"},
     {"--help", Arg::None, "", "print this help and exit"},
@@ -208,6 +213,8 @@ parseArgs(int argc, char **argv)
             o.block_transfers = false;
         } else if (name == "--strict") {
             o.strict = true;
+        } else if (name == "--validate") {
+            o.validate = true;
         } else if (name == "--diag") {
             o.diag = true;
         } else if (name == "--profile") {
@@ -316,6 +323,7 @@ run(const Options &o)
 
     core::ResilientOptions ropts;
     ropts.base.identityTransform = !o.restructure;
+    ropts.base.validate = o.validate;
     if (tracing) {
         ropts.base.trace = &trace;
         ropts.base.tracePid = trace.process("compile");
@@ -323,6 +331,9 @@ run(const Options &o)
     armInjectorFromEnv();
     core::Compilation c = core::compileResilient(prog, ropts);
     fault::disarm();
+
+    if (o.validate)
+        std::printf("%s", c.validation.render().c_str());
 
     if (o.emit_only)
         std::printf("%s", c.nodeProgram.c_str());
@@ -408,6 +419,26 @@ run(const Options &o)
             mf << reg.renderJson() << "\n";
             if (!mf)
                 throw UserError("cannot write '" + o.metrics_file + "'");
+        }
+    }
+
+    if (o.validate) {
+        // A tier that failed validation was degraded away by the
+        // ladder, so the failure lives in the diagnostics; the final
+        // report failing means even the surviving tier is wrong.
+        bool tier_failed = false;
+        for (const core::Diagnostic &d : c.diagnostics.all())
+            tier_failed =
+                tier_failed ||
+                (d.severity == core::Severity::Error &&
+                 d.stage == core::Stage::TranslationValidate);
+        if (tier_failed || !c.validation.passed()) {
+            std::fprintf(stderr,
+                         "ancc: translation validation failed "
+                         "(--validate):\n%s%s",
+                         c.validation.render().c_str(),
+                         c.diagnostics.render().c_str());
+            return 3;
         }
     }
 
