@@ -44,9 +44,17 @@ recordSimMetrics(obs::MetricsRegistry &reg, const numa::SimStats &s,
 
     obs::Histogram &ht = reg.histogram(prefix + "proc_time_us");
     obs::Histogram &hr = reg.histogram(prefix + "proc_remote");
-    for (const numa::ProcStats &p : s.perProc) {
-        ht.record(uint64_t(std::llround(std::max(0.0, p.time))));
-        hr.record(p.remoteAccesses);
+    if (s.aggregated) {
+        for (const numa::ProcClass &c : s.classes) {
+            ht.record(uint64_t(std::llround(std::max(0.0, c.rep.time))),
+                      c.multiplicity);
+            hr.record(c.rep.remoteAccesses, c.multiplicity);
+        }
+    } else {
+        for (const numa::ProcStats &p : s.perProc) {
+            ht.record(uint64_t(std::llround(std::max(0.0, p.time))));
+            hr.record(p.remoteAccesses);
+        }
     }
 
     for (size_t r = 0; r < s.refNames.size(); ++r) {

@@ -61,14 +61,12 @@ calibrateModel(const ir::Program &prog, const xform::TransformedNest &nest,
     if (m.iterations == 0)
         throw UserError("cannot calibrate on an empty iteration space");
 
-    uint64_t flops = 0, local = 0, remote = 0, blocked = 0, startups = 0;
-    for (const ProcStats &p : s.perProc) {
-        flops += p.flops;
-        local += p.localAccesses;
-        remote += p.remoteAccesses;
-        blocked += p.blockElements;
-        startups += p.blockTransfers;
-    }
+    // Totals methods handle both direct and aggregated SimStats.
+    uint64_t flops = s.totalFlops();
+    uint64_t local = s.totalLocalAccesses();
+    uint64_t remote = s.totalRemoteAccesses();
+    uint64_t blocked = s.totalBlockElements();
+    uint64_t startups = s.totalBlockTransfers();
     double it = double(m.iterations);
     m.flopsPerIter = double(flops) / it;
     m.localPerIter = double(local) / it;

@@ -1,12 +1,43 @@
 #include "numa/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "numa/thread_pool.h"
 #include "ratmath/diophantine.h"
 
 namespace anc::numa {
+
+void
+SimOptions::validate() const
+{
+    if (processors <= 0)
+        throw UserError("processor count must be positive");
+    // The slice arithmetic multiplies p by the outer stride in checked
+    // 64-bit math; past 2^40 processors even trivial strides overflow,
+    // so reject the configuration with a diagnosis instead of failing
+    // mid-run with a bare OverflowError.
+    constexpr Int kMaxProcessors = Int(1) << 40;
+    if (processors > kMaxProcessors)
+        throw UserError(
+            "processor count " + std::to_string(processors) +
+            " is not representable in the slice arithmetic (maximum " +
+            std::to_string(kMaxProcessors) +
+            "); simulate a smaller machine");
+    if (hostThreads < 0)
+        throw UserError("hostThreads must be non-negative");
+    if (symmetryThreshold < 0)
+        throw UserError("symmetryThreshold must be non-negative");
+    if (maxSymmetryClasses == 0)
+        throw UserError("maxSymmetryClasses must be positive");
+    for (Int p : sampleProcs)
+        if (p < 0 || p >= processors)
+            throw UserError("sampled processor " + std::to_string(p) +
+                            " outside [0, " +
+                            std::to_string(processors) + ")");
+}
 
 namespace {
 
@@ -114,8 +145,7 @@ Simulator::Simulator(const ir::Program &prog,
                      const ExecutionPlan &plan, SimOptions opts)
     : prog_(prog), nest_(nest), plan_(plan), opts_(std::move(opts))
 {
-    if (opts_.processors <= 0)
-        throw UserError("processor count must be positive");
+    opts_.validate();
     opts_.machine.validate();
     opts_.retry.validate();
     opts_.faults.validate();
@@ -239,6 +269,65 @@ Simulator::outerSlice(const Compiled &c, Int p) const
     return os;
 }
 
+SymmetryPlan
+Simulator::planClasses(const Compiled &c) const
+{
+    SymmetryInput in;
+    in.processors = opts_.processors;
+    in.scheme = plan_.scheme;
+    in.maxClasses = opts_.maxSymmetryClasses;
+
+    // Outer lattice range, mirroring outerSlice's preamble.
+    if (c.depth > 0) {
+        IntVec u(c.depth, 0);
+        IntVec y;
+        Int lo = nest_.lowerAt(0, u, c.params);
+        Int hi = nest_.upperAt(0, u, c.params);
+        if (lo <= hi) {
+            Int s = nest_.lattice().stride(0);
+            Int base = nest_.startAt(0, lo, y);
+            if (base <= hi) {
+                in.outerEmpty = false;
+                in.outerStart = base;
+                in.outerStep = s;
+                in.outerCount = (hi - base) / s + 1;
+            }
+        }
+    }
+    if (plan_.alignedArray) {
+        const Distribution &d = c.dists[*plan_.alignedArray];
+        in.blockSize = d.blockSize(0);
+        in.gridRows = d.gridRows();
+        in.gridCols = d.gridCols();
+    }
+
+    const FaultOptions &f = opts_.faults;
+    if (f.killProc >= 0 && f.killProc < opts_.processors) {
+        // Fail-stop kills break the translation symmetry: the victim
+        // and every potential adopter of its redistributed positions
+        // must stay singletons (the planner handles the split).
+        in.killVictim = f.killProc;
+        OuterSlice vs = outerSlice(c, f.killProc);
+        Int vt = vs.empty ? 0 : vs.count();
+        Int vd = f.killAfterSlices > uint64_t(vt)
+                     ? vt
+                     : Int(f.killAfterSlices);
+        Int remaining = vt - vd;
+        if (remaining > 0 && plan_.outerParallel && opts_.processors > 1)
+            in.killAdopterBound =
+                std::min(opts_.processors, remaining + 1);
+    } else {
+        in.mergeable =
+            checkTranslationMerge(prog_, nest_, plan_, opts_.processors)
+                .mergeable;
+    }
+    in.sliceCount = [this, &c](Int p) -> Int {
+        OuterSlice s = outerSlice(c, p);
+        return s.empty ? 0 : s.count();
+    };
+    return planSymmetryClasses(in);
+}
+
 void
 Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                     Int fromIdx, Int toIdx, Int idxStep, ProcStats &stats,
@@ -257,6 +346,11 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     std::vector<uint64_t> ticks(n, 0);
     std::vector<uint64_t> lastKey(c.numRefs, 0);
     IntVec coords(c.numCoords, 0);
+    // Hot-counter accumulator: one cache line on this thread's stack,
+    // folded into the shared ProcStats only at observation points, so
+    // host-parallel walks of adjacent processors never false-share the
+    // results array (see ProcAccum).
+    ProcAccum acc;
     const bool fast = opts_.fastInner && !storage && n >= 2;
     const bool clamp1 = slice.clamp1;
     const Int clamp1_lo = slice.clamp1Lo, clamp1_hi = slice.clamp1Hi;
@@ -327,7 +421,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             mult = 1;
         keyMult[g] = mult;
         if (!outc.abandoned)
-            stats.blockTransfers += 1;
+            acc.blockTransfers += 1;
     };
 
     // `count` elements of reference r arrive under hoist key `key`
@@ -341,7 +435,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             if (faulty)
                 new_transfer(r);
             else
-                stats.blockTransfers += 1;
+                acc.blockTransfers += 1;
         }
         if (faulty && keyAbandoned[g]) {
             // The block never arrived: its elements fall back to
@@ -350,7 +444,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             ref_remote(g, count);
             stats.recoveryElements += keyMult[g] * count;
         } else {
-            stats.blockElements += count;
+            acc.blockElements += count;
             ref_block_elems(g, count);
             if (faulty)
                 stats.recoveryElements += keyMult[g] * count;
@@ -364,7 +458,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             remoteEvents[r.globalIdx] += count;
             chargeRemoteBatch(stats, fi, rp, first, count);
         }
-        stats.remoteAccesses += count;
+        acc.remoteAccesses += count;
         ref_remote(r.globalIdx, count);
         if (stats.remoteByArray.empty())
             stats.remoteByArray.assign(c.dists.size(), 0);
@@ -377,7 +471,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     auto charge_uniform = [&](const RefEval &r, Int own, uint64_t count,
                               uint64_t key) {
         if (own < 0 || own == p) {
-            stats.localAccesses += count;
+            acc.localAccesses += count;
             ref_local(r.globalIdx, count);
         } else if (!r.isWrite && opts_.blockTransfers &&
                    r.hoistLevel != kNoHoist) {
@@ -393,8 +487,8 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     // their single elements are charged remote by chargeTransferBatch.
     auto charge_bulk_transfers = [&](const RefEval &r, uint64_t num) {
         if (!faulty) {
-            stats.blockTransfers += num;
-            stats.blockElements += num;
+            acc.blockTransfers += num;
+            acc.blockElements += num;
             ref_block_elems(r.globalIdx, num);
             return;
         }
@@ -403,8 +497,8 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         transferEvents[g] += num;
         TransferBatchOutcome outc = chargeTransferBatch(
             stats, fi, rp, first, num, 1, r.arrayId, n_arrays);
-        stats.blockTransfers += outc.completed;
-        stats.blockElements += outc.completed;
+        acc.blockTransfers += outc.completed;
+        acc.blockElements += outc.completed;
         ref_block_elems(g, outc.completed);
         // chargeTransferBatch charged the abandoned one-element blocks
         // as element-wise remote accesses; mirror them per reference.
@@ -412,9 +506,9 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     };
 
     auto execute_body = [&]() {
-        stats.iterations += 1;
+        acc.iterations += 1;
         for (const StmtEval &s : c.stmts) {
-            stats.flops += s.flops;
+            acc.flops += s.flops;
             for (const RefEval &r : s.refs) {
                 uint64_t key =
                     r.hoistLevel == kNoHoist
@@ -434,10 +528,10 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     auto run_inner = [&](Int start, Int hi, Int s) {
         uint64_t count = uint64_t((hi - start) / s) + 1;
         u[n - 1] = start;
-        stats.iterations += count;
+        acc.iterations += count;
         bool any_slow = false;
         for (const StmtEval &se : c.stmts) {
-            stats.flops += se.flops * count;
+            acc.flops += se.flops * count;
             for (const RefEval &r : se.refs) {
                 switch (r.innerKind) {
                   case InnerKind::Invariant: {
@@ -448,7 +542,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                         opts_.blockTransfers) {
                         Int own = owner_at(r);
                         if (own < 0 || own == p) {
-                            stats.localAccesses += count;
+                            acc.localAccesses += count;
                             ref_local(r.globalIdx, count);
                         } else {
                             charge_bulk_transfers(r, count);
@@ -472,7 +566,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                         a, r.distSubs[0].innerDelta, count,
                         dist.processors(), p);
                     uint64_t remote = count - local.hits;
-                    stats.localAccesses += local.hits;
+                    acc.localAccesses += local.hits;
                     ref_local(r.globalIdx, local.hits);
                     if (remote == 0)
                         break;
@@ -602,6 +696,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         Int v = checkedAdd(slice.start, checkedMul(idx, slice.step));
         double ts0 = 0.0;
         if (events) {
+            acc.flushInto(stats);
             snap = stats;
             finalizeProcTime(snap, c.rates);
             ts0 = snap.time;
@@ -610,10 +705,11 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         ticks[0] += 1;
         y.push_back(nest_.lattice().solveY(0, v, y));
         if (!plan_.outerParallel)
-            stats.syncs += 1;
+            acc.syncs += 1;
         walk(1);
         y.pop_back();
         if (events) {
+            acc.flushInto(stats);
             ProcStats now = stats;
             finalizeProcTime(now, c.rates);
             obs::TraceEvent e;
@@ -658,6 +754,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                     snap.abandonedTransfers);
         }
     }
+    acc.flushInto(stats);
 }
 
 void
@@ -702,6 +799,13 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
     c.rates.sync = m.syncTime;
     c.rates.backoffUnit = m.retryBackoffTime;
     c.rates.restart = m.restartTime;
+    if (!std::isfinite(c.rates.remote) ||
+        !std::isfinite(c.rates.blockElement))
+        throw UserError(
+            "contention model overflows at P = " +
+            std::to_string(opts_.processors) +
+            " (remote/block rates are not finite); reduce "
+            "contentionFactor or the processor count");
 
     size_t inner = c.depth > 0 ? c.depth - 1 : 0;
     Int inner_stride = c.depth > 0 ? nest_.lattice().stride(inner) : 1;
@@ -761,14 +865,38 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
     }
     c.numRefs = global;
 
+    // Symmetry-class aggregation: when the partition's structure can
+    // be bounded, simulate one representative per equivalence class
+    // instead of all P processors. Sampled and value-executing runs
+    // always take the direct path (they name specific processors).
     std::vector<Int> procs = opts_.sampleProcs;
-    if (procs.empty())
+    SymmetryPlan sym;
+    bool aggregate = false;
+    if (procs.empty() && !storage &&
+        (opts_.symmetry == SymmetryMode::Force ||
+         (opts_.symmetry == SymmetryMode::Auto &&
+          opts_.processors > opts_.symmetryThreshold))) {
+        sym = planClasses(c);
+        aggregate = sym.usable;
+    }
+    std::vector<uint64_t> multiplicity;
+    if (aggregate) {
+        for (const SymmetryPlan::Group &g : sym.groups) {
+            procs.push_back(g.representative);
+            multiplicity.push_back(g.multiplicity);
+        }
+        if (sym.hasDefault) {
+            procs.push_back(sym.defaultRep);
+            multiplicity.push_back(sym.defaultCount);
+        }
+    } else if (procs.empty()) {
         for (Int p = 0; p < opts_.processors; ++p)
             procs.push_back(p);
+    }
 
     SimStats out;
     out.processors = opts_.processors;
-    out.sampled = Int(procs.size()) != opts_.processors;
+    out.sampled = !aggregate && Int(procs.size()) != opts_.processors;
     if (storage && out.sampled)
         throw UserError("executeValues requires simulating all processors");
     out.perProc.assign(procs.size(), ProcStats{});
@@ -930,6 +1058,11 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
             sum.arg("blockTransfers", obs::jsonNum(ps.blockTransfers));
             sum.arg("blockElements", obs::jsonNum(ps.blockElements));
             sum.arg("syncs", obs::jsonNum(ps.syncs));
+            // Aggregated runs trace representatives only; the class
+            // size says how many processors this track stands for.
+            // Direct runs emit exactly the historical byte stream.
+            if (aggregate)
+                sum.arg("classSize", obs::jsonNum(multiplicity[i]));
             sum.pid = opts_.tracePid;
             tr.add(std::move(sum));
             for (obs::TraceEvent &e : buffers[i]) {
@@ -937,6 +1070,30 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
                 tr.add(std::move(e));
             }
         }
+    }
+
+    // Fold representative results into the class table; perProc stays
+    // empty (materializePerProc expands on demand) so memory is
+    // O(#classes) however large P is.
+    if (aggregate) {
+        out.classes.reserve(sym.classCount());
+        size_t i = 0;
+        for (SymmetryPlan::Group &g : sym.groups) {
+            ProcClass pc;
+            pc.rep = std::move(out.perProc[i++]);
+            pc.multiplicity = g.multiplicity;
+            pc.members = std::move(g.members);
+            out.classes.push_back(std::move(pc));
+        }
+        if (sym.hasDefault) {
+            ProcClass pc;
+            pc.rep = std::move(out.perProc[i++]);
+            pc.multiplicity = sym.defaultCount;
+            pc.isDefault = true;
+            out.classes.push_back(std::move(pc));
+        }
+        out.perProc.clear();
+        out.aggregated = true;
     }
     return out;
 }
@@ -961,25 +1118,41 @@ simulateOwnership(const ir::Program &prog, const SimOptions &opts,
                   const ir::Bindings &binds)
 {
     const MachineParams &m = opts.machine;
+    opts.validate();
     m.validate();
     Int procs = opts.processors;
     std::vector<Distribution> dists;
     for (const ir::ArrayDecl &a : prog.arrays)
         dists.emplace_back(a.dist, a.evalExtents(binds.paramValues), procs);
 
+    // Symmetry aggregation for the baseline: the walk is O(iterations)
+    // regardless of P, but the per-processor bookkeeping is not --
+    // discover the touched owners on the fly (O(min(P, elements))
+    // singleton classes), and fold every untouched processor into one
+    // default class that pays only the guard sweep.
+    const bool aggregate =
+        opts.sampleProcs.empty() &&
+        (opts.symmetry == SymmetryMode::Force ||
+         (opts.symmetry == SymmetryMode::Auto &&
+          procs > opts.symmetryThreshold));
     std::vector<Int> sample = opts.sampleProcs;
-    if (sample.empty())
+    if (sample.empty() && !aggregate)
         for (Int p = 0; p < procs; ++p)
             sample.push_back(p);
-    std::vector<Int> proc_of(size_t(procs), -1);
+    std::vector<Int> proc_of;
     SimStats out;
     out.processors = procs;
-    out.sampled = Int(sample.size()) != procs;
-    out.perProc.resize(sample.size());
-    for (size_t i = 0; i < sample.size(); ++i) {
-        out.perProc[i].proc = sample[i];
-        proc_of[size_t(sample[i])] = Int(i);
+    out.sampled = !aggregate && Int(sample.size()) != procs;
+    if (!aggregate) {
+        proc_of.assign(size_t(procs), -1);
+        out.perProc.resize(sample.size());
+        for (size_t i = 0; i < sample.size(); ++i) {
+            out.perProc[i].proc = sample[i];
+            proc_of[size_t(sample[i])] = Int(i);
+        }
     }
+    std::unordered_map<Int, size_t> slot_of;
+    std::vector<ProcStats> touched;
     CostRates rates;
     rates.loopOverhead = m.loopOverheadTime;
     rates.flop = m.flopTime;
@@ -1040,10 +1213,25 @@ simulateOwnership(const ir::Program &prog, const SimOptions &opts,
             // Owner of the left-hand side element (replicated lhs runs
             // on processor 0 by convention).
             Int own = s.lhs.distSubs.empty() ? 0 : owner_of(s.lhs, it);
-            Int slot = own >= 0 && own < procs ? proc_of[size_t(own)] : -1;
-            if (slot < 0)
+            ProcStats *psp = nullptr;
+            if (own >= 0 && own < procs) {
+                if (aggregate) {
+                    auto [at, fresh] =
+                        slot_of.try_emplace(own, touched.size());
+                    if (fresh) {
+                        touched.emplace_back();
+                        touched.back().proc = own;
+                    }
+                    psp = &touched[at->second];
+                } else {
+                    Int slot = proc_of[size_t(own)];
+                    if (slot >= 0)
+                        psp = &out.perProc[size_t(slot)];
+                }
+            }
+            if (!psp)
                 continue;
-            ProcStats &ps = out.perProc[size_t(slot)];
+            ProcStats &ps = *psp;
             ps.iterations += 1;
             ps.flops += s.flops;
             for (const OwnRef &r : s.refs) {
@@ -1059,9 +1247,42 @@ simulateOwnership(const ir::Program &prog, const SimOptions &opts,
 
     // Every processor pays the guard on every iteration -- the
     // "looking for work to do" cost.
-    for (ProcStats &ps : out.perProc) {
-        ps.guardChecks += total_iterations;
-        finalizeProcTime(ps, rates);
+    if (aggregate) {
+        std::sort(touched.begin(), touched.end(),
+                  [](const ProcStats &a, const ProcStats &b) {
+                      return a.proc < b.proc;
+                  });
+        out.classes.reserve(touched.size() + 1);
+        for (ProcStats &ps : touched) {
+            ps.guardChecks += total_iterations;
+            finalizeProcTime(ps, rates);
+            ProcClass pc;
+            pc.multiplicity = 1;
+            pc.members.push_back(ProcRange{ps.proc, 1, 1});
+            pc.rep = std::move(ps);
+            out.classes.push_back(std::move(pc));
+        }
+        if (uint64_t(touched.size()) < uint64_t(procs)) {
+            ProcClass pc;
+            Int rep = 0;
+            for (const ProcClass &t : out.classes) {
+                if (t.rep.proc != rep)
+                    break;
+                ++rep;
+            }
+            pc.rep.proc = rep;
+            pc.rep.guardChecks = total_iterations;
+            finalizeProcTime(pc.rep, rates);
+            pc.multiplicity = uint64_t(procs) - touched.size();
+            pc.isDefault = true;
+            out.classes.push_back(std::move(pc));
+        }
+        out.aggregated = true;
+    } else {
+        for (ProcStats &ps : out.perProc) {
+            ps.guardChecks += total_iterations;
+            finalizeProcTime(ps, rates);
+        }
     }
     return out;
 }

@@ -37,6 +37,7 @@
 #include "numa/plan.h"
 #include "numa/recovery.h"
 #include "numa/stats.h"
+#include "numa/symmetry.h"
 #include "xform/transform.h"
 
 namespace anc::numa {
@@ -110,6 +111,27 @@ struct SimOptions
      * no atomics, no allocation.
      */
     bool perReference = false;
+    /**
+     * Symmetry-class aggregation (see numa/symmetry.h): simulate one
+     * representative per processor-equivalence class and replicate its
+     * stats analytically, making wall time and memory O(#classes)
+     * instead of O(P). Auto aggregates only above symmetryThreshold
+     * processors (so small runs keep the exhaustively-tested direct
+     * path), Force aggregates whenever the plan allows, Off never
+     * does. Sampled, value-executing and trip-count-unprovable runs
+     * always fall back to direct simulation; results are bit-identical
+     * either way.
+     */
+    SymmetryMode symmetry = SymmetryMode::Auto;
+    /** Auto mode aggregates only when processors exceeds this. */
+    Int symmetryThreshold = 64;
+    /** Fall back to direct simulation past this many classes. */
+    uint64_t maxSymmetryClasses = uint64_t(1) << 16;
+
+    /** Reject degenerate huge-P configurations with actionable
+     * messages (P not representable in the slice arithmetic, absurd
+     * thresholds) instead of overflowing mid-run. */
+    void validate() const;
 };
 
 /** Simulator for a planned SPMD execution of a transformed nest. */
@@ -156,6 +178,11 @@ class Simulator
     /** Processor p's slice of the distributed outer loop under the
      * plan's partition scheme (empty when p has no work). */
     OuterSlice outerSlice(const Compiled &c, Int p) const;
+
+    /** Plan symmetry classes for this run (see numa/symmetry.h);
+     * !usable when the structure cannot be bounded and the run must
+     * fall back to direct simulation. */
+    SymmetryPlan planClasses(const Compiled &c) const;
 
     /**
      * Walk outer-slice positions fromIdx, fromIdx + idxStep, ... up to

@@ -1,6 +1,21 @@
 /**
  * @file
  * Execution statistics gathered by the NUMA simulator.
+ *
+ * Two representations coexist:
+ *
+ *  - direct runs fill SimStats::perProc with one ProcStats per
+ *    simulated processor (the historical representation);
+ *  - symmetry-aggregated runs (see numa/symmetry.h) fill
+ *    SimStats::classes with one ProcStats per *equivalence class* plus
+ *    a multiplicity, so memory is O(#classes) even at P = 2^20.
+ *    perProc stays empty until materializePerProc() expands the class
+ *    table on demand (under a byte budget).
+ *
+ * All whole-machine totals work on either representation. Aggregated
+ * totals multiply a representative counter by a class multiplicity, so
+ * they accumulate in 128 bits and raise UserError on true uint64
+ * overflow instead of silently wrapping.
  */
 
 #ifndef ANC_NUMA_STATS_H
@@ -66,6 +81,135 @@ struct ProcStats
 };
 
 /**
+ * Hot-path accumulator for the eight counters the inner walk bumps on
+ * (nearly) every iteration. Exactly one cache line, and kept on the
+ * simulating thread's stack, so host-parallel representative walks
+ * never write into the shared ProcStats array mid-loop -- the
+ * structure-of-arrays fix for false sharing between adjacent
+ * processors' results. flushInto() folds the line into a ProcStats and
+ * resets, so it can be flushed at every observation point (trace
+ * snapshots) without double counting.
+ */
+struct alignas(64) ProcAccum
+{
+    uint64_t iterations = 0;
+    uint64_t flops = 0;
+    uint64_t localAccesses = 0;
+    uint64_t remoteAccesses = 0;
+    uint64_t blockTransfers = 0;
+    uint64_t blockElements = 0;
+    uint64_t guardChecks = 0;
+    uint64_t syncs = 0;
+
+    void
+    flushInto(ProcStats &p)
+    {
+        p.iterations += iterations;
+        p.flops += flops;
+        p.localAccesses += localAccesses;
+        p.remoteAccesses += remoteAccesses;
+        p.blockTransfers += blockTransfers;
+        p.blockElements += blockElements;
+        p.guardChecks += guardChecks;
+        p.syncs += syncs;
+        *this = ProcAccum{};
+    }
+};
+static_assert(sizeof(ProcAccum) == 64,
+              "ProcAccum must fill exactly one cache line");
+static_assert(alignof(ProcAccum) == 64,
+              "ProcAccum must be cache-line aligned");
+
+/**
+ * An arithmetic progression of processor ids, taken modulo P:
+ * member i is euclidMod(first + i*step, processors). Wrapped
+ * distributions produce their symmetry classes in exactly this shape
+ * (residues of the outer lattice walked in cycle order), so class
+ * membership needs O(1) storage however large the class.
+ */
+struct ProcRange
+{
+    Int first = 0;
+    Int step = 1;
+    Int count = 0;
+
+    Int
+    memberAt(Int i, Int processors) const
+    {
+        return euclidMod(checkedAdd(first, checkedMul(i, step)),
+                         processors);
+    }
+};
+
+/**
+ * One equivalence class of processors with provably identical
+ * ProcStats: a simulated representative, the class size, and the
+ * membership. A default class owns every processor not claimed by any
+ * other class (members left empty) -- typically the "no outer
+ * iterations at all" class that makes P = 2^20 tractable.
+ */
+struct ProcClass
+{
+    ProcStats rep;
+    uint64_t multiplicity = 1;
+    std::vector<ProcRange> members;
+    bool isDefault = false;
+};
+
+namespace detail {
+
+/** acc + value*multiplicity in 128 bits; UserError on uint64 overflow. */
+inline uint64_t
+accumulateCounter(uint64_t acc, uint64_t value, uint64_t multiplicity)
+{
+    unsigned __int128 t =
+        (unsigned __int128)value * multiplicity + acc;
+    if (t > (unsigned __int128)UINT64_MAX)
+        throw UserError(
+            "aggregate counter overflow: a whole-machine total exceeds "
+            "2^64-1; inspect per-class counters (SimStats::classes) "
+            "instead of totals, or reduce P / the problem size");
+    return (uint64_t)t;
+}
+
+} // namespace detail
+
+/** Machine-fault recovery totals for one simulated run. */
+struct FaultReport
+{
+    uint64_t transferRetries = 0;
+    uint64_t transferRefetches = 0;
+    uint64_t remoteRetries = 0;
+    uint64_t recoveryElements = 0;
+    uint64_t backoffUnits = 0;
+    uint64_t abandonedTransfers = 0;
+    uint64_t reassignedSlices = 0;
+    uint64_t restarts = 0;
+    uint64_t deadProcs = 0;
+
+    bool
+    any() const
+    {
+        return transferRetries || transferRefetches || remoteRetries ||
+               recoveryElements || backoffUnits || abandonedTransfers ||
+               reassignedSlices || restarts || deadProcs;
+    }
+
+    std::string
+    str() const
+    {
+        std::ostringstream os;
+        os << "faults: " << transferRetries << " transfer retries, "
+           << transferRefetches << " refetches, " << remoteRetries
+           << " remote retries, " << abandonedTransfers << " abandoned, "
+           << reassignedSlices << " reassigned slices, " << restarts
+           << " restarts, " << deadProcs << " dead, " << backoffUnits
+           << " backoff units";
+        return os.str();
+    }
+};
+
+/**
  * Per-event costs (microseconds) used to derive ProcStats::time from
  * the integer counters. Deriving the clock once per processor -- rather
  * than accumulating doubles event by event -- makes the simulated time
@@ -112,47 +256,22 @@ finalizeProcTime(ProcStats &p, const CostRates &r)
              double(p.restarts) * r.restart;
 }
 
-/** Machine-fault recovery totals for one simulated run. */
-struct FaultReport
-{
-    uint64_t transferRetries = 0;
-    uint64_t transferRefetches = 0;
-    uint64_t remoteRetries = 0;
-    uint64_t recoveryElements = 0;
-    uint64_t backoffUnits = 0;
-    uint64_t abandonedTransfers = 0;
-    uint64_t reassignedSlices = 0;
-    uint64_t restarts = 0;
-    uint64_t deadProcs = 0;
-
-    bool
-    any() const
-    {
-        return transferRetries || transferRefetches || remoteRetries ||
-               recoveryElements || backoffUnits || abandonedTransfers ||
-               reassignedSlices || restarts || deadProcs;
-    }
-
-    std::string
-    str() const
-    {
-        std::ostringstream os;
-        os << "faults: " << transferRetries << " transfer retries, "
-           << transferRefetches << " refetches, " << remoteRetries
-           << " remote retries, " << abandonedTransfers << " abandoned, "
-           << reassignedSlices << " reassigned slices, " << restarts
-           << " restarts, " << deadProcs << " dead, " << backoffUnits
-           << " backoff units";
-        return os.str();
-    }
-};
-
 /** Whole-machine result of one simulated run. */
 struct SimStats
 {
+    /** Default byte budget for materializePerProc(). */
+    static constexpr uint64_t kDefaultMaterializeBudget =
+        uint64_t(256) << 20;
+
     Int processors = 1;
     std::vector<ProcStats> perProc; //!< only the simulated processors
     bool sampled = false;           //!< true if not all P were simulated
+    /** Symmetry classes; non-empty exactly when aggregated is set. */
+    std::vector<ProcClass> classes;
+    /** True when this run was produced by symmetry-class aggregation:
+     * classes is authoritative and perProc is empty until
+     * materializePerProc(). */
+    bool aggregated = false;
     /** Labels of the compiled references ("s0.r1 A", "s0.w C"), in
      * globalIdx order; filled only under SimOptions::perReference and
      * indexing the ProcStats::*ByRef vectors. */
@@ -163,8 +282,13 @@ struct SimStats
     parallelTime() const
     {
         double t = 0.0;
-        for (const ProcStats &p : perProc)
-            t = std::max(t, p.time);
+        if (aggregated) {
+            for (const ProcClass &c : classes)
+                t = std::max(t, c.rep.time);
+        } else {
+            for (const ProcStats &p : perProc)
+                t = std::max(t, p.time);
+        }
         return t;
     }
 
@@ -176,49 +300,68 @@ struct SimStats
         return t > 0.0 ? sequential_time / t : 0.0;
     }
 
+    /** Checked whole-machine sum of one counter (class-aware). */
+    uint64_t
+    totalOf(uint64_t ProcStats::* which) const
+    {
+        uint64_t n = 0;
+        if (aggregated) {
+            for (const ProcClass &c : classes)
+                n = detail::accumulateCounter(n, c.rep.*which,
+                                              c.multiplicity);
+        } else {
+            for (const ProcStats &p : perProc)
+                n = detail::accumulateCounter(n, p.*which, 1);
+        }
+        return n;
+    }
+
     uint64_t
     totalRemoteAccesses() const
     {
-        uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            n += p.remoteAccesses;
-        return n;
+        return totalOf(&ProcStats::remoteAccesses);
     }
 
     uint64_t
     totalLocalAccesses() const
     {
-        uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            n += p.localAccesses;
-        return n;
+        return totalOf(&ProcStats::localAccesses);
     }
 
     uint64_t
     totalBlockTransfers() const
     {
-        uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            n += p.blockTransfers;
-        return n;
+        return totalOf(&ProcStats::blockTransfers);
     }
 
     uint64_t
     totalIterations() const
     {
-        uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            n += p.iterations;
-        return n;
+        return totalOf(&ProcStats::iterations);
     }
 
     uint64_t
     totalBlockElements() const
     {
-        uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            n += p.blockElements;
-        return n;
+        return totalOf(&ProcStats::blockElements);
+    }
+
+    uint64_t
+    totalFlops() const
+    {
+        return totalOf(&ProcStats::flops);
+    }
+
+    uint64_t
+    totalSyncs() const
+    {
+        return totalOf(&ProcStats::syncs);
+    }
+
+    uint64_t
+    totalGuardChecks() const
+    {
+        return totalOf(&ProcStats::guardChecks);
     }
 
     /** Sum of one per-reference vector across processors (0 when the
@@ -227,9 +370,16 @@ struct SimStats
     totalByRef(std::vector<uint64_t> ProcStats::* which, size_t ref) const
     {
         uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            if (ref < (p.*which).size())
-                n += (p.*which)[ref];
+        if (aggregated) {
+            for (const ProcClass &c : classes)
+                if (ref < (c.rep.*which).size())
+                    n = detail::accumulateCounter(
+                        n, (c.rep.*which)[ref], c.multiplicity);
+        } else {
+            for (const ProcStats &p : perProc)
+                if (ref < (p.*which).size())
+                    n = detail::accumulateCounter(n, (p.*which)[ref], 1);
+        }
         return n;
     }
 
@@ -238,9 +388,18 @@ struct SimStats
     remoteAccessesTo(size_t array_id) const
     {
         uint64_t n = 0;
-        for (const ProcStats &p : perProc)
-            if (array_id < p.remoteByArray.size())
-                n += p.remoteByArray[array_id];
+        if (aggregated) {
+            for (const ProcClass &c : classes)
+                if (array_id < c.rep.remoteByArray.size())
+                    n = detail::accumulateCounter(
+                        n, c.rep.remoteByArray[array_id],
+                        c.multiplicity);
+        } else {
+            for (const ProcStats &p : perProc)
+                if (array_id < p.remoteByArray.size())
+                    n = detail::accumulateCounter(
+                        n, p.remoteByArray[array_id], 1);
+        }
         return n;
     }
 
@@ -248,6 +407,18 @@ struct SimStats
     double
     imbalance() const
     {
+        if (aggregated) {
+            if (classes.empty())
+                return 1.0;
+            double sum = 0.0;
+            double count = 0.0;
+            for (const ProcClass &c : classes) {
+                sum += c.rep.time * double(c.multiplicity);
+                count += double(c.multiplicity);
+            }
+            double mean = count > 0.0 ? sum / count : 0.0;
+            return mean > 0.0 ? parallelTime() / mean : 1.0;
+        }
         if (perProc.empty())
             return 1.0;
         double sum = 0.0;
@@ -262,18 +433,97 @@ struct SimStats
     faultReport() const
     {
         FaultReport f;
-        for (const ProcStats &p : perProc) {
-            f.transferRetries += p.transferRetries;
-            f.transferRefetches += p.transferRefetches;
-            f.remoteRetries += p.remoteRetries;
-            f.recoveryElements += p.recoveryElements;
-            f.backoffUnits += p.backoffUnits;
-            f.abandonedTransfers += p.abandonedTransfers;
-            f.reassignedSlices += p.reassignedSlices;
-            f.restarts += p.restarts;
-            f.deadProcs += p.killed;
+        auto add = [](uint64_t &dst, uint64_t v, uint64_t mult) {
+            dst = detail::accumulateCounter(dst, v, mult);
+        };
+        auto fold = [&](const ProcStats &p, uint64_t mult) {
+            add(f.transferRetries, p.transferRetries, mult);
+            add(f.transferRefetches, p.transferRefetches, mult);
+            add(f.remoteRetries, p.remoteRetries, mult);
+            add(f.recoveryElements, p.recoveryElements, mult);
+            add(f.backoffUnits, p.backoffUnits, mult);
+            add(f.abandonedTransfers, p.abandonedTransfers, mult);
+            add(f.reassignedSlices, p.reassignedSlices, mult);
+            add(f.restarts, p.restarts, mult);
+            add(f.deadProcs, p.killed, mult);
+        };
+        if (aggregated) {
+            for (const ProcClass &c : classes)
+                fold(c.rep, c.multiplicity);
+        } else {
+            for (const ProcStats &p : perProc)
+                fold(p, 1);
         }
         return f;
+    }
+
+    /**
+     * Expand the class table into perProc (one ProcStats per processor,
+     * in processor order), so code written against the direct
+     * representation keeps working. Throws UserError when the expansion
+     * would exceed budget_bytes -- at P = 2^20 the class table is the
+     * point, and a silent multi-gigabyte allocation is never the right
+     * answer. No-op for direct runs.
+     */
+    void
+    materializePerProc(uint64_t budget_bytes = kDefaultMaterializeBudget)
+    {
+        if (!aggregated || !perProc.empty())
+            return;
+        // Estimate the expansion cost: the fixed struct plus the
+        // largest per-class heap payload, replicated P times.
+        uint64_t payload = 0;
+        for (const ProcClass &c : classes) {
+            uint64_t v = c.rep.remoteByArray.size() +
+                         c.rep.localByRef.size() +
+                         c.rep.remoteByRef.size() +
+                         c.rep.blockElementsByRef.size();
+            payload = std::max(payload, v * sizeof(uint64_t));
+        }
+        unsigned __int128 need =
+            (unsigned __int128)(uint64_t)processors *
+            (sizeof(ProcStats) + payload);
+        if (need > (unsigned __int128)budget_bytes) {
+            std::ostringstream os;
+            os << "materializing per-processor stats for P = "
+               << processors << " needs about "
+               << (uint64_t)(need >> 20) << " MiB, over the "
+               << (budget_bytes >> 20)
+               << " MiB budget; use the class table "
+                  "(SimStats::classes) or whole-machine totals, or "
+                  "raise the budget explicitly";
+            throw UserError(os.str());
+        }
+        std::vector<ProcStats> out;
+        const ProcClass *dflt = nullptr;
+        for (const ProcClass &c : classes)
+            if (c.isDefault)
+                dflt = &c;
+        if (dflt)
+            out.assign(size_t(processors), dflt->rep);
+        else
+            out.assign(size_t(processors), ProcStats{});
+        std::vector<char> covered(size_t(processors), 0);
+        for (const ProcClass &c : classes) {
+            if (c.isDefault)
+                continue;
+            for (const ProcRange &r : c.members)
+                for (Int i = 0; i < r.count; ++i) {
+                    Int p = r.memberAt(i, processors);
+                    out[size_t(p)] = c.rep;
+                    covered[size_t(p)] = 1;
+                }
+        }
+        if (!dflt)
+            for (Int p = 0; p < processors; ++p)
+                if (!covered[size_t(p)])
+                    out[size_t(p)] = ProcStats{};
+        for (Int p = 0; p < processors; ++p)
+            out[size_t(p)].proc = p;
+        perProc = std::move(out);
+        // perProc is authoritative from here on; keep the class table
+        // for inspection but stop double-counting in totals.
+        aggregated = false;
     }
 };
 
@@ -282,6 +532,42 @@ inline std::string
 summarize(const SimStats &s)
 {
     std::ostringstream os;
+    if (s.aggregated) {
+        os << "P = " << s.processors << " (aggregated, "
+           << s.classes.size() << " classes), parallel time "
+           << s.parallelTime() << " us, imbalance " << s.imbalance()
+           << "\n";
+        os << std::setw(6) << "class" << std::setw(10) << "size"
+           << std::setw(6) << "rep" << std::setw(12) << "iterations"
+           << std::setw(11) << "local" << std::setw(11) << "remote"
+           << std::setw(8) << "blocks" << std::setw(7) << "syncs"
+           << std::setw(13) << "time(us)" << "\n";
+        constexpr size_t kMaxRows = 64;
+        for (size_t i = 0; i < s.classes.size(); ++i) {
+            if (i == kMaxRows) {
+                os << "  ... " << (s.classes.size() - kMaxRows)
+                   << " more classes\n";
+                break;
+            }
+            const ProcClass &c = s.classes[i];
+            os << std::setw(6) << i << std::setw(10) << c.multiplicity
+               << std::setw(6) << c.rep.proc << std::setw(12)
+               << c.rep.iterations << std::setw(11)
+               << c.rep.localAccesses << std::setw(11)
+               << c.rep.remoteAccesses << std::setw(8)
+               << c.rep.blockTransfers << std::setw(7) << c.rep.syncs
+               << std::setw(13) << c.rep.time;
+            if (c.rep.killed)
+                os << "  (killed)";
+            if (c.isDefault)
+                os << "  (rest)";
+            os << "\n";
+        }
+        FaultReport f = s.faultReport();
+        if (f.any())
+            os << f.str() << "\n";
+        return os.str();
+    }
     os << "P = " << s.processors << (s.sampled ? " (sampled)" : "")
        << ", parallel time " << s.parallelTime() << " us, imbalance "
        << s.imbalance() << "\n";

@@ -16,6 +16,20 @@ Histogram::record(uint64_t v)
     buckets_[std::bit_width(v)] += 1;
 }
 
+void
+Histogram::record(uint64_t v, uint64_t n)
+{
+    if (n == 0)
+        return;
+    count_ += n;
+    sum_ += v * n;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+    buckets_[std::bit_width(v)] += n;
+}
+
 std::string
 Histogram::renderJson() const
 {

@@ -51,6 +51,9 @@ class Histogram
 {
   public:
     void record(uint64_t v);
+    /** Record the same value `n` times (aggregated symmetry classes
+     * feed one representative value per class member). */
+    void record(uint64_t v, uint64_t n);
 
     uint64_t count() const { return count_; }
     uint64_t sum() const { return sum_; }

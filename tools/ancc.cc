@@ -55,6 +55,7 @@ struct Options
     std::vector<std::pair<std::string, Int>> params;
     numa::MachineParams machine = numa::MachineParams::butterflyGP1000();
     numa::FaultOptions faults;
+    numa::SymmetryMode symmetry = numa::SymmetryMode::Auto;
 };
 
 /** How an option consumes a value. */
@@ -86,6 +87,15 @@ const OptSpec kOptSpecs[] = {
      "propose data distributions (Section 9 mode)"},
     {"--simulate", Arg::Required, "P=<list>",
      "simulate on the machine model, e.g. P=1,4,16"},
+    {"--processors", Arg::Required, "<list>",
+     "alias for --simulate; scales to planetary machines, e.g. "
+     "-P 32,1048576"},
+    {"-P", Arg::Required, "<list>", "short form of --processors"},
+    {"--symmetry", Arg::Required, "auto|off|force",
+     "symmetry-class aggregation: auto (default) aggregates runs "
+     "above the threshold, off simulates every processor, force "
+     "aggregates whenever the plan allows (results are bit-identical "
+     "either way)"},
     {"--param", Arg::Required, "NAME=VALUE",
      "bind a program parameter (repeatable)"},
     {"--machine", Arg::Required, "gp1000|ipsc860",
@@ -226,7 +236,8 @@ parseArgs(int argc, char **argv)
             if (value.empty())
                 usage("--trace needs FILE");
             o.trace_file = value;
-        } else if (name == "--simulate") {
+        } else if (name == "--simulate" || name == "--processors" ||
+                   name == "-P") {
             if (value.rfind("P=", 0) == 0)
                 value = value.substr(2);
             std::stringstream ss(value);
@@ -235,7 +246,16 @@ parseArgs(int argc, char **argv)
                 o.processors.push_back(
                     std::strtoll(tok.c_str(), nullptr, 10));
             if (o.processors.empty())
-                usage("--simulate needs a processor list");
+                usage((name + " needs a processor list").c_str());
+        } else if (name == "--symmetry") {
+            if (value == "auto")
+                o.symmetry = numa::SymmetryMode::Auto;
+            else if (value == "off")
+                o.symmetry = numa::SymmetryMode::Off;
+            else if (value == "force")
+                o.symmetry = numa::SymmetryMode::Force;
+            else
+                usage("--symmetry needs auto|off|force");
         } else if (name == "--param") {
             size_t veq = value.find('=');
             if (veq == std::string::npos)
@@ -380,15 +400,13 @@ run(const Options &o)
             sopts.blockTransfers = o.block_transfers;
             sopts.faults = o.faults;
             sopts.perReference = per_ref;
+            sopts.symmetry = o.symmetry;
             if (tracing) {
                 sopts.trace = &trace;
                 sopts.tracePid = trace.process(
                     "simulate P=" + std::to_string(p));
             }
             numa::SimStats s = core::simulate(c, sopts, binds);
-            uint64_t syncs = 0;
-            for (const numa::ProcStats &ps : s.perProc)
-                syncs += ps.syncs;
             std::printf("%6lld %10.2f %14.0f %12llu %12llu %8llu\n",
                         static_cast<long long>(p), s.speedup(seq),
                         s.parallelTime(),
@@ -396,7 +414,11 @@ run(const Options &o)
                             s.totalRemoteAccesses()),
                         static_cast<unsigned long long>(
                             s.totalBlockTransfers()),
-                        static_cast<unsigned long long>(syncs));
+                        static_cast<unsigned long long>(s.totalSyncs()));
+            if (s.aggregated)
+                std::printf("       aggregated into %zu symmetry "
+                            "classes\n",
+                            s.classes.size());
             numa::FaultReport fr = s.faultReport();
             if (fr.any())
                 std::printf("       %s\n", fr.str().c_str());

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gate the symmetry-aggregation scaling sweep against its baseline.
+
+Usage: check_scale.py CURRENT.json BASELINE.json [TOLERANCE]
+
+Reads the BENCH_scale.json written by `bench_scale` and the committed
+baseline, then fails (exit 1) when:
+
+  * any (label, P) point of the baseline is missing from the current
+    run -- a silently dropped sweep point would make the gate vacuous;
+  * aggregation did not engage: a point with P > 256 reports as many
+    classes as processors (the O(P) fallback path);
+  * the headline point regressed: for each label's largest P, current
+    wall time exceeds TOLERANCE x baseline wall time plus an absolute
+    slack (ABS_SLACK_S) that keeps timer noise on small numbers from
+    tripping the gate. A genuine O(P) regression at P = 2^20 is three
+    to four orders of magnitude, far past any tolerance.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+ABS_SLACK_S = 0.25
+DEFAULT_TOLERANCE = 2.0
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for r in doc.get("runs", []):
+        runs[(r["label"], r["P"])] = r
+    return runs
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 1
+    current = load_runs(argv[1])
+    baseline = load_runs(argv[2])
+    tolerance = float(argv[3]) if len(argv) > 3 else DEFAULT_TOLERANCE
+    errors = []
+
+    for key in baseline:
+        if key not in current:
+            errors.append("missing sweep point %s P=%d" % key)
+
+    for (label, p), r in sorted(current.items()):
+        classes = int(r.get("classes", p))
+        if p > 256 and classes >= p:
+            errors.append(
+                "%s P=%d: aggregation did not engage (%d classes)"
+                % (label, p, classes))
+
+    # The regression gate: each label's largest-P point.
+    largest = {}
+    for (label, p) in baseline:
+        largest[label] = max(largest.get(label, 0), p)
+    for label, p in sorted(largest.items()):
+        base = baseline[(label, p)]
+        cur = current.get((label, p))
+        if cur is None:
+            continue  # already reported missing
+        budget = tolerance * base["wall_s"] + ABS_SLACK_S
+        if cur["wall_s"] > budget:
+            errors.append(
+                "%s P=%d regressed: %.4f s vs baseline %.4f s "
+                "(budget %.4f s = %gx + %g s)"
+                % (label, p, cur["wall_s"], base["wall_s"], budget,
+                   tolerance, ABS_SLACK_S))
+        else:
+            print("ok:   %s P=%d: %.4f s (budget %.4f s, %s classes)"
+                  % (label, p, cur["wall_s"], budget,
+                     cur.get("classes", "?")))
+
+    for e in errors:
+        print("FAIL: " + e)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
