@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cooperative cancellation with a deterministic step budget.
+ *
+ * A long-running compilation service cannot afford an unbounded
+ * request: one pathological nest would stall the whole batch. Wall
+ * clocks make flaky budgets (a loaded CI machine would shed requests a
+ * quiet one serves), so the deadline is counted in *steps*: the
+ * compiler spends one step at every pipeline phase boundary it crosses
+ * (plus explicit charges like retry backoff), and a request with the
+ * same program, options, and fault schedule always spends exactly the
+ * same number of steps -- deadline verdicts are reproducible
+ * bit-for-bit at any host thread count.
+ *
+ * DeadlineExceeded deliberately does NOT derive from anc::Error: the
+ * resilient compiler's recovery boundaries catch `const Error &` to
+ * degrade gracefully, and a deadline must cut through all of them --
+ * degrading to a cheaper tier is more work, which is exactly what an
+ * expired budget cannot pay for.
+ */
+
+#ifndef ANC_CORE_CANCEL_H
+#define ANC_CORE_CANCEL_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace anc::core {
+
+/** Thrown when a CancelToken's step budget is exhausted. Not an
+ * anc::Error: it must escape every recovery boundary. */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    DeadlineExceeded(std::uint64_t limit, std::uint64_t observed)
+        : std::runtime_error(
+              "deadline exceeded: step budget limit " +
+              std::to_string(limit) + ", observed " +
+              std::to_string(observed) + " steps"),
+          limit(limit), observed(observed)
+    {
+    }
+
+    std::uint64_t limit;    //!< the configured step budget
+    std::uint64_t observed; //!< steps spent when the budget tripped
+};
+
+/**
+ * A cooperative deadline: a step budget spent at phase boundaries.
+ * budget = 0 means unlimited (steps are still counted, so callers can
+ * report the cost of a request that was not deadline-bound).
+ */
+class CancelToken
+{
+  public:
+    explicit CancelToken(std::uint64_t budget = 0) : budget_(budget) {}
+
+    /** Charge `n` steps; throws DeadlineExceeded when the budget is
+     * exceeded. The over-budget charge is still recorded, so the
+     * exception reports the observed total. */
+    void
+    spend(std::uint64_t n = 1)
+    {
+        steps_ += n;
+        if (budget_ != 0 && steps_ > budget_)
+            throw DeadlineExceeded(budget_, steps_);
+    }
+
+    std::uint64_t steps() const { return steps_; }
+    std::uint64_t budget() const { return budget_; }
+    bool limited() const { return budget_ != 0; }
+
+    /** Steps left before the next spend() throws (max when unlimited). */
+    std::uint64_t
+    remaining() const
+    {
+        if (budget_ == 0)
+            return ~std::uint64_t(0);
+        return steps_ >= budget_ ? 0 : budget_ - steps_;
+    }
+
+  private:
+    std::uint64_t budget_;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace anc::core
+
+#endif // ANC_CORE_CANCEL_H

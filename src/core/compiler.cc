@@ -26,6 +26,14 @@ tierName(CompileTier t)
 
 namespace {
 
+/** One deadline step per pipeline phase boundary (see core/cancel.h). */
+void
+tick(CancelToken *cancel)
+{
+    if (cancel)
+        cancel->spend();
+}
+
 /**
  * Dependence matrix assumed when dependence analysis itself failed: a
  * single outer-carried distance. The identity transformation trivially
@@ -52,7 +60,7 @@ normalizeAtTier(const ir::Program &prog,
                 const xform::AccessMatrixInfo &access,
                 const deps::DependenceInfo &dinfo,
                 const xform::NormalizeOptions &nopts, bool unimodular_only,
-                Stage &stage, obs::PhaseClock &pc)
+                Stage &stage, obs::PhaseClock &pc, CancelToken *cancel)
 {
     size_t n = prog.nest.depth();
     xform::NormalizeResult r;
@@ -61,17 +69,20 @@ normalizeAtTier(const ir::Program &prog,
     r.depsImprecise = dinfo.imprecise;
 
     stage = Stage::Normalize;
+    tick(cancel);
     {
         auto s = pc.phase("basis-matrix");
         r.basis = xform::basisMatrix(r.access.matrix).basis;
     }
 
     stage = Stage::Legality;
+    tick(cancel);
     if (nopts.enforceLegality) {
         {
             auto s = pc.phase("legal-basis");
             r.legal = xform::legalBasis(r.basis, r.depMatrix);
         }
+        tick(cancel);
         auto s = pc.phase("legal-invertible");
         r.transform =
             unimodular_only
@@ -112,6 +123,7 @@ normalizeAtTier(const ir::Program &prog,
     }
 
     stage = Stage::Transform;
+    tick(cancel);
     auto s = pc.phase("apply-transform");
     r.unimodular = isUnimodular(r.transform);
     for (size_t l = 0; l < n; ++l) {
@@ -135,9 +147,10 @@ normalizeAtTier(const ir::Program &prog,
 /** Plan, optionally strength-reduce, and emit for the current nest. */
 void
 planAndEmit(Compilation &c, bool with_access, bool with_strength,
-            Stage &stage, obs::PhaseClock &pc)
+            Stage &stage, obs::PhaseClock &pc, CancelToken *cancel)
 {
     stage = Stage::Plan;
+    tick(cancel);
     {
         auto s = pc.phase("plan");
         c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
@@ -148,11 +161,13 @@ planAndEmit(Compilation &c, bool with_access, bool with_strength,
     c.strengthReduction.clear();
     if (with_strength) {
         stage = Stage::StrengthReduce;
+        tick(cancel);
         auto s = pc.phase("strength-reduce");
         c.strengthReduction =
             codegen::planStrengthReduction(*c.normalization.nest);
     }
     stage = Stage::Emit;
+    tick(cancel);
     auto s = pc.phase("emit");
     c.nodeProgram = codegen::emitNodeProgram(
         c.program, *c.normalization.nest, c.plan,
@@ -233,6 +248,7 @@ differentialCheck(const Compilation &c, const ResilientOptions &ropts)
 Compilation
 compile(ir::Program prog, const CompileOptions &opts)
 {
+    tick(opts.cancel);
     prog.validate();
     Compilation c;
     c.program = std::move(prog);
@@ -244,11 +260,13 @@ compile(ir::Program prog, const CompileOptions &opts)
         // Baseline: keep the nest, distribute the original outer loop.
         size_t n = c.program.nest.depth();
         xform::NormalizeResult r;
+        tick(opts.cancel);
         {
             auto s = pc.phase("access-matrix");
             r.access = xform::buildAccessMatrix(c.program);
         }
         deps::DependenceInfo dinfo;
+        tick(opts.cancel);
         {
             auto s = pc.phase("dependence");
             dinfo = deps::analyzeDependences(
@@ -260,6 +278,7 @@ compile(ir::Program prog, const CompileOptions &opts)
         r.basis = r.transform;
         r.legal = r.transform;
         r.unimodular = true;
+        tick(opts.cancel);
         {
             auto s = pc.phase("apply-transform");
             r.nest = xform::applyTransform(c.program, r.transform);
@@ -267,6 +286,7 @@ compile(ir::Program prog, const CompileOptions &opts)
         c.normalization = std::move(r);
         c.tier = CompileTier::Identity;
     } else {
+        tick(opts.cancel);
         auto s = pc.phase("normalize");
         c.normalization = xform::accessNormalize(c.program, opts.normalize);
         if (c.normalization.conservativeFallback)
@@ -276,17 +296,20 @@ compile(ir::Program prog, const CompileOptions &opts)
                 "transformation; compiled the original nest instead");
     }
 
+    tick(opts.cancel);
     {
         auto s = pc.phase("plan");
         c.plan = codegen::planCodegen(c.program, *c.normalization.nest,
                                       c.normalization.depMatrix,
                                       &c.normalization.access);
     }
+    tick(opts.cancel);
     {
         auto s = pc.phase("strength-reduce");
         c.strengthReduction =
             codegen::planStrengthReduction(*c.normalization.nest);
     }
+    tick(opts.cancel);
     {
         auto s = pc.phase("emit");
         c.nodeProgram = codegen::emitNodeProgram(
@@ -294,6 +317,7 @@ compile(ir::Program prog, const CompileOptions &opts)
             c.strengthReduction.empty() ? nullptr : &c.strengthReduction);
     }
     if (opts.validate) {
+        tick(opts.cancel);
         auto s = pc.phase("translation-validate");
         c.validation = verify::validate(c.program, c.nest(),
                                         c.normalization.depMatrix);
@@ -313,6 +337,8 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     Diagnostics &diags = c.diagnostics;
     obs::PhaseClock pc(&c.phaseTimes, ropts.base.trace,
                        ropts.base.tracePid);
+    CancelToken *cancel = ropts.base.cancel;
+    tick(cancel);
     try {
         auto s = pc.phase("validate");
         c.program.validate();
@@ -334,6 +360,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     // the access matrix or the dependence information only disables
     // restructuring; the identity rung needs neither.
     std::optional<xform::AccessMatrixInfo> access;
+    tick(cancel);
     try {
         auto s = pc.phase("access-matrix");
         access =
@@ -348,6 +375,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     }
 
     std::optional<deps::DependenceInfo> dinfo;
+    tick(cancel);
     try {
         auto s = pc.phase("dependence");
         dinfo = deps::analyzeDependences(c.program, nopts.includeInputDeps);
@@ -380,6 +408,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
         try {
             if (rung.tier == CompileTier::Identity) {
                 stage = Stage::Transform;
+                tick(cancel);
                 xform::NormalizeResult r;
                 if (access)
                     r.access = *access;
@@ -402,11 +431,12 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
             } else {
                 c.normalization =
                     normalizeAtTier(c.program, *access, *dinfo, nopts,
-                                    rung.unimodularOnly, stage, pc);
+                                    rung.unimodularOnly, stage, pc,
+                                    cancel);
             }
             planAndEmit(c, access.has_value(),
                         /*with_strength=*/rung.tier == CompileTier::Full,
-                        stage, pc);
+                        stage, pc, cancel);
             c.tier = rung.tier;
 
             if (c.normalization.conservativeFallback)
@@ -429,6 +459,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
 
             if (c.degraded() && ropts.differentialCheck) {
                 stage = Stage::DifferentialCheck;
+                tick(cancel);
                 auto s = pc.phase("differential-check");
                 DiffOutcome d = differentialCheck(c, ropts);
                 if (d.ran && !d.passed) {
@@ -448,6 +479,7 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
             }
             if (ropts.base.validate) {
                 stage = Stage::TranslationValidate;
+                tick(cancel);
                 auto s = pc.phase("translation-validate");
                 c.validation = verify::validate(
                     c.program, c.nest(), c.normalization.depMatrix,

@@ -18,6 +18,7 @@
 #include "codegen/emit_c.h"
 #include "codegen/planner.h"
 #include "codegen/strength.h"
+#include "core/cancel.h"
 #include "core/diagnostics.h"
 #include "numa/simulator.h"
 #include "obs/metrics.h"
@@ -45,6 +46,15 @@ struct CompileOptions
     obs::Trace *trace = nullptr;
     /** Process track for the phase spans (see obs::Trace::process). */
     int64_t tracePid = 0;
+    /**
+     * Cooperative deadline (null = none): the pipeline charges one step
+     * at every phase boundary it crosses, and an exhausted budget
+     * throws DeadlineExceeded through every recovery boundary (it is
+     * not an anc::Error, so compileResilient() cannot degrade past it).
+     * The step count for a given (program, options, fault schedule) is
+     * deterministic; see core/cancel.h.
+     */
+    CancelToken *cancel = nullptr;
 };
 
 /**

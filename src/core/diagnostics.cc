@@ -77,6 +77,45 @@ quoteEscaped(const std::string &s)
     return out;
 }
 
+/** JSON string escaping per RFC 8259 (control chars as \u00XX). */
+std::string
+jsonQuoted(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out.push_back(hex[c >> 4]);
+                out.push_back(hex[c & 0xf]);
+            } else {
+                out.push_back(char(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -100,6 +139,18 @@ Diagnostic::renderMachine() const
        << " stage=" << stageName(stage) << " line=" << line
        << " message=" << quoteEscaped(message)
        << " detail=" << quoteEscaped(detail);
+    return os.str();
+}
+
+std::string
+Diagnostic::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"severity\": " << jsonQuoted(severityName(severity))
+       << ", \"stage\": " << jsonQuoted(stageName(stage))
+       << ", \"line\": " << line
+       << ", \"message\": " << jsonQuoted(message)
+       << ", \"detail\": " << jsonQuoted(detail) << "}";
     return os.str();
 }
 
@@ -165,6 +216,17 @@ Diagnostics::renderMachine() const
     std::ostringstream os;
     for (const Diagnostic &d : diags_)
         os << d.renderMachine() << "\n";
+    return os.str();
+}
+
+std::string
+Diagnostics::renderJson() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < diags_.size(); ++i)
+        os << (i ? ", " : "") << diags_[i].renderJson();
+    os << "]";
     return os.str();
 }
 

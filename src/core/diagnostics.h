@@ -66,6 +66,12 @@ struct Diagnostic
     /** One parseable line: severity=... stage=... line=... message="..."
      * detail="..." with backslash/quote/newline escaping. */
     std::string renderMachine() const;
+
+    /** One JSON object with a STABLE field set and order:
+     * {"severity": "...", "stage": "...", "line": n, "message": "...",
+     *  "detail": "..."} -- always all five keys, in that order, so
+     * ancd responses and CI artifacts parse without special cases. */
+    std::string renderJson() const;
 };
 
 /** An ordered list of diagnostics for one compilation. */
@@ -93,6 +99,10 @@ class Diagnostics
 
     /** Machine-readable report, one diagnostic per line. */
     std::string renderMachine() const;
+
+    /** JSON array of Diagnostic::renderJson() objects, in order
+     * ("[]" when empty; no trailing newline). */
+    std::string renderJson() const;
 
   private:
     std::vector<Diagnostic> diags_;

@@ -30,6 +30,32 @@ Histogram::record(uint64_t v, uint64_t n)
     buckets_[std::bit_width(v)] += n;
 }
 
+uint64_t
+Histogram::quantileUpperBound(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q <= 0.0)
+        return min();
+    if (q > 1.0)
+        q = 1.0;
+    // ceil(q * count) without floating-point edge surprises at q = 1.
+    uint64_t need = uint64_t(q * double(count_));
+    if (double(need) < q * double(count_) || need == 0)
+        ++need;
+    if (need > count_)
+        need = count_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= need) {
+            uint64_t upper = i >= 64 ? ~0ull : (uint64_t(1) << i) - 1;
+            return upper < max_ ? upper : max_;
+        }
+    }
+    return max_;
+}
+
 std::string
 Histogram::renderJson() const
 {

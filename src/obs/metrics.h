@@ -64,6 +64,16 @@ class Histogram
     uint64_t bucket(size_t i) const { return buckets_[i]; }
     static constexpr size_t kBuckets = 65;
 
+    /**
+     * Upper bound on the q-quantile (0 < q <= 1): the bucket upper
+     * bound of the first bucket whose cumulative count reaches
+     * ceil(q * count), clamped to max(). Exact for the tracked extremes
+     * (quantileUpperBound(1.0) == max()); within one power of two
+     * otherwise, which is all a pow2 histogram can promise. 0 when
+     * empty.
+     */
+    uint64_t quantileUpperBound(double q) const;
+
     /** {"count": n, "sum": s, "min": m, "max": M,
      *  "buckets": {"<=upper": n, ...}} -- only nonempty buckets. */
     std::string renderJson() const;

@@ -1,0 +1,125 @@
+#include "ratmath/hash.h"
+
+#include <cstring>
+
+#include "ratmath/fault.h"
+
+namespace anc {
+
+namespace {
+
+/** splitmix64's avalanche finalizer: full-period bijective mixing. */
+std::uint64_t
+avalanche(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+constexpr std::uint64_t kSeedA = 0x9e3779b97f4a7c15ull; // golden ratio
+constexpr std::uint64_t kSeedB = 0xc2b2ae3d27d4eb4full; // xxh64 prime 2
+constexpr std::uint64_t kLaneMulA = 0x87c37b91114253d5ull;
+constexpr std::uint64_t kLaneMulB = 0x4cf5ad432745937full;
+
+} // namespace
+
+std::string
+Hash128::hex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i)
+        out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    for (int i = 0; i < 16; ++i)
+        out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+    return out;
+}
+
+Hasher128::Hasher128() : a_(kSeedA), b_(kSeedB) {}
+
+void
+Hasher128::mix(std::uint64_t word)
+{
+    a_ = (a_ ^ word) * kLaneMulA;
+    a_ = (a_ << 31) | (a_ >> 33);
+    b_ = (b_ ^ avalanche(word)) * kLaneMulB;
+    b_ = (b_ << 27) | (b_ >> 37);
+    a_ += b_;
+    b_ += a_;
+}
+
+void
+Hasher128::update(const void *data, std::size_t n)
+{
+    mix(static_cast<std::uint64_t>(n)); // length prefix frames the field
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    while (n >= 8) {
+        // Assemble words little-endian explicitly: the digest must not
+        // depend on host byte order.
+        std::uint64_t w = 0;
+        for (int i = 0; i < 8; ++i)
+            w |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        mix(w);
+        p += 8;
+        n -= 8;
+    }
+    if (n > 0) {
+        std::uint64_t w = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            w |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        mix(w | (static_cast<std::uint64_t>(n) << 56));
+    }
+    length_ += n;
+}
+
+void
+Hasher128::update(std::uint64_t v)
+{
+    mix(0x5b7u); // tag: integer field (distinguishes from raw bytes)
+    mix(v);
+    length_ += 8;
+}
+
+void
+Hasher128::update(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v, "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(0xd0bu); // tag: double field
+    mix(bits);
+    length_ += 8;
+}
+
+Hash128
+Hasher128::digest() const
+{
+    // Key derivation is an arithmetic site like any other: the
+    // deterministic fault sweep must be able to break it and watch the
+    // service recover.
+    fault::detail::checkpoint();
+    std::uint64_t x = a_, y = b_;
+    x ^= length_;
+    y ^= length_ * kSeedA;
+    x += y;
+    y += x;
+    x = avalanche(x);
+    y = avalanche(y);
+    x += y;
+    y += x;
+    return {avalanche(x), avalanche(y)};
+}
+
+Hash128
+hash128(const std::string &s)
+{
+    Hasher128 h;
+    h.update(s);
+    return h.digest();
+}
+
+} // namespace anc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic 128-bit content hashing for cache keys.
+ *
+ * The compilation service keys its plan cache on hash(canonical form,
+ * machine parameters, compile options); see svc/canonical.h. The hash
+ * must be stable across platforms, processes, and host thread counts,
+ * so the implementation is a fixed two-lane multiply-xor construction
+ * over explicit little-endian 64-bit words (no dependence on host
+ * endianness, pointer values, or libstdc++'s std::hash). It is not
+ * cryptographic; 128 bits make accidental collisions between distinct
+ * canonical forms negligible for any realistic cache population.
+ *
+ * Finalization passes through a fault-injection checkpoint, so the
+ * deterministic fault sweep in the service tests covers key
+ * derivation like any other arithmetic site.
+ */
+
+#ifndef ANC_RATMATH_HASH_H
+#define ANC_RATMATH_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace anc {
+
+/** A 128-bit digest, comparable and renderable as 32 hex digits. */
+struct Hash128
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const Hash128 &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const Hash128 &o) const { return !(*this == o); }
+    bool operator<(const Hash128 &o) const
+    {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+
+    /** Lowercase 32-digit hex rendering, hi word first. */
+    std::string hex() const;
+};
+
+/**
+ * Streaming 128-bit hasher. Feed bytes/integers/strings in a fixed
+ * order and call digest(); equal input streams give equal digests and
+ * the word-level framing (every update is length-prefixed) prevents
+ * concatenation ambiguity between adjacent fields.
+ */
+class Hasher128
+{
+  public:
+    Hasher128();
+
+    /** Hash `n` raw bytes (length-prefixed internally). */
+    void update(const void *data, std::size_t n);
+    /** Hash a string (length-prefixed, so "ab","c" != "a","bc"). */
+    void update(const std::string &s) { update(s.data(), s.size()); }
+    /** Hash one unsigned 64-bit word. */
+    void update(std::uint64_t v);
+    /** Hash one signed 64-bit word (two's-complement bit pattern). */
+    void updateInt(std::int64_t v)
+    {
+        update(static_cast<std::uint64_t>(v));
+    }
+    /** Hash a double's IEEE-754 bit pattern (so 0.1 != 0.1000001). */
+    void update(double v);
+
+    /** Finalize (the hasher may keep being fed afterwards; digest() is
+     * a pure function of everything fed so far). */
+    Hash128 digest() const;
+
+  private:
+    void mix(std::uint64_t word);
+
+    std::uint64_t a_, b_;
+    std::uint64_t length_ = 0;
+};
+
+/** One-shot convenience: hash of a byte string. */
+Hash128 hash128(const std::string &s);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_HASH_H

@@ -1,0 +1,139 @@
+#include "svc/plan_cache.h"
+
+#include "ratmath/int_util.h"
+
+namespace anc::svc {
+
+const char *
+cacheEventName(CacheEvent::Kind k)
+{
+    switch (k) {
+    case CacheEvent::Kind::Hit:
+        return "hit";
+    case CacheEvent::Kind::Miss:
+        return "miss";
+    case CacheEvent::Kind::Insert:
+        return "insert";
+    case CacheEvent::Kind::Evict:
+        return "evict";
+    case CacheEvent::Kind::Reject:
+        return "reject";
+    }
+    return "unknown";
+}
+
+size_t
+PlanCache::estimateBytes(const CachedPlan &plan)
+{
+    // Deterministic: text artifact sizes plus a flat per-entry
+    // overhead, summed through the checked (and fault-injectable)
+    // integer path. Never allocator- or host-dependent.
+    constexpr Int kEntryOverhead = 256;
+    Int total = kEntryOverhead;
+    total = checkedAdd(total, Int(plan.canonicalText.size()));
+    total = checkedAdd(total, Int(plan.compilation.nodeProgram.size()));
+    for (const core::Diagnostic &d :
+         plan.compilation.diagnostics.all()) {
+        total = checkedAdd(total, Int(d.message.size()));
+        total = checkedAdd(total, Int(d.detail.size()));
+    }
+    return size_t(total);
+}
+
+const CachedPlan *
+PlanCache::lookup(const PlanKey &key)
+{
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++misses_;
+        journal_.push_back({CacheEvent::Kind::Miss, key});
+        return nullptr;
+    }
+    ++hits_;
+    journal_.push_back({CacheEvent::Kind::Hit, key});
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+}
+
+bool
+PlanCache::contains(const PlanKey &key) const
+{
+    return index_.find(key) != index_.end();
+}
+
+void
+PlanCache::evictUntilFits(size_t incoming)
+{
+    while (!order_.empty() && bytes_ + incoming > budget_) {
+        Entry &lru = order_.back();
+        journal_.push_back({CacheEvent::Kind::Evict, lru.first});
+        ++evictions_;
+        bytes_ -= lru.second.bytes;
+        index_.erase(lru.first);
+        order_.pop_back();
+    }
+}
+
+bool
+PlanCache::insert(const PlanKey &key, CachedPlan plan)
+{
+    if (plan.bytes == 0)
+        plan.bytes = estimateBytes(plan);
+    if (plan.bytes > budget_) {
+        ++rejections_;
+        journal_.push_back({CacheEvent::Kind::Reject, key});
+        return false;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Refresh in place: drop the old entry's bytes, then treat the
+        // new content as a fresh admission at MRU position.
+        bytes_ -= it->second->second.bytes;
+        order_.erase(it->second);
+        index_.erase(it);
+    }
+    evictUntilFits(plan.bytes);
+    bytes_ += plan.bytes;
+    order_.emplace_front(key, std::move(plan));
+    index_[key] = order_.begin();
+    ++insertions_;
+    journal_.push_back({CacheEvent::Kind::Insert, key});
+    return true;
+}
+
+std::string
+PlanCache::journalText() const
+{
+    std::string out;
+    for (const CacheEvent &e : journal_) {
+        out += cacheEventName(e.kind);
+        out += ' ';
+        out += e.key.hex();
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<PlanKey>
+PlanCache::keysByRecency() const
+{
+    std::vector<PlanKey> keys;
+    keys.reserve(order_.size());
+    for (const Entry &e : order_)
+        keys.push_back(e.first);
+    return keys;
+}
+
+void
+PlanCache::fillMetrics(obs::MetricsRegistry &m) const
+{
+    m.counter("svc.cache.hits").set(hits_);
+    m.counter("svc.cache.misses").set(misses_);
+    m.counter("svc.cache.insertions").set(insertions_);
+    m.counter("svc.cache.evictions").set(evictions_);
+    m.counter("svc.cache.rejections").set(rejections_);
+    m.counter("svc.cache.entries").set(order_.size());
+    m.counter("svc.cache.bytes").set(bytes_);
+}
+
+} // namespace anc::svc

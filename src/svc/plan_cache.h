@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bounded, deterministic, content-addressed plan cache.
+ *
+ * The cache maps PlanKey (the 128-bit hash of canonical program text +
+ * machine + options) to a finished compilation of the canonical
+ * program. It is an LRU over a byte budget: lookups refresh recency,
+ * inserts evict least-recently-used entries until the budget holds, and
+ * an entry larger than the whole budget is rejected outright rather
+ * than flushing everything else.
+ *
+ * Determinism is a contract, not an accident: entry sizes are computed
+ * from the entry's own text artifacts (never from allocator or wall
+ * clock state), recency order is updated in call order only, and every
+ * hit/miss/insert/evict/reject is appended to a journal. Replaying the
+ * same request stream against the same budget therefore produces a
+ * bit-identical journal on any host -- which is exactly what
+ * tests/svc/cache_test.cc asserts.
+ *
+ * Size accounting goes through ratmath::checkedAdd, so the cache's
+ * arithmetic sits behind the same fault-injection checkpoints as the
+ * compiler pipeline: the resilience sweep can fail a cache insert and
+ * the service must degrade gracefully instead of crashing.
+ */
+
+#ifndef ANC_SVC_PLAN_CACHE_H
+#define ANC_SVC_PLAN_CACHE_H
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/compiler.h"
+#include "obs/metrics.h"
+#include "svc/canonical.h"
+
+namespace anc::svc {
+
+/** One cached compilation (of the canonical program for its key). */
+struct CachedPlan
+{
+    core::Compilation compilation;
+    std::string canonicalText;
+    /** Deterministic size estimate; filled by PlanCache::insert when
+     * left 0 (text artifact sizes plus a fixed per-entry overhead). */
+    size_t bytes = 0;
+};
+
+/** One journal entry; the journal is the cache's determinism witness. */
+struct CacheEvent
+{
+    enum class Kind
+    {
+        Hit,    //!< lookup found the key
+        Miss,   //!< lookup did not find the key
+        Insert, //!< entry admitted
+        Evict,  //!< LRU entry removed to make room
+        Reject, //!< entry larger than the whole budget; not admitted
+    };
+
+    Kind kind;
+    PlanKey key;
+};
+
+const char *cacheEventName(CacheEvent::Kind k);
+
+class PlanCache
+{
+  public:
+    /** byteBudget 0 means "cache nothing" (every insert rejects). */
+    explicit PlanCache(size_t byteBudget) : budget_(byteBudget) {}
+
+    /**
+     * Find a plan; refreshes recency and journals Hit/Miss. The pointer
+     * stays valid until the next insert (lookups never invalidate).
+     */
+    const CachedPlan *lookup(const PlanKey &key);
+
+    /** True without journaling or recency effects (for admission
+     * decisions that must not perturb determinism witnesses). */
+    bool contains(const PlanKey &key) const;
+
+    /**
+     * Admit a plan, evicting LRU entries until the budget holds.
+     * Re-inserting an existing key refreshes the entry in place.
+     * Returns false (journaling Reject) when the entry alone exceeds
+     * the budget.
+     */
+    bool insert(const PlanKey &key, CachedPlan plan);
+
+    size_t size() const { return order_.size(); }
+    size_t bytes() const { return bytes_; }
+    size_t budget() const { return budget_; }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t insertions() const { return insertions_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t rejections() const { return rejections_; }
+
+    /** Every event since construction, in order. */
+    const std::vector<CacheEvent> &journal() const { return journal_; }
+
+    /** Journal as one line per event: "hit 0123...cdef". */
+    std::string journalText() const;
+
+    /** Keys from most- to least-recently used (for tests/inspection). */
+    std::vector<PlanKey> keysByRecency() const;
+
+    /** Fill svc.cache.* counters (hits, misses, insertions, evictions,
+     * rejections, entries, bytes) into a registry. */
+    void fillMetrics(obs::MetricsRegistry &m) const;
+
+  private:
+    using Entry = std::pair<PlanKey, CachedPlan>;
+
+    void evictUntilFits(size_t incoming);
+    static size_t estimateBytes(const CachedPlan &plan);
+
+    size_t budget_;
+    size_t bytes_ = 0;
+    std::list<Entry> order_; //!< front = most recently used
+    std::map<PlanKey, std::list<Entry>::iterator> index_;
+    uint64_t hits_ = 0, misses_ = 0, insertions_ = 0, evictions_ = 0,
+             rejections_ = 0;
+    std::vector<CacheEvent> journal_;
+};
+
+} // namespace anc::svc
+
+#endif // ANC_SVC_PLAN_CACHE_H

@@ -1,0 +1,370 @@
+#include "svc/workload.h"
+
+#include <algorithm>
+#include <random>
+
+#include "dsl/printer.h"
+#include "ir/builder.h"
+#include "ratmath/error.h"
+
+namespace anc::svc {
+
+namespace {
+
+/** Affine expressions a substitution for variable k must rewrite:
+ * statement subscripts/index values, then bounds of deeper levels. */
+std::vector<ir::AffineExpr *>
+substitutionSet(ir::Program &p, size_t k)
+{
+    std::vector<ir::AffineExpr *> exprs;
+    for (ir::Statement &s : p.nest.body())
+        s.forEachAffineMut(
+            [&](ir::AffineExpr &e) { exprs.push_back(&e); });
+    for (size_t j = k + 1; j < p.nest.depth(); ++j) {
+        for (ir::AffineExpr &e : p.nest.loops()[j].lower)
+            exprs.push_back(&e);
+        for (ir::AffineExpr &e : p.nest.loops()[j].upper)
+            exprs.push_back(&e);
+    }
+    return exprs;
+}
+
+bool
+nameTaken(const ir::Program &p, const std::string &name)
+{
+    if (std::find(p.params.begin(), p.params.end(), name) !=
+        p.params.end())
+        return true;
+    if (std::find(p.scalars.begin(), p.scalars.end(), name) !=
+        p.scalars.end())
+        return true;
+    for (const ir::ArrayDecl &a : p.arrays)
+        if (a.name == name)
+            return true;
+    for (const ir::Loop &l : p.nest.loops())
+        if (l.var == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+ir::Program
+renamedVariant(const ir::Program &prog, const std::string &prefix)
+{
+    ir::Program p = prog;
+    for (size_t k = 0; k < p.nest.depth(); ++k) {
+        std::string name = prefix + std::to_string(k);
+        while (nameTaken(p, name))
+            name += "_";
+        p.nest.loops()[k].var = name;
+    }
+    return p;
+}
+
+ir::Program
+shiftedVariant(const ir::Program &prog, Int delta)
+{
+    ir::Program p = prog;
+    const Rational d(delta);
+    for (size_t k = 0; k < p.nest.depth(); ++k) {
+        // i_k = i_k' - delta: occurrences compensate, bounds move up.
+        for (ir::AffineExpr *e : substitutionSet(p, k)) {
+            const Rational c = e->varCoeff(k);
+            if (!c.isZero())
+                e->constantTerm() = e->constantTerm() - c * d;
+        }
+        for (ir::AffineExpr &l : p.nest.loops()[k].lower)
+            l.constantTerm() = l.constantTerm() + d;
+        for (ir::AffineExpr &u : p.nest.loops()[k].upper)
+            u.constantTerm() = u.constantTerm() + d;
+    }
+    p.validate();
+    return p;
+}
+
+ir::Program
+reversedVariant(const ir::Program &prog, size_t level)
+{
+    ir::Program p = prog;
+    if (level >= p.nest.depth())
+        throw UserError("reversedVariant: no such loop level");
+    ir::Loop &loop = p.nest.loops()[level];
+    if (loop.lower.empty() || loop.upper.empty())
+        throw UserError("reversedVariant: level has no bounds");
+    // i = (lb + ub) - i': same range, backwards traversal.
+    const ir::AffineExpr S = loop.lower[0] + loop.upper[0];
+    for (ir::AffineExpr *e : substitutionSet(p, level)) {
+        const Rational c = e->varCoeff(level);
+        if (c.isZero())
+            continue;
+        *e = *e + S.scaled(c);
+        e->varCoeff(level) = -c;
+    }
+    std::vector<ir::AffineExpr> lower, upper;
+    for (const ir::AffineExpr &u : loop.upper)
+        lower.push_back(S - u);
+    for (const ir::AffineExpr &l : loop.lower)
+        upper.push_back(S - l);
+    loop.lower = std::move(lower);
+    loop.upper = std::move(upper);
+    p.validate();
+    return p;
+}
+
+namespace {
+
+/** "(f*(e))/f" -- collapses to e in exact rational parsing. */
+std::string
+wrapScaled(const std::string &expr, Int factor)
+{
+    const std::string f = std::to_string(factor);
+    return "(" + f + "*(" + expr + "))/" + f;
+}
+
+/** Split "a, b, c" at top-level commas (ignoring ones inside parens). */
+std::vector<std::string>
+splitTopLevel(const std::string &s)
+{
+    std::vector<std::string> parts;
+    int depth = 0;
+    size_t start = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '(')
+            ++depth;
+        else if (s[i] == ')')
+            --depth;
+        else if (s[i] == ',' && depth == 0) {
+            parts.push_back(s.substr(start, i - start));
+            start = i + 1;
+            while (start < s.size() && s[start] == ' ')
+                ++start;
+        }
+    }
+    parts.push_back(s.substr(start));
+    return parts;
+}
+
+std::string
+rescaleBound(const std::string &bound, Int factor)
+{
+    if (bound.compare(0, 4, "max(") == 0 ||
+        bound.compare(0, 4, "min(") == 0) {
+        std::string inner = bound.substr(4, bound.size() - 5);
+        std::string out = bound.substr(0, 4);
+        std::vector<std::string> parts = splitTopLevel(inner);
+        for (size_t i = 0; i < parts.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += wrapScaled(parts[i], factor);
+        }
+        out += ")";
+        return out;
+    }
+    return wrapScaled(bound, factor);
+}
+
+} // namespace
+
+std::string
+rescaledSource(const ir::Program &prog, Int factor)
+{
+    if (factor < 1)
+        throw UserError("rescaledSource: factor must be >= 1");
+    const std::string dsl = dsl::printDsl(prog);
+    std::string out;
+    size_t pos = 0;
+    while (pos < dsl.size()) {
+        size_t eol = dsl.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = dsl.size();
+        std::string line = dsl.substr(pos, eol - pos);
+        pos = eol + 1;
+
+        size_t body = line.find_first_not_of(' ');
+        if (body != std::string::npos &&
+            line.compare(body, 4, "for ") == 0) {
+            size_t eq = line.find(" = ", body);
+            std::string head = line.substr(0, eq + 3);
+            std::vector<std::string> bounds =
+                splitTopLevel(line.substr(eq + 3));
+            // "for v = lower, upper": exactly two top-level parts.
+            line = head + rescaleBound(bounds[0], factor) + ", " +
+                   rescaleBound(bounds[1], factor);
+        }
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * One random base program, after the pipeline fuzzer's generator:
+ * depth 2-3, concrete box/triangular bounds, X[s] = X[s'] + Y[t] with
+ * extents sized so every subscript stays in range. Uses raw mt19937
+ * output (fully specified) rather than distributions, so streams are
+ * identical across standard libraries.
+ */
+ir::Program
+generateBase(std::mt19937 &rng)
+{
+    auto pick = [&](uint64_t n) { return uint64_t(rng()) % n; };
+
+    const size_t depth = 2 + size_t(pick(2));
+    IntVec hi(depth);
+    for (size_t k = 0; k < depth; ++k)
+        hi[k] = 3 + Int(pick(4));
+
+    ir::ProgramBuilder b(depth);
+
+    auto randomRow = [&](bool force_var, size_t var) {
+        IntVec row(depth, 0);
+        bool nonzero = false;
+        for (size_t k = 0; k < depth; ++k) {
+            row[k] = Int(pick(3)) - 1;
+            nonzero = nonzero || row[k] != 0;
+        }
+        if (force_var || !nonzero)
+            row[var] = 1;
+        return row;
+    };
+
+    const size_t nsubs = 2;
+    std::vector<IntVec> xrows, yrows;
+    for (size_t d = 0; d < nsubs; ++d) {
+        xrows.push_back(randomRow(d == 0, d % depth));
+        yrows.push_back(randomRow(false, (d + 1) % depth));
+    }
+    const Int xshift = Int(pick(2));
+
+    auto range_of = [&](const IntVec &row) {
+        Int lo = 0, up = 0;
+        for (size_t k = 0; k < depth; ++k) {
+            if (row[k] > 0)
+                up += row[k] * hi[k];
+            else
+                lo += row[k] * hi[k];
+        }
+        return std::pair<Int, Int>(lo, up);
+    };
+
+    std::vector<ir::AffineExpr> xext, yext;
+    IntVec xoff, yoff;
+    for (size_t d = 0; d < nsubs; ++d) {
+        auto [lo, up] = range_of(xrows[d]);
+        xoff.push_back(-lo);
+        xext.push_back(ir::AffineExpr::constant(
+            Rational(up - lo + 1 + xshift), 0, 0));
+        auto [lo2, up2] = range_of(yrows[d]);
+        yoff.push_back(-lo2);
+        yext.push_back(
+            ir::AffineExpr::constant(Rational(up2 - lo2 + 1), 0, 0));
+    }
+    const uint64_t dk = pick(3);
+    ir::DistributionSpec dist =
+        dk == 0 ? ir::DistributionSpec::wrapped(1)
+                : (dk == 1 ? ir::DistributionSpec::blocked(1)
+                           : ir::DistributionSpec::wrapped(0));
+    size_t ax = b.array("X", xext, dist);
+    size_t ay = b.array("Y", yext, ir::DistributionSpec::wrapped(1));
+
+    for (size_t k = 0; k < depth; ++k) {
+        if (k > 0 && pick(3) == 0)
+            b.loop("i" + std::to_string(k), b.var(k - 1), b.cst(hi[k]));
+        else
+            b.loop("i" + std::to_string(k), b.cst(0), b.cst(hi[k]));
+    }
+
+    auto make_ref = [&](size_t arr, const std::vector<IntVec> &rows,
+                        const IntVec &off, Int extra) {
+        std::vector<ir::AffineExpr> subs;
+        for (size_t d = 0; d < rows.size(); ++d) {
+            ir::AffineExpr e = b.cst(off[d] + (d == 0 ? extra : 0));
+            for (size_t k = 0; k < depth; ++k)
+                if (rows[d][k] != 0)
+                    e = e + b.var(k).scaled(Rational(rows[d][k]));
+            subs.push_back(e);
+        }
+        return b.ref(arr, subs);
+    };
+
+    ir::ArrayRef lhs = make_ref(ax, xrows, xoff, 0);
+    ir::Expr rhs = ir::Expr::binary(
+        '+', ir::Expr::arrayRead(make_ref(ax, xrows, xoff, xshift)),
+        ir::Expr::arrayRead(make_ref(ay, yrows, yoff, 0)));
+    b.assign(lhs, rhs);
+    return b.build();
+}
+
+} // namespace
+
+std::vector<BatchRequest>
+clusteredWorkload(const WorkloadOptions &opts)
+{
+    if (opts.clusters == 0)
+        throw UserError("clusteredWorkload: need at least one cluster");
+    std::mt19937 rng(uint32_t(opts.seed));
+    auto pick = [&](uint64_t n) { return uint64_t(rng()) % n; };
+
+    std::vector<ir::Program> bases;
+    bases.reserve(opts.clusters);
+    for (size_t c = 0; c < opts.clusters; ++c)
+        bases.push_back(generateBase(rng));
+
+    static const char *const kVariantNames[] = {
+        "verbatim", "renamed", "shifted", "reversed", "rescaled"};
+
+    std::vector<BatchRequest> out;
+    out.reserve(opts.requests);
+    for (size_t i = 0; i < opts.requests; ++i) {
+        const size_t cluster = size_t(pick(opts.clusters));
+        const ir::Program &base = bases[cluster];
+        const uint64_t variant = pick(5);
+
+        std::string source;
+        switch (variant) {
+        case 0:
+            source = dsl::printDsl(base);
+            break;
+        case 1:
+            source = dsl::printDsl(renamedVariant(base, "k"));
+            break;
+        case 2:
+            source =
+                dsl::printDsl(shiftedVariant(base, 1 + Int(pick(4))));
+            break;
+        case 3:
+            source = dsl::printDsl(
+                reversedVariant(base, size_t(pick(base.nest.depth()))));
+            break;
+        default:
+            source = rescaledSource(base, 2 + Int(pick(3)));
+            break;
+        }
+
+        BatchRequest q;
+        q.id = "q" + std::to_string(i) + "-c" + std::to_string(cluster) +
+               "-" + kVariantNames[variant];
+        q.source = std::move(source);
+        out.push_back(std::move(q));
+    }
+    return out;
+}
+
+std::string
+renderBatch(const std::vector<BatchRequest> &requests)
+{
+    std::string out;
+    for (const BatchRequest &q : requests) {
+        out += "# id: " + q.id + "\n";
+        out += q.source;
+        if (out.back() != '\n')
+            out += '\n';
+        out += "---\n";
+    }
+    return out;
+}
+
+} // namespace anc::svc

@@ -14,6 +14,7 @@
 #include "ir/gallery.h"
 #include "ratmath/fault.h"
 #include "ratmath/linalg.h"
+#include "svc/service.h"
 #include "xform/normalize.h"
 
 namespace anc::core {
@@ -211,6 +212,57 @@ TEST_F(ResilientTest, DegradedReportNamesTierAndDiagnostics)
     EXPECT_NE(report.find("=== diagnostics ==="), std::string::npos);
     EXPECT_NE(report.find("tier: "), std::string::npos);
     EXPECT_NE(report.find("injected fault"), std::string::npos);
+}
+
+/**
+ * The service stack (canonicalization, plan-key hashing, cache size
+ * accounting, retry/backoff bookkeeping) added new checked-arithmetic
+ * sites on top of the compiler pipeline. The never-crash sweep must
+ * cover them the same way: a fault at EVERY site reachable from a cold
+ * Service::serve() ends in a definite verdict, never an escaped
+ * exception -- and when the verdict still delivers a plan, the request
+ * is intact (key present, tier named).
+ */
+TEST_F(ResilientTest, ServiceSitesSurviveFaultAtEveryCheckedOperation)
+{
+    ir::Program prog = ir::gallery::section3Example();
+    fault::startCounting();
+    svc::Service(svc::ServiceOptions{}).serve("count", prog);
+    uint64_t total = fault::opCount();
+    fault::disarm();
+    ASSERT_GT(total, 0u);
+
+    for (uint64_t k = 1; k <= total; ++k) {
+        fault::ScopedFault f(k);
+        svc::Service s((svc::ServiceOptions()));
+        svc::Response r;
+        ASSERT_NO_THROW(r = s.serve("victim", prog)) << "fault #" << k;
+        if (r.verdict == svc::Verdict::Compiled ||
+            r.verdict == svc::Verdict::Cached ||
+            r.verdict == svc::Verdict::Degraded) {
+            EXPECT_TRUE(r.hasKey) << "fault #" << k;
+            EXPECT_FALSE(r.tier.empty()) << "fault #" << k;
+        } else {
+            EXPECT_FALSE(r.diagnostics.empty()) << "fault #" << k;
+        }
+    }
+}
+
+/** Math-kind faults walk the same svc sites as overflows. */
+TEST_F(ResilientTest, ServiceSitesSurviveMathFaults)
+{
+    ir::Program prog = ir::gallery::scalingExample();
+    fault::startCounting();
+    svc::Service(svc::ServiceOptions{}).serve("count", prog);
+    uint64_t total = fault::opCount();
+    fault::disarm();
+    for (uint64_t k = 1; k <= total; k += 13) {
+        fault::ScopedFault f(k, fault::Kind::Math);
+        svc::Service s((svc::ServiceOptions()));
+        svc::Response r;
+        ASSERT_NO_THROW(r = s.serve("victim", prog))
+            << "math fault #" << k;
+    }
 }
 
 TEST_F(ResilientTest, DifferentialCheckCanBeDisabled)

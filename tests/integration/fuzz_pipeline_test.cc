@@ -23,6 +23,7 @@
 #include "ir/interp.h"
 #include "ratmath/fault.h"
 #include "ratmath/linalg.h"
+#include "svc/service.h"
 
 namespace anc {
 namespace {
@@ -312,6 +313,52 @@ TEST(FuzzPipeline, CorpusSeedsNeverCrashTheResilientDriver)
     EXPECT_GE(compiled, 4u);
     EXPECT_GE(degraded, 1u); // the overflow seeds really degrade
     EXPECT_GE(rejected, 1u); // the malformed seed really is rejected
+}
+
+TEST(FuzzPipeline, BatchCorpusSeedsNeverCrashTheService)
+{
+    // The .anb corpus seeds are hostile batch files -- truncated
+    // mid-loop, operator soup, separator-only, binary noise -- mixed
+    // with well-formed chunks. The service must shed the garbage
+    // request by request and still serve every well-formed neighbor:
+    // one poisoned chunk never takes down its batch.
+    namespace fs = std::filesystem;
+    size_t seeds = 0, requests = 0, shed = 0, served = 0;
+    for (const fs::directory_entry &ent :
+         fs::directory_iterator(ANC_CORPUS_DIR)) {
+        if (ent.path().extension() != ".anb")
+            continue;
+        SCOPED_TRACE(ent.path().filename().string());
+        ++seeds;
+        std::ifstream in(ent.path());
+        ASSERT_TRUE(in.good());
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        std::vector<svc::BatchRequest> batch;
+        ASSERT_NO_THROW(batch = svc::parseBatch(buf.str()));
+        svc::Service s((svc::ServiceOptions()));
+        std::vector<svc::Response> rs;
+        ASSERT_NO_THROW(rs = s.runBatch(batch));
+        ASSERT_EQ(rs.size(), batch.size());
+        for (const svc::Response &r : rs) {
+            ++requests;
+            if (r.verdict == svc::Verdict::Shed) {
+                ++shed;
+                EXPECT_FALSE(r.diagnostics.empty()) << r.id;
+            } else {
+                ++served;
+                EXPECT_TRUE(r.verdict == svc::Verdict::Compiled ||
+                            r.verdict == svc::Verdict::Cached ||
+                            r.verdict == svc::Verdict::Degraded)
+                    << r.id;
+            }
+        }
+    }
+    EXPECT_GE(seeds, 4u);
+    EXPECT_GE(requests, 8u);
+    EXPECT_GE(shed, 4u);   // the garbage chunks really are shed
+    EXPECT_GE(served, 3u); // the well-formed neighbors still compile
 }
 
 TEST(FuzzPipeline, TimeBoxedRandomSmoke)

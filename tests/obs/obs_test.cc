@@ -140,6 +140,31 @@ TEST(Metrics, EmptyRegistryRendersValidShell)
     EXPECT_NE(json.find("\"histograms\""), std::string::npos);
 }
 
+TEST(Metrics, QuantileUpperBoundWalksBuckets)
+{
+    Histogram h;
+    EXPECT_EQ(h.quantileUpperBound(0.5), 0u); // empty
+
+    // 100 samples of 1, 10 of 100, 1 of 5000: the p50 lands in the
+    // value-1 bucket, the p99 in the 100s bucket (64..127 => upper
+    // bound 127), and the max quantile is exact.
+    for (int i = 0; i < 100; ++i)
+        h.record(1);
+    h.record(100, 10);
+    h.record(5000);
+    EXPECT_EQ(h.quantileUpperBound(0.5), 1u);
+    EXPECT_EQ(h.quantileUpperBound(0.99), 127u);
+    EXPECT_EQ(h.quantileUpperBound(1.0), h.max());
+    EXPECT_EQ(h.quantileUpperBound(1.0), 5000u);
+
+    // The bound never exceeds the tracked maximum, even when the
+    // quantile falls in the top bucket.
+    Histogram one;
+    one.record(70);
+    EXPECT_EQ(one.quantileUpperBound(0.01), 70u);
+    EXPECT_EQ(one.quantileUpperBound(1.0), 70u);
+}
+
 TEST(PhaseClockTest, RecordsPhasesWithTier)
 {
     std::vector<PhaseTime> out;

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The plan cache's LRU discipline, byte budget, counters, and -- the
+ * load-bearing property -- journal determinism: replaying the same
+ * lookup/insert stream against the same budget yields a bit-identical
+ * event journal, which is what lets the service prove batch replays
+ * reproduce exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "svc/plan_cache.h"
+
+namespace anc::svc {
+namespace {
+
+/** A distinct, deterministic key per index. */
+PlanKey
+key(uint64_t i)
+{
+    return PlanKey{Hash128{0x1000 + i, ~i}};
+}
+
+/** A plan whose deterministic size estimate we can steer via text. */
+CachedPlan
+plan(size_t textBytes)
+{
+    CachedPlan p;
+    p.canonicalText.assign(textBytes, 'x');
+    return p;
+}
+
+/** The fixed per-entry overhead plus text: what estimateBytes charges
+ * for a plan() above (empty compilation artifacts). */
+size_t
+entryBytes(PlanCache &scratch, size_t textBytes)
+{
+    scratch.insert(key(9999), plan(textBytes));
+    return scratch.bytes();
+}
+
+TEST(CacheTest, LookupMissThenHit)
+{
+    PlanCache c(1 << 20);
+    EXPECT_EQ(c.lookup(key(1)), nullptr);
+    EXPECT_TRUE(c.insert(key(1), plan(10)));
+    const CachedPlan *p = c.lookup(key(1));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->canonicalText, std::string(10, 'x'));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.insertions(), 1u);
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(CacheTest, LookupRefreshesRecency)
+{
+    PlanCache c(1 << 20);
+    c.insert(key(1), plan(1));
+    c.insert(key(2), plan(1));
+    c.insert(key(3), plan(1));
+    // MRU order is insertion order reversed...
+    std::vector<PlanKey> order = c.keysByRecency();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], key(3));
+    EXPECT_EQ(order[2], key(1));
+    // ...until a lookup moves the LRU entry to the front.
+    c.lookup(key(1));
+    order = c.keysByRecency();
+    EXPECT_EQ(order[0], key(1));
+    EXPECT_EQ(order[1], key(3));
+    EXPECT_EQ(order[2], key(2));
+}
+
+TEST(CacheTest, ContainsHasNoSideEffects)
+{
+    PlanCache c(1 << 20);
+    c.insert(key(1), plan(1));
+    c.insert(key(2), plan(1));
+    std::string before = c.journalText();
+    EXPECT_TRUE(c.contains(key(1)));
+    EXPECT_FALSE(c.contains(key(7)));
+    EXPECT_EQ(c.journalText(), before);
+    EXPECT_EQ(c.keysByRecency()[0], key(2)); // recency untouched
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(CacheTest, EvictsLeastRecentlyUsedToFitBudget)
+{
+    PlanCache scratch(1 << 20);
+    size_t one = entryBytes(scratch, 100);
+    // Budget for exactly two entries.
+    PlanCache c(2 * one);
+    c.insert(key(1), plan(100));
+    c.insert(key(2), plan(100));
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.evictions(), 0u);
+    // Touch 1 so 2 is LRU; the third insert must evict 2, not 1.
+    c.lookup(key(1));
+    c.insert(key(3), plan(100));
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.evictions(), 1u);
+    EXPECT_TRUE(c.contains(key(1)));
+    EXPECT_FALSE(c.contains(key(2)));
+    EXPECT_TRUE(c.contains(key(3)));
+    EXPECT_LE(c.bytes(), c.budget());
+}
+
+TEST(CacheTest, OversizedEntryIsRejectedNotFlushed)
+{
+    PlanCache scratch(1 << 20);
+    size_t one = entryBytes(scratch, 10);
+    PlanCache c(2 * one);
+    c.insert(key(1), plan(10));
+    c.insert(key(2), plan(10));
+    // An entry bigger than the whole budget must not purge the cache.
+    EXPECT_FALSE(c.insert(key(3), plan(4 * one)));
+    EXPECT_EQ(c.rejections(), 1u);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_TRUE(c.contains(key(1)));
+    EXPECT_TRUE(c.contains(key(2)));
+}
+
+TEST(CacheTest, ZeroBudgetCachesNothing)
+{
+    PlanCache c(0);
+    EXPECT_FALSE(c.insert(key(1), plan(1)));
+    EXPECT_EQ(c.size(), 0u);
+    EXPECT_EQ(c.rejections(), 1u);
+}
+
+TEST(CacheTest, ReinsertRefreshesInPlace)
+{
+    PlanCache c(1 << 20);
+    c.insert(key(1), plan(10));
+    c.insert(key(2), plan(10));
+    size_t before = c.bytes();
+    // Re-keying entry 1 with a bigger plan replaces it and re-accounts
+    // bytes; no duplicate entry, and 1 becomes MRU.
+    EXPECT_TRUE(c.insert(key(1), plan(50)));
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.bytes(), before + 40);
+    EXPECT_EQ(c.keysByRecency()[0], key(1));
+    const CachedPlan *p = c.lookup(key(1));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->canonicalText.size(), 50u);
+}
+
+TEST(CacheTest, JournalRecordsEveryEventInOrder)
+{
+    PlanCache c(1 << 20);
+    c.lookup(key(1));
+    c.insert(key(1), plan(1));
+    c.lookup(key(1));
+    ASSERT_EQ(c.journal().size(), 3u);
+    EXPECT_EQ(c.journal()[0].kind, CacheEvent::Kind::Miss);
+    EXPECT_EQ(c.journal()[1].kind, CacheEvent::Kind::Insert);
+    EXPECT_EQ(c.journal()[2].kind, CacheEvent::Kind::Hit);
+    std::string text = c.journalText();
+    EXPECT_NE(text.find("miss " + key(1).hex()), std::string::npos);
+    EXPECT_NE(text.find("insert " + key(1).hex()), std::string::npos);
+    EXPECT_NE(text.find("hit " + key(1).hex()), std::string::npos);
+}
+
+/** One pseudo-random but fully deterministic stream of cache traffic. */
+std::string
+replayStream(size_t budget)
+{
+    PlanCache c(budget);
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 400; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        uint64_t k = x % 23;
+        if (c.lookup(key(k)) == nullptr)
+            c.insert(key(k), plan(size_t(32 + k * 17)));
+    }
+    return c.journalText();
+}
+
+TEST(CacheTest, ReplayingTheSameStreamGivesBitIdenticalJournal)
+{
+    // The cache-determinism contract: same stream + same budget =>
+    // identical hit/miss/insert/evict sequence, byte for byte.
+    for (size_t budget : {size_t(1) << 12, size_t(1) << 14, size_t(0)}) {
+        std::string first = replayStream(budget);
+        std::string second = replayStream(budget);
+        EXPECT_FALSE(first.empty());
+        EXPECT_EQ(first, second) << "budget " << budget;
+    }
+}
+
+TEST(CacheTest, DifferentBudgetsDivergeOnlyInEvictions)
+{
+    // Sanity check that the witness is meaningful: a tighter budget
+    // produces a different journal (more evictions), not the same one.
+    std::string small = replayStream(size_t(1) << 12);
+    std::string large = replayStream(size_t(1) << 20);
+    EXPECT_NE(small, large);
+    EXPECT_NE(small.find("evict "), std::string::npos);
+    EXPECT_EQ(large.find("evict "), std::string::npos);
+}
+
+TEST(CacheTest, FillMetricsExportsCounters)
+{
+    PlanCache c(1 << 12);
+    c.lookup(key(1));
+    c.insert(key(1), plan(5));
+    c.lookup(key(1));
+    obs::MetricsRegistry m;
+    c.fillMetrics(m);
+    EXPECT_EQ(m.value("svc.cache.hits"), 1u);
+    EXPECT_EQ(m.value("svc.cache.misses"), 1u);
+    EXPECT_EQ(m.value("svc.cache.insertions"), 1u);
+    EXPECT_EQ(m.value("svc.cache.entries"), 1u);
+    EXPECT_EQ(m.value("svc.cache.bytes"), c.bytes());
+}
+
+} // namespace
+} // namespace anc::svc

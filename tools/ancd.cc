@@ -1,0 +1,359 @@
+/**
+ * @file
+ * ancd -- the hardened batch compilation service, as a command-line
+ * driver.
+ *
+ * ancd streams a batch of DSL programs through svc::Service: each
+ * request is canonicalized, keyed, served from the plan cache when
+ * possible, and otherwise compiled under the request's step deadline
+ * and the service's retry/degradation policy. Every request ends in
+ * exactly one verdict (compiled / cached / degraded / shed /
+ * deadline-exceeded) with structured diagnostics; a poisoned request
+ * can never take down the batch. Run `ancd --help` for the option
+ * list; it is generated from the same option table the parser
+ * dispatches on (kOptSpecs below).
+ *
+ * Batch file format (see svc::parseBatch): DSL programs separated by
+ * `---` lines, optionally named by a `# id: NAME` comment line.
+ *
+ * Exit status:
+ *   0  batch completed (individual request verdicts do not fail the
+ *      batch -- that is the point of a hardened service; gate on the
+ *      per-request results instead)
+ *   1  user error (bad arguments, unreadable file)
+ *   2  internal error (a service bug; please report)
+ *
+ * For testing the request-isolation guarantee end to end, the
+ * environment variable ANCD_INJECT_FAULT=<n> arms the deterministic
+ * fault injector to throw on the n-th checked arithmetic operation of
+ * the batch (ANCD_INJECT_KIND=math selects MathError instead of
+ * OverflowError).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ratmath/fault.h"
+#include "svc/service.h"
+#include "svc/workload.h"
+
+namespace {
+
+using namespace anc;
+
+struct Options
+{
+    std::string batch_file;
+    /** SEED:CLUSTERS:REQUESTS synthetic workload instead of a file. */
+    std::string generate;
+    std::string results_file;
+    std::string metrics_file;
+    std::string journal_file;
+    bool quiet = false;
+    svc::ServiceOptions svc;
+};
+
+/** How an option consumes a value. */
+enum class Arg
+{
+    None,     //!< flag only
+    Required, //!< --opt=VALUE or --opt VALUE
+};
+
+/**
+ * One command-line option: the single source of truth for both the
+ * parser and the --help text.
+ */
+struct OptSpec
+{
+    const char *name;
+    Arg arg;
+    const char *valueHint; //!< "N"; "" when Arg::None
+    const char *help;
+};
+
+const OptSpec kOptSpecs[] = {
+    {"--serve-batch", Arg::Required, "FILE",
+     "serve the requests in FILE (same as a positional file argument)"},
+    {"--generate", Arg::Required, "SEED:CLUSTERS:REQUESTS",
+     "serve a synthetic clustered workload instead of a file (the "
+     "bench_service stream)"},
+    {"--cache-bytes", Arg::Required, "N",
+     "plan-cache byte budget (default 4194304; 0 caches nothing)"},
+    {"--deadline-steps", Arg::Required, "N",
+     "per-request deterministic step budget (default 0 = none)"},
+    {"--queue-limit", Arg::Required, "N",
+     "admission control: shed requests beyond this queue depth "
+     "(default 0 = no limit)"},
+    {"--max-program-bytes", Arg::Required, "N",
+     "admission control: shed sources larger than N bytes (default 0 "
+     "= no limit)"},
+    {"--retries", Arg::Required, "N",
+     "transient-fault retries per request (default 2)"},
+    {"--machine", Arg::Required, "gp1000|ipsc860",
+     "target machine model, part of every plan key (default gp1000)"},
+    {"--results", Arg::Required, "FILE",
+     "write per-request verdicts as a JSON array to FILE"},
+    {"--metrics", Arg::Required, "FILE",
+     "write the svc.* / svc.cache.* metrics snapshot as JSON to FILE"},
+    {"--journal", Arg::Required, "FILE",
+     "write the plan cache's hit/miss/insert/evict journal to FILE "
+     "(the determinism witness)"},
+    {"--quiet", Arg::None, "", "suppress the per-request verdict lines"},
+    {"--help", Arg::None, "", "print this help and exit"},
+};
+
+/** The usage text, generated from kOptSpecs. */
+std::string
+usageText()
+{
+    std::string out = "usage: ancd [options] <batch.anb>\n\noptions:\n";
+    for (const OptSpec &s : kOptSpecs) {
+        std::string head = std::string("  ") + s.name;
+        if (s.arg == Arg::Required)
+            head += std::string(" ") + s.valueHint;
+        out += head;
+        const size_t indent = 24;
+        out += head.size() < indent ? std::string(indent - head.size(), ' ')
+                                    : "\n" + std::string(indent, ' ');
+        std::string line;
+        std::istringstream words(s.help);
+        std::string w;
+        while (words >> w) {
+            if (!line.empty() && indent + line.size() + 1 + w.size() > 78) {
+                out += line + "\n" + std::string(indent, ' ');
+                line.clear();
+            }
+            if (!line.empty())
+                line += " ";
+            line += w;
+        }
+        out += line + "\n";
+    }
+    return out;
+}
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "ancd: %s\n", msg);
+    std::fprintf(stderr, "%s", usageText().c_str());
+    std::exit(1);
+}
+
+const OptSpec *
+findSpec(const std::string &name)
+{
+    for (const OptSpec &s : kOptSpecs)
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+uint64_t
+parseCount(const std::string &name, const std::string &value)
+{
+    char *end = nullptr;
+    uint64_t v = std::strtoull(value.c_str(), &end, 10);
+    if (!end || *end != '\0' || value.empty())
+        usage((name + " needs an unsigned integer").c_str());
+    return v;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.empty() || a[0] != '-') {
+            if (!o.batch_file.empty())
+                usage("multiple batch files");
+            o.batch_file = a;
+            continue;
+        }
+        size_t eq = a.find('=');
+        std::string name = eq == std::string::npos ? a : a.substr(0, eq);
+        bool has_inline = eq != std::string::npos;
+        std::string value = has_inline ? a.substr(eq + 1) : "";
+        const OptSpec *spec = findSpec(name);
+        if (!spec)
+            usage(("unknown option " + name).c_str());
+        if (spec->arg == Arg::None && has_inline)
+            usage((name + " takes no value").c_str());
+        if (spec->arg == Arg::Required && !has_inline) {
+            if (i + 1 >= argc)
+                usage((name + " needs " + spec->valueHint).c_str());
+            value = argv[++i];
+        }
+
+        if (name == "--help") {
+            std::printf("%s", usageText().c_str());
+            std::exit(0);
+        } else if (name == "--serve-batch") {
+            if (!o.batch_file.empty())
+                usage("multiple batch files");
+            o.batch_file = value;
+        } else if (name == "--generate") {
+            o.generate = value;
+        } else if (name == "--cache-bytes") {
+            o.svc.cacheBytes = size_t(parseCount(name, value));
+        } else if (name == "--deadline-steps") {
+            o.svc.deadlineSteps = parseCount(name, value);
+        } else if (name == "--queue-limit") {
+            o.svc.queueLimit = size_t(parseCount(name, value));
+        } else if (name == "--max-program-bytes") {
+            o.svc.maxProgramBytes = size_t(parseCount(name, value));
+        } else if (name == "--retries") {
+            o.svc.maxRetries = int(parseCount(name, value));
+        } else if (name == "--machine") {
+            if (value == "gp1000")
+                o.svc.machine = numa::MachineParams::butterflyGP1000();
+            else if (value == "ipsc860")
+                o.svc.machine = numa::MachineParams::ipsc860();
+            else
+                usage("unknown machine");
+        } else if (name == "--results") {
+            o.results_file = value;
+        } else if (name == "--metrics") {
+            o.metrics_file = value;
+        } else if (name == "--journal") {
+            o.journal_file = value;
+        } else if (name == "--quiet") {
+            o.quiet = true;
+        }
+    }
+    if (o.batch_file.empty() && o.generate.empty())
+        usage("no batch file (and no --generate)");
+    if (!o.batch_file.empty() && !o.generate.empty())
+        usage("--generate conflicts with a batch file");
+    return o;
+}
+
+/** Arm the deterministic fault injector from the environment (testing
+ * hook for request isolation; see the file comment). */
+void
+armInjectorFromEnv()
+{
+    const char *n = std::getenv("ANCD_INJECT_FAULT");
+    if (!n || !*n)
+        return;
+    const char *k = std::getenv("ANCD_INJECT_KIND");
+    fault::armAt(std::strtoull(n, nullptr, 10),
+                 k && std::strcmp(k, "math") == 0 ? fault::Kind::Math
+                                                  : fault::Kind::Overflow);
+}
+
+std::vector<svc::BatchRequest>
+loadBatch(const Options &o)
+{
+    if (!o.generate.empty()) {
+        svc::WorkloadOptions w;
+        unsigned long long seed = 0, clusters = 0, requests = 0;
+        if (std::sscanf(o.generate.c_str(), "%llu:%llu:%llu", &seed,
+                        &clusters, &requests) != 3 ||
+            clusters == 0 || requests == 0)
+            usage("--generate needs SEED:CLUSTERS:REQUESTS");
+        w.seed = seed;
+        w.clusters = size_t(clusters);
+        w.requests = size_t(requests);
+        return svc::clusteredWorkload(w);
+    }
+    std::ifstream in(o.batch_file);
+    if (!in)
+        throw UserError("cannot open '" + o.batch_file + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return svc::parseBatch(buf.str());
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    out << content;
+    if (!out)
+        throw UserError("cannot write '" + path + "'");
+}
+
+int
+run(const Options &o)
+{
+    std::vector<svc::BatchRequest> batch = loadBatch(o);
+
+    svc::Service service(o.svc);
+    armInjectorFromEnv();
+    std::vector<svc::Response> responses = service.runBatch(batch);
+    fault::disarm();
+
+    if (!o.quiet)
+        for (const svc::Response &r : responses)
+            std::printf("%-32s %-18s %-12s steps=%llu retries=%d\n",
+                        r.id.c_str(), svc::verdictName(r.verdict),
+                        r.tier.empty() ? "-" : r.tier.c_str(),
+                        static_cast<unsigned long long>(r.steps),
+                        r.retries);
+
+    const svc::PlanCache &cache = service.cache();
+    std::printf("batch: %zu requests\n", responses.size());
+    std::printf("verdicts: compiled %llu cached %llu degraded %llu "
+                "shed %llu deadline-exceeded %llu\n",
+                static_cast<unsigned long long>(
+                    service.verdictCount(svc::Verdict::Compiled)),
+                static_cast<unsigned long long>(
+                    service.verdictCount(svc::Verdict::Cached)),
+                static_cast<unsigned long long>(
+                    service.verdictCount(svc::Verdict::Degraded)),
+                static_cast<unsigned long long>(
+                    service.verdictCount(svc::Verdict::Shed)),
+                static_cast<unsigned long long>(
+                    service.verdictCount(svc::Verdict::DeadlineExceeded)));
+    std::printf("cache: hits %llu misses %llu evictions %llu entries "
+                "%zu bytes %zu\n",
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(cache.evictions()),
+                cache.size(), cache.bytes());
+
+    if (!o.results_file.empty()) {
+        std::string out = "[";
+        for (size_t i = 0; i < responses.size(); ++i)
+            out += (i ? ",\n " : "\n ") + responses[i].renderJson();
+        out += "\n]\n";
+        writeFileOrDie(o.results_file, out);
+    }
+    if (!o.metrics_file.empty()) {
+        obs::MetricsRegistry reg;
+        service.fillMetrics(reg);
+        writeFileOrDie(o.metrics_file, reg.renderJson());
+    }
+    if (!o.journal_file.empty())
+        writeFileOrDie(o.journal_file, cache.journalText());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseArgs(argc, argv));
+    } catch (const UserError &e) {
+        std::fprintf(stderr, "ancd: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr,
+                     "ancd: internal error: %s\n"
+                     "ancd: this is a bug in the service; please report "
+                     "it together with the batch input\n",
+                     e.what());
+        return 2;
+    }
+}

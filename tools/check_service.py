@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate the compilation-service benchmark against its baseline.
+
+Usage: check_service.py CURRENT.json BASELINE.json [TOLERANCE]
+
+Reads the BENCH_service.json written by `bench_service` and the
+committed baseline, then fails (exit 1) when:
+
+  * any run label of the baseline is missing from the current report
+    -- a silently dropped phase would make the gate vacuous;
+  * a request crashed under the fault sweep: the "crashed" count of
+    the fault_sweep run must be exactly 0 (request isolation is the
+    service's headline guarantee, with zero tolerance);
+  * the cache regressed: the batch run's hit_rate fell below the
+    baseline's (minus EPSILON for float formatting). The stream and
+    seed are committed, so the hit rate is deterministic -- a drop
+    means canonicalization stopped folding equivalent requests;
+  * requests got shed or missed deadlines when the baseline had none:
+    both counts are deterministic for a committed stream;
+  * the p99 request cost regressed: the batch run's p99_steps (the
+    deterministic per-request step count, not wall time) exceeds
+    TOLERANCE x the baseline's. Wall-clock p99 is recorded in the
+    report for information but never gated -- CI machines are noisy,
+    steps are not.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+EPSILON = 1e-9
+DEFAULT_TOLERANCE = 2.0
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {r["label"]: r for r in doc.get("runs", [])}
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 1
+    current = load_runs(argv[1])
+    baseline = load_runs(argv[2])
+    tolerance = float(argv[3]) if len(argv) > 3 else DEFAULT_TOLERANCE
+    errors = []
+
+    for label in baseline:
+        if label not in current:
+            errors.append("missing run label %r" % label)
+    if errors:
+        for e in errors:
+            print("check_service: FAIL: %s" % e)
+        return 1
+
+    sweep = current["fault_sweep"]
+    crashed = int(sweep.get("crashed", 1))
+    if crashed != 0:
+        errors.append(
+            "fault sweep crashed %d request batches (must be 0)" % crashed)
+    if int(sweep.get("fault_runs", 0)) < 1:
+        errors.append("fault sweep ran no armed batches")
+
+    batch = current["batch"]
+    base_batch = baseline["batch"]
+
+    hit = float(batch.get("hit_rate", 0.0))
+    base_hit = float(base_batch.get("hit_rate", 0.0))
+    if hit + EPSILON < base_hit:
+        errors.append(
+            "cache hit rate regressed: %.6f < baseline %.6f"
+            % (hit, base_hit))
+
+    for key in ("shed", "deadline_miss"):
+        cur, base = int(batch.get(key, 0)), int(base_batch.get(key, 0))
+        if base == 0 and cur != 0:
+            errors.append("%s count became nonzero: %d" % (key, cur))
+
+    p99 = int(batch.get("p99_steps", 0))
+    base_p99 = int(base_batch.get("p99_steps", 0))
+    if base_p99 > 0 and p99 > tolerance * base_p99:
+        errors.append(
+            "p99 request cost regressed: %d steps > %.1fx baseline %d"
+            % (p99, tolerance, base_p99))
+
+    if errors:
+        for e in errors:
+            print("check_service: FAIL: %s" % e)
+        return 1
+
+    print(
+        "check_service: OK (hit rate %.3f >= %.3f, p99 %d steps <= "
+        "%.1fx %d, fault sweep %s runs, 0 crashed)"
+        % (hit, base_hit, p99, tolerance, base_p99,
+           sweep.get("fault_runs", "?")))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
