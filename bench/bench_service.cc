@@ -149,6 +149,34 @@ printServiceBench()
             std::to_string(hitRate) +
             " < 0.5: canonicalization is missing equivalent requests");
 
+    // --- Validate-or-degrade: validation is on by default, so every
+    // response that delivers a plan must carry a validated one -- a
+    // single unvalidated plan in the stream is a serving-path bug,
+    // not a statistic. ---
+    uint64_t servedPlans = 0, unvalidated = 0;
+    for (const svc::Response &r : responses) {
+        if (r.verdict != svc::Verdict::Compiled &&
+            r.verdict != svc::Verdict::Cached &&
+            r.verdict != svc::Verdict::Degraded)
+            continue;
+        ++servedPlans;
+        if (!r.validated)
+            ++unvalidated;
+    }
+    std::printf("  validation: %llu served plans, %llu unvalidated "
+                "(passed %llu failed %llu)\n",
+                static_cast<unsigned long long>(servedPlans),
+                static_cast<unsigned long long>(unvalidated),
+                static_cast<unsigned long long>(
+                    service.validationsPassed()),
+                static_cast<unsigned long long>(
+                    service.validationsFailed()));
+    if (unvalidated != 0)
+        throw InternalError(
+            "bench_service: " + std::to_string(unvalidated) +
+            " of " + std::to_string(servedPlans) +
+            " served plans were not validated");
+
     // --- Determinism: a fresh service over the same stream must
     // reproduce verdicts, keys, and the cache journal bit for bit. ---
     svc::Service replay(serviceOpts());
@@ -199,6 +227,8 @@ printServiceBench()
                 {"deadline_miss",
                  std::to_string(service.verdictCount(
                      svc::Verdict::DeadlineExceeded))},
+                {"served_plans", std::to_string(servedPlans)},
+                {"unvalidated", std::to_string(unvalidated)},
                 {"p99_steps", std::to_string(p99Steps)},
                 {"p99_wall_us",
                  std::to_string(wallUs.quantileUpperBound(0.99))}});

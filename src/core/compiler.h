@@ -99,7 +99,8 @@ struct Compilation
     /** Translation-validation verdict (empty checks list when
      * CompileOptions::validate was off). */
     verify::ValidationReport validation;
-    /** True when every validation check ran and none failed. */
+    /** True when translation validation ran and every check passed
+     * (there is no skipped verdict: a plan is validated or it is not). */
     bool validated = false;
 
     /** True when some optimization was given up: a lower ladder rung

@@ -1,0 +1,298 @@
+#include "ratmath/polynomial.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ratmath/error.h"
+#include "ratmath/int_util.h"
+
+namespace anc {
+
+namespace {
+
+/** Binomial coefficient as an exact rational (n is tiny). */
+Rational
+binomial(uint32_t n, uint32_t k)
+{
+    if (k > n)
+        return Rational(0);
+    Rational r(1);
+    for (uint32_t j = 0; j < k; ++j)
+        r = r * Rational(Int(n - j)) / Rational(Int(j + 1));
+    return r;
+}
+
+} // namespace
+
+Polynomial
+Polynomial::constant(const Rational &c, size_t num_symbols)
+{
+    Polynomial p(num_symbols);
+    p.addTerm(Exponents(num_symbols, 0), c);
+    return p;
+}
+
+Polynomial
+Polynomial::symbol(size_t k, size_t num_symbols)
+{
+    if (k >= num_symbols)
+        throw InternalError("polynomial symbol index out of range");
+    Polynomial p(num_symbols);
+    Exponents e(num_symbols, 0);
+    e[k] = 1;
+    p.addTerm(e, Rational(1));
+    return p;
+}
+
+Polynomial
+Polynomial::affine(const RatVec &coeffs, const Rational &constant)
+{
+    Polynomial p(coeffs.size());
+    for (size_t k = 0; k < coeffs.size(); ++k) {
+        Exponents e(coeffs.size(), 0);
+        e[k] = 1;
+        p.addTerm(e, coeffs[k]);
+    }
+    p.addTerm(Exponents(coeffs.size(), 0), constant);
+    return p;
+}
+
+bool
+Polynomial::isConstant() const
+{
+    for (const auto &[e, c] : terms_)
+        for (uint32_t x : e)
+            if (x != 0)
+                return false;
+    return true;
+}
+
+Rational
+Polynomial::constantValue() const
+{
+    auto it = terms_.find(Exponents(numSymbols_, 0));
+    return it == terms_.end() ? Rational(0) : it->second;
+}
+
+uint32_t
+Polynomial::totalDegree() const
+{
+    uint32_t deg = 0;
+    for (const auto &[e, c] : terms_) {
+        uint32_t d = 0;
+        for (uint32_t x : e)
+            d += x;
+        deg = std::max(deg, d);
+    }
+    return deg;
+}
+
+void
+Polynomial::addTerm(const Exponents &e, const Rational &c)
+{
+    if (e.size() != numSymbols_)
+        throw InternalError("polynomial term has wrong symbol count");
+    if (c.isZero())
+        return;
+    auto [it, inserted] = terms_.emplace(e, c);
+    if (!inserted) {
+        it->second += c;
+        if (it->second.isZero())
+            terms_.erase(it);
+    }
+}
+
+Polynomial
+Polynomial::operator+(const Polynomial &o) const
+{
+    if (numSymbols_ != o.numSymbols_)
+        throw InternalError("polynomial symbol-count mismatch");
+    Polynomial r = *this;
+    for (const auto &[e, c] : o.terms_)
+        r.addTerm(e, c);
+    return r;
+}
+
+Polynomial
+Polynomial::operator-(const Polynomial &o) const
+{
+    return *this + (-o);
+}
+
+Polynomial
+Polynomial::operator-() const
+{
+    Polynomial r(numSymbols_);
+    for (const auto &[e, c] : terms_)
+        r.terms_.emplace(e, -c);
+    return r;
+}
+
+Polynomial
+Polynomial::operator*(const Polynomial &o) const
+{
+    if (numSymbols_ != o.numSymbols_)
+        throw InternalError("polynomial symbol-count mismatch");
+    Polynomial r(numSymbols_);
+    for (const auto &[ea, ca] : terms_) {
+        for (const auto &[eb, cb] : o.terms_) {
+            Exponents e(numSymbols_);
+            for (size_t k = 0; k < numSymbols_; ++k)
+                e[k] = ea[k] + eb[k];
+            r.addTerm(e, ca * cb);
+        }
+    }
+    return r;
+}
+
+Polynomial
+Polynomial::scaled(const Rational &f) const
+{
+    Polynomial r(numSymbols_);
+    if (f.isZero())
+        return r;
+    for (const auto &[e, c] : terms_)
+        r.terms_.emplace(e, c * f);
+    return r;
+}
+
+Polynomial
+Polynomial::pow(uint32_t e) const
+{
+    Polynomial r = Polynomial::constant(Rational(1), numSymbols_);
+    for (uint32_t k = 0; k < e; ++k)
+        r = r * *this;
+    return r;
+}
+
+Rational
+Polynomial::evaluate(const RatVec &at) const
+{
+    if (at.size() != numSymbols_)
+        throw InternalError("polynomial evaluation arity mismatch");
+    Rational total(0);
+    for (const auto &[e, c] : terms_) {
+        Rational term = c;
+        for (size_t k = 0; k < numSymbols_; ++k)
+            for (uint32_t j = 0; j < e[k]; ++j)
+                term *= at[k];
+        total += term;
+    }
+    return total;
+}
+
+std::string
+Polynomial::str(const std::vector<std::string> &names) const
+{
+    if (terms_.empty())
+        return "0";
+    std::ostringstream os;
+    // Highest total degree first reads like hand-written algebra.
+    std::vector<std::pair<Exponents, Rational>> ts(terms_.begin(),
+                                                   terms_.end());
+    std::stable_sort(ts.begin(), ts.end(), [](const auto &a,
+                                              const auto &b) {
+        uint32_t da = 0, db = 0;
+        for (uint32_t x : a.first)
+            da += x;
+        for (uint32_t x : b.first)
+            db += x;
+        return da > db;
+    });
+    bool first = true;
+    for (const auto &[e, c] : ts) {
+        Rational mag = c.abs();
+        os << (first ? (c.isNegative() ? "-" : "")
+                     : (c.isNegative() ? " - " : " + "));
+        first = false;
+        bool any_symbol = false;
+        for (uint32_t x : e)
+            any_symbol = any_symbol || x != 0;
+        bool unit = mag == Rational(1);
+        if (!unit || !any_symbol) {
+            os << mag;
+            if (any_symbol)
+                os << "*";
+        }
+        bool star = false;
+        for (size_t k = 0; k < numSymbols_; ++k) {
+            if (e[k] == 0)
+                continue;
+            if (star)
+                os << "*";
+            star = true;
+            if (k < names.size())
+                os << names[k];
+            else
+                os << "s" << k;
+            if (e[k] > 1)
+                os << "^" << e[k];
+        }
+    }
+    return os.str();
+}
+
+Rational
+bernoulli(uint32_t k)
+{
+    // B^- via the standard recurrence, then flip B_1 to +1/2.
+    static thread_local std::vector<Rational> cache;
+    if (cache.empty())
+        cache.push_back(Rational(1));
+    while (cache.size() <= k) {
+        uint32_t m = uint32_t(cache.size());
+        Rational sum(0);
+        for (uint32_t j = 0; j < m; ++j)
+            sum += binomial(m + 1, j) * cache[j];
+        cache.push_back(-sum / Rational(Int(m) + 1));
+    }
+    Rational b = cache[k];
+    return k == 1 ? -b : b;
+}
+
+Polynomial
+faulhaber(uint32_t p, const Polynomial &m)
+{
+    // F_p(M) = 1/(p+1) * sum_{j=0}^{p} C(p+1, j) B_j M^{p+1-j}
+    // with B_1 = +1/2; F_p(M) - F_p(M-1) == M^p identically.
+    size_t n = m.numSymbols();
+    Polynomial f(n);
+    for (uint32_t j = 0; j <= p; ++j) {
+        Rational coeff =
+            binomial(p + 1, j) * bernoulli(j) / Rational(Int(p) + 1);
+        if (coeff.isZero())
+            continue;
+        f = f + m.pow(p + 1 - j).scaled(coeff);
+    }
+    return f;
+}
+
+Polynomial
+sumOverSymbol(const Polynomial &poly, size_t sym, const Polynomial &lo,
+              const Polynomial &hi)
+{
+    size_t n = poly.numSymbols();
+    for (const auto &[e, c] : lo.terms())
+        if (e[sym] != 0)
+            throw InternalError("sum lower bound mentions the symbol");
+    for (const auto &[e, c] : hi.terms())
+        if (e[sym] != 0)
+            throw InternalError("sum upper bound mentions the symbol");
+
+    Polynomial one = Polynomial::constant(Rational(1), n);
+    Polynomial total(n);
+    for (const auto &[e, c] : poly.terms()) {
+        // Split the monomial into (rest) * sym^p.
+        uint32_t p = e[sym];
+        Polynomial::Exponents rest = e;
+        rest[sym] = 0;
+        Polynomial rest_poly(n);
+        rest_poly.addTerm(rest, c);
+        // sum_{x=lo}^{hi} x^p == F_p(hi) - F_p(lo - 1).
+        Polynomial range = faulhaber(p, hi) - faulhaber(p, lo - one);
+        total = total + rest_poly * range;
+    }
+    return total;
+}
+
+} // namespace anc

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Exact multivariate polynomials over rationals, with Faulhaber
+ * power-sum closed forms.
+ *
+ * The symbolic translation validator needs closed-form trip counts for
+ * parametric loop nests: "abstract acceleration" of a linear loop sums
+ * the (polynomial) inner trip count over an affine range, and a sum of
+ * a degree-p polynomial over an interval is again a polynomial, by
+ * Faulhaber's formula with Bernoulli-number coefficients. Depths are
+ * tiny (n <= 4, degree <= ~8), so a sparse exponent-map representation
+ * with exact Rational coefficients is both simple and fast; every
+ * coefficient operation goes through the checked Rational arithmetic,
+ * so overflow on a pathological nest surfaces as OverflowError, never
+ * as a silently wrong count.
+ */
+
+#ifndef ANC_RATMATH_POLYNOMIAL_H
+#define ANC_RATMATH_POLYNOMIAL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ratmath/matrix.h"
+
+namespace anc {
+
+/**
+ * A polynomial in a fixed number of symbols with Rational coefficients.
+ * Terms are kept in a map from exponent vector to coefficient; zero
+ * coefficients are never stored, so isZero() is emptiness.
+ */
+class Polynomial
+{
+  public:
+    using Exponents = std::vector<uint32_t>;
+
+    explicit Polynomial(size_t num_symbols = 0)
+        : numSymbols_(num_symbols)
+    {}
+
+    /** The constant polynomial c. */
+    static Polynomial constant(const Rational &c, size_t num_symbols);
+
+    /** The polynomial consisting of symbol k alone. */
+    static Polynomial symbol(size_t k, size_t num_symbols);
+
+    /**
+     * The affine polynomial  coeffs . s + constant  (one coefficient
+     * per symbol). Exactly the shape of a loop bound over parameters.
+     */
+    static Polynomial affine(const RatVec &coeffs,
+                             const Rational &constant);
+
+    size_t numSymbols() const { return numSymbols_; }
+    bool isZero() const { return terms_.empty(); }
+    bool isConstant() const;
+    /** Constant term (the coefficient of the all-zero exponent). */
+    Rational constantValue() const;
+    /** Largest sum of exponents over all terms; 0 for the zero poly. */
+    uint32_t totalDegree() const;
+    const std::map<Exponents, Rational> &terms() const { return terms_; }
+
+    Polynomial operator+(const Polynomial &o) const;
+    Polynomial operator-(const Polynomial &o) const;
+    Polynomial operator-() const;
+    Polynomial operator*(const Polynomial &o) const;
+    Polynomial scaled(const Rational &f) const;
+    /** Integer power (repeated multiplication; exponents are tiny). */
+    Polynomial pow(uint32_t e) const;
+
+    bool operator==(const Polynomial &o) const
+    {
+        return numSymbols_ == o.numSymbols_ && terms_ == o.terms_;
+    }
+    bool operator!=(const Polynomial &o) const { return !(*this == o); }
+
+    /** Exact evaluation at a rational point (one value per symbol). */
+    Rational evaluate(const RatVec &at) const;
+
+    /** Render, e.g. "N^3 - 3/2*N^2*b + N". Symbols without a name
+     * render as s0, s1, ... */
+    std::string str(const std::vector<std::string> &names) const;
+
+    /** Add c * s^e in place (the builder primitive). */
+    void addTerm(const Exponents &e, const Rational &c);
+
+  private:
+    size_t numSymbols_;
+    std::map<Exponents, Rational> terms_;
+};
+
+/**
+ * Bernoulli number B_k in the B_1 = +1/2 convention (the one whose
+ * Faulhaber polynomials telescope: F_p(M) - F_p(M-1) == M^p).
+ */
+Rational bernoulli(uint32_t k);
+
+/**
+ * The Faulhaber polynomial F_p evaluated at the polynomial m:
+ * for integer M >= 0, F_p(M) == sum_{x=1}^{M} x^p, and
+ * F_p(M) - F_p(M-1) == M^p holds as a polynomial identity, so
+ * sum_{x=L}^{U} x^p == F_p(U) - F_p(L-1) for ALL integers with
+ * U >= L-1 (the empty range sums to zero).
+ */
+Polynomial faulhaber(uint32_t p, const Polynomial &m);
+
+/**
+ * Sum the polynomial over one symbol:  sum_{sym=lo}^{hi} poly,
+ * where lo and hi must not mention `sym`. The result no longer
+ * mentions `sym`. Exact for every integer assignment of the other
+ * symbols with hi >= lo - 1; this is the abstract-acceleration step
+ * that collapses one loop level of a trip count.
+ */
+Polynomial sumOverSymbol(const Polynomial &poly, size_t sym,
+                         const Polynomial &lo, const Polynomial &hi);
+
+} // namespace anc
+
+#endif // ANC_RATMATH_POLYNOMIAL_H

@@ -1,5 +1,6 @@
 #include "svc/plan_cache.h"
 
+#include "ratmath/hash.h"
 #include "ratmath/int_util.h"
 
 namespace anc::svc {
@@ -112,6 +113,144 @@ PlanCache::journalText() const
         out += '\n';
     }
     return out;
+}
+
+namespace {
+
+/** First 16 hex digits of hash128(body): the per-line checksum. */
+std::string
+lineChecksum(const std::string &body)
+{
+    return hash128(body).hex().substr(0, 16);
+}
+
+/** Parse exactly 16 lowercase hex digits into a word. */
+bool
+parseHex64(const std::string &s, size_t at, uint64_t &out)
+{
+    if (at + 16 > s.size())
+        return false;
+    uint64_t v = 0;
+    for (size_t i = 0; i < 16; ++i) {
+        char c = s[at + i];
+        uint64_t d;
+        if (c >= '0' && c <= '9')
+            d = uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            d = uint64_t(c - 'a') + 10;
+        else
+            return false;
+        v = (v << 4) | d;
+    }
+    out = v;
+    return true;
+}
+
+/** "hit <32 hex digits>" -> event; false on any malformation. */
+bool
+parseEventBody(const std::string &body, CacheEvent &out)
+{
+    size_t sp = body.find(' ');
+    if (sp == std::string::npos)
+        return false;
+    std::string name = body.substr(0, sp);
+    CacheEvent::Kind kind;
+    if (name == "hit")
+        kind = CacheEvent::Kind::Hit;
+    else if (name == "miss")
+        kind = CacheEvent::Kind::Miss;
+    else if (name == "insert")
+        kind = CacheEvent::Kind::Insert;
+    else if (name == "evict")
+        kind = CacheEvent::Kind::Evict;
+    else if (name == "reject")
+        kind = CacheEvent::Kind::Reject;
+    else
+        return false;
+    if (body.size() != sp + 1 + 32)
+        return false;
+    Hash128 h;
+    if (!parseHex64(body, sp + 1, h.hi) ||
+        !parseHex64(body, sp + 17, h.lo))
+        return false;
+    out = CacheEvent{kind, PlanKey{h}};
+    return true;
+}
+
+} // namespace
+
+std::string
+PlanCache::durableJournalText() const
+{
+    std::string out;
+    for (const CacheEvent &e : journal_) {
+        std::string body = cacheEventName(e.kind);
+        body += ' ';
+        body += e.key.hex();
+        out += body;
+        out += ' ';
+        out += lineChecksum(body);
+        out += '\n';
+    }
+    return out;
+}
+
+JournalReplay
+PlanCache::replayJournal(const std::string &text)
+{
+    JournalReplay r;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            // No newline: the writer died mid-append. The torn tail is
+            // dropped without being counted as corruption.
+            r.truncatedTail = true;
+            break;
+        }
+        std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+        size_t sp = line.rfind(' ');
+        CacheEvent e;
+        if (sp == std::string::npos ||
+            line.substr(sp + 1) != lineChecksum(line.substr(0, sp)) ||
+            !parseEventBody(line.substr(0, sp), e)) {
+            ++r.corruptLines;
+            continue;
+        }
+        r.events.push_back(e);
+        switch (e.kind) {
+        case CacheEvent::Kind::Hit:
+            ++r.hits;
+            break;
+        case CacheEvent::Kind::Miss:
+            ++r.misses;
+            break;
+        case CacheEvent::Kind::Insert:
+            ++r.insertions;
+            break;
+        case CacheEvent::Kind::Evict:
+            ++r.evictions;
+            break;
+        case CacheEvent::Kind::Reject:
+            ++r.rejections;
+            break;
+        }
+    }
+    return r;
+}
+
+void
+PlanCache::adoptReplay(const JournalReplay &r)
+{
+    journal_.insert(journal_.begin(), r.events.begin(), r.events.end());
+    hits_ += r.hits;
+    misses_ += r.misses;
+    insertions_ += r.insertions;
+    evictions_ += r.evictions;
+    rejections_ += r.rejections;
 }
 
 std::vector<PlanKey>

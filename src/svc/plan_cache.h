@@ -64,6 +64,26 @@ struct CacheEvent
 
 const char *cacheEventName(CacheEvent::Kind k);
 
+/**
+ * The outcome of replaying a durable journal (see
+ * PlanCache::replayJournal). Replay is crash-tolerant by construction:
+ * a process killed mid-append leaves at most one torn final line, which
+ * is dropped as `truncatedTail` rather than treated as corruption,
+ * while any line whose per-line checksum does not match (bit rot, a
+ * concurrent writer, manual editing) is rejected and counted in
+ * `corruptLines` without poisoning the lines around it.
+ */
+struct JournalReplay
+{
+    std::vector<CacheEvent> events; //!< every line that verified
+    size_t corruptLines = 0;        //!< checksum or format rejects
+    bool truncatedTail = false;     //!< final line had no newline
+    /** Counters tallied from the verified events, ready for
+     * PlanCache::adoptReplay. */
+    uint64_t hits = 0, misses = 0, insertions = 0, evictions = 0,
+             rejections = 0;
+};
+
 class PlanCache
 {
   public:
@@ -103,6 +123,33 @@ class PlanCache
 
     /** Journal as one line per event: "hit 0123...cdef". */
     std::string journalText() const;
+
+    /**
+     * Journal in the durable on-disk format: one line per event,
+     * "hit 0123...cdef 0011...ff", where the third field is the first
+     * 16 hex digits of hash128 over the rest of the line. The checksum
+     * is what lets replayJournal distinguish a torn final line (crash
+     * mid-append; tolerated) from a corrupted one (rejected).
+     */
+    std::string durableJournalText() const;
+
+    /**
+     * Parse a durable journal back into events, tolerating a torn
+     * final line and rejecting (never trusting) corrupt ones. Pure:
+     * touches no cache state; feed the result to adoptReplay to
+     * restore a restarted service's counters and witness history.
+     */
+    static JournalReplay replayJournal(const std::string &text);
+
+    /**
+     * Adopt a replayed journal as this cache's prior history: the
+     * verified events are appended to the journal and the hit/miss/
+     * insert/evict/reject counters advance accordingly. Entry *bodies*
+     * are not restored -- the journal records decisions, not plans --
+     * so a restarted cache starts cold but its determinism witness and
+     * counters continue where the crashed process left off.
+     */
+    void adoptReplay(const JournalReplay &r);
 
     /** Keys from most- to least-recently used (for tests/inspection). */
     std::vector<PlanKey> keysByRecency() const;

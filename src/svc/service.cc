@@ -33,6 +33,7 @@ Response::renderJson() const
        << ", \"verdict\": " << obs::jsonStr(verdictName(verdict))
        << ", \"key\": " << obs::jsonStr(hasKey ? key.hex() : "")
        << ", \"tier\": " << obs::jsonStr(tier)
+       << ", \"validated\": " << (validated ? "true" : "false")
        << ", \"steps\": " << steps << ", \"retries\": " << retries
        << ", \"diagnostics\": " << diagnostics.renderJson() << "}";
     return os.str();
@@ -149,6 +150,7 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                     r.verdict = Verdict::Cached;
                     r.tier = core::tierName(hit->compilation.tier);
                     r.degradedPlan = hit->compilation.degraded();
+                    r.validated = hit->compilation.validated;
                     r.diagnostics.note(core::Stage::Driver,
                                        "served from plan cache",
                                        "key " + r.key.hex());
@@ -160,6 +162,11 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                     core::compileResilient(canon.program, ropts);
                 r.tier = core::tierName(c.tier);
                 r.degradedPlan = c.degraded();
+                r.validated = c.validated;
+                if (ropts.base.validate)
+                    c.validated ? ++validatePassed_ : ++validateFailed_;
+                else
+                    ++validateOff_;
                 r.verdict = r.degradedPlan ? Verdict::Degraded
                                            : Verdict::Compiled;
                 for (const core::Diagnostic &d : c.diagnostics.all())
@@ -338,8 +345,19 @@ Service::fillMetrics(obs::MetricsRegistry &m) const
     m.counter("svc.deadline_exceeded")
         .set(verdicts_[size_t(Verdict::DeadlineExceeded)]);
     m.counter("svc.retries").set(retriesTotal_);
+    m.counter("svc.validate.passed").set(validatePassed_);
+    m.counter("svc.validate.failed").set(validateFailed_);
+    m.counter("svc.validate.off").set(validateOff_);
     m.histogram("svc.steps") = stepsHist_;
     cache_.fillMetrics(m);
+}
+
+JournalReplay
+Service::restoreCacheJournal(const std::string &durableText)
+{
+    JournalReplay r = PlanCache::replayJournal(durableText);
+    cache_.adoptReplay(r);
+    return r;
 }
 
 } // namespace anc::svc

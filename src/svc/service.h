@@ -21,6 +21,16 @@
  * proves this by sweeping the fault injector over every arithmetic
  * site reachable from the service entry points).
  *
+ * Since the symbolic-validation rework, the service is also
+ * validate-or-degrade by default: every freshly compiled plan is run
+ * through translation validation (a symbolic proof covering all
+ * parameter values, see verify/symbolic.h) before it is cached, a
+ * rung whose plan fails to prove is degraded away inside
+ * compileResilient, and the verdict travels with the response
+ * (Response::validated) and the metrics (svc.validate.*). Validation
+ * work is charged to the same per-request step budget as compilation,
+ * so deadlines and replays stay deterministic.
+ *
  * Requests are keyed by svc::planKey over the *canonical* form, so
  * loop-reversed, lower-bound-shifted, scale-rendered, or renamed
  * variants of the same nest all hit the same cache line; the service
@@ -59,14 +69,31 @@ enum class Verdict
 
 const char *verdictName(Verdict v);
 
+/**
+ * The service's compile defaults: translation validation is ON. Every
+ * freshly compiled plan is proven equivalent to its source program
+ * (symbolically, for all parameter values; see verify/symbolic.h)
+ * before it is cached or served, and a plan that fails validation at
+ * some ladder tier is degraded to a tier that proves, never served
+ * as-is. Clear `base.validate` (ancd: --no-validate) to opt out.
+ */
+inline core::ResilientOptions
+validatedCompileDefaults()
+{
+    core::ResilientOptions r;
+    r.base.validate = true;
+    return r;
+}
+
 /** Configuration for a Service. */
 struct ServiceOptions
 {
     /** Target machine for every compilation (part of the plan key). */
     numa::MachineParams machine = numa::MachineParams::butterflyGP1000();
-    /** Per-request compile options. `base.cancel` is overwritten by the
+    /** Per-request compile options; validation defaults ON (see
+     * validatedCompileDefaults). `base.cancel` is overwritten by the
      * service with the request's own deadline token. */
-    core::ResilientOptions compile;
+    core::ResilientOptions compile = validatedCompileDefaults();
     /** Plan-cache byte budget (0 caches nothing). */
     size_t cacheBytes = size_t(4) << 20;
     /** Per-request step budget (0 = no deadline). */
@@ -95,17 +122,24 @@ struct Response
     std::string tier;
     /** True when the served plan gave up some optimization. */
     bool degradedPlan = false;
+    /** True when the served plan carries a passing translation-
+     * validation report (fresh compilations: validated before caching;
+     * cache hits: the verdict stored with the entry). False when
+     * nothing was served or validation was explicitly disabled --
+     * there is no "skipped" third state. */
+    bool validated = false;
     /** Why the request ended the way it did (always at least one entry
      * for non-Compiled verdicts). */
     core::Diagnostics diagnostics;
-    /** Deterministic steps spent (canonicalize + pipeline + backoff). */
+    /** Deterministic steps spent (canonicalize + pipeline + validation
+     * + backoff). */
     uint64_t steps = 0;
     /** Retry attempts consumed by transient faults. */
     int retries = 0;
 
     /** One stable JSON object: {"id", "verdict", "key", "tier",
-     * "steps", "retries", "diagnostics"} -- always all keys, in that
-     * order. */
+     * "validated", "steps", "retries", "diagnostics"} -- always all
+     * keys, in that order. */
     std::string renderJson() const;
 };
 
@@ -146,12 +180,31 @@ class Service
     const PlanCache &cache() const { return cache_; }
     const ServiceOptions &options() const { return opts_; }
 
+    /**
+     * Crash recovery: replay a prior run's durable cache journal (see
+     * PlanCache::durableJournalText) and adopt its verified history,
+     * so counters and the determinism witness continue across a
+     * restart. Call before serving traffic. Returns the replay record
+     * (how many events were restored, rejected, or torn).
+     */
+    JournalReplay restoreCacheJournal(const std::string &durableText);
+
     uint64_t requestsServed() const { return requests_; }
     /** Requests that ended with the given verdict so far. */
     uint64_t verdictCount(Verdict v) const { return verdicts_[size_t(v)]; }
+    /** Fresh compilations whose served plan carried a passing
+     * validation report. */
+    uint64_t validationsPassed() const { return validatePassed_; }
+    /** Fresh compilations served although validation did not pass
+     * (only reachable when compile.base.validate is cleared -- a
+     * validation failure otherwise degrades or sheds). */
+    uint64_t validationsFailed() const { return validateFailed_; }
+    /** Fresh compilations served with validation explicitly off. */
+    uint64_t validationsOff() const { return validateOff_; }
 
-    /** Fill svc.* request counters, the svc.steps histogram, and the
-     * cache's svc.cache.* counters into a registry. */
+    /** Fill svc.* request counters (including svc.validate.*), the
+     * svc.steps histogram, and the cache's svc.cache.* counters into a
+     * registry. */
     void fillMetrics(obs::MetricsRegistry &m) const;
 
   private:
@@ -163,6 +216,7 @@ class Service
     uint64_t requests_ = 0;
     uint64_t retriesTotal_ = 0;
     uint64_t verdicts_[5] = {};
+    uint64_t validatePassed_ = 0, validateFailed_ = 0, validateOff_ = 0;
     obs::Histogram stepsHist_;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "numa/recovery.h"
+#include "verify/symbolic.h"
 
 namespace anc::verify {
 
@@ -72,7 +73,7 @@ splitmix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
-/** The concrete data shared by the two enumeration checks. */
+/** The concrete data shared by the enumeration cross-checks. */
 struct Enumeration
 {
     bool feasible = false;  //!< a binding under the cap was found
@@ -161,26 +162,18 @@ bindingStr(const ir::Program &prog, const IntVec &params)
     return os.str();
 }
 
-/** Check 1: emitted points == T * (source points), as multisets. */
-CheckResult
-checkLattice(const ir::Program &prog, const xform::TransformedNest &nest,
-             const Enumeration &en)
+/** Oracle part 1: emitted points == T * (source points), as sets. */
+void
+oracleLattice(const ir::Program &prog, const xform::TransformedNest &nest,
+              const Enumeration &en, EnumerationOracle &o)
 {
-    CheckResult r;
-    r.kind = CheckKind::LatticeEquivalence;
-    if (!en.feasible) {
-        r.detail = en.skipReason;
-        return r;
-    }
-    r.ran = true;
-
     if (en.emittedCapped) {
-        r.detail = "emitted nest enumerates more than " +
-                   std::to_string(en.source.size() + 1024) +
-                   " points, but the source space has only " +
-                   std::to_string(en.source.size()) + " (" +
-                   bindingStr(prog, en.params) + ")";
-        return r;
+        o.latticeDetail = "emitted nest enumerates more than " +
+                          std::to_string(en.source.size() + 1024) +
+                          " points, but the source space has only " +
+                          std::to_string(en.source.size()) + " (" +
+                          bindingStr(prog, en.params) + ")";
+        return;
     }
 
     // The reference image: every source point mapped through T by hand.
@@ -196,10 +189,10 @@ checkLattice(const ir::Program &prog, const xform::TransformedNest &nest,
     // A duplicate visit breaks the bijection even if the sets agree.
     for (size_t i = 1; i < emitted.size(); ++i) {
         if (emitted[i] == emitted[i - 1]) {
-            r.detail = "emitted nest enumerates point u=" +
-                       pointStr(emitted[i]) + " more than once (" +
-                       bindingStr(prog, en.params) + ")";
-            return r;
+            o.latticeDetail = "emitted nest enumerates point u=" +
+                              pointStr(emitted[i]) + " more than once (" +
+                              bindingStr(prog, en.params) + ")";
+            return;
         }
     }
 
@@ -211,103 +204,64 @@ checkLattice(const ir::Program &prog, const xform::TransformedNest &nest,
                                         : lexCompare(image[i].first,
                                                      emitted[j]);
         if (cmp < 0) {
-            r.detail = "counterexample: source iteration x=" +
-                       pointStr(image[i].second) + " has image point u=" +
-                       pointStr(image[i].first) +
-                       " which the emitted nest never enumerates (" +
-                       bindingStr(prog, en.params) + ")";
-            return r;
+            o.latticeDetail = "counterexample: source iteration x=" +
+                              pointStr(image[i].second) +
+                              " has image point u=" +
+                              pointStr(image[i].first) +
+                              " which the emitted nest never enumerates (" +
+                              bindingStr(prog, en.params) + ")";
+            return;
         }
         if (cmp > 0) {
-            r.detail =
+            o.latticeDetail =
                 "counterexample: emitted nest enumerates u=" +
                 pointStr(emitted[j]) +
                 " which is the image of no source iteration (" +
                 bindingStr(prog, en.params) + ")";
-            return r;
+            return;
         }
         ++i;
         ++j;
     }
 
-    r.passed = true;
+    o.latticeOk = true;
     std::ostringstream os;
     os << en.source.size() << " iteration point(s) map bijectively ("
        << bindingStr(prog, en.params) << ")";
-    r.detail = os.str();
-    return r;
+    o.latticeDetail = os.str();
 }
 
-/** Check 2: every T*d lex-positive; emitted visit order strictly lex. */
-CheckResult
-checkDependences(const xform::TransformedNest &nest,
-                 const IntMatrix &dep_matrix, const Enumeration &en)
+/** Oracle part 2: emitted visit order strictly lexicographic. */
+void
+oracleOrder(const Enumeration &en, EnumerationOracle &o)
 {
-    CheckResult r;
-    r.kind = CheckKind::DependencePreservation;
-    r.ran = true;
-
-    const IntMatrix &t = nest.transform();
-    for (size_t c = 0; c < dep_matrix.cols(); ++c) {
-        IntVec d(dep_matrix.rows());
-        for (size_t i = 0; i < dep_matrix.rows(); ++i)
-            d[i] = dep_matrix(i, c);
-        IntVec td = applyT(t, d);
-        Int leading = 0;
-        for (Int v : td) {
-            if (v != 0) {
-                leading = v;
-                break;
-            }
-        }
-        if (leading < 0 || (leading == 0 && lexCompare(d, IntVec(
-                                                d.size(), 0)) != 0)) {
-            r.detail = "counterexample: dependence column " +
-                       std::to_string(c) + " d=" + pointStr(d) +
-                       " maps to T*d=" + pointStr(td) +
-                       ", which is not lexicographically positive: the "
-                       "emitted loop order runs the dependent iteration "
-                       "first";
-            return r;
+    if (en.emittedCapped) {
+        o.orderDetail = "emitted enumeration hit its cap";
+        return;
+    }
+    for (size_t k = 1; k < en.emitted.size(); ++k) {
+        if (lexCompare(en.emitted[k - 1], en.emitted[k]) >= 0) {
+            o.orderDetail =
+                "counterexample: emitted nest visits u=" +
+                pointStr(en.emitted[k]) + " after u=" +
+                pointStr(en.emitted[k - 1]) +
+                ", violating lexicographic execution order";
+            return;
         }
     }
-
-    // The T*d criterion presumes the emitted nest really visits points
-    // in increasing lexicographic order; verify that premise on the
-    // enumerated binding.
-    if (en.feasible && !en.emittedCapped) {
-        for (size_t k = 1; k < en.emitted.size(); ++k) {
-            if (lexCompare(en.emitted[k - 1], en.emitted[k]) >= 0) {
-                r.detail =
-                    "counterexample: emitted nest visits u=" +
-                    pointStr(en.emitted[k]) + " after u=" +
-                    pointStr(en.emitted[k - 1]) +
-                    ", violating lexicographic execution order";
-                return r;
-            }
-        }
-    }
-
-    r.passed = true;
+    o.orderOk = true;
     std::ostringstream os;
-    os << dep_matrix.cols() << " dependence column(s) stay "
-       << "lexicographically positive";
-    if (en.feasible && !en.emittedCapped)
-        os << "; emitted order verified on " << en.emitted.size()
-           << " point(s)";
-    r.detail = os.str();
-    return r;
+    os << "emitted order verified on " << en.emitted.size()
+       << " point(s)";
+    o.orderDetail = os.str();
 }
 
-/** Check 3: fletcher64 footprints of both executions are identical. */
-CheckResult
-checkDifferential(const ir::Program &prog,
-                  const xform::TransformedNest &nest,
-                  const ValidateOptions &opts)
+/** Oracle part 3: fletcher64 footprints of both executions match. */
+void
+oracleDifferential(const ir::Program &prog,
+                   const xform::TransformedNest &nest,
+                   const ValidateOptions &opts, EnumerationOracle &o)
 {
-    CheckResult r;
-    r.kind = CheckKind::DifferentialExecution;
-
     std::vector<Int> candidates = opts.paramCandidates;
     if (prog.params.empty())
         candidates = {0};
@@ -327,8 +281,7 @@ checkDifferential(const ir::Program &prog,
                 too_big = too_big || total > double(opts.maxElements);
             }
             if (!feasible || too_big) {
-                skip = too_big ? "arrays exceed the element cap"
-                               : skip;
+                skip = too_big ? "arrays exceed the element cap" : skip;
                 continue;
             }
             for (int trial = 0; trial < opts.trials; ++trial) {
@@ -349,36 +302,58 @@ checkDifferential(const ir::Program &prog,
                     uint64_t cx = numa::fletcher64(xfm.data(a).data(),
                                                    xfm.data(a).size());
                     if (cs != cx) {
-                        r.ran = true;
+                        o.differentialRan = true;
                         std::ostringstream os;
                         os << "counterexample: array '"
                            << prog.arrays[a].name << "' footprint "
-                           << std::hex << cx << " != sequential "
-                           << cs << std::dec << " (trial " << trial
-                           << ", " << bindingStr(prog, params) << ")";
-                        r.detail = os.str();
-                        return r;
+                           << std::hex << cx << " != sequential " << cs
+                           << std::dec << " (trial " << trial << ", "
+                           << bindingStr(prog, params) << ")";
+                        o.differentialDetail = os.str();
+                        return;
                     }
                 }
             }
-            r.ran = true;
-            r.passed = true;
+            o.differentialRan = true;
+            o.differentialOk = true;
             std::ostringstream os;
             os << opts.trials << " randomized trial(s), fletcher64 "
                << "footprints identical (" << bindingStr(prog, params)
                << ")";
-            r.detail = os.str();
-            return r;
+            o.differentialDetail = os.str();
+            return;
         } catch (const UserError &) {
             // Binding infeasible for this program; try the next one.
-        } catch (const Error &e) {
-            r.ran = true;
-            r.detail = std::string("execution failed: ") + e.what();
-            return r;
         }
     }
-    r.detail = skip;
-    return r;
+    o.differentialDetail = skip;
+}
+
+/**
+ * Merge one enumeration cross-check outcome into a symbolic verdict.
+ * Agreement strengthens the detail; a concrete violation that the
+ * symbolic proof missed is itself a validation failure (divergence).
+ */
+void
+mergeCrossCheck(CheckResult &r, bool oracle_ok,
+                const std::string &oracle_detail)
+{
+    r.method = CheckMethod::SymbolicAndEnumeration;
+    if (r.passed && !oracle_ok) {
+        r.passed = false;
+        r.detail = "cross-check divergence: symbolic proof passed but "
+                   "enumeration found a violation -- " +
+                   oracle_detail;
+    } else if (r.passed) {
+        r.detail += "; enumeration cross-check agrees (" +
+                    oracle_detail + ")";
+    } else if (oracle_ok) {
+        r.detail += "; NOTE: enumeration at the cross-check binding "
+                    "found no violation (the failure may need larger "
+                    "parameters)";
+    } else {
+        r.detail += "; confirmed by enumeration -- " + oracle_detail;
+    }
 }
 
 } // namespace
@@ -397,22 +372,23 @@ checkName(CheckKind k)
     return "unknown";
 }
 
+const char *
+methodName(CheckMethod m)
+{
+    switch (m) {
+    case CheckMethod::Symbolic:
+        return "symbolic";
+    case CheckMethod::SymbolicAndEnumeration:
+        return "symbolic+enumeration";
+    }
+    return "unknown";
+}
+
 bool
 ValidationReport::passed() const
 {
     for (const CheckResult &c : checks)
-        if (c.ran && !c.passed)
-            return false;
-    return true;
-}
-
-bool
-ValidationReport::complete() const
-{
-    if (checks.empty())
-        return false;
-    for (const CheckResult &c : checks)
-        if (!c.ran)
+        if (!c.passed)
             return false;
     return true;
 }
@@ -421,7 +397,7 @@ std::string
 ValidationReport::firstFailure() const
 {
     for (const CheckResult &c : checks)
-        if (c.ran && !c.passed)
+        if (!c.passed)
             return std::string(checkName(c.kind)) + ": " + c.detail;
     return "";
 }
@@ -430,13 +406,12 @@ std::string
 ValidationReport::render() const
 {
     std::ostringstream os;
-    os << "translation validation: "
-       << (passed() ? (complete() ? "PASS" : "PASS (incomplete)")
-                    : "FAIL")
+    os << "translation validation: " << (passed() ? "PASS" : "FAIL")
        << "\n";
     for (const CheckResult &c : checks) {
-        os << "  " << checkName(c.kind) << ": "
-           << (!c.ran ? "skipped" : c.passed ? "pass" : "FAIL");
+        os << "  " << checkName(c.kind) << " ["
+           << methodName(c.method)
+           << "]: " << (c.passed ? "pass" : "FAIL");
         if (!c.detail.empty())
             os << " -- " << c.detail;
         os << "\n";
@@ -444,42 +419,68 @@ ValidationReport::render() const
     return os.str();
 }
 
+EnumerationOracle
+enumerationOracle(const ir::Program &prog,
+                  const xform::TransformedNest &nest,
+                  const ValidateOptions &opts)
+{
+    EnumerationOracle o;
+    Enumeration en = enumerateBoth(prog, nest, opts);
+    if (!en.feasible) {
+        o.reason = en.skipReason;
+        return o;
+    }
+    o.feasible = true;
+    o.params = en.params;
+    oracleLattice(prog, nest, en, o);
+    oracleOrder(en, o);
+    oracleDifferential(prog, nest, opts, o);
+    return o;
+}
+
 ValidationReport
 validate(const ir::Program &prog, const xform::TransformedNest &nest,
          const IntMatrix &dep_matrix, const ValidateOptions &opts)
 {
     ValidationReport report;
+    ProverOptions popts;
+    popts.cancel = opts.cancel;
 
-    Enumeration en;
-    try {
-        en = enumerateBoth(prog, nest, opts);
-    } catch (const Error &e) {
-        en.feasible = false;
-        en.skipReason = std::string("enumeration aborted: ") + e.what();
-    }
-    report.params = en.params;
+    // Symbolic first: a verdict for every space size and every
+    // parameter value. Arithmetic faults propagate to the caller.
+    SymbolicVerdict s1 = checkLatticeSymbolic(prog, nest, popts);
+    SymbolicVerdict s2 =
+        checkDependencesSymbolic(prog, nest, dep_matrix, popts);
+    SymbolicVerdict s3 = checkBodySymbolic(prog, nest, popts);
 
-    auto guarded = [&](CheckKind kind, auto &&fn) {
-        CheckResult r;
-        try {
-            r = fn();
-        } catch (const Error &e) {
-            // An arithmetic fault is not a verdict either way: the
-            // check could not complete, so it must not claim "pass".
-            r.kind = kind;
-            r.ran = false;
-            r.passed = false;
-            r.detail = std::string("aborted: ") + e.what();
-        }
-        report.checks.push_back(std::move(r));
+    report.checks = {
+        CheckResult{CheckKind::LatticeEquivalence, s1.passed,
+                    CheckMethod::Symbolic, s1.detail},
+        CheckResult{CheckKind::DependencePreservation, s2.passed,
+                    CheckMethod::Symbolic, s2.detail},
+        CheckResult{CheckKind::DifferentialExecution, s3.passed,
+                    CheckMethod::Symbolic, s3.detail},
     };
 
-    guarded(CheckKind::LatticeEquivalence,
-            [&] { return checkLattice(prog, nest, en); });
-    guarded(CheckKind::DependencePreservation,
-            [&] { return checkDependences(nest, dep_matrix, en); });
-    guarded(CheckKind::DifferentialExecution,
-            [&] { return checkDifferential(prog, nest, opts); });
+    // Enumeration cross-check on small spaces: extra independent
+    // evidence through completely different code. The symbolic verdict
+    // stands unless the oracle finds a concrete violation the proof
+    // missed -- that divergence is a failure, never a downgrade to
+    // "skipped".
+    if (opts.crossCheck) {
+        if (opts.cancel)
+            opts.cancel->spend(1);
+        EnumerationOracle o = enumerationOracle(prog, nest, opts);
+        if (o.feasible) {
+            report.params = o.params;
+            mergeCrossCheck(report.checks[0], o.latticeOk,
+                            o.latticeDetail);
+            mergeCrossCheck(report.checks[1], o.orderOk, o.orderDetail);
+            if (o.differentialRan)
+                mergeCrossCheck(report.checks[2], o.differentialOk,
+                                o.differentialDetail);
+        }
+    }
     return report;
 }
 

@@ -12,34 +12,34 @@
  * production compiler: it never trusts the pipeline that produced the
  * nest, only the source program, the matrix T, and the emitted loops.
  *
- * Three independent checks:
+ * Three independent checks, decided SYMBOLICALLY (verify/symbolic.h):
+ * parameters stay free symbols, so the verdict covers every parameter
+ * value and the cost is independent of iteration-space size.
  *
- *  1. Lattice equivalence -- enumerate the source iteration space with
- *     the sequential interpreter, map every point through T with plain
- *     checked integer arithmetic, and compare the resulting set
- *     point-for-point against what the emitted nest enumerates. A
- *     mismatch is reported with a concrete counterexample point
- *     (a missed image point, an invented point, or a duplicate).
+ *  1. Lattice equivalence -- HNF/Smith/Diophantine agreement between
+ *     T.Z^n and the emitted stride lattice, plus one Fourier-Motzkin
+ *     implication proof per bound in each direction (source covers
+ *     emitted, emitted covers source) over integer points.
  *
- *  2. Dependence preservation -- recheck every column d of the
- *     dependence matrix directly: the leading nonzero of T*d must be
- *     positive. The check shares no code with LegalBasis/LegalInvt
- *     (it is a dozen lines of checked multiply-accumulate), so it can
- *     catch their bugs. It also verifies that the emitted nest visits
- *     its points in strictly increasing lexicographic order, which is
- *     the premise the T*d criterion stands on.
+ *  2. Dependence preservation -- the leading nonzero of T*d must be
+ *     positive for every dependence column, and the premise that the
+ *     emitted nest scans lexicographically is re-derived symbolically
+ *     (triangular bounds, positive strides) instead of by enumeration.
  *
- *  3. Differential execution -- run the original program and the
- *     emitted nest over seeded randomized bindings and compare the
- *     fletcher64 footprint of every array (the same checksum the
- *     simulated block-transfer runtime ships with each message).
+ *  3. Differential execution -- T*T^-1 == I exactly and the emitted
+ *     body equals the source body with every affine composed through
+ *     x = T^-1 u, so both executions touch identical footprints;
+ *     closed-form trip counts via abstract acceleration where they
+ *     exist.
  *
- * What this deliberately does NOT prove: the checks are per-binding
- * (small concrete parameter values), so a bound that is wrong only for
- * parameters outside the candidate list escapes; the simulator's cost
- * model is out of scope (validation is about values and iteration
- * sets, not simulated time); and a check that cannot find a feasible
- * small binding is reported as skipped, never as passed.
+ * Every check returns pass or fail -- there is no skipped verdict and
+ * no "incomplete" escape hatch. An obligation the prover can neither
+ * prove nor refute is a conservative FAIL with the reason in the
+ * detail. On spaces small enough to enumerate, the old point-by-point
+ * oracle reruns as a cross-check (enumerationOracle()); a divergence
+ * between the two is itself a validation failure. Internal arithmetic
+ * faults are NOT swallowed: they propagate as anc::Error so a serving
+ * path can degrade the request rather than cache an unvalidated plan.
  */
 
 #ifndef ANC_VERIFY_VERIFY_H
@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancel.h"
 #include "xform/transform.h"
 
 namespace anc::verify {
@@ -57,55 +58,70 @@ enum class CheckKind
 {
     LatticeEquivalence,     //!< emitted points == T * (source lattice)
     DependencePreservation, //!< T*d lex-positive, emitted order lex
-    DifferentialExecution,  //!< fletcher64 footprints identical
+    DifferentialExecution,  //!< body footprints identical
 };
 
 const char *checkName(CheckKind k);
 
-/** Outcome of one check. */
+/** How a verdict was reached. */
+enum class CheckMethod
+{
+    Symbolic,               //!< symbolic proof only (any space size)
+    SymbolicAndEnumeration, //!< symbolic, cross-checked by enumeration
+};
+
+const char *methodName(CheckMethod m);
+
+/** Outcome of one check: always a verdict, never a skip. */
 struct CheckResult
 {
     CheckKind kind = CheckKind::LatticeEquivalence;
-    /** The check actually ran (false: skipped, detail says why). */
-    bool ran = false;
-    /** The check ran and found no violation. */
+    /** The check found no violation. */
     bool passed = false;
+    /** How the verdict was reached. */
+    CheckMethod method = CheckMethod::Symbolic;
     /** Explanation; on failure, includes a concrete counterexample
-     * (a point, a dependence column, or an array checksum pair). */
+     * (a point with its parameter binding, a dependence column, or
+     * the offending bound/subscript). */
     std::string detail;
 };
 
 /** Options for one validation run. */
 struct ValidateOptions
 {
-    /** Parameter values tried until a binding is feasible (every
-     * parameter gets the same value, like the differential check of
-     * the resilient driver). */
+    /** Parameter values tried by the enumeration cross-check until a
+     * binding is feasible. */
     std::vector<Int> paramCandidates = {4, 3, 2, 6, 1, 8};
-    /** Iteration-count cap for the enumeration checks; spaces larger
-     * than this are skipped, not sampled (sampling could miss the
-     * counterexample and report a false pass). */
+    /** Iteration-count cap for the enumeration cross-check; larger
+     * spaces are validated symbolically only (the verdict does not
+     * change -- the cross-check is extra evidence, not a gate). */
     uint64_t maxPoints = 1u << 18;
-    /** Per-array element cap for the differential execution check. */
+    /** Per-array element cap for the differential cross-check. */
     Int maxElements = 1 << 16;
-    /** Randomized bindings tried by the differential check. */
+    /** Randomized bindings tried by the differential cross-check. */
     int trials = 3;
     /** Seed for the deterministic binding generator. */
     uint64_t seed = 0x414e2d56; // "AN-V"
+    /** Run the enumeration cross-check when a small feasible binding
+     * exists (recommended; symbolic and concrete verdicts must agree,
+     * and a divergence is reported as a failure). */
+    bool crossCheck = true;
+    /** Deadline that validation work is charged to (may be null). The
+     * serving path passes the request's token so validation cannot
+     * outlive the request budget. */
+    core::CancelToken *cancel = nullptr;
 };
 
 /** The full validation verdict for one compiled nest. */
 struct ValidationReport
 {
     std::vector<CheckResult> checks;
-    /** Parameter binding used by the enumeration checks (empty when the
-     * program has no parameters or every check was skipped). */
+    /** Parameter binding used by the enumeration cross-check (empty
+     * when no cross-check ran or the program has no parameters). */
     IntVec params;
 
-    /** No check that ran found a violation. */
+    /** Every check passed. */
     bool passed() const;
-    /** Every check ran (nothing was skipped for infeasibility). */
-    bool complete() const;
     /** Detail of the first failed check, or "" when none failed. */
     std::string firstFailure() const;
     /** Human-readable multi-line report. */
@@ -119,13 +135,46 @@ struct ValidationReport
  * column, as produced by deps::DependenceInfo::matrix()).
  *
  * Never throws for a wrong nest -- wrongness is the verdict. Internal
- * arithmetic faults (overflow on a pathological binding) downgrade the
- * affected check to skipped with the cause in its detail.
+ * arithmetic faults and deadline exhaustion DO propagate (anc::Error /
+ * core::DeadlineExceeded): a caller that cannot finish validating must
+ * not treat the plan as validated.
  */
 ValidationReport validate(const ir::Program &prog,
                           const xform::TransformedNest &nest,
                           const IntMatrix &dep_matrix,
                           const ValidateOptions &opts = {});
+
+/**
+ * The point-by-point enumeration oracle, exposed for cross-checking
+ * and property tests. Unlike validate() it may be infeasible (no small
+ * parameter binding fits under the caps); that is reported in
+ * `feasible`/`reason`, never as a verdict.
+ */
+struct EnumerationOracle
+{
+    bool feasible = false;  //!< a binding under the caps was found
+    std::string reason;     //!< why not, when !feasible
+    IntVec params;          //!< the binding used
+    bool latticeOk = false; //!< emitted points == T*(source points)
+    std::string latticeDetail;
+    bool orderOk = false; //!< emitted visit order strictly lex
+    std::string orderDetail;
+    /** The concrete differential run happened (it additionally needs
+     * the arrays to fit under maxElements at the binding). */
+    bool differentialRan = false;
+    bool differentialOk = false; //!< concrete footprints identical
+    std::string differentialDetail;
+
+    bool
+    allOk() const
+    {
+        return latticeOk && orderOk && (!differentialRan || differentialOk);
+    }
+};
+
+EnumerationOracle enumerationOracle(const ir::Program &prog,
+                                    const xform::TransformedNest &nest,
+                                    const ValidateOptions &opts = {});
 
 } // namespace anc::verify
 

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/compiler.h"
 #include "ir/gallery.h"
 #include "ratmath/fault.h"
@@ -31,6 +33,19 @@ class ResilientTest : public ::testing::Test
     {
         fault::startCounting();
         compileResilient(prog);
+        uint64_t n = fault::opCount();
+        fault::disarm();
+        return n;
+    }
+
+    /** Same, with translation validation enabled on every rung. */
+    static uint64_t
+    countOpsValidated(const ir::Program &prog)
+    {
+        ResilientOptions ropts;
+        ropts.base.validate = true;
+        fault::startCounting();
+        compileResilient(prog, ropts);
         uint64_t n = fault::opCount();
         fault::disarm();
         return n;
@@ -263,6 +278,104 @@ TEST_F(ResilientTest, ServiceSitesSurviveMathFaults)
         ASSERT_NO_THROW(r = s.serve("victim", prog))
             << "math fault #" << k;
     }
+}
+
+/**
+ * ISSUE 8: the symbolic prover joined the serving path, so its checked
+ * arithmetic (rational FM elimination, HNF/Smith/Diophantine lattice
+ * algebra, Faulhaber polynomials) is now reachable from every compile
+ * with validation on. A fault anywhere in the prover must degrade the
+ * ladder tier -- never crash, and never let an unproven plan through as
+ * validated. The sweep arms every site the validated compile adds on
+ * top of the plain pipeline (that difference IS the prover).
+ */
+void
+sweepValidationFaultSites(const ir::Program &prog, uint64_t plain,
+                          uint64_t total)
+{
+    ASSERT_GT(total, plain)
+        << "validation must add reachable checked-arithmetic sites";
+    ResilientOptions ropts;
+    ropts.base.validate = true;
+    uint64_t span = total - plain;
+    // Dense sweeps of the whole prover tail would take minutes; a
+    // fixed-stride sample (first and last site always included) keeps
+    // the sweep deterministic and the suite fast.
+    uint64_t step = std::max<uint64_t>(1, span / 1500);
+    size_t degraded = 0, swept = 0;
+    for (uint64_t k = plain + 1; k <= total;
+         k = (k == total ? total + 1
+                         : std::min(total, k + step))) {
+        ++swept;
+        fault::armAt(k);
+        Compilation c;
+        ASSERT_NO_THROW(c = compileResilient(prog, ropts))
+            << "validation fault at checked operation #" << k;
+        fault::disarm();
+
+        // Never a false pass: whatever tier the ladder lands on, the
+        // delivered plan carries a full validation verdict that truly
+        // passed -- the faulted rung was abandoned, not trusted.
+        EXPECT_TRUE(c.validated) << "fault #" << k << ":\n"
+                                 << c.diagnostics.render();
+        EXPECT_TRUE(c.validation.passed()) << "fault #" << k;
+        EXPECT_EQ(c.validation.checks.size(), 3u) << "fault #" << k;
+        EXPECT_EQ(c.validation.render().find("skipped"),
+                  std::string::npos)
+            << "fault #" << k;
+        if (c.degraded()) {
+            ++degraded;
+        } else {
+            // The only faults allowed NOT to cost the rung are the
+            // ones the optional enumeration binding probe absorbs: the
+            // cross-check becomes infeasible for that run, and the
+            // plan stays on the full tier with a purely symbolic --
+            // and still proven -- verdict.
+            EXPECT_EQ(c.tier, CompileTier::Full) << "fault #" << k;
+        }
+    }
+    // A fault inside the prover proper always costs the rung it
+    // interrupted; the tolerant binding probe is a sliver of the tail.
+    EXPECT_GE(degraded * 10, swept * 9);
+}
+
+TEST_F(ResilientTest, GemmValidationSurvivesFaultAtEverySite)
+{
+    ir::Program gemm = ir::gallery::gemm();
+    sweepValidationFaultSites(gemm, countOps(gemm),
+                              countOpsValidated(gemm));
+}
+
+TEST_F(ResilientTest, Syr2kValidationSurvivesFaultAtEverySite)
+{
+    ir::Program syr2k = ir::gallery::syr2kBanded();
+    sweepValidationFaultSites(syr2k, countOps(syr2k),
+                              countOpsValidated(syr2k));
+}
+
+TEST_F(ResilientTest, ValidationMathFaultsDegradeLikeOverflows)
+{
+    ir::Program gemm = ir::gallery::gemm();
+    uint64_t plain = countOps(gemm);
+    uint64_t total = countOpsValidated(gemm);
+    ResilientOptions ropts;
+    ropts.base.validate = true;
+    size_t degraded = 0, swept = 0;
+    for (uint64_t k = plain + 1; k <= total; k += 41) {
+        ++swept;
+        fault::armAt(k, fault::Kind::Math);
+        Compilation c;
+        ASSERT_NO_THROW(c = compileResilient(gemm, ropts))
+            << "math fault #" << k;
+        fault::disarm();
+        EXPECT_TRUE(c.validated && c.validation.passed())
+            << "math fault #" << k;
+        if (c.degraded())
+            ++degraded;
+        else
+            EXPECT_EQ(c.tier, CompileTier::Full) << "math fault #" << k;
+    }
+    EXPECT_GE(degraded * 10, swept * 9);
 }
 
 TEST_F(ResilientTest, DifferentialCheckCanBeDisabled)

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Exact multivariate polynomials and the Faulhaber power-sum machinery
+ * the symbolic trip-count derivation is built on. The load-bearing
+ * properties: Bernoulli numbers match the B_1 = +1/2 convention, every
+ * Faulhaber polynomial telescopes as an identity (checked at many
+ * integer points, negative included), and sumOverSymbol agrees with
+ * brute-force summation for every small range.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ratmath/polynomial.h"
+
+namespace anc {
+namespace {
+
+Rational
+rat(Int n, Int d = 1)
+{
+    return Rational(n, d);
+}
+
+TEST(PolynomialTest, ConstantAndSymbolBasics)
+{
+    Polynomial c = Polynomial::constant(rat(5), 2);
+    EXPECT_TRUE(c.isConstant());
+    EXPECT_EQ(c.constantValue(), rat(5));
+    EXPECT_EQ(c.totalDegree(), 0u);
+
+    Polynomial x = Polynomial::symbol(0, 2);
+    Polynomial y = Polynomial::symbol(1, 2);
+    EXPECT_FALSE(x.isConstant());
+    EXPECT_EQ(x.totalDegree(), 1u);
+    EXPECT_EQ(x.evaluate({rat(7), rat(0)}), rat(7));
+    EXPECT_EQ(y.evaluate({rat(7), rat(9)}), rat(9));
+
+    Polynomial zero = Polynomial::constant(rat(0), 2);
+    EXPECT_TRUE(zero.isZero());
+    EXPECT_EQ(x + zero, x);
+    EXPECT_EQ(x - x, zero);
+}
+
+TEST(PolynomialTest, ArithmeticMatchesEvaluation)
+{
+    // (x + 2y - 3)(x - y) evaluated symbolically == evaluated pointwise.
+    Polynomial x = Polynomial::symbol(0, 2);
+    Polynomial y = Polynomial::symbol(1, 2);
+    Polynomial a = x + y.scaled(rat(2)) - Polynomial::constant(rat(3), 2);
+    Polynomial b = x - y;
+    Polynomial prod = a * b;
+    EXPECT_EQ(prod.totalDegree(), 2u);
+    for (Int xv = -4; xv <= 4; ++xv)
+        for (Int yv = -4; yv <= 4; ++yv) {
+            RatVec at = {rat(xv), rat(yv)};
+            EXPECT_EQ(prod.evaluate(at),
+                      a.evaluate(at) * b.evaluate(at))
+                << "x=" << xv << " y=" << yv;
+        }
+}
+
+TEST(PolynomialTest, AffineAndPow)
+{
+    // (2N - 1)^3 at N = 5 is 729.
+    Polynomial aff = Polynomial::affine({rat(2)}, rat(-1));
+    Polynomial cube = aff.pow(3);
+    EXPECT_EQ(cube.totalDegree(), 3u);
+    EXPECT_EQ(cube.evaluate({rat(5)}), rat(729));
+    EXPECT_EQ(aff.pow(0), Polynomial::constant(rat(1), 1));
+}
+
+TEST(PolynomialTest, RenderingIsReadable)
+{
+    Polynomial n = Polynomial::symbol(0, 2);
+    Polynomial b = Polynomial::symbol(1, 2);
+    Polynomial p = n.pow(2) - (n * b).scaled(rat(3, 2));
+    std::string s = p.str({"N", "b"});
+    EXPECT_NE(s.find("N^2"), std::string::npos) << s;
+    EXPECT_NE(s.find("N*b"), std::string::npos) << s;
+    EXPECT_NE(s.find("3/2"), std::string::npos) << s;
+}
+
+TEST(PolynomialTest, BernoulliNumbersMatchThePlusHalfConvention)
+{
+    // B_1 = +1/2 (the "B+" convention): this is the one under which
+    // F_p(M) - F_p(M-1) == M^p telescopes exactly.
+    EXPECT_EQ(bernoulli(0), rat(1));
+    EXPECT_EQ(bernoulli(1), rat(1, 2));
+    EXPECT_EQ(bernoulli(2), rat(1, 6));
+    EXPECT_EQ(bernoulli(3), rat(0));
+    EXPECT_EQ(bernoulli(4), rat(-1, 30));
+    EXPECT_EQ(bernoulli(5), rat(0));
+    EXPECT_EQ(bernoulli(6), rat(1, 42));
+    EXPECT_EQ(bernoulli(8), rat(-1, 30));
+    EXPECT_EQ(bernoulli(10), rat(5, 66));
+    EXPECT_EQ(bernoulli(12), rat(-691, 2730));
+}
+
+TEST(PolynomialTest, FaulhaberMatchesClassicClosedForms)
+{
+    Polynomial m = Polynomial::symbol(0, 1);
+    // F_1(M) = M(M+1)/2, F_2(M) = M(M+1)(2M+1)/6, F_3(M) = (M(M+1)/2)^2.
+    for (Int M = 0; M <= 20; ++M) {
+        RatVec at = {rat(M)};
+        EXPECT_EQ(faulhaber(1, m).evaluate(at), rat(M * (M + 1), 2));
+        EXPECT_EQ(faulhaber(2, m).evaluate(at),
+                  rat(M * (M + 1) * (2 * M + 1), 6));
+        Rational t = rat(M * (M + 1), 2);
+        EXPECT_EQ(faulhaber(3, m).evaluate(at), t * t);
+    }
+}
+
+TEST(PolynomialTest, FaulhaberTelescopesAsAnIdentity)
+{
+    // F_p(M) - F_p(M-1) == M^p for all integers M, including negative
+    // ones -- this is what makes sum_{x=L}^{U} valid for any integer
+    // endpoints with U >= L-1, parameters included.
+    Polynomial m = Polynomial::symbol(0, 1);
+    Polynomial one = Polynomial::constant(rat(1), 1);
+    for (uint32_t p = 0; p <= 8; ++p) {
+        Polynomial diff = faulhaber(p, m) - faulhaber(p, m - one);
+        EXPECT_EQ(diff, m.pow(p)) << "p=" << p;
+    }
+}
+
+TEST(PolynomialTest, SumOverSymbolMatchesBruteForce)
+{
+    // sum_{y=lo}^{hi} (x^2 + 3xy + y^2) over constant ranges, checked
+    // against direct summation at several x.
+    Polynomial x = Polynomial::symbol(0, 2);
+    Polynomial y = Polynomial::symbol(1, 2);
+    Polynomial p = x.pow(2) + (x * y).scaled(rat(3)) + y.pow(2);
+    for (Int lo = -3; lo <= 3; ++lo)
+        for (Int hi = lo - 1; hi <= lo + 5; ++hi) {
+            Polynomial s = sumOverSymbol(
+                p, 1, Polynomial::constant(rat(lo), 2),
+                Polynomial::constant(rat(hi), 2));
+            for (Int xv = -2; xv <= 2; ++xv) {
+                Rational want = rat(0);
+                for (Int yv = lo; yv <= hi; ++yv)
+                    want = want + p.evaluate({rat(xv), rat(yv)});
+                EXPECT_EQ(s.evaluate({rat(xv), rat(0)}), want)
+                    << "lo=" << lo << " hi=" << hi << " x=" << xv;
+            }
+        }
+}
+
+TEST(PolynomialTest, SumOverSymbolWithSymbolicBounds)
+{
+    // The triangular nest: sum_{j=0}^{i-1} 1 == i, and then
+    // sum_{i=0}^{N-1} i == N(N-1)/2 -- the SYR2K-shaped trip count.
+    Polynomial one = Polynomial::constant(rat(1), 2);
+    Polynomial i = Polynomial::symbol(0, 2); // symbol 0 = i
+    Polynomial zero = Polynomial::constant(rat(0), 2);
+    Polynomial inner =
+        sumOverSymbol(one, 1, zero, i - one); // over j: yields i
+    EXPECT_EQ(inner, i);
+    // Re-use symbol 1 as N (inner no longer mentions symbol 1).
+    Polynomial n = Polynomial::symbol(1, 2);
+    Polynomial total = sumOverSymbol(inner, 0, zero, n - one);
+    for (Int N = 0; N <= 12; ++N)
+        EXPECT_EQ(total.evaluate({rat(0), rat(N)}),
+                  rat(N * (N - 1), 2))
+            << "N=" << N;
+}
+
+TEST(PolynomialTest, SumOverSymbolRejectsBoundsMentioningTheSymbol)
+{
+    Polynomial x = Polynomial::symbol(0, 1);
+    EXPECT_THROW(sumOverSymbol(x, 0, x, x), Error);
+}
+
+} // namespace
+} // namespace anc

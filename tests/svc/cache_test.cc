@@ -203,6 +203,95 @@ TEST(CacheTest, DifferentBudgetsDivergeOnlyInEvictions)
     EXPECT_EQ(large.find("evict "), std::string::npos);
 }
 
+TEST(CacheTest, DurableJournalRoundTrips)
+{
+    PlanCache c(1 << 12);
+    c.lookup(key(1));
+    c.insert(key(1), plan(5));
+    c.lookup(key(1));
+    c.insert(key(2), plan(4000)); // reject: bigger than the budget
+    std::string durable = c.durableJournalText();
+
+    JournalReplay r = PlanCache::replayJournal(durable);
+    EXPECT_EQ(r.corruptLines, 0u);
+    EXPECT_FALSE(r.truncatedTail);
+    ASSERT_EQ(r.events.size(), c.journal().size());
+    for (size_t i = 0; i < r.events.size(); ++i) {
+        EXPECT_EQ(r.events[i].kind, c.journal()[i].kind) << "line " << i;
+        EXPECT_EQ(r.events[i].key, c.journal()[i].key) << "line " << i;
+    }
+    EXPECT_EQ(r.hits, 1u);
+    EXPECT_EQ(r.misses, 1u);
+    EXPECT_EQ(r.insertions, 1u);
+    EXPECT_EQ(r.rejections, 1u);
+}
+
+TEST(CacheTest, ReplayToleratesTornFinalLine)
+{
+    // A crash mid-append leaves a final line without its newline (and
+    // usually without its checksum). Replay must keep every complete
+    // line and drop the torn tail without counting it as corruption.
+    PlanCache c(1 << 12);
+    c.lookup(key(1));
+    c.insert(key(1), plan(5));
+    c.lookup(key(2));
+    std::string durable = c.durableJournalText();
+    for (size_t cut = 1; cut < 20; ++cut) {
+        std::string torn = durable.substr(0, durable.size() - cut);
+        JournalReplay r = PlanCache::replayJournal(torn);
+        EXPECT_TRUE(r.truncatedTail) << "cut " << cut;
+        EXPECT_EQ(r.corruptLines, 0u) << "cut " << cut;
+        EXPECT_EQ(r.events.size(), 2u) << "cut " << cut;
+    }
+}
+
+TEST(CacheTest, ReplayRejectsBitFlippedLines)
+{
+    PlanCache c(1 << 12);
+    c.lookup(key(1));
+    c.insert(key(1), plan(5));
+    c.lookup(key(1));
+    std::string durable = c.durableJournalText();
+    // Flip one byte in every position of the middle line; whether the
+    // flip lands in the event name, the key, or the checksum itself,
+    // the line must be rejected -- and only that line.
+    size_t first = durable.find('\n') + 1;
+    size_t second = durable.find('\n', first);
+    for (size_t at = first; at < second; ++at) {
+        std::string bad = durable;
+        bad[at] = bad[at] == 'z' ? 'y' : 'z';
+        JournalReplay r = PlanCache::replayJournal(bad);
+        EXPECT_EQ(r.corruptLines, 1u) << "flip at " << at;
+        EXPECT_EQ(r.events.size(), 2u) << "flip at " << at;
+        EXPECT_FALSE(r.truncatedTail);
+        EXPECT_EQ(r.events[0].kind, CacheEvent::Kind::Miss);
+        EXPECT_EQ(r.events[1].kind, CacheEvent::Kind::Hit);
+    }
+}
+
+TEST(CacheTest, AdoptReplayRestoresCountersAndWitness)
+{
+    PlanCache before(1 << 12);
+    before.lookup(key(1));
+    before.insert(key(1), plan(5));
+    before.lookup(key(1));
+    std::string durable = before.durableJournalText();
+
+    // A restarted cache adopts the prior history: counters continue,
+    // and the durable journal grows from where the crash left off.
+    PlanCache after(1 << 12);
+    after.adoptReplay(PlanCache::replayJournal(durable));
+    EXPECT_EQ(after.hits(), 1u);
+    EXPECT_EQ(after.misses(), 1u);
+    EXPECT_EQ(after.insertions(), 1u);
+    EXPECT_EQ(after.size(), 0u); // bodies are not journaled: cold start
+    after.lookup(key(1));        // a miss now -- the entry is gone
+    EXPECT_EQ(after.misses(), 2u);
+    std::string grown = after.durableJournalText();
+    EXPECT_EQ(grown.compare(0, durable.size(), durable), 0);
+    EXPECT_EQ(PlanCache::replayJournal(grown).events.size(), 4u);
+}
+
 TEST(CacheTest, FillMetricsExportsCounters)
 {
     PlanCache c(1 << 12);

@@ -50,13 +50,78 @@ TEST_F(ServiceTest, FreshCompileThenCacheHit)
     EXPECT_FALSE(first.tier.empty());
     EXPECT_FALSE(first.degradedPlan);
 
+    // Validation is on by default: the fresh plan was proven before
+    // caching, and the cached hit carries the stored verdict.
+    EXPECT_TRUE(first.validated);
+
     Response second = s.serve("b", ir::gallery::gemm());
     EXPECT_EQ(second.verdict, Verdict::Cached);
     EXPECT_EQ(second.key, first.key);
     EXPECT_EQ(second.tier, first.tier);
+    EXPECT_TRUE(second.validated);
     EXPECT_EQ(s.cache().hits(), 1u);
     EXPECT_EQ(s.verdictCount(Verdict::Compiled), 1u);
     EXPECT_EQ(s.verdictCount(Verdict::Cached), 1u);
+    EXPECT_EQ(s.validationsPassed(), 1u);
+    EXPECT_EQ(s.validationsFailed(), 0u);
+    EXPECT_EQ(s.validationsOff(), 0u);
+}
+
+TEST_F(ServiceTest, NoValidateOptOutIsExplicitNeverSkipped)
+{
+    // Opting out of validation is a configuration, not a "skipped"
+    // verdict: the response says unvalidated, and the svc.validate.off
+    // counter records that the operator chose this.
+    ServiceOptions o;
+    o.compile.base.validate = false;
+    Service s(o);
+    Response r = s.serve("a", ir::gallery::gemm());
+    EXPECT_EQ(r.verdict, Verdict::Compiled);
+    EXPECT_FALSE(r.validated);
+    EXPECT_EQ(s.validationsOff(), 1u);
+    EXPECT_EQ(s.validationsPassed(), 0u);
+}
+
+TEST_F(ServiceTest, DegradedPlansAreStillValidated)
+{
+    // A mid-compile fault degrades the ladder; whatever tier survives
+    // must still carry a passing validation report -- the service
+    // never serves an unproven plan when validation is on.
+    ServiceOptions o;
+    o.maxRetries = 0;
+    Service s(o);
+    fault::armAt(50);
+    Response r = s.serve("deg", ir::gallery::gemm());
+    fault::disarm();
+    ASSERT_EQ(r.verdict, Verdict::Degraded);
+    EXPECT_TRUE(r.validated);
+    EXPECT_EQ(s.validationsPassed(), 1u);
+}
+
+TEST_F(ServiceTest, RestoreCacheJournalContinuesTheWitness)
+{
+    ServiceOptions o;
+    Service first(o);
+    first.serve("a", ir::gallery::gemm());
+    first.serve("b", ir::gallery::gemm());
+    std::string durable = first.cache().durableJournalText();
+
+    // Simulate a crash mid-append: the torn tail is dropped, every
+    // complete line is restored, and the restarted service's counters
+    // continue from the replayed history.
+    Service second(o);
+    JournalReplay rep =
+        second.restoreCacheJournal(durable.substr(0, durable.size() - 7));
+    EXPECT_TRUE(rep.truncatedTail);
+    EXPECT_EQ(rep.corruptLines, 0u);
+    EXPECT_EQ(second.cache().misses(), first.cache().misses());
+    EXPECT_EQ(second.cache().insertions(), first.cache().insertions());
+    // The journal the restarted service writes extends the old one.
+    second.serve("c", ir::gallery::gemm());
+    std::string grown = second.cache().durableJournalText();
+    JournalReplay all = PlanCache::replayJournal(grown);
+    EXPECT_EQ(all.corruptLines, 0u);
+    EXPECT_GT(all.events.size(), rep.events.size());
 }
 
 TEST_F(ServiceTest, EquivalentDisguisesHitTheSameCacheLine)
@@ -326,9 +391,9 @@ TEST_F(ServiceTest, ResponseJsonHasStableShape)
     Service s(ServiceOptions{});
     Response r = s.serveSource("q\"1", kGemmSource);
     std::string json = r.renderJson();
-    const char *keys[] = {"\"id\"",    "\"verdict\"", "\"key\"",
-                          "\"tier\"",  "\"steps\"",   "\"retries\"",
-                          "\"diagnostics\""};
+    const char *keys[] = {"\"id\"",      "\"verdict\"",   "\"key\"",
+                          "\"tier\"",    "\"validated\"", "\"steps\"",
+                          "\"retries\"", "\"diagnostics\""};
     size_t pos = 0;
     for (const char *k : keys) {
         size_t at = json.find(k, pos);
@@ -354,6 +419,9 @@ TEST_F(ServiceTest, MetricsExportCountsEveryVerdict)
     EXPECT_EQ(m.value("svc.cached"), 1u);
     EXPECT_EQ(m.value("svc.shed"), 1u);
     EXPECT_EQ(m.value("svc.deadline_exceeded"), 0u);
+    EXPECT_EQ(m.value("svc.validate.passed"), 1u);
+    EXPECT_EQ(m.value("svc.validate.failed"), 0u);
+    EXPECT_EQ(m.value("svc.validate.off"), 0u);
     bool hasSteps = false;
     for (const auto &[name, hist] : m.histograms())
         if (name == "svc.steps" && hist.count() == 3)

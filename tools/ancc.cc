@@ -121,9 +121,11 @@ const OptSpec kOptSpecs[] = {
      "exit 3 when compilation degraded (a lower ladder tier or a "
      "conservative fallback)"},
     {"--validate", Arg::None, "",
-     "independently validate the compiled nest (lattice equivalence, "
-     "dependence preservation, differential execution) and print the "
-     "verdict; exit 3 when any check fails at any ladder tier"},
+     "independently validate the compiled nest: symbolic proofs of "
+     "lattice equivalence, dependence preservation, and body "
+     "equivalence covering all parameter values, cross-checked by "
+     "enumeration on small spaces; every check passes or fails (never "
+     "skips); exit 3 when any check fails at any ladder tier"},
     {"--diag", Arg::None, "",
      "print machine-readable diagnostics to stdout"},
     {"--help", Arg::None, "", "print this help and exit"},

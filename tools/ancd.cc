@@ -9,7 +9,11 @@
  * and the service's retry/degradation policy. Every request ends in
  * exactly one verdict (compiled / cached / degraded / shed /
  * deadline-exceeded) with structured diagnostics; a poisoned request
- * can never take down the batch. Run `ancd --help` for the option
+ * can never take down the batch. Translation validation is ON by
+ * default: every fresh compilation is symbolically proven equivalent
+ * to its source (for all parameter values) before it is cached or
+ * served, and a tier that fails to prove is degraded away
+ * (--no-validate opts out). Run `ancd --help` for the option
  * list; it is generated from the same option table the parser
  * dispatches on (kOptSpecs below).
  *
@@ -54,6 +58,7 @@ struct Options
     std::string results_file;
     std::string metrics_file;
     std::string journal_file;
+    std::string replay_journal_file;
     bool quiet = false;
     svc::ServiceOptions svc;
 };
@@ -95,6 +100,10 @@ const OptSpec kOptSpecs[] = {
      "= no limit)"},
     {"--retries", Arg::Required, "N",
      "transient-fault retries per request (default 2)"},
+    {"--no-validate", Arg::None, "",
+     "serve unvalidated plans: skip the translation validation that "
+     "every fresh compilation otherwise gets (the symbolic proof "
+     "covering all parameter values; on by default)"},
     {"--machine", Arg::Required, "gp1000|ipsc860",
      "target machine model, part of every plan key (default gp1000)"},
     {"--results", Arg::Required, "FILE",
@@ -102,8 +111,14 @@ const OptSpec kOptSpecs[] = {
     {"--metrics", Arg::Required, "FILE",
      "write the svc.* / svc.cache.* metrics snapshot as JSON to FILE"},
     {"--journal", Arg::Required, "FILE",
-     "write the plan cache's hit/miss/insert/evict journal to FILE "
-     "(the determinism witness)"},
+     "write the plan cache's hit/miss/insert/evict journal to FILE in "
+     "the durable checksummed format (the determinism witness; "
+     "replayable with --replay-journal)"},
+    {"--replay-journal", Arg::Required, "FILE",
+     "crash recovery: replay a prior run's --journal FILE before "
+     "serving, restoring cache counters and witness history (a torn "
+     "final line is tolerated; corrupt lines are rejected and "
+     "reported; a missing FILE means a fresh start)"},
     {"--quiet", Arg::None, "", "suppress the per-request verdict lines"},
     {"--help", Arg::None, "", "print this help and exit"},
 };
@@ -212,6 +227,8 @@ parseArgs(int argc, char **argv)
             o.svc.maxProgramBytes = size_t(parseCount(name, value));
         } else if (name == "--retries") {
             o.svc.maxRetries = int(parseCount(name, value));
+        } else if (name == "--no-validate") {
+            o.svc.compile.base.validate = false;
         } else if (name == "--machine") {
             if (value == "gp1000")
                 o.svc.machine = numa::MachineParams::butterflyGP1000();
@@ -225,6 +242,8 @@ parseArgs(int argc, char **argv)
             o.metrics_file = value;
         } else if (name == "--journal") {
             o.journal_file = value;
+        } else if (name == "--replay-journal") {
+            o.replay_journal_file = value;
         } else if (name == "--quiet") {
             o.quiet = true;
         }
@@ -288,15 +307,33 @@ run(const Options &o)
     std::vector<svc::BatchRequest> batch = loadBatch(o);
 
     svc::Service service(o.svc);
+    if (!o.replay_journal_file.empty()) {
+        // Crash recovery: a missing file is a fresh start; anything
+        // readable is replayed with per-line checksum verification.
+        std::ifstream in(o.replay_journal_file);
+        if (in) {
+            std::stringstream buf;
+            buf << in.rdbuf();
+            svc::JournalReplay rep =
+                service.restoreCacheJournal(buf.str());
+            std::printf("journal replay: %zu events restored, %zu "
+                        "corrupt lines rejected%s\n",
+                        rep.events.size(), rep.corruptLines,
+                        rep.truncatedTail
+                            ? ", torn final line dropped"
+                            : "");
+        }
+    }
     armInjectorFromEnv();
     std::vector<svc::Response> responses = service.runBatch(batch);
     fault::disarm();
 
     if (!o.quiet)
         for (const svc::Response &r : responses)
-            std::printf("%-32s %-18s %-12s steps=%llu retries=%d\n",
+            std::printf("%-32s %-18s %-12s %-12s steps=%llu retries=%d\n",
                         r.id.c_str(), svc::verdictName(r.verdict),
                         r.tier.empty() ? "-" : r.tier.c_str(),
+                        r.validated ? "validated" : "unvalidated",
                         static_cast<unsigned long long>(r.steps),
                         r.retries);
 
@@ -314,6 +351,13 @@ run(const Options &o)
                     service.verdictCount(svc::Verdict::Shed)),
                 static_cast<unsigned long long>(
                     service.verdictCount(svc::Verdict::DeadlineExceeded)));
+    std::printf("validation: passed %llu failed %llu off %llu\n",
+                static_cast<unsigned long long>(
+                    service.validationsPassed()),
+                static_cast<unsigned long long>(
+                    service.validationsFailed()),
+                static_cast<unsigned long long>(
+                    service.validationsOff()));
     std::printf("cache: hits %llu misses %llu evictions %llu entries "
                 "%zu bytes %zu\n",
                 static_cast<unsigned long long>(cache.hits()),
@@ -334,7 +378,7 @@ run(const Options &o)
         writeFileOrDie(o.metrics_file, reg.renderJson());
     }
     if (!o.journal_file.empty())
-        writeFileOrDie(o.journal_file, cache.journalText());
+        writeFileOrDie(o.journal_file, cache.durableJournalText());
     return 0;
 }
 

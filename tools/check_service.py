@@ -17,6 +17,10 @@ committed baseline, then fails (exit 1) when:
     means canonicalization stopped folding equivalent requests;
   * requests got shed or missed deadlines when the baseline had none:
     both counts are deterministic for a committed stream;
+  * any served plan was unvalidated: validation is on by default and
+    has no skipped state, so the batch run's "unvalidated" count must
+    be exactly 0 -- a plan the prover did not pass must never reach a
+    client as if it had;
   * the p99 request cost regressed: the batch run's p99_steps (the
     deterministic per-request step count, not wall time) exceeds
     TOLERANCE x the baseline's. Wall-clock p99 is recorded in the
@@ -78,6 +82,14 @@ def main(argv):
         cur, base = int(batch.get(key, 0)), int(base_batch.get(key, 0))
         if base == 0 and cur != 0:
             errors.append("%s count became nonzero: %d" % (key, cur))
+
+    unvalidated = int(batch.get("unvalidated", 1))
+    if unvalidated != 0:
+        errors.append(
+            "%d served plans were unvalidated (must be 0: validation "
+            "is default-on with no skipped state)" % unvalidated)
+    if int(batch.get("served_plans", 0)) < 1:
+        errors.append("batch served no plans; validation gate vacuous")
 
     p99 = int(batch.get("p99_steps", 0))
     base_p99 = int(base_batch.get("p99_steps", 0))

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate the symbolic-validation latency sweep against its baseline.
+
+Usage: check_verify.py CURRENT.json BASELINE.json [TOLERANCE]
+
+Reads the BENCH_verify.json written by `bench_verify` and the committed
+baseline, then fails (exit 1) when:
+
+  * any (label, M) point of the baseline is missing from the current
+    run -- a silently dropped sweep point would make the gate vacuous;
+  * any point did not PASS validation: the sweep validates real
+    compiled plans, and the serving path would refuse an unvalidated
+    one, so a non-pass here is a correctness regression, not noise;
+  * the prover's deadline charge is not flat in the bound: the steps
+    at the largest M of `gemm_concrete` exceed STEP_FACTOR x the steps
+    at the smallest M. Steps are deterministic, so this is the
+    noise-free signal that an O(points) path crept into validation;
+  * the headline point regressed: for each label's largest M, current
+    wall time exceeds TOLERANCE x baseline wall time plus an absolute
+    slack (ABS_SLACK_S) for timer noise on millisecond numbers.
+
+Exit status: 0 when every check passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+ABS_SLACK_S = 0.05
+DEFAULT_TOLERANCE = 3.0
+STEP_FACTOR = 1.5
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = {}
+    for r in doc.get("runs", []):
+        runs[(r["label"], r["P"])] = r
+    return runs
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 1
+    current = load_runs(argv[1])
+    baseline = load_runs(argv[2])
+    tolerance = float(argv[3]) if len(argv) > 3 else DEFAULT_TOLERANCE
+    errors = []
+
+    for key in baseline:
+        if key not in current:
+            errors.append("missing sweep point %s M=%d" % key)
+
+    for (label, m), r in sorted(current.items()):
+        if str(r.get("passed", "")) not in ("true", "True"):
+            errors.append("%s M=%d: validation did not pass" % (label, m))
+
+    # Flat deadline charge across nine orders of magnitude of M.
+    concrete = {m: r for (label, m), r in current.items()
+                if label == "gemm_concrete"}
+    if concrete:
+        m_lo, m_hi = min(concrete), max(concrete)
+        s_lo = int(concrete[m_lo].get("steps", 0))
+        s_hi = int(concrete[m_hi].get("steps", 0))
+        if s_lo <= 0:
+            errors.append("gemm_concrete M=%d: no prover steps recorded"
+                          % m_lo)
+        elif s_hi > STEP_FACTOR * s_lo:
+            errors.append(
+                "prover steps are not flat in M: %d at M=%d vs %d at "
+                "M=%d (budget %gx)" % (s_hi, m_hi, s_lo, m_lo,
+                                       STEP_FACTOR))
+        else:
+            print("ok:   steps flat: %d at M=%d vs %d at M=%d"
+                  % (s_hi, m_hi, s_lo, m_lo))
+    else:
+        errors.append("no gemm_concrete sweep points in current run")
+
+    # The regression gate: each label's largest-M point.
+    largest = {}
+    for (label, m) in baseline:
+        largest[label] = max(largest.get(label, 0), m)
+    for label, m in sorted(largest.items()):
+        base = baseline[(label, m)]
+        cur = current.get((label, m))
+        if cur is None:
+            continue  # already reported missing
+        budget = tolerance * base["wall_s"] + ABS_SLACK_S
+        if cur["wall_s"] > budget:
+            errors.append(
+                "%s M=%d regressed: %.4f s vs baseline %.4f s "
+                "(budget %.4f s = %gx + %g s)"
+                % (label, m, cur["wall_s"], base["wall_s"], budget,
+                   tolerance, ABS_SLACK_S))
+        else:
+            print("ok:   %s M=%d: %.4f s (budget %.4f s, %s steps)"
+                  % (label, m, cur["wall_s"], budget,
+                     cur.get("steps", "?")))
+
+    for e in errors:
+        print("FAIL: " + e)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
