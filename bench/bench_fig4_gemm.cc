@@ -116,6 +116,7 @@ verifyObsOffSwitch(bench::JsonReport &report)
         obs::Trace trace;
         if (with_obs) {
             opts.perReference = true;
+            opts.commMatrix = true;
             opts.trace = &trace;
             opts.tracePid = trace.process("gemmB P=28");
         }
@@ -138,6 +139,10 @@ verifyObsOffSwitch(bench::JsonReport &report)
             !p.blockElementsByRef.empty())
             throw InternalError(
                 "fig4: disabled run collected per-reference counters");
+    for (const numa::ProcStats &p : off.perProc)
+        if (!p.comm.empty())
+            throw InternalError(
+                "fig4: disabled run collected communication-matrix rows");
     if (!off.refNames.empty())
         throw InternalError("fig4: disabled run filled refNames");
     if (off.perProc.size() != on.perProc.size())
@@ -158,10 +163,18 @@ verifyObsOffSwitch(bench::JsonReport &report)
             "fig4: obs-off run slower than instrumented run (off " +
             std::to_string(off_s) + "s vs on " + std::to_string(on_s) +
             "s); the off-switch is doing work");
+    // Explain is a pure sink over the finished Compilation: building
+    // the record twice must render byte-identically and cannot touch
+    // the stats at all (it never sees them).
+    obs::ExplainRecord e1 = core::explain(d.normalized);
+    obs::ExplainRecord e2 = core::explain(d.normalized);
+    if (e1.renderJson() != e2.renderJson())
+        throw InternalError("fig4: explain record is not deterministic");
+
     report.flag("obs_off_wall_s", off_s);
     report.flag("obs_on_wall_s", on_s);
     std::printf("obs off-switch guard: off %.3fms, instrumented %.3fms, "
-                "stats bit-identical\n",
+                "stats bit-identical (comm/explain covered)\n",
                 off_s * 1e3, on_s * 1e3);
 }
 

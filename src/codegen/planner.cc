@@ -78,20 +78,53 @@ planCodegen(const ir::Program &prog, const xform::TransformedNest &nest,
                          a.name;
         return true;
     };
-    bool aligned = false;
+    // Scan every candidate (not just until the first hit) so that the
+    // plan can report the tie-break that picked the winner: 2-D block
+    // alignment over 1-D, writes over reads, statement order within a
+    // class. consider/consider_2d overwrite the plan on success, so
+    // probe on a scratch plan and re-run only the winner.
+    auto probe = [&](auto &&fn, const ir::ArrayRef &r) {
+        numa::ExecutionPlan scratch;
+        std::swap(plan, scratch);
+        bool ok = fn(r);
+        std::swap(plan, scratch);
+        return ok;
+    };
+    size_t eligible_2d = 0, eligible_writes = 0, eligible_reads = 0;
+    const ir::ArrayRef *win = nullptr;
+    bool win_2d = false, win_write = false;
     for (const ir::Statement &s : nest.body())
-        if (!aligned)
-            aligned = consider_2d(s.lhs);
+        if (probe(consider_2d, s.lhs) && !eligible_2d++) {
+            win = &s.lhs;
+            win_2d = win_write = true;
+        }
     for (const ir::Statement &s : nest.body())
-        if (!aligned)
-            aligned = consider(s.lhs);
-    for (const ir::Statement &s : nest.body()) {
-        if (aligned)
-            break;
+        if (probe(consider, s.lhs) && !eligible_writes++ && !win) {
+            win = &s.lhs;
+            win_write = true;
+        }
+    for (const ir::Statement &s : nest.body())
         s.rhs.forEachRef([&](const ir::ArrayRef &r) {
-            if (!aligned)
-                aligned = consider(r);
+            if (probe(consider, r) && !eligible_reads++ && !win)
+                win = &r;
         });
+    bool aligned = false;
+    if (win) {
+        aligned = win_2d ? consider_2d(*win) : consider(*win);
+        size_t total = eligible_2d + eligible_writes + eligible_reads;
+        std::ostringstream tb;
+        tb << "picked " << (win_2d ? "2-D block write"
+                            : win_write ? "write" : "read")
+           << " of " << prog.arrays[win->arrayId].name;
+        if (total > 1)
+            tb << " over " << (total - 1) << " other aligned candidate"
+               << (total > 2 ? "s" : "")
+               << (win_2d ? " (2-D grid alignment first"
+                          : " (writes before reads")
+               << ", statement order within a class)";
+        else
+            tb << " (only aligned candidate)";
+        plan.tieBreak = tb.str();
     }
     if (!aligned) {
         plan.scheme = numa::PartitionScheme::RoundRobin;

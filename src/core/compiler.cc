@@ -3,10 +3,12 @@
 #include <sstream>
 
 #include "ir/printer.h"
+#include "obs/explain.h"
 #include "ratmath/linalg.h"
 #include "verify/verify.h"
 #include "xform/basis.h"
 #include "xform/legal.h"
+#include "xform/stride.h"
 
 namespace anc::core {
 
@@ -72,7 +74,9 @@ normalizeAtTier(const ir::Program &prog,
     tick(cancel);
     {
         auto s = pc.phase("basis-matrix");
-        r.basis = xform::basisMatrix(r.access.matrix).basis;
+        xform::BasisResult basis = xform::basisMatrix(r.access.matrix);
+        r.basis = basis.basis;
+        r.basisKeptRows = basis.keptRows;
     }
 
     stage = Stage::Legality;
@@ -80,21 +84,25 @@ normalizeAtTier(const ir::Program &prog,
     if (nopts.enforceLegality) {
         {
             auto s = pc.phase("legal-basis");
-            r.legal = xform::legalBasis(r.basis, r.depMatrix);
+            r.legal = xform::legalBasis(r.basis, r.depMatrix,
+                                        &r.legalTrail);
         }
         tick(cancel);
         auto s = pc.phase("legal-invertible");
         r.transform =
             unimodular_only
                 ? xform::unimodularLegalInvertible(r.legal, r.depMatrix, n,
-                                                   &r.unimodularDropped)
-                : xform::legalInvertible(r.legal, r.depMatrix);
+                                                   &r.unimodularDropped,
+                                                   &r.projectionRows)
+                : xform::legalInvertible(r.legal, r.depMatrix,
+                                         &r.projectionRows);
         if (!deps::isLegalTransformation(r.transform, r.depMatrix))
             throw InternalError("normalization produced illegal transform");
         if (dinfo.imprecise &&
             !deps::preservesLexSign(r.transform, dinfo.families)) {
             r.transform = IntMatrix::identity(n);
             r.conservativeFallback = true;
+            r.projectionRows = 0;
         }
     } else {
         auto s = pc.phase("padding");
@@ -522,6 +530,220 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
     throw InternalError(
         "compileResilient: even the identity tier failed: " + last_error +
         "\ndiagnostics:\n" + diags.render());
+}
+
+namespace {
+
+std::string
+vecStr(const IntVec &v)
+{
+    std::string s = "[";
+    for (size_t i = 0; i < v.size(); ++i)
+        s += (i ? " " : "") + std::to_string(v[i]);
+    return s + "]";
+}
+
+std::string
+matrixStr(const IntMatrix &m)
+{
+    std::string s = "[";
+    for (size_t i = 0; i < m.rows(); ++i) {
+        if (i)
+            s += "; ";
+        IntVec row = m.row(i);
+        for (size_t j = 0; j < row.size(); ++j)
+            s += (j ? " " : "") + std::to_string(row[j]);
+    }
+    return s + "]";
+}
+
+} // namespace
+
+obs::ExplainRecord
+explain(const Compilation &c)
+{
+    const xform::NormalizeResult &r = c.normalization;
+    obs::ExplainRecord e;
+    e.tier = tierName(c.tier);
+    e.degraded = c.degraded();
+    e.transform = matrixStr(r.transform);
+    e.unimodular = r.unimodular;
+
+    // --- Candidate trail. Identity compiles never build a candidate
+    // basis, so their record carries no basis/legality trail: mark it
+    // partial whether the caller asked for identity or the ladder fell
+    // to it (a fault may even have kept the access matrix from being
+    // built at all).
+    bool identity_tier = c.tier == CompileTier::Identity;
+    if (identity_tier && r.basisKeptRows.empty()) {
+        e.partial = true;
+        if (r.access.rows.empty())
+            e.notes.push_back("no access matrix recorded: the compile "
+                              "reached the identity rung before one "
+                              "was built");
+    }
+    // Positions (into the candidate list) of rows that survived the
+    // legality filter, for the unimodular-drop annotation below.
+    std::vector<size_t> legal_kept;
+    for (size_t i = 0; i < r.access.rows.size(); ++i) {
+        const xform::AccessRow &row = r.access.rows[i];
+        obs::ExplainCandidate cand;
+        cand.accessRow = Int(i);
+        cand.coeffs = vecStr(row.coeffs);
+        cand.origin = row.origin;
+        cand.count = row.count;
+        cand.distDim = row.distDim;
+        size_t kept_pos = r.basisKeptRows.size();
+        for (size_t k = 0; k < r.basisKeptRows.size(); ++k)
+            if (r.basisKeptRows[k] == i)
+                kept_pos = k;
+        if (identity_tier && r.basisKeptRows.empty()) {
+            cand.stage = "basis";
+            cand.verdict = "unused";
+            cand.reason = "identity tier compiles the original nest";
+        } else if (kept_pos == r.basisKeptRows.size()) {
+            cand.stage = "basis";
+            cand.verdict = "dropped";
+            cand.reason =
+                "linearly dependent on more important rows";
+        } else if (kept_pos < r.legalTrail.size()) {
+            const xform::LegalRowVerdict &v = r.legalTrail[kept_pos];
+            cand.stage = "legality";
+            cand.depsCarried = v.depsCarried;
+            switch (v.action) {
+            case xform::LegalRowVerdict::Action::Kept:
+                cand.verdict = "kept";
+                legal_kept.push_back(e.candidates.size());
+                break;
+            case xform::LegalRowVerdict::Action::Negated:
+                cand.verdict = "reversed";
+                cand.reason = "all dependence products non-positive: "
+                              "kept with the loop reversed";
+                legal_kept.push_back(e.candidates.size());
+                break;
+            case xform::LegalRowVerdict::Action::Discarded:
+                cand.verdict = "dropped";
+                cand.reason = "mixed dependence signs: the row would "
+                              "run a dependence backwards";
+                cand.violatedDep = v.violatedCol;
+                break;
+            }
+        } else {
+            cand.stage = "basis";
+            cand.verdict = "kept";
+            legal_kept.push_back(e.candidates.size());
+        }
+        e.candidates.push_back(std::move(cand));
+    }
+    // Under unimodularOnly the trailing kept rows were re-dropped.
+    for (size_t k = 0; k < r.unimodularDropped && k < legal_kept.size();
+         ++k) {
+        obs::ExplainCandidate &cand =
+            e.candidates[legal_kept[legal_kept.size() - 1 - k]];
+        cand.verdict = "dropped";
+        cand.reason =
+            "dropped to keep the transformation unimodular";
+        cand.depsCarried = 0;
+    }
+    // Synthesized rows of T: dependence-carrying projections first,
+    // then identity padding (coefficients read off the chosen T).
+    if (!identity_tier && !r.conservativeFallback) {
+        size_t kept = legal_kept.size() >= r.unimodularDropped
+                          ? legal_kept.size() - r.unimodularDropped
+                          : 0;
+        for (size_t i = kept; i < r.transform.rows(); ++i) {
+            obs::ExplainCandidate cand;
+            cand.coeffs = vecStr(r.transform.row(i));
+            bool proj = i < kept + r.projectionRows;
+            cand.origin = proj ? "dependence-carrying projection"
+                               : "identity padding";
+            cand.stage = "padding";
+            cand.verdict = "kept";
+            cand.reason = proj
+                              ? "appended to carry the remaining "
+                                "dependences (LegalInvt)"
+                              : "identity row on a non-pivot column "
+                                "completes an invertible T";
+            e.candidates.push_back(std::move(cand));
+        }
+    }
+    if (r.conservativeFallback)
+        e.notes.push_back(
+            "imprecise dependence family rejected the candidate "
+            "transformation; the identity transformation was compiled "
+            "instead");
+
+    // --- Plan.
+    switch (c.plan.scheme) {
+    case numa::PartitionScheme::RoundRobin:
+        e.scheme = "round-robin";
+        break;
+    case numa::PartitionScheme::OwnerWrapped:
+        e.scheme = "owner-wrapped";
+        break;
+    case numa::PartitionScheme::OwnerBlocked:
+        e.scheme = "owner-blocked";
+        break;
+    case numa::PartitionScheme::OwnerBlock2D:
+        e.scheme = "owner-block2d";
+        break;
+    }
+    e.planRationale = c.plan.rationale;
+    e.tieBreak = c.plan.tieBreak;
+    e.outerParallel = c.plan.outerParallel;
+    e.hoists = c.plan.hoists.size();
+
+    // --- Per-reference stride/contiguity scores under the chosen T.
+    if (r.nest) {
+        std::vector<xform::RefStride> strides =
+            xform::analyzeInnerStrides(*r.nest);
+        std::vector<size_t> read_idx(c.program.nest.body().size(), 0);
+        for (const xform::RefStride &rs : strides) {
+            obs::ExplainRefScore score;
+            const std::string &name = c.program.arrays[rs.arrayId].name;
+            size_t ri = 0;
+            if (rs.isWrite) {
+                score.ref = "stmt " + std::to_string(rs.stmt) +
+                            " write " + name;
+            } else {
+                ri = read_idx[rs.stmt]++;
+                score.ref = "stmt " + std::to_string(rs.stmt) + " read " +
+                            std::to_string(ri) + " " + name;
+            }
+            std::string s = "[";
+            for (size_t j = 0; j < rs.strides.size(); ++j)
+                s += (j ? " " : "") + rs.strides[j].str();
+            score.strides = s + "]";
+            score.constantStride = rs.constantStride();
+            score.singleDimension = rs.singleDimension();
+            if (rs.isWrite) {
+                score.verdict = "write (owner computes)";
+            } else if (c.program.arrays[rs.arrayId].dist.kind ==
+                       ir::DistKind::Replicated) {
+                score.verdict = "replicated (always local)";
+            } else {
+                score.verdict = "element-wise access";
+                for (const numa::BlockHoist &h : c.plan.hoists)
+                    if (h.stmt == rs.stmt && h.readIdx == ri)
+                        score.verdict =
+                            h.level < 0
+                                ? "block transfer (hoisted out of the "
+                                  "nest)"
+                                : "block transfer (hoisted above level " +
+                                      std::to_string(h.level + 1) + ")";
+            }
+            e.refs.push_back(std::move(score));
+        }
+    } else {
+        e.partial = true;
+        e.notes.push_back("no transformed nest: reference scores "
+                          "unavailable");
+    }
+
+    for (const Diagnostic &d : c.diagnostics.all())
+        if (d.severity != Severity::Note)
+            e.notes.push_back(d.render());
+    return e;
 }
 
 std::string

@@ -21,6 +21,7 @@
 #include "core/cancel.h"
 #include "core/diagnostics.h"
 #include "numa/simulator.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "verify/verify.h"
 #include "xform/normalize.h"
@@ -163,6 +164,16 @@ struct ResilientOptions
  */
 Compilation compileResilient(ir::Program prog,
                              const ResilientOptions &opts = {});
+
+/**
+ * Build the plan-explainability record for a finished compilation: the
+ * candidate-basis trail (what BasisMatrix kept, what LegalBasis
+ * reversed or rejected and which dependence killed it, what padding
+ * completed T), the partition tie-break, and per-reference stride
+ * scores under the chosen T. Pure function of the Compilation; degraded
+ * results yield a well-formed (possibly partial) record.
+ */
+obs::ExplainRecord explain(const Compilation &c);
 
 /** Simulate a compilation on a modeled NUMA machine. */
 numa::SimStats simulate(const Compilation &c, const numa::SimOptions &opts,

@@ -128,6 +128,8 @@ Diagnostic::render() const
     os << ": " << message;
     if (!detail.empty())
         os << " (" << detail << ")";
+    if (!origin.empty())
+        os << " [request " << origin << "]";
     return os.str();
 }
 
@@ -138,7 +140,8 @@ Diagnostic::renderMachine() const
     os << "severity=" << severityName(severity)
        << " stage=" << stageName(stage) << " line=" << line
        << " message=" << quoteEscaped(message)
-       << " detail=" << quoteEscaped(detail);
+       << " detail=" << quoteEscaped(detail)
+       << " origin=" << quoteEscaped(origin);
     return os.str();
 }
 
@@ -150,7 +153,8 @@ Diagnostic::renderJson() const
        << ", \"stage\": " << jsonQuoted(stageName(stage))
        << ", \"line\": " << line
        << ", \"message\": " << jsonQuoted(message)
-       << ", \"detail\": " << jsonQuoted(detail) << "}";
+       << ", \"detail\": " << jsonQuoted(detail)
+       << ", \"origin\": " << jsonQuoted(origin) << "}";
     return os.str();
 }
 
@@ -190,6 +194,14 @@ Diagnostics::hasWarnings() const
         if (d.severity == Severity::Warning)
             return true;
     return false;
+}
+
+void
+Diagnostics::stampOrigin(const std::string &origin)
+{
+    for (Diagnostic &d : diags_)
+        if (d.origin.empty())
+            d.origin = origin;
 }
 
 bool

@@ -59,18 +59,24 @@ struct Diagnostic
     std::string detail;
     /** 1-based source line when known, -1 otherwise. */
     int line = -1;
+    /** Provenance: which service request this diagnostic was produced
+     * for (the svc request id; "" outside the service). Lets a
+     * diagnostic pulled out of a results file or CI artifact stay
+     * attributable on its own. */
+    std::string origin;
 
-    /** "warning [legality]: message (detail)" */
+    /** "warning [legality]: message (detail) [request id]" */
     std::string render() const;
 
     /** One parseable line: severity=... stage=... line=... message="..."
-     * detail="..." with backslash/quote/newline escaping. */
+     * detail="..." origin="..." with backslash/quote/newline escaping. */
     std::string renderMachine() const;
 
     /** One JSON object with a STABLE field set and order:
      * {"severity": "...", "stage": "...", "line": n, "message": "...",
-     *  "detail": "..."} -- always all five keys, in that order, so
-     * ancd responses and CI artifacts parse without special cases. */
+     *  "detail": "...", "origin": "..."} -- always all six keys, in
+     * that order, so ancd responses and CI artifacts parse without
+     * special cases. */
     std::string renderJson() const;
 };
 
@@ -93,6 +99,10 @@ class Diagnostics
 
     /** True if some diagnostic mentions the given stage. */
     bool mentionsStage(Stage stage) const;
+
+    /** Set `origin` on every diagnostic that does not have one yet
+     * (diagnostics merged from another request keep theirs). */
+    void stampOrigin(const std::string &origin);
 
     /** Human-readable report, one diagnostic per line. */
     std::string render() const;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Assembling communication matrices from simulator results.
+ *
+ * The simulator records one sparse origin->owner row per simulated
+ * processor (ProcStats::comm, behind SimOptions::commMatrix); this
+ * module turns a finished SimStats into the exportable
+ * obs::CommMatrix, following the observability discipline: the builder
+ * is a sink that derives everything from the finished stats, never a
+ * second source of truth.
+ *
+ * Direct runs export per-processor rows as recorded. Aggregated runs
+ * hold one representative row per symmetry class; the builder either
+ *
+ *   - expands them back to per-processor rows when the expansion fits
+ *     the byte budget (owners translated by the member offset, which
+ *     the translation-merge conditions of numa/symmetry.h prove
+ *     exact), so small-P exports are byte-identical across
+ *     symmetry=off|auto|force; or
+ *
+ *   - folds them into class-pair cells in closed form: for each
+ *     representative edge, the number of class members whose
+ *     translated owner lands in each target class is a congruence
+ *     count over the class's processor ranges -- O(#classes^2 x
+ *     #edges) total with no O(P) loop anywhere, which is what keeps a
+ *     GEMM comm collection at P = 2^20 in flat wall time.
+ */
+
+#ifndef ANC_NUMA_COMM_H
+#define ANC_NUMA_COMM_H
+
+#include "numa/stats.h"
+#include "obs/comm_matrix.h"
+
+namespace anc::numa {
+
+/**
+ * Build the whole-machine communication matrix from a finished run.
+ * Aggregated stats expand to per-processor rows when the expansion
+ * fits materialize_budget bytes, and fold to class-pair cells
+ * otherwise. Throws UserError on counter overflow and InternalError if
+ * the class fold loses traffic (a symmetry-soundness violation).
+ */
+obs::CommMatrix
+buildCommMatrix(const SimStats &stats,
+                uint64_t materialize_budget =
+                    obs::CommMatrix::kDefaultMaterializeBudget);
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_COMM_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Closed-form congruence counting over arithmetic progressions.
+ *
+ * The iteration-counting kernel of the simulator's wrapped-ownership
+ * fast path (how many innermost iterations land on processor p?) and of
+ * the communication-matrix class fold (how many members of one symmetry
+ * class send to another?). Exact for any operand signs; cost is one
+ * extended Euclid.
+ */
+
+#ifndef ANC_NUMA_CONGRUENT_H
+#define ANC_NUMA_CONGRUENT_H
+
+#include <cstdint>
+
+#include "ratmath/int_util.h"
+
+namespace anc::numa {
+
+/**
+ * Number of j in [0, count) with (a + j*delta) mod m == target. Also
+ * reports the largest such j (jLast, meaningful when hits > 0).
+ */
+struct CongruentCount
+{
+    uint64_t hits = 0;
+    uint64_t jLast = 0;
+};
+
+inline CongruentCount
+countCongruent(Int a, Int delta, uint64_t count, Int m, Int target)
+{
+    CongruentCount out;
+    Int need = euclidMod(checkedSub(target, a), m);
+    Int d = euclidMod(delta, m);
+    if (d == 0) {
+        if (need == 0) {
+            out.hits = count;
+            out.jLast = count - 1;
+        }
+        return out;
+    }
+    ExtGcd eg = extGcd(d, m);
+    if (need % eg.g != 0)
+        return out;
+    Int step = m / eg.g;
+    // (d/g) * x == 1 (mod m/g), so j0 = (need/g) * x mod step.
+    Int inv = euclidMod(eg.x, step);
+    Int j0 = Int((Int128(need / eg.g) * Int128(inv)) % Int128(step));
+    if (uint64_t(j0) >= count)
+        return out;
+    out.hits = (count - 1 - uint64_t(j0)) / uint64_t(step) + 1;
+    out.jLast = uint64_t(j0) + (out.hits - 1) * uint64_t(step);
+    return out;
+}
+
+} // namespace anc::numa
+
+#endif // ANC_NUMA_CONGRUENT_H

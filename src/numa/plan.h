@@ -59,6 +59,10 @@ struct ExecutionPlan
     bool outerParallel = true;
     /** Which of the paper's Section 7 cases applied, for reports. */
     std::string rationale;
+    /** The rule that picked the aligned reference among the eligible
+     * candidates (2-D blocks over 1-D, writes over reads, statement
+     * order) -- empty when nothing competed. For the explain record. */
+    std::string tieBreak;
 };
 
 } // namespace anc::numa

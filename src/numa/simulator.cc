@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "numa/congruent.h"
 #include "numa/thread_pool.h"
 #include "ratmath/diophantine.h"
 
@@ -88,44 +89,6 @@ struct StmtEval
     std::vector<RefEval> refs;
     const ir::Statement *stmt = nullptr;
 };
-
-/**
- * Number of j in [0, count) with (a + j*delta) mod m == target, the
- * iteration-counting kernel of the closed-form wrapped-ownership path.
- * Also reports the largest such j (jLast, meaningful when nonzero).
- */
-struct CongruentCount
-{
-    uint64_t hits = 0;
-    uint64_t jLast = 0;
-};
-
-CongruentCount
-countCongruent(Int a, Int delta, uint64_t count, Int m, Int target)
-{
-    CongruentCount out;
-    Int need = euclidMod(checkedSub(target, a), m);
-    Int d = euclidMod(delta, m);
-    if (d == 0) {
-        if (need == 0) {
-            out.hits = count;
-            out.jLast = count - 1;
-        }
-        return out;
-    }
-    ExtGcd eg = extGcd(d, m);
-    if (need % eg.g != 0)
-        return out;
-    Int step = m / eg.g;
-    // (d/g) * x == 1 (mod m/g), so j0 = (need/g) * x mod step.
-    Int inv = euclidMod(eg.x, step);
-    Int j0 = Int((Int128(need / eg.g) * Int128(inv)) % Int128(step));
-    if (uint64_t(j0) >= count)
-        return out;
-    out.hits = (count - 1 - uint64_t(j0)) / uint64_t(step) + 1;
-    out.jLast = uint64_t(j0) + (out.hits - 1) * uint64_t(step);
-    return out;
-}
 
 } // namespace
 
@@ -393,6 +356,28 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             stats.blockElementsByRef[g] += count;
     };
 
+    // Communication-matrix cells (off by default). Remote charges below
+    // pass the destination owner into comm_add next to every
+    // aggregate-counter bump, so the row sums equal the aggregate
+    // counters by construction. Sites that spread one closed-form
+    // charge across several owners (the wrapped paths) pass the
+    // kCommByCaller sentinel and attribute per owner themselves. The
+    // map is folded into stats.comm (owner-sorted) at the end of the
+    // slice, so the row is a pure function of the walk's counts.
+    constexpr Int kCommByCaller = -2;
+    const bool comm = opts_.commMatrix;
+    std::unordered_map<Int, obs::CommEdge> commAcc;
+    auto comm_add = [&](Int own, uint64_t remote_elems,
+                        uint64_t transfers, uint64_t block_elems) {
+        if (!comm || own < 0)
+            return;
+        obs::CommEdge &e = commAcc[own];
+        e.owner = own;
+        e.remoteElements += remote_elems;
+        e.blockTransfers += transfers;
+        e.blockElements += block_elems;
+    };
+
     auto owner_at = [&](const RefEval &r) -> Int {
         if (r.distSubs.empty())
             return -1;
@@ -406,7 +391,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     // records, for the element charges that follow under the same key,
     // whether the block was abandoned and how many extra element copies
     // the re-sends moved.
-    auto new_transfer = [&](const RefEval &r) {
+    auto new_transfer = [&](const RefEval &r, Int own) {
         size_t g = r.globalIdx;
         uint64_t idx = ++transferEvents[g];
         TransferBatchOutcome outc = chargeTransferBatch(
@@ -420,39 +405,46 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                                   fi.corruptTransferEvery, idx))
             mult = 1;
         keyMult[g] = mult;
-        if (!outc.abandoned)
+        if (!outc.abandoned) {
             acc.blockTransfers += 1;
+            comm_add(own, 0, 1, 0);
+        }
     };
 
     // `count` elements of reference r arrive under hoist key `key`
     // (block-transfer path). Exactly the fault-free key bookkeeping
     // when nothing is armed.
-    auto charge_hoisted = [&](const RefEval &r, uint64_t key,
+    auto charge_hoisted = [&](const RefEval &r, Int own, uint64_t key,
                               uint64_t count) {
         size_t g = r.globalIdx;
         if (lastKey[g] != key) {
             lastKey[g] = key;
-            if (faulty)
-                new_transfer(r);
-            else
+            if (faulty) {
+                new_transfer(r, own);
+            } else {
                 acc.blockTransfers += 1;
+                comm_add(own, 0, 1, 0);
+            }
         }
         if (faulty && keyAbandoned[g]) {
             // The block never arrived: its elements fall back to
             // element-wise remote access (not re-injected).
             chargeAbandonedElements(stats, r.arrayId, n_arrays, count);
             ref_remote(g, count);
+            comm_add(own, count, 0, 0);
             stats.recoveryElements += keyMult[g] * count;
         } else {
             acc.blockElements += count;
             ref_block_elems(g, count);
+            comm_add(own, 0, 0, count);
             if (faulty)
                 stats.recoveryElements += keyMult[g] * count;
         }
     };
 
     // `count` consecutive element-wise remote accesses of reference r.
-    auto charge_remote_elems = [&](const RefEval &r, uint64_t count) {
+    auto charge_remote_elems = [&](const RefEval &r, Int own,
+                                   uint64_t count) {
         if (faulty) {
             uint64_t first = remoteEvents[r.globalIdx];
             remoteEvents[r.globalIdx] += count;
@@ -460,6 +452,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         }
         acc.remoteAccesses += count;
         ref_remote(r.globalIdx, count);
+        comm_add(own, count, 0, 0);
         if (stats.remoteByArray.empty())
             stats.remoteByArray.assign(c.dists.size(), 0);
         stats.remoteByArray[r.arrayId] += count;
@@ -475,9 +468,9 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
             ref_local(r.globalIdx, count);
         } else if (!r.isWrite && opts_.blockTransfers &&
                    r.hoistLevel != kNoHoist) {
-            charge_hoisted(r, key, count);
+            charge_hoisted(r, own, key, count);
         } else {
-            charge_remote_elems(r, count);
+            charge_remote_elems(r, own, count);
         }
     };
 
@@ -485,11 +478,13 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
     // (hoist boundary at the innermost level: every remote iteration
     // fetches a fresh block). Abandoned transfers complete nothing;
     // their single elements are charged remote by chargeTransferBatch.
-    auto charge_bulk_transfers = [&](const RefEval &r, uint64_t num) {
+    auto charge_bulk_transfers = [&](const RefEval &r, Int own,
+                                     uint64_t num) {
         if (!faulty) {
             acc.blockTransfers += num;
             acc.blockElements += num;
             ref_block_elems(r.globalIdx, num);
+            comm_add(own, 0, num, num);
             return;
         }
         size_t g = r.globalIdx;
@@ -503,6 +498,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         // chargeTransferBatch charged the abandoned one-element blocks
         // as element-wise remote accesses; mirror them per reference.
         ref_remote(g, outc.abandoned);
+        comm_add(own, outc.abandoned, outc.completed, outc.completed);
     };
 
     auto execute_body = [&]() {
@@ -545,7 +541,7 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                             acc.localAccesses += count;
                             ref_local(r.globalIdx, count);
                         } else {
-                            charge_bulk_transfers(r, count);
+                            charge_bulk_transfers(r, own, count);
                             lastKey[r.globalIdx] = ticks[n - 1] + count;
                         }
                     } else {
@@ -562,17 +558,71 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                   case InnerKind::Wrapped: {
                     const Distribution &dist = c.dists[r.arrayId];
                     Int a = r.distSubs[0].sub.eval(u);
-                    CongruentCount local = countCongruent(
-                        a, r.distSubs[0].innerDelta, count,
-                        dist.processors(), p);
+                    Int delta = r.distSubs[0].innerDelta;
+                    Int procs = dist.processors();
+                    CongruentCount local =
+                        countCongruent(a, delta, count, procs, p);
                     uint64_t remote = count - local.hits;
                     acc.localAccesses += local.hits;
                     ref_local(r.globalIdx, local.hits);
                     if (remote == 0)
                         break;
-                    if (!r.isWrite && opts_.blockTransfers &&
-                        r.hoistLevel != kNoHoist) {
-                        if (r.hoistLevel == int(n) - 1) {
+                    const bool hoisted = !r.isWrite &&
+                                         opts_.blockTransfers &&
+                                         r.hoistLevel != kNoHoist;
+                    const bool bulk =
+                        hoisted && r.hoistLevel == int(n) - 1;
+                    // Per-owner attribution for the communication
+                    // matrix: walk the owner residue cycle once
+                    // (O(min(count, procs/gcd)), bounded by what the
+                    // naive walk pays per run) and count each owner's
+                    // congruent iterations in closed form. Message
+                    // faults never reach this path with comm on
+                    // (compile_ref downgrades those references to the
+                    // incremental walk).
+                    if (comm) {
+                        Int d = euclidMod(delta, procs);
+                        uint64_t period =
+                            d == 0 ? 1
+                                   : uint64_t(procs / gcdInt(d, procs));
+                        uint64_t distinct =
+                            std::min<uint64_t>(count, period);
+                        Int q = euclidMod(a, procs);
+                        if (hoisted && !bulk) {
+                            // One hoist key covers the whole run: the
+                            // naive walk charges the (at most one) new
+                            // transfer at the first remote iteration.
+                            uint64_t key =
+                                r.hoistLevel < 0
+                                    ? 1
+                                    : ticks[size_t(r.hoistLevel)];
+                            if (lastKey[r.globalIdx] != key) {
+                                Int first_owner =
+                                    q != p ? q
+                                           : euclidMod(q + d, procs);
+                                comm_add(first_owner, 0, 1, 0);
+                            }
+                        }
+                        for (uint64_t t = 0; t < distinct; ++t) {
+                            if (q != p) {
+                                uint64_t hits =
+                                    countCongruent(a, delta, count,
+                                                   procs, q)
+                                        .hits;
+                                if (bulk)
+                                    comm_add(q, 0, hits, hits);
+                                else if (hoisted)
+                                    comm_add(q, 0, 0, hits);
+                                else
+                                    comm_add(q, hits, 0, 0);
+                            }
+                            q += d;
+                            if (q >= procs)
+                                q -= procs;
+                        }
+                    }
+                    if (hoisted) {
+                        if (bulk) {
                             // Every remote iteration ticks the hoist
                             // level, so each fetches a fresh block; the
                             // last key consumed belongs to the last
@@ -581,7 +631,8 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                                 local.hits > 0 && local.jLast == count - 1
                                     ? count - 2
                                     : count - 1;
-                            charge_bulk_transfers(r, remote);
+                            charge_bulk_transfers(r, kCommByCaller,
+                                                  remote);
                             lastKey[r.globalIdx] =
                                 ticks[n - 1] + j_last_remote + 1;
                         } else {
@@ -589,10 +640,11 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
                                 r.hoistLevel < 0
                                     ? 1
                                     : ticks[size_t(r.hoistLevel)];
-                            charge_hoisted(r, key, remote);
+                            charge_hoisted(r, kCommByCaller, key,
+                                           remote);
                         }
                     } else {
-                        charge_remote_elems(r, remote);
+                        charge_remote_elems(r, kCommByCaller, remote);
                     }
                     break;
                   }
@@ -755,6 +807,33 @@ Simulator::runSlice(const Compiled &c, Int p, const OuterSlice &slice,
         }
     }
     acc.flushInto(stats);
+    // Fold the slice's comm cells into the processor's sparse row
+    // (owner-sorted, duplicates from earlier slices -- e.g. the
+    // adoption phase -- coalesced), so the row is a pure function of
+    // the walk's counts regardless of map iteration order.
+    if (comm && !commAcc.empty()) {
+        stats.comm.reserve(stats.comm.size() + commAcc.size());
+        for (auto &kv : commAcc)
+            stats.comm.push_back(kv.second);
+        std::sort(stats.comm.begin(), stats.comm.end(),
+                  [](const obs::CommEdge &a, const obs::CommEdge &b) {
+                      return a.owner < b.owner;
+                  });
+        size_t w = 0;
+        for (size_t i = 0; i < stats.comm.size(); ++i) {
+            if (w > 0 && stats.comm[w - 1].owner == stats.comm[i].owner) {
+                stats.comm[w - 1].remoteElements +=
+                    stats.comm[i].remoteElements;
+                stats.comm[w - 1].blockTransfers +=
+                    stats.comm[i].blockTransfers;
+                stats.comm[w - 1].blockElements +=
+                    stats.comm[i].blockElements;
+            } else {
+                stats.comm[w++] = stats.comm[i];
+            }
+        }
+        stats.comm.resize(w);
+    }
 }
 
 void
@@ -838,6 +917,14 @@ Simulator::run(const ir::Bindings &binds, ir::ArrayStorage *storage) const
         else if (dist.spec().kind == ir::DistKind::Wrapped)
             re.innerKind = InnerKind::Wrapped;
         else
+            re.innerKind = InnerKind::Stepped;
+        // Per-owner fault outcomes cannot be split out of the wrapped
+        // closed forms: with both comm collection and message faults
+        // armed, take the incremental walk instead -- identical
+        // counters (the PR 1 contract) at the naive walk's cost, and
+        // both features are opt-in.
+        if (re.innerKind == InnerKind::Wrapped && opts_.commMatrix &&
+            opts_.faults.anyMessage())
             re.innerKind = InnerKind::Stepped;
         return re;
     };

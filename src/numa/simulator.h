@@ -112,6 +112,21 @@ struct SimOptions
      */
     bool perReference = false;
     /**
+     * Collect the origin->owner communication matrix (ProcStats::comm
+     * sparse rows, assembled by numa::buildCommMatrix; see
+     * obs/comm_matrix.h). Off by default with the per-reference
+     * discipline: the hot path then sees only never-taken branches --
+     * no map, no allocation. When on, the wrapped closed-form paths
+     * additionally enumerate the owner residue cycle (bounded by what
+     * the naive walk pays per inner run), and wrapped references under
+     * armed message faults take the incremental walk so per-owner fault
+     * outcomes attribute exactly as the naive walk's; counters -- and
+     * the matrix -- stay bit-identical across hostThreads, fastInner
+     * and injected faults. simulateOwnership() ignores this (the
+     * baseline's traffic structure is the guard sweep, not a plan).
+     */
+    bool commMatrix = false;
+    /**
      * Symmetry-class aggregation (see numa/symmetry.h): simulate one
      * representative per processor-equivalence class and replicate its
      * stats analytically, making wall time and memory O(#classes)

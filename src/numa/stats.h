@@ -21,12 +21,14 @@
 #ifndef ANC_NUMA_STATS_H
 #define ANC_NUMA_STATS_H
 
+#include <algorithm>
 #include <cstdint>
 #include <iomanip>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/comm_matrix.h"
 #include "ratmath/int_util.h"
 
 namespace anc::numa {
@@ -69,6 +71,16 @@ struct ProcStats
     std::vector<uint64_t> localByRef;
     std::vector<uint64_t> remoteByRef;
     std::vector<uint64_t> blockElementsByRef;
+    /**
+     * Sparse outgoing communication row, owner-sorted: this processor's
+     * traffic into each remote owner. Empty unless
+     * SimOptions::commMatrix; its sums are invariants against the
+     * aggregate counters (sum(remoteElements) == remoteAccesses,
+     * sum(blockTransfers) == blockTransfers, sum(blockElements) ==
+     * blockElements). Assembled into a whole-machine matrix by
+     * numa::buildCommMatrix.
+     */
+    std::vector<obs::CommEdge> comm;
 
     void
     noteRemote(size_t array_id, size_t num_arrays)
@@ -478,7 +490,10 @@ struct SimStats
                          c.rep.localByRef.size() +
                          c.rep.remoteByRef.size() +
                          c.rep.blockElementsByRef.size();
-            payload = std::max(payload, v * sizeof(uint64_t));
+            payload = std::max(payload,
+                               v * sizeof(uint64_t) +
+                                   c.rep.comm.size() *
+                                       sizeof(obs::CommEdge));
         }
         unsigned __int128 need =
             (unsigned __int128)(uint64_t)processors *
@@ -511,6 +526,25 @@ struct SimStats
                 for (Int i = 0; i < r.count; ++i) {
                     Int p = r.memberAt(i, processors);
                     out[size_t(p)] = c.rep;
+                    // A member's communication row is the
+                    // representative's translated by the member offset:
+                    // the translation-merge conditions make every
+                    // ownership residue shift exactly with the
+                    // processor id (see numa/symmetry.h), and
+                    // non-merged classes are singletons (offset 0).
+                    Int t = euclidMod(checkedSub(p, c.rep.proc),
+                                      processors);
+                    if (t != 0 && !out[size_t(p)].comm.empty()) {
+                        for (obs::CommEdge &e : out[size_t(p)].comm)
+                            e.owner = euclidMod(
+                                checkedAdd(e.owner, t), processors);
+                        std::sort(out[size_t(p)].comm.begin(),
+                                  out[size_t(p)].comm.end(),
+                                  [](const obs::CommEdge &a,
+                                     const obs::CommEdge &b) {
+                                      return a.owner < b.owner;
+                                  });
+                    }
                     covered[size_t(p)] = 1;
                 }
         }

@@ -1,0 +1,239 @@
+#include "obs/comm_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "ratmath/error.h"
+
+namespace anc::obs {
+
+namespace {
+
+/** acc + v in 128 bits; UserError on uint64 overflow (matrices sum
+ * multiplicity-scaled cells, so totals can exceed 2^64 long before any
+ * single cell does). */
+uint64_t
+addChecked(uint64_t acc, uint64_t v)
+{
+    unsigned __int128 t = (unsigned __int128)acc + v;
+    if (t > (unsigned __int128)UINT64_MAX)
+        throw UserError(
+            "communication-matrix total overflows 2^64-1; inspect "
+            "per-cell counts instead of grand totals");
+    return (uint64_t)t;
+}
+
+} // namespace
+
+uint64_t
+CommMatrix::totalRemoteElements() const
+{
+    uint64_t n = 0;
+    if (aggregated) {
+        for (const Cell &c : cells)
+            n = addChecked(n, c.remoteElements);
+    } else {
+        for (const Row &r : rows)
+            for (const CommEdge &e : r.edges)
+                n = addChecked(n, e.remoteElements);
+    }
+    return n;
+}
+
+uint64_t
+CommMatrix::totalBlockTransfers() const
+{
+    uint64_t n = 0;
+    if (aggregated) {
+        for (const Cell &c : cells)
+            n = addChecked(n, c.blockTransfers);
+    } else {
+        for (const Row &r : rows)
+            for (const CommEdge &e : r.edges)
+                n = addChecked(n, e.blockTransfers);
+    }
+    return n;
+}
+
+uint64_t
+CommMatrix::totalBlockElements() const
+{
+    uint64_t n = 0;
+    if (aggregated) {
+        for (const Cell &c : cells)
+            n = addChecked(n, c.blockElements);
+    } else {
+        for (const Row &r : rows)
+            for (const CommEdge &e : r.edges)
+                n = addChecked(n, e.blockElements);
+    }
+    return n;
+}
+
+std::vector<CommEdge>
+CommMatrix::rowTotals() const
+{
+    std::vector<CommEdge> out;
+    for (const Row &r : rows) {
+        CommEdge sum;
+        sum.owner = r.origin;
+        for (const CommEdge &e : r.edges) {
+            sum.remoteElements = addChecked(sum.remoteElements,
+                                            e.remoteElements);
+            sum.blockTransfers = addChecked(sum.blockTransfers,
+                                            e.blockTransfers);
+            sum.blockElements = addChecked(sum.blockElements,
+                                           e.blockElements);
+        }
+        out.push_back(sum);
+    }
+    return out;
+}
+
+std::string
+CommMatrix::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"processors\":" << jsonNum(int64_t(processors))
+       << ",\"aggregated\":" << (aggregated ? "true" : "false");
+    if (aggregated) {
+        os << ",\"classes\":[";
+        for (size_t i = 0; i < classes.size(); ++i) {
+            const ClassInfo &c = classes[i];
+            if (i)
+                os << ",";
+            os << "{\"rep\":" << jsonNum(c.rep) << ",\"multiplicity\":"
+               << jsonNum(c.multiplicity) << ",\"default\":"
+               << (c.isDefault ? "true" : "false") << "}";
+        }
+        os << "],\"cells\":[";
+        for (size_t i = 0; i < cells.size(); ++i) {
+            const Cell &c = cells[i];
+            if (i)
+                os << ",";
+            os << "{\"from\":" << jsonNum(c.from) << ",\"to\":"
+               << jsonNum(c.to) << ",\"remoteElements\":"
+               << jsonNum(c.remoteElements) << ",\"blockTransfers\":"
+               << jsonNum(c.blockTransfers) << ",\"blockElements\":"
+               << jsonNum(c.blockElements) << "}";
+        }
+        os << "]}";
+    } else {
+        os << ",\"rows\":[";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            if (i)
+                os << ",";
+            os << "{\"origin\":" << jsonNum(r.origin) << ",\"edges\":[";
+            for (size_t j = 0; j < r.edges.size(); ++j) {
+                const CommEdge &e = r.edges[j];
+                if (j)
+                    os << ",";
+                os << "{\"owner\":" << jsonNum(e.owner)
+                   << ",\"remoteElements\":" << jsonNum(e.remoteElements)
+                   << ",\"blockTransfers\":" << jsonNum(e.blockTransfers)
+                   << ",\"blockElements\":" << jsonNum(e.blockElements)
+                   << "}";
+            }
+            os << "]}";
+        }
+        os << "]}";
+    }
+    return os.str();
+}
+
+std::string
+CommMatrix::renderHeatmap(size_t max_cells) const
+{
+    if (max_cells == 0)
+        max_cells = 1;
+    // Grid side: one bucket per processor (direct) or per class
+    // (aggregated), capped at max_cells buckets a side.
+    const uint64_t span = aggregated ? uint64_t(classes.size())
+                                     : uint64_t(processors);
+    if (span == 0)
+        return "comm matrix: empty\n";
+    const size_t side = size_t(std::min<uint64_t>(span, max_cells));
+    auto bucket = [&](uint64_t id) -> size_t {
+        // id * side / span without overflow at P = 2^20.
+        return size_t((unsigned __int128)id * side / span);
+    };
+    std::vector<double> grid(side * side, 0.0);
+    auto deposit = [&](uint64_t from, uint64_t to, const uint64_t elems) {
+        grid[bucket(from) * side + bucket(to)] += double(elems);
+    };
+    if (aggregated) {
+        for (const Cell &c : cells)
+            deposit(c.from, c.to,
+                    addChecked(c.remoteElements, c.blockElements));
+    } else {
+        for (const Row &r : rows)
+            for (const CommEdge &e : r.edges)
+                deposit(uint64_t(r.origin), uint64_t(e.owner),
+                        addChecked(e.remoteElements, e.blockElements));
+    }
+    double vmax = 0.0;
+    for (double v : grid)
+        vmax = std::max(vmax, v);
+
+    static const char kGlyphs[] = " .:-=+*#%@";
+    constexpr int kLevels = int(sizeof(kGlyphs)) - 2; // nonzero glyphs
+    std::ostringstream os;
+    os << "comm matrix P = " << processors;
+    if (aggregated)
+        os << " (" << classes.size() << " classes)";
+    if (span > side)
+        os << ", " << span << " " << (aggregated ? "classes" : "rows")
+           << " bucketed to " << side;
+    os << "; elements moved (remote + block), log scale\n";
+    os << "  origin \\ owner";
+    if (aggregated)
+        os << "  [class-pair grid; legend below]";
+    os << "\n";
+    for (size_t i = 0; i < side; ++i) {
+        std::ostringstream label;
+        if (span > side)
+            label << (uint64_t(i) * span / side) << "..";
+        else if (aggregated)
+            label << "c" << i;
+        else
+            label << i;
+        os << "  ";
+        std::string l = label.str();
+        os << l << std::string(l.size() < 8 ? 8 - l.size() : 1, ' ')
+           << "|";
+        for (size_t j = 0; j < side; ++j) {
+            double v = grid[i * side + j];
+            char g = ' ';
+            if (v > 0.0 && vmax > 0.0) {
+                int lvl = 1 + int(std::log1p(v) / std::log1p(vmax) *
+                                  (kLevels - 1));
+                lvl = std::min(std::max(lvl, 1), kLevels);
+                g = kGlyphs[lvl];
+            }
+            os << g;
+        }
+        os << "|\n";
+    }
+    os << "  scale: ' '=0";
+    if (vmax > 0.0)
+        os << "  '" << kGlyphs[1] << "'..'" << kGlyphs[kLevels]
+           << "' log up to " << uint64_t(vmax) << " elements";
+    os << "\n";
+    if (aggregated) {
+        constexpr size_t kMaxLegend = 16;
+        for (size_t i = 0; i < classes.size() && i < kMaxLegend; ++i) {
+            os << "  c" << i << ": rep " << classes[i].rep << " x"
+               << classes[i].multiplicity
+               << (classes[i].isDefault ? " (rest)" : "") << "\n";
+        }
+        if (classes.size() > kMaxLegend)
+            os << "  ... " << (classes.size() - kMaxLegend)
+               << " more classes\n";
+    }
+    return os.str();
+}
+
+} // namespace anc::obs

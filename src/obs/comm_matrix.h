@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Origin -> owner communication matrices.
+ *
+ * The simulator's scalar counters say *how much* traffic a processor
+ * generated; the communication matrix says *where it went*: one cell
+ * per (origin, owner) processor pair, holding the element-wise remote
+ * accesses, completed block transfers, and block-moved elements charged
+ * from origin against data owned by owner. This is the structure access
+ * normalization reshapes -- the paper's local/remote ratios are the row
+ * sums of this matrix -- and the scoring surface the ROADMAP's
+ * autotuner will consume.
+ *
+ * Collection follows the PR 4 observability discipline: it is off by
+ * default (SimOptions::commMatrix), the off switch costs the hot path
+ * only never-taken branches, and the recorded cells are a pure function
+ * of the per-processor walk, so the matrix is bit-identical across host
+ * thread counts, fastInner/naive, and injected faults.
+ *
+ * Two representations mirror SimStats:
+ *
+ *   - direct runs fill one row per origin processor (empty rows
+ *     omitted), each row a sparse owner-sorted edge list;
+ *   - symmetry-aggregated runs fill class-pair cells: the traffic from
+ *     every member of origin class A into every member of owner class
+ *     B, computed from one representative row per class. The
+ *     translation-merge conditions (numa/symmetry.h) make member rows
+ *     exact translations of the representative's, so the fold is exact,
+ *     and storage is O(#classes^2 worst case, #edges in practice) even
+ *     at P = 2^20. The builder (numa::buildCommMatrix) expands class
+ *     rows back to per-processor rows when the expansion fits a byte
+ *     budget, translating owners by the member offset, so small-P
+ *     exports are byte-identical across symmetry=off|auto|force.
+ *
+ * Conservation invariants (asserted by tests/numa/comm_matrix_test.cc):
+ * summed over a row, remoteElements == ProcStats::remoteAccesses,
+ * blockTransfers == ProcStats::blockTransfers and blockElements ==
+ * ProcStats::blockElements of the same origin; grand totals match the
+ * SimStats totals.
+ */
+
+#ifndef ANC_OBS_COMM_MATRIX_H
+#define ANC_OBS_COMM_MATRIX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anc::obs {
+
+/** Traffic from one origin processor to one owner processor. */
+struct CommEdge
+{
+    int64_t owner = 0;
+    uint64_t remoteElements = 0; //!< element-wise remote accesses
+    uint64_t blockTransfers = 0; //!< completed hoisted block messages
+    uint64_t blockElements = 0;  //!< elements moved by those blocks
+
+    bool
+    any() const
+    {
+        return remoteElements || blockTransfers || blockElements;
+    }
+};
+
+/**
+ * A whole-machine communication matrix in one of the two
+ * representations described in the file comment.
+ */
+struct CommMatrix
+{
+    /** Default byte budget for materialize(). */
+    static constexpr uint64_t kDefaultMaterializeBudget =
+        uint64_t(256) << 20;
+
+    int64_t processors = 1;
+    /** True when cells/classes are authoritative (class-pair form). */
+    bool aggregated = false;
+
+    /** One origin's outgoing traffic (direct form; empty rows
+     * omitted, rows sorted by origin, edges sorted by owner). */
+    struct Row
+    {
+        int64_t origin = 0;
+        std::vector<CommEdge> edges;
+    };
+    std::vector<Row> rows;
+
+    /** Class identity mirrored from SimStats::classes. */
+    struct ClassInfo
+    {
+        int64_t rep = 0;
+        uint64_t multiplicity = 1;
+        bool isDefault = false;
+    };
+    std::vector<ClassInfo> classes;
+
+    /** Total traffic from every member of class `from` into every
+     * member of class `to` (multiplicities already applied, overflow
+     * checked at build time). Sorted by (from, to). */
+    struct Cell
+    {
+        uint64_t from = 0;
+        uint64_t to = 0;
+        uint64_t remoteElements = 0;
+        uint64_t blockTransfers = 0;
+        uint64_t blockElements = 0;
+    };
+    std::vector<Cell> cells;
+
+    bool
+    empty() const
+    {
+        return rows.empty() && cells.empty();
+    }
+
+    /** Checked grand totals over whichever representation is
+     * authoritative; throw UserError on uint64 overflow. */
+    uint64_t totalRemoteElements() const;
+    uint64_t totalBlockTransfers() const;
+    uint64_t totalBlockElements() const;
+
+    /** Row sums of the direct representation (CommEdge::owner reused
+     * as the origin id; empty for aggregated matrices, whose per-origin
+     * sums live in the representative rows folded into cells). */
+    std::vector<CommEdge> rowTotals() const;
+
+    /**
+     * Stable JSON object: {"processors", "aggregated", then "rows" or
+     * "classes"+"cells"}. Fixed key order, sorted rows/edges/cells, no
+     * whitespace variance -- byte-comparable across runs.
+     */
+    std::string renderJson() const;
+
+    /**
+     * Terminal heatmap: origins down, owners across, one glyph per
+     * cell scaled logarithmically by elements moved (remote + block).
+     * Matrices wider than max_cells are bucketed by summation so the
+     * render stays readable at any P. Aggregated matrices render the
+     * class-pair grid with class sizes in the legend.
+     */
+    std::string renderHeatmap(size_t max_cells = 48) const;
+};
+
+} // namespace anc::obs
+
+#endif // ANC_OBS_COMM_MATRIX_H

@@ -138,4 +138,58 @@ MetricsRegistry::renderJson() const
     return out;
 }
 
+namespace {
+
+/** Prometheus metric-name charset: [a-zA-Z0-9_:], no leading digit. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::renderExposition() const
+{
+    std::string out;
+    for (const auto &[name, c] : counters_) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " counter\n";
+        out += n + " " + u64(c.value()) + "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        std::string n = promName(name);
+        out += "# TYPE " + n + " histogram\n";
+        uint64_t cum = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (h.bucket(i) == 0)
+                continue;
+            cum += h.bucket(i);
+            uint64_t upper = i >= 64 ? ~0ull : (uint64_t(1) << i) - 1;
+            out += n + "_bucket{le=\"" + u64(upper) + "\"} " + u64(cum) +
+                   "\n";
+        }
+        out += n + "_bucket{le=\"+Inf\"} " + u64(h.count()) + "\n";
+        out += n + "_sum " + u64(h.sum()) + "\n";
+        out += n + "_count " + u64(h.count()) + "\n";
+    }
+    return out;
+}
+
 } // namespace anc::obs

@@ -120,6 +120,18 @@ class MetricsRegistry
     /** {"counters": {...}, "histograms": {...}} in insertion order. */
     std::string renderJson() const;
 
+    /**
+     * Prometheus text exposition (version 0.0.4): counters as
+     * `# TYPE <name> counter` + one sample, histograms as cumulative
+     * `_bucket{le="..."}` samples (power-of-two upper bounds, only
+     * nonempty buckets plus the mandatory +Inf) with `_sum` and
+     * `_count`. Names are sanitized to the Prometheus charset (every
+     * other character becomes '_'); emission order is insertion order
+     * (counters, then histograms), so the snapshot is byte-stable for
+     * a deterministic run. Ends with a newline.
+     */
+    std::string renderExposition() const;
+
   private:
     std::vector<std::pair<std::string, Counter>> counters_;
     std::vector<std::pair<std::string, Histogram>> histograms_;

@@ -1,0 +1,19 @@
+#include "svc/event_log.h"
+
+#include "obs/trace.h"
+
+namespace anc::svc {
+
+void
+EventLog::emit(const std::string &request, const std::string &event,
+               const std::vector<Field> &fields)
+{
+    text_ += "{\"seq\": " + obs::jsonNum(seq_++) +
+             ", \"request\": " + obs::jsonStr(request) +
+             ", \"event\": " + obs::jsonStr(event);
+    for (const Field &f : fields)
+        text_ += ", " + obs::jsonStr(f.first) + ": " + f.second;
+    text_ += "}\n";
+}
+
+} // namespace anc::svc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic structured event log for the compilation service.
+ *
+ * The service's per-request lifecycle -- admission, parse,
+ * canonicalization, cache lookup, compilation, validation, retries,
+ * verdict -- is invisible in the batch summary: the summary says *what*
+ * each request ended as, not *how it got there*. The event log records
+ * the how, as JSON Lines: one JSON object per line, one line per
+ * lifecycle step, correlated across lines by the request id.
+ *
+ * Determinism is the design constraint. Events carry a monotone
+ * sequence number instead of a timestamp, the key order inside every
+ * object is fixed, and every field value is derived from the same
+ * deterministic state the verdicts are -- so for a fixed (stream,
+ * budgets, fault schedule) the rendered log reproduces byte for byte,
+ * making it diffable in CI the same way the cache journal is.
+ *
+ * Line shape:
+ *
+ *   {"seq": N, "request": "ID", "event": "NAME", ...event fields...}
+ *
+ * The leading three keys are always present, in that order; the
+ * trailing fields are per-event but likewise fixed per event name.
+ * Consumers stream line by line and never need existence checks on the
+ * leading keys.
+ *
+ * The log is a sink with no service dependencies (mirroring obs/):
+ * field values are pre-rendered JSON scalars (obs::jsonStr /
+ * obs::jsonNum), so EventLog itself is deterministic string assembly.
+ */
+
+#ifndef ANC_SVC_EVENT_LOG_H
+#define ANC_SVC_EVENT_LOG_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anc::svc {
+
+/** Append-only JSONL sink for service lifecycle events. */
+class EventLog
+{
+  public:
+    /** One event field: name and pre-rendered JSON value (use
+     * obs::jsonStr / obs::jsonNum; a raw "true"/"false" is fine). */
+    using Field = std::pair<std::string, std::string>;
+
+    /** Append one event line. `fields` follow the fixed leading keys
+     * in the given order. */
+    void emit(const std::string &request, const std::string &event,
+              const std::vector<Field> &fields = {});
+
+    /** The whole log so far: zero or more '\n'-terminated JSON lines. */
+    const std::string &text() const { return text_; }
+
+    /** Events emitted so far (the next event's "seq"). */
+    uint64_t events() const { return seq_; }
+
+  private:
+    std::string text_;
+    uint64_t seq_ = 0;
+};
+
+} // namespace anc::svc
+
+#endif // ANC_SVC_EVENT_LOG_H

@@ -123,12 +123,30 @@ Service::Service(ServiceOptions opts)
 }
 
 void
+Service::event(const std::string &request, const char *name,
+               std::vector<EventLog::Field> fields)
+{
+    if (opts_.events)
+        opts_.events->emit(request, name, fields);
+}
+
+void
 Service::finish(Response &r)
 {
+    // Provenance: every diagnostic that leaves the service names the
+    // request it was produced for, so a diagnostic extracted from a
+    // results file or CI artifact stays attributable on its own.
+    r.diagnostics.stampOrigin(r.id);
     ++requests_;
     ++verdicts_[size_t(r.verdict)];
     retriesTotal_ += uint64_t(r.retries);
     stepsHist_.record(r.steps);
+    event(r.id, "verdict",
+          {{"verdict", obs::jsonStr(verdictName(r.verdict))},
+           {"tier", obs::jsonStr(r.tier)},
+           {"validated", r.validated ? "true" : "false"},
+           {"steps", obs::jsonNum(r.steps)},
+           {"retries", obs::jsonNum(uint64_t(r.retries))}});
 }
 
 Response
@@ -145,8 +163,11 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                 CanonicalForm canon = canonicalize(prog);
                 r.key = planKey(canon, opts_.machine, opts_.compile.base);
                 r.hasKey = true;
+                event(id, "canonicalize",
+                      {{"key", obs::jsonStr(r.key.hex())}});
                 token.spend(); // keying + lookup phase boundary
                 if (const CachedPlan *hit = cache_.lookup(r.key)) {
+                    event(id, "cache", {{"outcome", obs::jsonStr("hit")}});
                     r.verdict = Verdict::Cached;
                     r.tier = core::tierName(hit->compilation.tier);
                     r.degradedPlan = hit->compilation.degraded();
@@ -156,6 +177,7 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                                        "key " + r.key.hex());
                     break;
                 }
+                event(id, "cache", {{"outcome", obs::jsonStr("miss")}});
                 core::ResilientOptions ropts = opts_.compile;
                 ropts.base.cancel = &token;
                 core::Compilation c =
@@ -163,10 +185,18 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                 r.tier = core::tierName(c.tier);
                 r.degradedPlan = c.degraded();
                 r.validated = c.validated;
+                event(id, "compile",
+                      {{"tier", obs::jsonStr(r.tier)},
+                       {"degraded", r.degradedPlan ? "true" : "false"}});
                 if (ropts.base.validate)
                     c.validated ? ++validatePassed_ : ++validateFailed_;
                 else
                     ++validateOff_;
+                event(id, "validate",
+                      {{"outcome",
+                        obs::jsonStr(!ropts.base.validate ? "off"
+                                     : c.validated        ? "passed"
+                                                          : "failed")}});
                 r.verdict = r.degradedPlan ? Verdict::Degraded
                                            : Verdict::Compiled;
                 for (const core::Diagnostic &d : c.diagnostics.all())
@@ -196,6 +226,10 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                     throw;
                 uint64_t backoff = opts_.retryBackoffSteps
                                    << uint64_t(attempt);
+                event(id, "retry",
+                      {{"attempt", obs::jsonNum(uint64_t(attempt) + 1)},
+                       {"backoffSteps", obs::jsonNum(backoff)},
+                       {"cause", obs::jsonStr(e.what())}});
                 r.diagnostics.warning(
                     core::Stage::Driver,
                     "transient fault on attempt " +
@@ -232,6 +266,7 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
 Response
 Service::serve(const std::string &id, const ir::Program &prog)
 {
+    event(id, "admit", {{"outcome", obs::jsonStr("accepted")}});
     Response r = serveGuarded(id, prog);
     finish(r);
     return r;
@@ -242,6 +277,10 @@ Service::serveSource(const std::string &id, const std::string &source)
 {
     if (opts_.maxProgramBytes != 0 &&
         source.size() > opts_.maxProgramBytes) {
+        event(id, "admit",
+              {{"outcome", obs::jsonStr("shed")},
+               {"reason", obs::jsonStr("program-size")},
+               {"bytes", obs::jsonNum(uint64_t(source.size()))}});
         Response r;
         r.id = id;
         r.verdict = Verdict::Shed;
@@ -255,10 +294,15 @@ Service::serveSource(const std::string &id, const std::string &source)
         return r;
     }
 
+    event(id, "admit",
+          {{"outcome", obs::jsonStr("accepted")},
+           {"bytes", obs::jsonNum(uint64_t(source.size()))}});
+
     dsl::ParseResult parsed;
     try {
         parsed = dsl::parseProgramRecovering(source);
     } catch (const std::exception &e) {
+        event(id, "parse", {{"outcome", obs::jsonStr("failed")}});
         Response r;
         r.id = id;
         r.verdict = Verdict::Shed;
@@ -267,6 +311,9 @@ Service::serveSource(const std::string &id, const std::string &source)
         finish(r);
         return r;
     }
+    event(id, "parse",
+          {{"outcome", obs::jsonStr(parsed.program ? "ok" : "rejected")},
+           {"recovered", obs::jsonNum(uint64_t(parsed.diagnostics.size()))}});
 
     core::Diagnostics parseDiags;
     for (const dsl::ParseDiagnostic &d : parsed.diagnostics) {
@@ -312,6 +359,9 @@ Service::runBatch(const std::vector<BatchRequest> &batch)
     for (size_t i = 0; i < batch.size(); ++i) {
         const BatchRequest &q = batch[i];
         if (opts_.queueLimit != 0 && i >= opts_.queueLimit) {
+            event(q.id, "admit",
+                  {{"outcome", obs::jsonStr("shed")},
+                   {"reason", obs::jsonStr("queue-limit")}});
             Response r;
             r.id = q.id;
             r.verdict = Verdict::Shed;

@@ -53,6 +53,7 @@
 #include "dsl/parser.h"
 #include "obs/metrics.h"
 #include "svc/canonical.h"
+#include "svc/event_log.h"
 #include "svc/plan_cache.h"
 
 namespace anc::svc {
@@ -108,6 +109,15 @@ struct ServiceOptions
     /** Backoff charged to the step budget before retry attempt k
      * (doubling: backoff << k). */
     uint64_t retryBackoffSteps = 16;
+    /**
+     * Structured lifecycle log (null = off; ancd: --log). When set, the
+     * service emits one JSONL event per lifecycle step of every request
+     * -- admission, parse, canonicalize, cache lookup, compile,
+     * validation, retries, verdict -- all correlated by the request id.
+     * The log carries sequence numbers, never timestamps, so it is as
+     * deterministic as the verdicts themselves. Not owned.
+     */
+    EventLog *events = nullptr;
 };
 
 /** The outcome of one request. */
@@ -210,6 +220,9 @@ class Service
   private:
     Response serveGuarded(const std::string &id, const ir::Program &prog);
     void finish(Response &r);
+    /** Emit one lifecycle event when ServiceOptions::events is set. */
+    void event(const std::string &request, const char *name,
+               std::vector<EventLog::Field> fields = {});
 
     ServiceOptions opts_;
     PlanCache cache_;

@@ -29,42 +29,76 @@ dropCarried(IntMatrix &deps, const IntVec &f)
 } // namespace
 
 IntMatrix
-legalBasis(const IntMatrix &basis, const IntMatrix &deps)
+legalBasis(const IntMatrix &basis, const IntMatrix &deps,
+           std::vector<LegalRowVerdict> *trail)
 {
     IntMatrix d = deps;
+    // Original column ids of the surviving columns of d, so verdicts
+    // can name the violated dependence in the caller's numbering.
+    std::vector<size_t> live(d.cols());
+    for (size_t c = 0; c < live.size(); ++c)
+        live[c] = c;
+    auto drop_carried = [&](const IntVec &f) -> uint64_t {
+        uint64_t carried = 0;
+        for (size_t c = d.cols(); c-- > 0;)
+            if (f[c] > 0) {
+                d.removeColumn(c);
+                live.erase(live.begin() + Int(c));
+                ++carried;
+            }
+        return carried;
+    };
+    if (trail)
+        trail->clear();
     IntMatrix out(0, basis.cols());
     for (size_t i = 0; i < basis.rows(); ++i) {
         IntVec row = basis.row(i);
+        LegalRowVerdict v;
         if (d.cols() == 0) {
             out.appendRow(row);
+            if (trail)
+                trail->push_back(v);
             continue;
         }
         IntVec f = rowTimes(row, d);
         bool any_pos = false, any_neg = false;
-        for (Int v : f) {
-            any_pos = any_pos || v > 0;
-            any_neg = any_neg || v < 0;
+        for (Int x : f) {
+            any_pos = any_pos || x > 0;
+            any_neg = any_neg || x < 0;
         }
         if (!any_neg) {
-            dropCarried(d, f);
+            v.depsCarried = drop_carried(f);
             out.appendRow(row);
         } else if (!any_pos) {
-            for (Int &v : row)
-                v = checkedNeg(v);
-            for (Int &v : f)
-                v = checkedNeg(v);
-            dropCarried(d, f);
+            for (Int &x : row)
+                x = checkedNeg(x);
+            for (Int &x : f)
+                x = checkedNeg(x);
+            v.action = LegalRowVerdict::Action::Negated;
+            v.depsCarried = drop_carried(f);
             out.appendRow(row);
+        } else {
+            // Mixed signs: the row cannot head a legal nest.
+            v.action = LegalRowVerdict::Action::Discarded;
+            for (size_t c = 0; c < f.size(); ++c)
+                if (f[c] < 0) {
+                    v.violatedCol = Int(live[c]);
+                    break;
+                }
         }
-        // Mixed signs: the row cannot head a legal nest; discard it.
+        if (trail)
+            trail->push_back(v);
     }
     return out;
 }
 
 IntMatrix
-legalInvertible(const IntMatrix &basis, const IntMatrix &deps)
+legalInvertible(const IntMatrix &basis, const IntMatrix &deps,
+                size_t *projection_rows)
 {
     size_t n = basis.cols();
+    if (projection_rows)
+        *projection_rows = 0;
     IntMatrix b = basis;
     IntMatrix d = deps;
 
@@ -122,6 +156,8 @@ legalInvertible(const IntMatrix &basis, const IntMatrix &deps)
             throw InternalError("legalInvertible: no dependence carried");
         dropCarried(d, f);
         b.appendRow(x);
+        if (projection_rows)
+            ++*projection_rows;
     }
 
     IntMatrix t = padToInvertible(b);

@@ -24,22 +24,54 @@
 #ifndef ANC_XFORM_LEGAL_H
 #define ANC_XFORM_LEGAL_H
 
+#include <vector>
+
 #include "ratmath/matrix.h"
 
 namespace anc::xform {
 
 /**
+ * What LegalBasis decided about one basis row, for the explain trail
+ * (see obs/explain.h). Recorded per input row, in row order.
+ */
+struct LegalRowVerdict
+{
+    enum class Action
+    {
+        Kept,     //!< all outstanding products non-negative
+        Negated,  //!< all non-positive: reversed (negated) and kept
+        Discarded //!< mixed signs: cannot head a legal nest
+    };
+    Action action = Action::Kept;
+    /**
+     * For Discarded rows: the first ORIGINAL dependence column (index
+     * into the caller's dependence matrix, not the shrinking working
+     * copy) whose product with the row as oriented is negative -- the
+     * dependence the row would have run backwards. -1 otherwise.
+     */
+    Int violatedCol = -1;
+    /** Dependences this row carried (and retired) when kept. */
+    uint64_t depsCarried = 0;
+};
+
+/**
  * Algorithm LegalBasis: make the basis legal w.r.t. the dependence
  * matrix (columns = distance vectors). Rows may be negated or dropped.
+ * When `trail` is non-null it receives one verdict per input row.
  */
-IntMatrix legalBasis(const IntMatrix &basis, const IntMatrix &deps);
+IntMatrix legalBasis(const IntMatrix &basis, const IntMatrix &deps,
+                     std::vector<LegalRowVerdict> *trail = nullptr);
 
 /**
  * Algorithm LegalInvt: pad a legal basis to an n x n invertible matrix
  * that respects every dependence. The input basis must already be legal
  * (e.g. the output of legalBasis); throws InternalError otherwise.
+ * When `projection_rows` is non-null it receives the number of
+ * dependence-carrying projection rows appended before identity padding
+ * (the explain trail distinguishes the two kinds of synthesized row).
  */
-IntMatrix legalInvertible(const IntMatrix &basis, const IntMatrix &deps);
+IntMatrix legalInvertible(const IntMatrix &basis, const IntMatrix &deps,
+                          size_t *projection_rows = nullptr);
 
 } // namespace anc::xform
 

@@ -24,14 +24,17 @@ accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
 
     BasisResult basis = basisMatrix(r.access.matrix);
     r.basis = basis.basis;
+    r.basisKeptRows = basis.keptRows;
 
     if (opts.enforceLegality) {
-        r.legal = legalBasis(r.basis, r.depMatrix);
+        r.legal = legalBasis(r.basis, r.depMatrix, &r.legalTrail);
         r.transform =
             opts.unimodularOnly
                 ? unimodularLegalInvertible(r.legal, r.depMatrix, n,
-                                            &r.unimodularDropped)
-                : legalInvertible(r.legal, r.depMatrix);
+                                            &r.unimodularDropped,
+                                            &r.projectionRows)
+                : legalInvertible(r.legal, r.depMatrix,
+                                  &r.projectionRows);
         if (!deps::isLegalTransformation(r.transform, r.depMatrix))
             throw InternalError("normalization produced illegal transform");
         // The distance-vector algorithms above are exact when every
@@ -43,6 +46,7 @@ accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
             !deps::preservesLexSign(r.transform, dinfo.families)) {
             r.transform = IntMatrix::identity(n);
             r.conservativeFallback = true;
+            r.projectionRows = 0;
         }
     } else {
         r.legal = r.basis;
@@ -95,17 +99,23 @@ accessNormalize(const ir::Program &prog, const NormalizeOptions &opts)
 
 IntMatrix
 unimodularLegalInvertible(const IntMatrix &legal, const IntMatrix &deps,
-                          size_t depth, size_t *rows_dropped)
+                          size_t depth, size_t *rows_dropped,
+                          size_t *projection_rows)
 {
+    if (projection_rows)
+        *projection_rows = 0;
     for (size_t keep = legal.rows() + 1; keep-- > 0;) {
         IntMatrix prefix(0, depth);
         for (size_t i = 0; i < keep; ++i)
             prefix.appendRow(legal.row(i));
         try {
-            IntMatrix t = legalInvertible(prefix, deps);
+            size_t proj = 0;
+            IntMatrix t = legalInvertible(prefix, deps, &proj);
             if (isUnimodular(t)) {
                 if (rows_dropped)
                     *rows_dropped = legal.rows() - keep;
+                if (projection_rows)
+                    *projection_rows = proj;
                 return t;
             }
         } catch (const Error &) {

@@ -19,6 +19,7 @@
 
 #include "deps/dependence.h"
 #include "xform/access_matrix.h"
+#include "xform/legal.h"
 #include "xform/transform.h"
 
 namespace anc::xform {
@@ -82,6 +83,18 @@ struct NormalizeResult
     /** Under unimodularOnly: basis rows dropped to reach a unimodular
      * transformation. */
     size_t unimodularDropped = 0;
+
+    // --- Decision trail (for obs/explain.h; always recorded, the
+    // bookkeeping is a few integers per access row).
+    /** Access-matrix rows BasisMatrix kept (indices, in kept order);
+     * rows absent here were linearly dependent on earlier ones. */
+    std::vector<size_t> basisKeptRows;
+    /** LegalBasis verdict per basis row (empty when legality
+     * enforcement was disabled). */
+    std::vector<LegalRowVerdict> legalTrail;
+    /** Dependence-carrying projection rows LegalInvt appended; the
+     * remaining synthesized rows of T are identity padding. */
+    size_t projectionRows = 0;
 };
 
 /**
@@ -103,7 +116,8 @@ std::string describe(const NormalizeResult &r, const ir::Program &prog);
  */
 IntMatrix unimodularLegalInvertible(const IntMatrix &legal,
                                     const IntMatrix &deps, size_t depth,
-                                    size_t *rows_dropped = nullptr);
+                                    size_t *rows_dropped = nullptr,
+                                    size_t *projection_rows = nullptr);
 
 } // namespace anc::xform
 

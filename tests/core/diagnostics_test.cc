@@ -26,7 +26,8 @@ TEST(DiagnosticsJsonTest, GoldenObjectShape)
     EXPECT_EQ(d.renderJson(),
               "{\"severity\": \"warning\", \"stage\": \"legality\", "
               "\"line\": 7, \"message\": \"family dropped\", "
-              "\"detail\": \"row 2 not representable\"}");
+              "\"detail\": \"row 2 not representable\", "
+              "\"origin\": \"\"}");
 }
 
 TEST(DiagnosticsJsonTest, AllFieldsPresentEvenWhenDefaulted)
@@ -38,7 +39,7 @@ TEST(DiagnosticsJsonTest, AllFieldsPresentEvenWhenDefaulted)
     EXPECT_EQ(d.renderJson(),
               "{\"severity\": \"note\", \"stage\": \"driver\", "
               "\"line\": -1, \"message\": \"tier: full\", "
-              "\"detail\": \"\"}");
+              "\"detail\": \"\", \"origin\": \"\"}");
 }
 
 TEST(DiagnosticsJsonTest, EscapesQuotesBackslashesAndControlChars)
@@ -53,7 +54,8 @@ TEST(DiagnosticsJsonTest, EscapesQuotesBackslashesAndControlChars)
               "{\"severity\": \"error\", \"stage\": \"parse\", "
               "\"line\": -1, "
               "\"message\": \"bad \\\"token\\\" a\\\\b\", "
-              "\"detail\": \"line1\\nline2\\ttabbed\\rcr \\u0001bell\"}");
+              "\"detail\": \"line1\\nline2\\ttabbed\\rcr \\u0001bell\", "
+              "\"origin\": \"\"}");
 }
 
 TEST(DiagnosticsJsonTest, GoldenArrayShape)
@@ -65,10 +67,11 @@ TEST(DiagnosticsJsonTest, GoldenArrayShape)
     EXPECT_EQ(
         list.renderJson(),
         "[{\"severity\": \"note\", \"stage\": \"driver\", \"line\": -1, "
-        "\"message\": \"served from plan cache\", \"detail\": \"\"}, "
+        "\"message\": \"served from plan cache\", \"detail\": \"\", "
+        "\"origin\": \"\"}, "
         "{\"severity\": \"warning\", \"stage\": \"normalization\", "
         "\"line\": -1, \"message\": \"overflow\", "
-        "\"detail\": \"injected fault\"}]");
+        "\"detail\": \"injected fault\", \"origin\": \"\"}]");
 }
 
 TEST(DiagnosticsJsonTest, EverySeverityAndStageNameIsStable)
@@ -93,6 +96,34 @@ TEST(DiagnosticsJsonTest, EverySeverityAndStageNameIsStable)
     };
     for (const auto &[stage, name] : stages)
         EXPECT_STREQ(stageName(stage), name);
+}
+
+TEST(DiagnosticsJsonTest, OriginCarriesRequestProvenance)
+{
+    Diagnostic d;
+    d.message = "tier: full";
+    d.origin = "req-gemm-0";
+    EXPECT_EQ(d.renderJson(),
+              "{\"severity\": \"note\", \"stage\": \"driver\", "
+              "\"line\": -1, \"message\": \"tier: full\", "
+              "\"detail\": \"\", \"origin\": \"req-gemm-0\"}");
+    EXPECT_NE(d.render().find("[request req-gemm-0]"), std::string::npos)
+        << d.render();
+    EXPECT_NE(d.renderMachine().find("origin=\"req-gemm-0\""),
+              std::string::npos)
+        << d.renderMachine();
+
+    // stampOrigin fills only the blanks: merged diagnostics keep the
+    // request they were originally produced for.
+    Diagnostics list;
+    list.note(Stage::Driver, "first");
+    Diagnostic merged;
+    merged.message = "merged";
+    merged.origin = "other-request";
+    list.add(merged);
+    list.stampOrigin("this-request");
+    EXPECT_EQ(list[0].origin, "this-request");
+    EXPECT_EQ(list[1].origin, "other-request");
 }
 
 TEST(DiagnosticsJsonTest, MachineRenderingEscapesTooAndNamesEveryField)

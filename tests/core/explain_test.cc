@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Plan-explainability tests (core::explain, obs::ExplainRecord).
+ *
+ * The record is a pure function of a finished Compilation, so the
+ * contract is: the trail names every access row exactly once with a
+ * verdict from the fixed vocabulary, the reported plan matches the
+ * compiled plan field by field, the JSON rendering has a fixed key
+ * set and order for every input, and degraded or identity compiles
+ * still produce a well-formed (possibly partial) record.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.h"
+#include "ir/gallery.h"
+#include "ratmath/fault.h"
+
+namespace anc::core {
+namespace {
+
+bool
+validVerdict(const std::string &v)
+{
+    return v == "kept" || v == "reversed" || v == "dropped" ||
+           v == "unused";
+}
+
+/** The JSON keys every record must present, in this order. */
+void
+expectStableJsonShape(const obs::ExplainRecord &e)
+{
+    std::string json = e.renderJson();
+    const char *keys[] = {"\"tier\"",       "\"degraded\"",
+                          "\"partial\"",    "\"transform\"",
+                          "\"unimodular\"", "\"plan\"",
+                          "\"scheme\"",     "\"rationale\"",
+                          "\"tieBreak\"",   "\"outerParallel\"",
+                          "\"hoists\"",     "\"candidates\"",
+                          "\"refs\"",       "\"notes\""};
+    size_t pos = 0;
+    for (const char *k : keys) {
+        size_t at = json.find(k, pos);
+        ASSERT_NE(at, std::string::npos) << k << " missing in " << json;
+        pos = at;
+    }
+    // Rendering is pure.
+    EXPECT_EQ(json, e.renderJson());
+}
+
+TEST(ExplainTest, GemmTrailNamesEveryAccessRowOnce)
+{
+    Compilation c = compile(ir::gallery::gemm());
+    obs::ExplainRecord e = explain(c);
+    EXPECT_EQ(e.tier, "full");
+    EXPECT_FALSE(e.degraded);
+    EXPECT_FALSE(e.partial);
+    EXPECT_FALSE(e.transform.empty());
+
+    ASSERT_FALSE(e.candidates.empty());
+    // Access rows first, in importance order, each exactly once; then
+    // only synthesized rows (accessRow == -1).
+    size_t accessRows = 0;
+    bool synth = false;
+    for (const obs::ExplainCandidate &cand : e.candidates) {
+        EXPECT_TRUE(validVerdict(cand.verdict)) << cand.verdict;
+        if (cand.accessRow >= 0) {
+            EXPECT_FALSE(synth) << "access row after synthesized row";
+            EXPECT_EQ(cand.accessRow, Int(accessRows));
+            ++accessRows;
+            EXPECT_FALSE(cand.origin.empty());
+        } else {
+            synth = true;
+            EXPECT_EQ(cand.stage, "padding");
+        }
+    }
+    EXPECT_EQ(accessRows, c.normalization.access.rows.size());
+
+    // Kept candidates (access + synthesized) fill T exactly.
+    size_t keptRows = 0;
+    for (const obs::ExplainCandidate &cand : e.candidates)
+        keptRows += cand.verdict == "kept" || cand.verdict == "reversed";
+    EXPECT_EQ(keptRows, c.normalization.transform.rows());
+
+    expectStableJsonShape(e);
+}
+
+TEST(ExplainTest, ReportedPlanMatchesCompiledPlan)
+{
+    for (auto make : {ir::gallery::gemm, ir::gallery::syr2kBanded,
+                      ir::gallery::figure1, ir::gallery::gemv,
+                      ir::gallery::jacobi2d}) {
+        Compilation c = compile(make());
+        obs::ExplainRecord e = explain(c);
+        const char *schemes[] = {"round-robin", "owner-wrapped",
+                                 "owner-blocked", "owner-block2d"};
+        EXPECT_EQ(e.scheme, schemes[size_t(c.plan.scheme)]);
+        EXPECT_EQ(e.planRationale, c.plan.rationale);
+        EXPECT_EQ(e.tieBreak, c.plan.tieBreak);
+        EXPECT_EQ(e.outerParallel, c.plan.outerParallel);
+        EXPECT_EQ(e.hoists, c.plan.hoists.size());
+        expectStableJsonShape(e);
+    }
+}
+
+TEST(ExplainTest, TieBreakNamesTheWinnerWhenCandidatesCompete)
+{
+    // GEMM has three aligned candidates (write C, reads A and B); the
+    // trail must say which won and by what rule.
+    Compilation c = compile(ir::gallery::gemm());
+    obs::ExplainRecord e = explain(c);
+    EXPECT_NE(e.tieBreak.find("picked"), std::string::npos) << e.tieBreak;
+    EXPECT_NE(e.tieBreak.find(" of "), std::string::npos) << e.tieBreak;
+}
+
+TEST(ExplainTest, RefScoresCoverEveryReference)
+{
+    Compilation c = compile(ir::gallery::gemm());
+    obs::ExplainRecord e = explain(c);
+    // gemm: one statement, write C + reads C, A, B.
+    ASSERT_EQ(e.refs.size(), 4u);
+    size_t writes = 0, hoisted = 0;
+    for (const obs::ExplainRefScore &s : e.refs) {
+        EXPECT_FALSE(s.ref.empty());
+        EXPECT_FALSE(s.strides.empty());
+        EXPECT_FALSE(s.verdict.empty());
+        writes += s.ref.find("write") != std::string::npos;
+        hoisted += s.verdict.find("block transfer") != std::string::npos;
+    }
+    EXPECT_EQ(writes, 1u);
+    EXPECT_EQ(hoisted, c.plan.hoists.size());
+}
+
+TEST(ExplainTest, IdentityCompileIsWellFormed)
+{
+    CompileOptions identity;
+    identity.identityTransform = true;
+    Compilation c = compile(ir::gallery::gemm(), identity);
+    obs::ExplainRecord e = explain(c);
+    for (const obs::ExplainCandidate &cand : e.candidates)
+        EXPECT_TRUE(validVerdict(cand.verdict)) << cand.verdict;
+    EXPECT_EQ(e.scheme, "round-robin");
+    expectStableJsonShape(e);
+    EXPECT_FALSE(e.renderText().empty());
+}
+
+TEST(ExplainTest, DegradedLadderRungsStillProduceRecords)
+{
+    // Sweep the fault injector over the first checked-arithmetic sites
+    // of a resilient compile: whatever rung each fault lands the
+    // compile on, explain() must produce a well-formed record -- it
+    // must never be the thing that crashes a compile recovery saved.
+    bool sawDegraded = false, sawUnused = false;
+    ir::Program prog = ir::gallery::gemm();
+    for (uint64_t k = 1; k <= 60; ++k) {
+        fault::armAt(k);
+        Compilation c;
+        ASSERT_NO_THROW(c = compileResilient(prog)) << "fault #" << k;
+        fault::disarm();
+        obs::ExplainRecord e;
+        ASSERT_NO_THROW(e = explain(c)) << "fault #" << k;
+        EXPECT_TRUE(validVerdict(e.candidates.empty()
+                                     ? std::string("kept")
+                                     : e.candidates[0].verdict));
+        expectStableJsonShape(e);
+        EXPECT_FALSE(e.renderText().empty());
+        if (c.degraded()) {
+            sawDegraded = true;
+            EXPECT_TRUE(e.degraded) << "fault #" << k;
+        }
+        if (c.tier == CompileTier::Identity) {
+            EXPECT_TRUE(e.partial) << "fault #" << k;
+            for (const obs::ExplainCandidate &cand : e.candidates)
+                sawUnused |= cand.verdict == "unused";
+        }
+    }
+    EXPECT_TRUE(sawDegraded)
+        << "sweep never degraded: widen the fault range";
+    (void)sawUnused; // identity rung may or may not be reached early
+}
+
+TEST(ExplainTest, TextReportMentionsTheDecisions)
+{
+    Compilation c = compile(ir::gallery::gemm());
+    std::string text = explain(c).renderText();
+    EXPECT_NE(text.find("plan explanation"), std::string::npos) << text;
+    EXPECT_NE(text.find("tier=full"), std::string::npos) << text;
+    EXPECT_NE(text.find("candidate"), std::string::npos) << text;
+    EXPECT_NE(text.find("tie-break"), std::string::npos) << text;
+}
+
+} // namespace
+} // namespace anc::core

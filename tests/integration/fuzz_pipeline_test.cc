@@ -170,12 +170,24 @@ TEST(FuzzPipeline, HundredRandomProgramsSurviveNormalization)
             numa::SimOptions opts;
             opts.processors = 3;
             opts.executeValues = true;
+            opts.commMatrix = true;
             ir::ArrayStorage spmd(g.prog, g.params);
             spmd.fillDeterministic(uint64_t(trial) + 1);
             numa::Simulator sim(c.program, c.nest(), c.plan, opts);
             numa::SimStats st = sim.run(binds, &spmd);
             for (size_t a = 0; a < seq.numArrays(); ++a)
                 ASSERT_EQ(seq.data(a), spmd.data(a)) << "array " << a;
+            // Comm-matrix conservation holds on random programs too:
+            // each origin's row sums to its remote-access counter.
+            for (const numa::ProcStats &p : st.perProc) {
+                uint64_t remote = 0, blocks = 0;
+                for (const obs::CommEdge &e : p.comm) {
+                    remote += e.remoteElements;
+                    blocks += e.blockTransfers;
+                }
+                EXPECT_EQ(remote, p.remoteAccesses);
+                EXPECT_EQ(blocks, p.blockTransfers);
+            }
             // Full coverage: every iteration ran exactly once.
             uint64_t total = ir::forEachIteration(
                 g.prog.nest, g.params, [](const IntVec &) {});
@@ -299,6 +311,12 @@ TEST(FuzzPipeline, CorpusSeedsNeverCrashTheResilientDriver)
         core::Compilation c;
         ASSERT_NO_THROW(c = core::compileResilient(*parsed.program, ropts));
         ++compiled;
+        // Hostile seeds still explain themselves: whatever rung the
+        // compile landed on, the record builds and renders.
+        obs::ExplainRecord e;
+        ASSERT_NO_THROW(e = core::explain(c));
+        EXPECT_EQ(e.degraded, c.degraded());
+        EXPECT_FALSE(e.renderJson().empty());
         if (c.degraded()) {
             ++degraded;
             // Degradation is explained, and verified or skipped with a
@@ -451,6 +469,14 @@ TEST(FuzzPipeline, TimeBoxedRandomSmoke)
             << "run " << runs << " mode " << m << " seed " << seed;
         fault::disarm();
         EXPECT_TRUE(c.degraded() || c.diagnostics.empty());
+        // Explain is part of the crash surface under fuzz: a compile
+        // the driver recovered must yield a well-formed (possibly
+        // partial) record, never a second failure.
+        obs::ExplainRecord e;
+        ASSERT_NO_THROW(e = core::explain(c))
+            << "run " << runs << " mode " << m << " seed " << seed;
+        EXPECT_EQ(e.degraded, c.degraded());
+        EXPECT_FALSE(e.renderJson().empty());
         ++runs;
     }
     EXPECT_GT(runs, 0u);

@@ -165,6 +165,44 @@ TEST(Metrics, QuantileUpperBoundWalksBuckets)
     EXPECT_EQ(one.quantileUpperBound(1.0), 70u);
 }
 
+TEST(Metrics, PrometheusExpositionGoldenOutput)
+{
+    // The exposition format is a compatibility contract like the
+    // diagnostics JSON: field order, sanitized names, cumulative
+    // buckets, and the mandatory +Inf/_sum/_count are pinned byte for
+    // byte.
+    MetricsRegistry reg;
+    reg.counter("svc.requests").set(6);
+    reg.counter("svc.validate.passed").set(3);
+    Histogram &h = reg.histogram("svc.steps");
+    h.record(1);  // bucket 1 (values of bit-width 1)
+    h.record(2);  // bucket 2 (2..3)
+    h.record(3);  // bucket 2
+    h.record(82); // bucket 7 (64..127)
+    EXPECT_EQ(reg.renderExposition(),
+              "# TYPE svc_requests counter\n"
+              "svc_requests 6\n"
+              "# TYPE svc_validate_passed counter\n"
+              "svc_validate_passed 3\n"
+              "# TYPE svc_steps histogram\n"
+              "svc_steps_bucket{le=\"1\"} 1\n"
+              "svc_steps_bucket{le=\"3\"} 3\n"
+              "svc_steps_bucket{le=\"127\"} 4\n"
+              "svc_steps_bucket{le=\"+Inf\"} 4\n"
+              "svc_steps_sum 88\n"
+              "svc_steps_count 4\n");
+
+    // Rendering is pure: a second call is byte-identical.
+    EXPECT_EQ(reg.renderExposition(), reg.renderExposition());
+
+    // Name sanitization: every character outside [a-zA-Z0-9_:] becomes
+    // '_', and a leading digit is prefixed.
+    MetricsRegistry odd;
+    odd.counter("9lives-of a.cat").set(1);
+    EXPECT_EQ(odd.renderExposition(), "# TYPE _9lives_of_a_cat counter\n"
+                                      "_9lives_of_a_cat 1\n");
+}
+
 TEST(PhaseClockTest, RecordsPhasesWithTier)
 {
     std::vector<PhaseTime> out;

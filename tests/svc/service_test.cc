@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "ir/gallery.h"
 #include "ratmath/fault.h"
 #include "svc/service.h"
@@ -427,6 +429,119 @@ TEST_F(ServiceTest, MetricsExportCountsEveryVerdict)
         if (name == "svc.steps" && hist.count() == 3)
             hasSteps = true;
     EXPECT_TRUE(hasSteps);
+}
+
+TEST_F(ServiceTest, DiagnosticsCarryRequestIdProvenance)
+{
+    Service s(ServiceOptions{});
+    s.serveSource("warm", kGemmSource);
+    Response hit = s.serveSource("req-42", kGemmSource);
+    ASSERT_EQ(hit.verdict, Verdict::Cached);
+    ASSERT_FALSE(hit.diagnostics.empty());
+    for (const core::Diagnostic &d : hit.diagnostics.all())
+        EXPECT_EQ(d.origin, "req-42") << d.render();
+    // The provenance travels into the stable JSON rendering too.
+    EXPECT_NE(hit.renderJson().find("\"origin\": \"req-42\""),
+              std::string::npos)
+        << hit.renderJson();
+
+    Response shed = s.serveSource("bad-7", kGarbageSource);
+    ASSERT_EQ(shed.verdict, Verdict::Shed);
+    for (const core::Diagnostic &d : shed.diagnostics.all())
+        EXPECT_EQ(d.origin, "bad-7") << d.render();
+}
+
+TEST_F(ServiceTest, EventLogCorrelatesTheWholeRequestLifecycle)
+{
+    EventLog log;
+    ServiceOptions o;
+    o.events = &log;
+    Service s(o);
+    s.serveSource("fresh", kGemmSource);
+    s.serveSource("hit", kGemmSource);
+    s.serveSource("bad", kGarbageSource);
+
+    // One verdict event per request, and the fresh/cached/shed paths
+    // each leave their distinguishing step records.
+    auto count = [&](const std::string &needle) {
+        size_t n = 0;
+        for (size_t at = log.text().find(needle); at != std::string::npos;
+             at = log.text().find(needle, at + 1))
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(count("\"event\": \"verdict\""), 3u) << log.text();
+    EXPECT_EQ(count("\"event\": \"admit\""), 3u) << log.text();
+    EXPECT_EQ(count("\"request\": \"fresh\""), 7u) << log.text();
+    EXPECT_EQ(count("\"request\": \"hit\""), 5u) << log.text();
+    EXPECT_EQ(count("\"outcome\": \"miss\""), 1u) << log.text();
+    EXPECT_EQ(count("\"outcome\": \"hit\""), 1u) << log.text();
+    EXPECT_EQ(count("\"outcome\": \"rejected\""), 1u) << log.text();
+
+    // Every line is one JSON object with the fixed leading keys, and
+    // seq numbers the lines 0..n-1 (no timestamps anywhere).
+    std::istringstream in(log.text());
+    std::string line;
+    uint64_t seq = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.find("{\"seq\": " + std::to_string(seq) +
+                            ", \"request\": "),
+                  0u)
+            << line;
+        EXPECT_EQ(line.back(), '}') << line;
+        ++seq;
+    }
+    EXPECT_EQ(seq, log.events());
+
+    // Determinism: a fresh service serving the same stream renders the
+    // byte-identical log.
+    EventLog replay;
+    ServiceOptions o2;
+    o2.events = &replay;
+    Service s2(o2);
+    s2.serveSource("fresh", kGemmSource);
+    s2.serveSource("hit", kGemmSource);
+    s2.serveSource("bad", kGarbageSource);
+    EXPECT_EQ(log.text(), replay.text());
+}
+
+TEST_F(ServiceTest, EventLogRecordsRetriesAndAdmissionSheds)
+{
+    EventLog log;
+    ServiceOptions o;
+    o.events = &log;
+    o.maxProgramBytes = 16;
+    o.queueLimit = 1;
+    Service s(o);
+    std::vector<BatchRequest> batch;
+    batch.push_back({"big", std::string(64, 'x'), 1});
+    batch.push_back({"overflow", kGemmSource, 2});
+    s.runBatch(batch);
+    EXPECT_NE(log.text().find("\"request\": \"big\", \"event\": \"admit\", "
+                              "\"outcome\": \"shed\", \"reason\": "
+                              "\"program-size\", \"bytes\": 64"),
+              std::string::npos)
+        << log.text();
+    EXPECT_NE(log.text().find("\"request\": \"overflow\", \"event\": "
+                              "\"admit\", \"outcome\": \"shed\", "
+                              "\"reason\": \"queue-limit\""),
+              std::string::npos)
+        << log.text();
+
+    // A transient injected fault leaves a correlated retry event.
+    EventLog rlog;
+    ServiceOptions ro;
+    ro.events = &rlog;
+    Service rs(ro);
+    fault::armAt(40, fault::Kind::Overflow);
+    Response r = rs.serve("flaky", ir::gallery::gemm());
+    fault::disarm();
+    if (r.retries > 0) {
+        EXPECT_NE(rlog.text().find("\"request\": \"flaky\", \"event\": "
+                                   "\"retry\", \"attempt\": 1"),
+                  std::string::npos)
+            << rlog.text();
+    }
 }
 
 TEST_F(ServiceTest, VerdictNamesAreStable)

@@ -29,6 +29,7 @@
 #include "core/compiler.h"
 #include "core/profile.h"
 #include "dsl/parser.h"
+#include "numa/comm.h"
 #include "ratmath/fault.h"
 #include "xform/suggest.h"
 
@@ -50,6 +51,11 @@ struct Options
     bool profile = false;
     bool metrics = false;
     std::string metrics_file; //!< empty with metrics=true means stdout
+    bool metrics_prom = false; //!< Prometheus exposition instead of JSON
+    bool explain = false;
+    std::string explain_file; //!< empty with explain=true means stdout text
+    bool comm = false;
+    std::string comm_file; //!< empty with comm=true means heatmap only
     std::string trace_file;
     std::vector<Int> processors;
     std::vector<std::pair<std::string, Int>> params;
@@ -114,6 +120,18 @@ const OptSpec kOptSpecs[] = {
     {"--metrics", Arg::Optional, "FILE",
      "dump a counters/histograms snapshot as JSON to FILE (stdout "
      "when no FILE)"},
+    {"--metrics-format", Arg::Required, "json|prom",
+     "metrics output format: json (default) or prom (Prometheus "
+     "text exposition, stable ordering)"},
+    {"--explain", Arg::Optional, "FILE",
+     "explain the chosen plan: the candidate-basis decision trail "
+     "(legality verdicts with the violated dependence on rejection), "
+     "per-reference stride scores, and the partition tie-break; "
+     "human-readable to stdout, stable JSON when FILE is given"},
+    {"--comm-matrix", Arg::Optional, "FILE",
+     "collect the origin->owner communication matrix of every "
+     "simulated run (requires --simulate); prints a terminal heatmap, "
+     "and writes stable JSON ({\"runs\": [...]}) to FILE when given"},
     {"--profile", Arg::None, "",
      "print the per-phase compile-time table and the per-reference "
      "traffic table of each simulated run"},
@@ -234,6 +252,19 @@ parseArgs(int argc, char **argv)
         } else if (name == "--metrics") {
             o.metrics = true;
             o.metrics_file = value;
+        } else if (name == "--metrics-format") {
+            if (value == "prom")
+                o.metrics_prom = true;
+            else if (value == "json")
+                o.metrics_prom = false;
+            else
+                usage("--metrics-format needs json|prom");
+        } else if (name == "--explain") {
+            o.explain = true;
+            o.explain_file = value;
+        } else if (name == "--comm-matrix") {
+            o.comm = true;
+            o.comm_file = value;
         } else if (name == "--trace") {
             if (value.empty())
                 usage("--trace needs FILE");
@@ -373,6 +404,23 @@ run(const Options &o)
     if (o.metrics)
         core::recordCompileMetrics(reg, c);
 
+    if (o.explain) {
+        obs::ExplainRecord er = core::explain(c);
+        if (o.explain_file.empty()) {
+            std::printf("\n%s", er.renderText().c_str());
+        } else {
+            std::ofstream ef(o.explain_file);
+            ef << er.renderJson() << "\n";
+            if (!ef)
+                throw UserError("cannot write '" + o.explain_file + "'");
+        }
+    }
+
+    if (o.comm && o.processors.empty())
+        throw UserError("--comm-matrix needs --simulate (the matrix "
+                        "records simulated traffic)");
+    std::string comm_runs; // accumulated {"runs": [...]} body
+
     if (!o.processors.empty()) {
         IntVec params(prog.params.size(), 0);
         std::vector<bool> bound(prog.params.size(), false);
@@ -402,6 +450,7 @@ run(const Options &o)
             sopts.blockTransfers = o.block_transfers;
             sopts.faults = o.faults;
             sopts.perReference = per_ref;
+            sopts.commMatrix = o.comm;
             sopts.symmetry = o.symmetry;
             if (tracing) {
                 sopts.trace = &trace;
@@ -424,6 +473,15 @@ run(const Options &o)
             numa::FaultReport fr = s.faultReport();
             if (fr.any())
                 std::printf("       %s\n", fr.str().c_str());
+            if (o.comm) {
+                obs::CommMatrix m = numa::buildCommMatrix(s);
+                std::printf("\n%s", m.renderHeatmap().c_str());
+                if (!o.comm_file.empty()) {
+                    if (!comm_runs.empty())
+                        comm_runs += ",";
+                    comm_runs += m.renderJson();
+                }
+            }
             if (o.profile && !s.refNames.empty())
                 std::printf("\n%s\n", core::refTable(s).c_str());
             if (o.metrics)
@@ -433,14 +491,23 @@ run(const Options &o)
         }
     }
 
+    if (o.comm && !o.comm_file.empty()) {
+        std::ofstream cf(o.comm_file);
+        cf << "{\"runs\":[" << comm_runs << "]}\n";
+        if (!cf)
+            throw UserError("cannot write '" + o.comm_file + "'");
+    }
+
     if (tracing)
         trace.writeFile(o.trace_file);
     if (o.metrics) {
+        std::string rendered =
+            o.metrics_prom ? reg.renderExposition() : reg.renderJson();
         if (o.metrics_file.empty()) {
-            std::printf("%s\n", reg.renderJson().c_str());
+            std::printf("%s\n", rendered.c_str());
         } else {
             std::ofstream mf(o.metrics_file);
-            mf << reg.renderJson() << "\n";
+            mf << rendered << "\n";
             if (!mf)
                 throw UserError("cannot write '" + o.metrics_file + "'");
         }

@@ -57,6 +57,8 @@ struct Options
     std::string generate;
     std::string results_file;
     std::string metrics_file;
+    bool metrics_prom = false;
+    std::string log_file;
     std::string journal_file;
     std::string replay_journal_file;
     bool quiet = false;
@@ -109,7 +111,16 @@ const OptSpec kOptSpecs[] = {
     {"--results", Arg::Required, "FILE",
      "write per-request verdicts as a JSON array to FILE"},
     {"--metrics", Arg::Required, "FILE",
-     "write the svc.* / svc.cache.* metrics snapshot as JSON to FILE"},
+     "write the svc.* / svc.cache.* metrics snapshot to FILE"},
+    {"--metrics-format", Arg::Required, "json|prom",
+     "format for --metrics: json (default) or prom, the Prometheus "
+     "text exposition (counters and cumulative pow2 histograms)"},
+    {"--log", Arg::Required, "FILE",
+     "write the structured request lifecycle log to FILE as JSON lines: "
+     "one event per step (admit, parse, canonicalize, cache, compile, "
+     "validate, retry, verdict), correlated by request id; sequence "
+     "numbers instead of timestamps, so the log is as deterministic as "
+     "the verdicts"},
     {"--journal", Arg::Required, "FILE",
      "write the plan cache's hit/miss/insert/evict journal to FILE in "
      "the durable checksummed format (the determinism witness; "
@@ -240,6 +251,15 @@ parseArgs(int argc, char **argv)
             o.results_file = value;
         } else if (name == "--metrics") {
             o.metrics_file = value;
+        } else if (name == "--metrics-format") {
+            if (value == "json")
+                o.metrics_prom = false;
+            else if (value == "prom")
+                o.metrics_prom = true;
+            else
+                usage("--metrics-format needs json or prom");
+        } else if (name == "--log") {
+            o.log_file = value;
         } else if (name == "--journal") {
             o.journal_file = value;
         } else if (name == "--replay-journal") {
@@ -306,7 +326,11 @@ run(const Options &o)
 {
     std::vector<svc::BatchRequest> batch = loadBatch(o);
 
-    svc::Service service(o.svc);
+    svc::EventLog log;
+    svc::ServiceOptions sopts = o.svc;
+    if (!o.log_file.empty())
+        sopts.events = &log;
+    svc::Service service(sopts);
     if (!o.replay_journal_file.empty()) {
         // Crash recovery: a missing file is a fresh start; anything
         // readable is replayed with per-line checksum verification.
@@ -375,8 +399,12 @@ run(const Options &o)
     if (!o.metrics_file.empty()) {
         obs::MetricsRegistry reg;
         service.fillMetrics(reg);
-        writeFileOrDie(o.metrics_file, reg.renderJson());
+        writeFileOrDie(o.metrics_file, o.metrics_prom
+                                           ? reg.renderExposition()
+                                           : reg.renderJson());
     }
+    if (!o.log_file.empty())
+        writeFileOrDie(o.log_file, log.text());
     if (!o.journal_file.empty())
         writeFileOrDie(o.journal_file, cache.durableJournalText());
     return 0;
