@@ -152,11 +152,83 @@ normalizeAtTier(const ir::Program &prog,
     return r;
 }
 
+/**
+ * Simulator-scored plan search (xform/search.h): replace the heuristic
+ * nest and plan when a symbolically validated candidate beats the
+ * heuristic at every swept machine size. Any recoverable failure keeps
+ * the heuristic plan -- the search never degrades the tier and never
+ * crashes a compile; only deadline exhaustion and UserError propagate.
+ */
+void
+runPlanSearch(Compilation &c, const CompileOptions &opts,
+              obs::PhaseClock &pc)
+{
+    if (!opts.search.enabled || opts.identityTransform ||
+        c.normalization.conservativeFallback || !c.normalization.nest)
+        return;
+    tick(opts.cancel);
+    auto s = pc.phase("plan-search");
+    try {
+        c.search = xform::searchPlan(c.program, c.normalization, c.plan,
+                                     opts.search, opts.cancel);
+        if (!c.search.ran || !c.search.improved || !c.search.nest)
+            return;
+        // Re-derive the record fields tied to T (Definition 4.1 hits,
+        // unimodularity) before committing to the winner.
+        xform::NormalizeResult &r = c.normalization;
+        std::vector<xform::NormalizedLoop> normalized;
+        size_t retained = 0;
+        size_t n = c.program.nest.depth();
+        for (size_t l = 0; l < n; ++l) {
+            IntVec row = c.search.transform.row(l);
+            IntVec neg_row = row;
+            for (Int &v : neg_row)
+                v = checkedNeg(v);
+            for (size_t a = 0; a < r.access.rows.size(); ++a) {
+                if (r.access.rows[a].coeffs == row ||
+                    r.access.rows[a].coeffs == neg_row) {
+                    normalized.push_back(
+                        {l, a, r.access.rows[a].distDim});
+                    ++retained;
+                    break;
+                }
+            }
+        }
+        bool unimodular = isUnimodular(c.search.transform);
+        r.transform = c.search.transform;
+        r.nest = c.search.nest;
+        r.normalized = std::move(normalized);
+        r.rowsRetained = retained;
+        r.unimodular = unimodular;
+        c.plan = c.search.plan;
+        double winner_total = 0, heur_total = 0;
+        for (double v : c.search.winnerTimesUs)
+            winner_total += v;
+        for (double v : c.search.heuristicTimesUs)
+            heur_total += v;
+        c.diagnostics.note(
+            Stage::Plan,
+            "plan search adopted '" + c.search.winnerOrigin +
+                "' (simulated total " + std::to_string(winner_total) +
+                " us vs heuristic " + std::to_string(heur_total) +
+                " us)");
+    } catch (const UserError &) {
+        throw;
+    } catch (const Error &e) {
+        c.search = {};
+        c.diagnostics.warning(
+            Stage::Plan, "plan search failed; keeping the heuristic plan",
+            e.what());
+    }
+}
+
 /** Plan, optionally strength-reduce, and emit for the current nest. */
 void
 planAndEmit(Compilation &c, bool with_access, bool with_strength,
-            Stage &stage, obs::PhaseClock &pc, CancelToken *cancel)
+            const CompileOptions &opts, bool with_search, Stage &stage,
+            obs::PhaseClock &pc, CancelToken *cancel)
 {
+    c.search = xform::SearchResult{}; // no stale record across rungs
     stage = Stage::Plan;
     tick(cancel);
     {
@@ -166,6 +238,8 @@ planAndEmit(Compilation &c, bool with_access, bool with_strength,
                                       with_access ? &c.normalization.access
                                                   : nullptr);
     }
+    if (with_search)
+        runPlanSearch(c, opts, pc);
     c.strengthReduction.clear();
     if (with_strength) {
         stage = Stage::StrengthReduce;
@@ -311,6 +385,7 @@ compile(ir::Program prog, const CompileOptions &opts)
                                       c.normalization.depMatrix,
                                       &c.normalization.access);
     }
+    runPlanSearch(c, opts, pc);
     tick(opts.cancel);
     {
         auto s = pc.phase("strength-reduce");
@@ -446,6 +521,8 @@ compileResilient(ir::Program prog, const ResilientOptions &ropts)
             }
             planAndEmit(c, access.has_value(),
                         /*with_strength=*/rung.tier == CompileTier::Full,
+                        ropts.base,
+                        /*with_search=*/rung.tier == CompileTier::Full,
                         stage, pc, cancel);
             c.tier = rung.tier;
 
@@ -692,6 +769,32 @@ explain(const Compilation &c)
     e.tieBreak = c.plan.tieBreak;
     e.outerParallel = c.plan.outerParallel;
     e.hoists = c.plan.hoists.size();
+
+    // --- Plan-search trail (empty, ran=false record when the search
+    // was disabled or skipped).
+    e.search.ran = c.search.ran;
+    e.search.improved = c.search.improved;
+    e.search.enumerated = c.search.enumerated;
+    e.search.scored = c.search.scored;
+    e.search.pruned = c.search.pruned;
+    for (Int p : c.search.processorSweep)
+        e.search.processorSweep.push_back(p);
+    e.search.heuristicTimesUs = c.search.heuristicTimesUs;
+    e.search.winnerTimesUs = c.search.winnerTimesUs;
+    e.search.winnerOrigin = c.search.winnerOrigin;
+    e.search.tieBreak = c.search.tieBreak;
+    for (const xform::SearchScore &t : c.search.trail) {
+        obs::ExplainSearchScore s;
+        s.transform = t.transform;
+        s.origin = t.origin;
+        s.scheme = t.scheme;
+        s.locality = t.locality;
+        s.simTimesUs = t.simTimesUs;
+        s.totalUs = t.totalUs;
+        s.verdict = t.verdict;
+        s.detail = t.detail;
+        e.search.trail.push_back(std::move(s));
+    }
 
     // --- Per-reference stride/contiguity scores under the chosen T.
     if (r.nest) {

@@ -25,6 +25,7 @@
 #include "obs/metrics.h"
 #include "verify/verify.h"
 #include "xform/normalize.h"
+#include "xform/search.h"
 
 namespace anc::core {
 
@@ -42,6 +43,17 @@ struct CompileOptions
      * ladder self-checking. The report lands in
      * Compilation::validation either way. */
     bool validate = false;
+    /**
+     * Simulator-scored plan search (xform/search.h): when enabled, the
+     * Full tier enumerates legal alternatives to the heuristic plan,
+     * scores the survivors on the modeled machine, and adopts a
+     * symbolically validated winner that beats the heuristic at every
+     * swept machine size. Search failure always falls back to the
+     * heuristic plan; it never degrades the tier and never crashes a
+     * compile. All fields except hostThreads affect the selected plan
+     * and are part of svc::planKey.
+     */
+    xform::SearchOptions search;
     /** Trace sink for wall-clock compiler-phase spans (null = off).
      * Phase wall times land in Compilation::phaseTimes regardless. */
     obs::Trace *trace = nullptr;
@@ -97,6 +109,11 @@ struct Compilation
     Diagnostics diagnostics;
     /** True when the differential interpreter check ran and passed. */
     bool differentialChecked = false;
+    /** Plan-search record (SearchResult::ran is false when the search
+     * was disabled, skipped, or failed before enumerating). When the
+     * search improved on the heuristic, `normalization` and `plan`
+     * above already hold the winner. */
+    xform::SearchResult search;
     /** Translation-validation verdict (empty checks list when
      * CompileOptions::validate was off). */
     verify::ValidationReport validation;

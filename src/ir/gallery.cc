@@ -195,6 +195,26 @@ gaussSeidel()
 }
 
 Program
+skewedScatter()
+{
+    ProgramBuilder b(2);
+    size_t pn = b.param("N");
+    auto N = b.par(pn);
+    // Subscripts reach 2N+2N and N+3N: 5N x 5N holds every store.
+    auto ext = N.scaled(Rational(5));
+    size_t arr_a =
+        b.array("A", {ext, ext}, DistributionSpec::replicated());
+    b.loop("i", b.cst(1), N);
+    b.loop("j", b.cst(1), N);
+    auto vi = b.var(0), vj = b.var(1);
+    ArrayRef lhs =
+        b.ref(arr_a, {vi.scaled(Rational(2)) + vj.scaled(Rational(2)),
+                      vi + vj.scaled(Rational(3))});
+    b.assign(lhs, Expr::indexValue(vj));
+    return b.build();
+}
+
+Program
 syr2kBanded()
 {
     ProgramBuilder b(3);

@@ -91,6 +91,19 @@ Program jacobi2d();
 Program gaussSeidel();
 
 /**
+ * Parametric skewed scatter into a replicated grid (not in the paper;
+ * a scaled-up cousin of the Section 3 example):
+ *   for i = 1, N
+ *     for j = 1, N
+ *       A[2i+2j, i+3j] = j
+ * Both access rows are equally common, so the access-order heuristic
+ * has no signal to rank them; the simulator-scored plan search
+ * (xform/search.h) finds a strictly faster row order. This is the
+ * gallery's standing witness that the heuristic is not always optimal.
+ */
+Program skewedScatter();
+
+/**
  * Section 8.2 banded SYR2K on band-compressed storage (0-based):
  *   for i = 0, N-1
  *     for j = i, min(i+2b-2, N-1)

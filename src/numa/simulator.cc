@@ -38,6 +38,16 @@ SimOptions::validate() const
             throw UserError("sampled processor " + std::to_string(p) +
                             " outside [0, " +
                             std::to_string(processors) + ")");
+    // Duplicates would double-count the processor in per-proc stats;
+    // reject them up front with the offending value named.
+    std::vector<Int> sorted = sampleProcs;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 1; i < sorted.size(); ++i)
+        if (sorted[i] == sorted[i - 1])
+            throw UserError(
+                "sampled processor " + std::to_string(sorted[i]) +
+                " listed more than once; each sampleProcs entry must "
+                "be distinct");
 }
 
 namespace {

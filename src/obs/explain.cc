@@ -14,6 +14,15 @@ boolStr(bool b)
     return b ? "true" : "false";
 }
 
+double
+totalOf(const std::vector<double> &v)
+{
+    double t = 0;
+    for (double x : v)
+        t += x;
+    return t;
+}
+
 std::string
 candidateJson(const ExplainCandidate &c)
 {
@@ -46,6 +55,60 @@ refJson(const ExplainRefScore &r)
     return s;
 }
 
+template <class T>
+std::string
+numArrayJson(const std::vector<T> &v)
+{
+    std::string s = "[";
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (i)
+            s += ",";
+        s += jsonNum(v[i]);
+    }
+    s += "]";
+    return s;
+}
+
+std::string
+searchScoreJson(const ExplainSearchScore &t)
+{
+    std::string s = "{\"transform\":" + jsonStr(t.transform);
+    s += ",\"origin\":" + jsonStr(t.origin);
+    s += ",\"scheme\":" + jsonStr(t.scheme);
+    s += ",\"locality\":" + jsonNum(t.locality);
+    s += ",\"simTimesUs\":" + numArrayJson(t.simTimesUs);
+    s += ",\"totalUs\":" + jsonNum(t.totalUs);
+    s += ",\"verdict\":" + jsonStr(t.verdict);
+    s += ",\"detail\":" + jsonStr(t.detail);
+    s += "}";
+    return s;
+}
+
+std::string
+searchJson(const ExplainSearch &se)
+{
+    std::string s = "{\"ran\":";
+    s += boolStr(se.ran);
+    s += ",\"improved\":";
+    s += boolStr(se.improved);
+    s += ",\"enumerated\":" + jsonNum(se.enumerated);
+    s += ",\"scored\":" + jsonNum(se.scored);
+    s += ",\"pruned\":" + jsonNum(se.pruned);
+    s += ",\"processorSweep\":" + numArrayJson(se.processorSweep);
+    s += ",\"heuristicTimesUs\":" + numArrayJson(se.heuristicTimesUs);
+    s += ",\"winnerTimesUs\":" + numArrayJson(se.winnerTimesUs);
+    s += ",\"winnerOrigin\":" + jsonStr(se.winnerOrigin);
+    s += ",\"tieBreak\":" + jsonStr(se.tieBreak);
+    s += ",\"trail\":[";
+    for (size_t i = 0; i < se.trail.size(); ++i) {
+        if (i)
+            s += ",";
+        s += searchScoreJson(se.trail[i]);
+    }
+    s += "]}";
+    return s;
+}
+
 } // namespace
 
 std::string
@@ -65,7 +128,8 @@ ExplainRecord::renderJson() const
     s += ",\"outerParallel\":";
     s += boolStr(outerParallel);
     s += ",\"hoists\":" + jsonNum(hoists);
-    s += "},\"candidates\":[";
+    s += "},\"search\":" + searchJson(search);
+    s += ",\"candidates\":[";
     for (size_t i = 0; i < candidates.size(); ++i) {
         if (i)
             s += ",";
@@ -122,6 +186,28 @@ ExplainRecord::renderText() const
     os << "outer loop: "
        << (outerParallel ? "parallel" : "needs synchronization") << "\n";
     os << "block transfers: " << hoists << "\n";
+    if (search.ran) {
+        os << "plan search: " << search.enumerated << " candidate"
+           << (search.enumerated == 1 ? "" : "s") << ", " << search.scored
+           << " scored, " << search.pruned << " pruned\n";
+        os << "  heuristic total " << jsonNum(totalOf(search.heuristicTimesUs))
+           << " us; winner '" << search.winnerOrigin << "' total "
+           << jsonNum(totalOf(search.winnerTimesUs)) << " us ("
+           << (search.improved ? "improved" : "no improvement") << ")\n";
+        if (!search.tieBreak.empty())
+            os << "  search tie-break: " << search.tieBreak << "\n";
+        for (const ExplainSearchScore &t : search.trail) {
+            os << "  " << t.transform << "  " << t.origin;
+            if (!t.scheme.empty())
+                os << "  " << t.scheme;
+            if (t.totalUs >= 0)
+                os << "  total " << jsonNum(t.totalUs) << " us";
+            os << "  -> " << t.verdict;
+            if (!t.detail.empty())
+                os << ": " << t.detail;
+            os << "\n";
+        }
+    }
     if (!refs.empty()) {
         os << "reference scores (innermost strides under T):\n";
         for (const ExplainRefScore &r : refs) {

@@ -69,6 +69,40 @@ struct ExplainRefScore
     std::string verdict;
 };
 
+/** One plan-search candidate's trail entry (xform/search.h), with the
+ * same pre-rendered strings as the rest of the record. */
+struct ExplainSearchScore
+{
+    std::string transform; //!< "[r0; r1; ...]"
+    std::string origin;    //!< provenance ("heuristic", "row permutation...")
+    std::string scheme;    //!< partition scheme after planning
+    double locality = 0.0; //!< pruning score (lower is better)
+    std::vector<double> simTimesUs; //!< per swept machine size
+    double totalUs = -1.0;          //!< sum; -1 when not scored
+    /** "winner" | "scored" | "inadmissible" | "pruned" | "redundant" |
+     * "rejected" | "failed-validation". */
+    std::string verdict;
+    std::string detail;
+};
+
+/** What the simulator-scored plan search decided. Defaults describe a
+ * compile where the search was off or skipped (ran=false, empty trail);
+ * the record is well-formed either way. */
+struct ExplainSearch
+{
+    bool ran = false;
+    bool improved = false; //!< the winner strictly beat the heuristic
+    uint64_t enumerated = 0;
+    uint64_t scored = 0;
+    uint64_t pruned = 0;
+    std::vector<int64_t> processorSweep;
+    std::vector<double> heuristicTimesUs; //!< per swept size
+    std::vector<double> winnerTimesUs;    //!< per swept size
+    std::string winnerOrigin;
+    std::string tieBreak; //!< rule applied when totals tied ("" if none)
+    std::vector<ExplainSearchScore> trail;
+};
+
 /** The full decision trail of one compilation. */
 struct ExplainRecord
 {
@@ -86,6 +120,7 @@ struct ExplainRecord
     std::string tieBreak;      //!< rule that picked the aligned winner
     bool outerParallel = true;
     uint64_t hoists = 0; //!< block transfers the plan created
+    ExplainSearch search; //!< simulator-scored plan search (if it ran)
     std::vector<ExplainRefScore> refs;
 
     std::vector<std::string> notes; //!< fallbacks, skipped stages
@@ -94,7 +129,10 @@ struct ExplainRecord
      * Stable JSON: fixed key set and order
      * {"tier", "degraded", "partial", "transform", "unimodular",
      *  "plan": {"scheme", "rationale", "tieBreak", "outerParallel",
-     *  "hoists"}, "candidates": [...], "refs": [...], "notes": [...]},
+     *  "hoists"}, "search": {"ran", "improved", "enumerated", "scored",
+     *  "pruned", "processorSweep", "heuristicTimesUs", "winnerTimesUs",
+     *  "winnerOrigin", "tieBreak", "trail": [...]},
+     *  "candidates": [...], "refs": [...], "notes": [...]},
      * arrays present even when empty. No trailing newline.
      */
     std::string renderJson() const;

@@ -235,7 +235,32 @@ planKey(const CanonicalForm &canonical, const numa::MachineParams &machine,
              uint64_t(opts.normalize.enforceLegality) << 2 |
              uint64_t(opts.normalize.includeInputDeps) << 3 |
              uint64_t(opts.normalize.useDistributionHint) << 4 |
-             uint64_t(opts.normalize.unimodularOnly) << 5);
+             uint64_t(opts.normalize.unimodularOnly) << 5 |
+             uint64_t(opts.search.enabled) << 6);
+    // Search knobs select the plan, so they select the cache entry.
+    // hostThreads is deliberately absent: simulator results are
+    // bit-identical across host parallelism, so it cannot change the
+    // winner (xform::SearchOptions documents this contract).
+    const xform::SearchOptions &so = opts.search;
+    h.updateInt(so.budget);
+    h.updateInt(so.paramValue);
+    h.updateInt(so.maxEnumerated);
+    h.update(uint64_t(so.processorSweep.size()));
+    for (Int p : so.processorSweep)
+        h.updateInt(p);
+    h.update(so.machine.name);
+    h.update(so.machine.localAccessTime);
+    h.update(so.machine.remoteAccessTime);
+    h.update(so.machine.blockStartupTime);
+    h.update(so.machine.blockPerByteTime);
+    h.update(so.machine.flopTime);
+    h.update(so.machine.loopOverheadTime);
+    h.update(so.machine.guardTime);
+    h.update(so.machine.syncTime);
+    h.update(so.machine.retryBackoffTime);
+    h.update(so.machine.restartTime);
+    h.updateInt(so.machine.elementSize);
+    h.update(so.machine.contentionFactor);
     return PlanKey{h.digest()};
 }
 

@@ -87,7 +87,10 @@ struct PlanKey
  * Derive the plan key for compiling `canonical` under the given machine
  * and options. Every field that changes the produced plan is hashed
  * (canonical text, all machine cost-model fields, the normalize and
- * validate options); observability knobs (trace, cancel) are not.
+ * validate options, and every plan-search knob including the scoring
+ * machine); observability knobs (trace, cancel) and
+ * search.hostThreads (bit-identical simulation across host
+ * parallelism) are not.
  */
 PlanKey planKey(const CanonicalForm &canonical,
                 const numa::MachineParams &machine,

@@ -120,6 +120,9 @@ Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)), cache_(opts_.cacheBytes)
 {
     opts_.machine.validate();
+    // Plan search scores candidates on the machine this service serves
+    // plans for, and the scoring machine is part of the plan key.
+    opts_.compile.base.search.machine = opts_.machine;
 }
 
 void
@@ -188,6 +191,15 @@ Service::serveGuarded(const std::string &id, const ir::Program &prog)
                 event(id, "compile",
                       {{"tier", obs::jsonStr(r.tier)},
                        {"degraded", r.degradedPlan ? "true" : "false"}});
+                if (c.search.ran)
+                    event(id, "search",
+                          {{"improved",
+                            c.search.improved ? "true" : "false"},
+                           {"enumerated",
+                            obs::jsonNum(c.search.enumerated)},
+                           {"scored", obs::jsonNum(c.search.scored)},
+                           {"winner",
+                            obs::jsonStr(c.search.winnerOrigin)}});
                 if (ropts.base.validate)
                     c.validated ? ++validatePassed_ : ++validateFailed_;
                 else

@@ -31,13 +31,18 @@ void
 expectStableJsonShape(const obs::ExplainRecord &e)
 {
     std::string json = e.renderJson();
-    const char *keys[] = {"\"tier\"",       "\"degraded\"",
-                          "\"partial\"",    "\"transform\"",
-                          "\"unimodular\"", "\"plan\"",
-                          "\"scheme\"",     "\"rationale\"",
-                          "\"tieBreak\"",   "\"outerParallel\"",
-                          "\"hoists\"",     "\"candidates\"",
-                          "\"refs\"",       "\"notes\""};
+    const char *keys[] = {"\"tier\"",        "\"degraded\"",
+                          "\"partial\"",     "\"transform\"",
+                          "\"unimodular\"",  "\"plan\"",
+                          "\"scheme\"",      "\"rationale\"",
+                          "\"tieBreak\"",    "\"outerParallel\"",
+                          "\"hoists\"",      "\"search\"",
+                          "\"ran\"",         "\"improved\"",
+                          "\"enumerated\"",  "\"scored\"",
+                          "\"pruned\"",      "\"processorSweep\"",
+                          "\"winnerOrigin\"", "\"trail\"",
+                          "\"candidates\"",  "\"refs\"",
+                          "\"notes\""};
     size_t pos = 0;
     for (const char *k : keys) {
         size_t at = json.find(k, pos);

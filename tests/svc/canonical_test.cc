@@ -209,5 +209,147 @@ TEST(CanonicalTest, RejectsInvalidProgram)
     EXPECT_THROW(canonicalize(bad), UserError);
 }
 
+TEST(CanonicalTest, KeyCoversEverySemanticsAffectingOptionField)
+{
+    // Key-completeness: flip every CompileOptions field that can change
+    // the produced plan, one at a time, and require a fresh key each
+    // time. A field missing from planKey shows up here as a cache-
+    // poisoning collision.
+    CanonicalForm c = canonicalize(ir::gallery::gemm());
+    numa::MachineParams m = numa::MachineParams::butterflyGP1000();
+    using Mutator = void (*)(core::CompileOptions &);
+    struct Field
+    {
+        const char *name;
+        Mutator flip;
+    };
+    const Field fields[] = {
+        {"identityTransform",
+         [](core::CompileOptions &o) { o.identityTransform = true; }},
+        {"validate", [](core::CompileOptions &o) { o.validate = true; }},
+        {"normalize.enforceLegality",
+         [](core::CompileOptions &o) {
+             o.normalize.enforceLegality = false;
+         }},
+        {"normalize.includeInputDeps",
+         [](core::CompileOptions &o) {
+             o.normalize.includeInputDeps = true;
+         }},
+        {"normalize.useDistributionHint",
+         [](core::CompileOptions &o) {
+             o.normalize.useDistributionHint = false;
+         }},
+        {"normalize.unimodularOnly",
+         [](core::CompileOptions &o) {
+             o.normalize.unimodularOnly = true;
+         }},
+        {"search.enabled",
+         [](core::CompileOptions &o) { o.search.enabled = true; }},
+        {"search.budget",
+         [](core::CompileOptions &o) { o.search.budget = 7; }},
+        {"search.paramValue",
+         [](core::CompileOptions &o) { o.search.paramValue = 17; }},
+        {"search.maxEnumerated",
+         [](core::CompileOptions &o) { o.search.maxEnumerated = 99; }},
+        {"search.processorSweep size",
+         [](core::CompileOptions &o) {
+             o.search.processorSweep = {4, 32};
+         }},
+        {"search.processorSweep element",
+         [](core::CompileOptions &o) {
+             o.search.processorSweep = {4, 32, 4095};
+         }},
+        {"search.machine preset",
+         [](core::CompileOptions &o) {
+             o.search.machine = numa::MachineParams::ipsc860();
+         }},
+        {"search.machine.name",
+         [](core::CompileOptions &o) {
+             o.search.machine.name = "renamed";
+         }},
+        {"search.machine.localAccessTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.localAccessTime += 0.125;
+         }},
+        {"search.machine.remoteAccessTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.remoteAccessTime += 0.125;
+         }},
+        {"search.machine.blockStartupTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.blockStartupTime += 0.125;
+         }},
+        {"search.machine.blockPerByteTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.blockPerByteTime += 0.125;
+         }},
+        {"search.machine.flopTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.flopTime += 0.125;
+         }},
+        {"search.machine.loopOverheadTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.loopOverheadTime += 0.125;
+         }},
+        {"search.machine.guardTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.guardTime += 0.125;
+         }},
+        {"search.machine.syncTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.syncTime += 0.125;
+         }},
+        {"search.machine.retryBackoffTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.retryBackoffTime += 0.125;
+         }},
+        {"search.machine.restartTime",
+         [](core::CompileOptions &o) {
+             o.search.machine.restartTime += 0.125;
+         }},
+        {"search.machine.elementSize",
+         [](core::CompileOptions &o) {
+             o.search.machine.elementSize = 4;
+         }},
+        {"search.machine.contentionFactor",
+         [](core::CompileOptions &o) {
+             o.search.machine.contentionFactor = 0.5;
+         }},
+    };
+
+    core::CompileOptions base;
+    PlanKey k0 = planKey(c, m, base);
+    std::vector<std::pair<std::string, PlanKey>> keys;
+    keys.emplace_back("base", k0);
+    for (const Field &f : fields) {
+        core::CompileOptions flipped;
+        f.flip(flipped);
+        PlanKey k = planKey(c, m, flipped);
+        EXPECT_NE(k, k0) << f.name
+                         << " does not reach planKey: flipping it kept "
+                            "the cache key";
+        keys.emplace_back(f.name, k);
+    }
+    // And no two single-field flips may collide with each other.
+    for (size_t i = 0; i < keys.size(); ++i)
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i].second, keys[j].second)
+                << keys[i].first << " collides with " << keys[j].first;
+}
+
+TEST(CanonicalTest, KeyIgnoresSearchHostThreads)
+{
+    // SimStats are bit-identical for every hostThreads value, so the
+    // knob cannot change the searched winner and must not split the
+    // plan cache.
+    CanonicalForm c = canonicalize(ir::gallery::gemm());
+    numa::MachineParams m = numa::MachineParams::butterflyGP1000();
+    core::CompileOptions base;
+    base.search.enabled = true;
+    core::CompileOptions threaded = base;
+    threaded.search.hostThreads = 4;
+    EXPECT_EQ(planKey(c, m, threaded), planKey(c, m, base));
+}
+
 } // namespace
 } // namespace anc::svc

@@ -47,6 +47,8 @@ struct Options
     bool block_transfers = true;
     bool strict = false;
     bool validate = false;
+    bool search = false;
+    Int search_budget = 0; //!< 0 = keep SearchOptions' default
     bool diag = false;
     bool profile = false;
     bool metrics = false;
@@ -135,6 +137,12 @@ const OptSpec kOptSpecs[] = {
     {"--profile", Arg::None, "",
      "print the per-phase compile-time table and the per-reference "
      "traffic table of each simulated run"},
+    {"--search", Arg::Optional, "BUDGET",
+     "simulator-scored plan search: enumerate legal row orders, sign "
+     "flips, paddings, and scheme choices, score the best BUDGET "
+     "(default 24) on the machine model, and adopt a symbolically "
+     "validated winner that beats the heuristic at every swept size; "
+     "falls back to the heuristic plan on any search failure"},
     {"--strict", Arg::None, "",
      "exit 3 when compilation degraded (a lower ladder tier or a "
      "conservative fallback)"},
@@ -241,6 +249,13 @@ parseArgs(int argc, char **argv)
             o.suggest = true;
         } else if (name == "--no-block-transfers") {
             o.block_transfers = false;
+        } else if (name == "--search") {
+            o.search = true;
+            if (!value.empty()) {
+                o.search_budget = std::strtoll(value.c_str(), nullptr, 10);
+                if (o.search_budget <= 0)
+                    usage("--search budget must be positive");
+            }
         } else if (name == "--strict") {
             o.strict = true;
         } else if (name == "--validate") {
@@ -377,6 +392,13 @@ run(const Options &o)
     core::ResilientOptions ropts;
     ropts.base.identityTransform = !o.restructure;
     ropts.base.validate = o.validate;
+    if (o.search) {
+        ropts.base.search.enabled = true;
+        if (o.search_budget > 0)
+            ropts.base.search.budget = o.search_budget;
+        // Score candidates on the machine the user will simulate on.
+        ropts.base.search.machine = o.machine;
+    }
     if (tracing) {
         ropts.base.trace = &trace;
         ropts.base.tracePid = trace.process("compile");
@@ -387,6 +409,29 @@ run(const Options &o)
 
     if (o.validate)
         std::printf("%s", c.validation.render().c_str());
+
+    if (o.search) {
+        const xform::SearchResult &sr = c.search;
+        if (!sr.ran) {
+            std::printf("plan search: skipped (identity transform or "
+                        "degraded tier)\n");
+        } else {
+            double ht = 0, wt = 0;
+            for (double v : sr.heuristicTimesUs)
+                ht += v;
+            for (double v : sr.winnerTimesUs)
+                wt += v;
+            std::printf("plan search: %llu candidates, %llu scored; "
+                        "%s '%s' (heuristic %.1f us, winner %.1f us "
+                        "summed over the sweep)\n",
+                        static_cast<unsigned long long>(sr.enumerated),
+                        static_cast<unsigned long long>(sr.scored),
+                        sr.improved ? "adopted" : "kept",
+                        sr.improved ? sr.winnerOrigin.c_str()
+                                    : "heuristic",
+                        ht, wt);
+        }
+    }
 
     if (o.emit_only)
         std::printf("%s", c.nodeProgram.c_str());

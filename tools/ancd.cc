@@ -70,6 +70,7 @@ enum class Arg
 {
     None,     //!< flag only
     Required, //!< --opt=VALUE or --opt VALUE
+    Optional, //!< bare --opt or --opt=VALUE (never the next argv)
 };
 
 /**
@@ -106,6 +107,12 @@ const OptSpec kOptSpecs[] = {
      "serve unvalidated plans: skip the translation validation that "
      "every fresh compilation otherwise gets (the symbolic proof "
      "covering all parameter values; on by default)"},
+    {"--search", Arg::Optional, "BUDGET",
+     "simulator-scored plan search on every fresh compilation: score "
+     "up to BUDGET (default 24) legal alternatives on the service's "
+     "machine model and serve a symbolically validated winner; every "
+     "search knob is part of the plan key, so searched and unsearched "
+     "plans never share a cache entry"},
     {"--machine", Arg::Required, "gp1000|ipsc860",
      "target machine model, part of every plan key (default gp1000)"},
     {"--results", Arg::Required, "FILE",
@@ -143,6 +150,8 @@ usageText()
         std::string head = std::string("  ") + s.name;
         if (s.arg == Arg::Required)
             head += std::string(" ") + s.valueHint;
+        else if (s.arg == Arg::Optional)
+            head += std::string("[=") + s.valueHint + "]";
         out += head;
         const size_t indent = 24;
         out += head.size() < indent ? std::string(indent - head.size(), ' ')
@@ -240,6 +249,14 @@ parseArgs(int argc, char **argv)
             o.svc.maxRetries = int(parseCount(name, value));
         } else if (name == "--no-validate") {
             o.svc.compile.base.validate = false;
+        } else if (name == "--search") {
+            o.svc.compile.base.search.enabled = true;
+            if (!value.empty()) {
+                uint64_t budget = parseCount(name, value);
+                if (budget == 0)
+                    usage("--search budget must be positive");
+                o.svc.compile.base.search.budget = Int(budget);
+            }
         } else if (name == "--machine") {
             if (value == "gp1000")
                 o.svc.machine = numa::MachineParams::butterflyGP1000();

@@ -35,9 +35,13 @@ VERDICTS = {"kept", "reversed", "dropped", "unused"}
 SCHEMES = {"round-robin", "owner-wrapped", "owner-blocked",
            "owner-block2d"}
 EXPLAIN_KEYS = ["tier", "degraded", "partial", "transform",
-                "unimodular", "plan", "candidates", "refs", "notes"]
+                "unimodular", "plan", "search", "candidates", "refs",
+                "notes"]
 PLAN_KEYS = ["scheme", "rationale", "tieBreak", "outerParallel",
              "hoists"]
+SEARCH_KEYS = ["ran", "improved", "enumerated", "scored", "pruned",
+               "processorSweep", "heuristicTimesUs", "winnerTimesUs",
+               "winnerOrigin", "tieBreak", "trail"]
 
 
 def is_count(v):
@@ -178,6 +182,16 @@ def check_explain(doc, raw, errors):
         return
     if plan["scheme"] not in SCHEMES:
         errors.append("unknown scheme %r" % (plan["scheme"],))
+    search = doc.get("search")
+    if not isinstance(search, dict) or \
+            [k for k in SEARCH_KEYS if k not in search]:
+        errors.append("search object incomplete: %r" % (search,))
+    else:
+        if not isinstance(search["ran"], bool) or \
+                not isinstance(search["improved"], bool):
+            errors.append("search.ran/improved are not bools")
+        if not isinstance(search["trail"], list):
+            errors.append("search.trail is not a list")
     for key in ("degraded", "partial", "unimodular"):
         if not isinstance(doc.get(key), bool):
             errors.append("%s is not a bool" % key)
